@@ -1,0 +1,217 @@
+package househunt
+
+// This file is the benchmark harness mandated by DESIGN.md §5: one benchmark
+// per experiment (E1-E21), each regenerating its EXPERIMENTS.md table at
+// small scale and failing if the paper's claimed shape does not hold, plus
+// engine micro-benchmarks (round latency and allocation behaviour at several
+// colony sizes).
+//
+// Run everything:   go test -bench=. -benchmem
+// One experiment:   go test -bench=BenchmarkE09 -benchmem
+// Full-scale tables come from: go run ./cmd/hhbench -exp all -scale full
+
+import (
+	"testing"
+
+	"github.com/gmrl/househunt/internal/algo"
+	"github.com/gmrl/househunt/internal/experiment"
+	"github.com/gmrl/househunt/internal/rng"
+	"github.com/gmrl/househunt/internal/sim"
+)
+
+// benchExperiment runs one suite experiment per iteration and reports its
+// headline rounds metric when available. A violated shape fails the bench:
+// these benchmarks double as executable regression tests for EXPERIMENTS.md.
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		rep, err := experiment.RunExperiment(id, experiment.ScaleSmall)
+		if err != nil {
+			b.Fatalf("%s: %v", id, err)
+		}
+		if !rep.Pass {
+			b.Fatalf("%s: claimed shape violated:\n%s", id, rep)
+		}
+	}
+}
+
+// BenchmarkE01RecruitSuccess regenerates E1 (Lemma 2.1: recruiter success
+// probability >= 1/16).
+func BenchmarkE01RecruitSuccess(b *testing.B) { benchExperiment(b, "E1") }
+
+// BenchmarkE02IgnorantPersistence regenerates E2 (Lemma 3.1: ignorant ants
+// stay ignorant w.p. >= 1/4 per round).
+func BenchmarkE02IgnorantPersistence(b *testing.B) { benchExperiment(b, "E2") }
+
+// BenchmarkE03LowerBoundScaling regenerates E3 (Theorem 3.2: Ω(log n)
+// spreading time).
+func BenchmarkE03LowerBoundScaling(b *testing.B) { benchExperiment(b, "E3") }
+
+// BenchmarkE04PopulationDeltaSymmetry regenerates E4 (Lemma 4.1: Y symmetric
+// about zero).
+func BenchmarkE04PopulationDeltaSymmetry(b *testing.B) { benchExperiment(b, "E4") }
+
+// BenchmarkE05DropoutProbability regenerates E5 (Lemma 4.2: P[Y<0] >= 1/66).
+func BenchmarkE05DropoutProbability(b *testing.B) { benchExperiment(b, "E5") }
+
+// BenchmarkE06OptimalScaling regenerates E6 (Theorem 4.3: Algorithm 2 is
+// O(log n), insensitive to k).
+func BenchmarkE06OptimalScaling(b *testing.B) { benchExperiment(b, "E6") }
+
+// BenchmarkE07InitialGap regenerates E7 (Lemma 5.4: E[ε] >= 1/(3(n-1))).
+func BenchmarkE07InitialGap(b *testing.B) { benchExperiment(b, "E7") }
+
+// BenchmarkE08SmallNestExtinction regenerates E8 (Lemmas 5.8/5.9:
+// sub-threshold nests die within O(k log n) rounds and never win).
+func BenchmarkE08SmallNestExtinction(b *testing.B) { benchExperiment(b, "E8") }
+
+// BenchmarkE09SimpleScaling regenerates E9 (Theorem 5.11: Algorithm 3 is
+// O(k log n)).
+func BenchmarkE09SimpleScaling(b *testing.B) { benchExperiment(b, "E9") }
+
+// BenchmarkE10AdaptiveSpeedup regenerates E10 (§6 boosted recruitment beats
+// Simple at large k).
+func BenchmarkE10AdaptiveSpeedup(b *testing.B) { benchExperiment(b, "E10") }
+
+// BenchmarkE11QualityAware regenerates E11 (§6 non-binary qualities select a
+// high-quality nest).
+func BenchmarkE11QualityAware(b *testing.B) { benchExperiment(b, "E11") }
+
+// BenchmarkE12NoiseResilience regenerates E12 (§6 unbiased perception noise
+// is tolerated with graceful slowdown).
+func BenchmarkE12NoiseResilience(b *testing.B) { benchExperiment(b, "E12") }
+
+// BenchmarkE13FaultTolerance regenerates E13 (§6 crash/Byzantine tolerance).
+func BenchmarkE13FaultTolerance(b *testing.B) { benchExperiment(b, "E13") }
+
+// BenchmarkE14Asynchrony regenerates E14 (§6: Simple tolerates jitter,
+// Optimal relies on synchrony).
+func BenchmarkE14Asynchrony(b *testing.B) { benchExperiment(b, "E14") }
+
+// BenchmarkE15HeadToHead regenerates E15 (the who-wins-where crossover).
+func BenchmarkE15HeadToHead(b *testing.B) { benchExperiment(b, "E15") }
+
+// BenchmarkE16PairingAblation regenerates E16 (§2 remark: results persist
+// under other natural pairing models).
+func BenchmarkE16PairingAblation(b *testing.B) { benchExperiment(b, "E16") }
+
+// BenchmarkE17PseudocodeAblation regenerates E17 (literal vs repaired
+// Algorithm 2 Case 3; the literal pseudocode deadlocks).
+func BenchmarkE17PseudocodeAblation(b *testing.B) { benchExperiment(b, "E17") }
+
+// BenchmarkE18QuorumTransport regenerates E18 (quorum-gated transports and
+// the speed-accuracy trade-off under noisy assessment).
+func BenchmarkE18QuorumTransport(b *testing.B) { benchExperiment(b, "E18") }
+
+// BenchmarkE19ApproxN regenerates E19 (§6 approximate knowledge of n).
+func BenchmarkE19ApproxN(b *testing.B) { benchExperiment(b, "E19") }
+
+// BenchmarkE20FailureDecay regenerates E20 (the theorems' w.h.p. form:
+// failure rate at a fixed C·log n budget vanishes as n grows).
+func BenchmarkE20FailureDecay(b *testing.B) { benchExperiment(b, "E20") }
+
+// BenchmarkE21CompetingDecay regenerates E21 (geometric decay of competing
+// nests, the mechanism of Theorem 4.3).
+func BenchmarkE21CompetingDecay(b *testing.B) { benchExperiment(b, "E21") }
+
+// --- engine micro-benchmarks -------------------------------------------------
+
+// buildBenchColony constructs a Simple colony mid-execution for round
+// latency measurement.
+func buildBenchColony(b *testing.B, n, k int) *sim.Engine {
+	b.Helper()
+	env, err := sim.Uniform(k, k)
+	if err != nil {
+		b.Fatal(err)
+	}
+	agents, err := (algo.Simple{}).Build(n, env, rng.New(1).Split(2))
+	if err != nil {
+		b.Fatal(err)
+	}
+	engine, err := sim.New(env, agents, sim.WithSeed(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Warm through the search round so steady-state rounds are measured.
+	if err := engine.Step(); err != nil {
+		b.Fatal(err)
+	}
+	return engine
+}
+
+// BenchmarkEngineRound measures steady-state synchronous round latency for
+// Algorithm 3 colonies of increasing size (ns/round, allocs/round).
+func BenchmarkEngineRound(b *testing.B) {
+	for _, n := range []int{1024, 16384, 262144} {
+		n := n
+		b.Run(byteCount(n), func(b *testing.B) {
+			engine := buildBenchColony(b, n, 8)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := engine.Step(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds(), "ant-steps/s")
+		})
+	}
+}
+
+// byteCount renders n as a compact label (1k, 16k, 256k).
+func byteCount(n int) string {
+	switch {
+	case n%(1<<20) == 0:
+		return itoa(n>>20) + "M"
+	case n%(1<<10) == 0:
+		return itoa(n>>10) + "k"
+	default:
+		return itoa(n)
+	}
+}
+
+// itoa avoids pulling strconv into the bench hot path imports.
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}
+
+// BenchmarkEngineRoundConcurrent measures the goroutine-per-ant mode's round
+// latency (including the two barrier crossings).
+func BenchmarkEngineRoundConcurrent(b *testing.B) {
+	const n = 1024
+	engine := buildBenchColony(b, n, 8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	if _, err := engine.RunConcurrent(engine.Round()+b.N, nil); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkFullEmigration measures a complete emigration (search to
+// unanimity) per iteration, the end-to-end number a library user feels.
+func BenchmarkFullEmigration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := Run(
+			WithColonySize(1024),
+			WithBinaryNests(8, 4),
+			WithAlgorithm(AlgorithmOptimal),
+			WithSeed(uint64(i+1)),
+		)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Solved {
+			b.Fatal("emigration failed")
+		}
+	}
+}

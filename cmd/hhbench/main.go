@@ -1,0 +1,80 @@
+// Command hhbench regenerates the experiment tables of EXPERIMENTS.md: one
+// experiment per lemma/theorem/extension claim of the paper (E1-E21).
+//
+// Examples:
+//
+//	hhbench -list
+//	hhbench -exp E9
+//	hhbench -exp all -scale full
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/gmrl/househunt/internal/experiment"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "hhbench:", err)
+		os.Exit(1)
+	}
+}
+
+// run executes the selected experiments; split from main for testability.
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("hhbench", flag.ContinueOnError)
+	var (
+		exp   = fs.String("exp", "all", "experiment id (E1..E21) or 'all'")
+		scale = fs.String("scale", "small", "experiment sizing: small or full")
+		list  = fs.Bool("list", false, "list experiment ids and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *list {
+		for _, id := range experiment.IDs() {
+			fmt.Fprintln(out, id)
+		}
+		return nil
+	}
+
+	var sc experiment.Scale
+	switch strings.ToLower(*scale) {
+	case "small":
+		sc = experiment.ScaleSmall
+	case "full":
+		sc = experiment.ScaleFull
+	default:
+		return fmt.Errorf("unknown scale %q (want small or full)", *scale)
+	}
+
+	ids := experiment.IDs()
+	if !strings.EqualFold(*exp, "all") {
+		ids = []string{*exp}
+	}
+
+	failed := 0
+	for _, id := range ids {
+		start := time.Now()
+		rep, err := experiment.RunExperiment(id, sc)
+		if err != nil {
+			return fmt.Errorf("experiment %s: %w", id, err)
+		}
+		fmt.Fprint(out, rep)
+		fmt.Fprintf(out, "(elapsed %.1fs)\n\n", time.Since(start).Seconds())
+		if !rep.Pass {
+			failed++
+		}
+	}
+	if failed > 0 {
+		return fmt.Errorf("%d experiment(s) reported a violated shape", failed)
+	}
+	return nil
+}

@@ -1,0 +1,114 @@
+// Command hhsim runs a single house-hunting execution and prints a summary,
+// optionally with an ASCII plot of the commitment dynamics.
+//
+// Examples:
+//
+//	hhsim -n 512 -k 8 -good 2 -algo simple -seed 42
+//	hhsim -n 1024 -k 4 -good 4 -algo optimal -plot
+//	hhsim -n 256 -nests 0.2,0.5,0.9 -algo quality -plot
+//	hhsim -n 400 -k 4 -good 2 -crash 0.1 -jitter 0.1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"github.com/gmrl/househunt"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "hhsim:", err)
+		os.Exit(1)
+	}
+}
+
+// run parses flags and executes one colony; split from main for testability.
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("hhsim", flag.ContinueOnError)
+	var (
+		n          = fs.Int("n", 256, "colony size")
+		k          = fs.Int("k", 4, "number of candidate nests (ignored when -nests is set)")
+		good       = fs.Int("good", 1, "number of good nests (ignored when -nests is set)")
+		nests      = fs.String("nests", "", "comma-separated nest qualities in [0,1], e.g. 0.2,0.5,0.9")
+		algoName   = fs.String("algo", "simple", "algorithm: optimal, optimal-literal, simple, simple-pfsm, adaptive, quality, quorum, approxn, spreader")
+		seed       = fs.Uint64("seed", 1, "random seed")
+		maxRounds  = fs.Int("rounds", 0, "round budget (0 = automatic)")
+		plot       = fs.Bool("plot", false, "render an ASCII plot of commitment dynamics")
+		concurrent = fs.Bool("concurrent", false, "run each ant as a goroutine")
+		countNoise = fs.Float64("count-noise", 0, "unbiased relative count noise sigma (forces simple)")
+		flipP      = fs.Float64("flip", 0, "assessment flip probability (forces simple)")
+		crash      = fs.Float64("crash", 0, "fraction of ants that crash")
+		byz        = fs.Float64("byz", 0, "fraction of Byzantine ants")
+		jitter     = fs.Float64("jitter", 0, "per-round hold probability (asynchrony)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	opts := []househunt.Option{
+		househunt.WithColonySize(*n),
+		househunt.WithAlgorithm(househunt.Algorithm(*algoName)),
+		househunt.WithSeed(*seed),
+		househunt.WithMaxRounds(*maxRounds),
+	}
+	if *nests != "" {
+		qualities, err := parseQualities(*nests)
+		if err != nil {
+			return err
+		}
+		opts = append(opts, househunt.WithNests(qualities...))
+	} else {
+		opts = append(opts, househunt.WithBinaryNests(*k, *good))
+	}
+	if *plot {
+		opts = append(opts, househunt.WithTracing())
+	}
+	if *concurrent {
+		opts = append(opts, househunt.WithConcurrentAnts())
+	}
+	if *countNoise > 0 {
+		opts = append(opts, househunt.WithCountNoise(*countNoise))
+	}
+	if *flipP > 0 {
+		opts = append(opts, househunt.WithAssessmentFlips(*flipP))
+	}
+	if *crash > 0 {
+		opts = append(opts, househunt.WithCrashFaults(*crash, 64))
+	}
+	if *byz > 0 {
+		opts = append(opts, househunt.WithByzantineAnts(*byz))
+	}
+	if *jitter > 0 {
+		opts = append(opts, househunt.WithJitter(*jitter, 2))
+	}
+
+	res, err := househunt.Run(opts...)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(out, res.Summary())
+	fmt.Fprintf(out, "final commitments by nest: %v\n", res.Commitments)
+	if *plot {
+		fmt.Fprint(out, res.RenderPlot(72, 16))
+	}
+	return nil
+}
+
+// parseQualities parses "0.2,0.5,0.9" into a quality slice.
+func parseQualities(s string) ([]float64, error) {
+	parts := strings.Split(s, ",")
+	out := make([]float64, 0, len(parts))
+	for _, p := range parts {
+		q, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, fmt.Errorf("parsing nest quality %q: %w", p, err)
+		}
+		out = append(out, q)
+	}
+	return out, nil
+}

@@ -1,0 +1,82 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunBasic(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-n", "64", "-k", "2", "-good", "1", "-seed", "4"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "solved") {
+		t.Fatalf("summary missing:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "final commitments") {
+		t.Fatalf("commitments missing:\n%s", out.String())
+	}
+}
+
+func TestRunWithPlotAndExtras(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{
+		"-n", "96", "-k", "3", "-good", "2", "-algo", "optimal",
+		"-plot", "-seed", "5",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "legend:") {
+		t.Fatalf("plot missing:\n%s", out.String())
+	}
+}
+
+func TestRunExplicitNests(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-n", "64", "-nests", "0.2,0.9", "-algo", "quality", "-seed", "6"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "solved") {
+		t.Fatalf("quality run failed:\n%s", out.String())
+	}
+}
+
+func TestRunFaultFlags(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{
+		"-n", "128", "-k", "2", "-good", "2",
+		"-crash", "0.1", "-byz", "0.02", "-jitter", "0.05",
+		"-count-noise", "0", "-seed", "7", "-rounds", "4000",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRejectsBadInput(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-nests", "0.5,banana"}, &out); err == nil {
+		t.Fatal("malformed nests accepted")
+	}
+	if err := run([]string{"-algo", "bogus"}, &out); err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+	if err := run([]string{"-whatever"}, &out); err == nil {
+		t.Fatal("unknown flag accepted")
+	}
+}
+
+func TestParseQualities(t *testing.T) {
+	qs, err := parseQualities(" 0.1 , 0.9 ,1.0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(qs) != 3 || qs[0] != 0.1 || qs[2] != 1.0 {
+		t.Fatalf("parsed %v", qs)
+	}
+	if _, err := parseQualities("a,b"); err == nil {
+		t.Fatal("junk accepted")
+	}
+}

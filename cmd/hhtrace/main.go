@@ -1,0 +1,68 @@
+// Command hhtrace runs a traced house-hunting execution and exports the
+// per-round history as CSV or JSON, for plotting population dynamics with
+// external tools.
+//
+// Examples:
+//
+//	hhtrace -n 512 -k 4 -good 2 -algo simple -format csv > run.csv
+//	hhtrace -n 512 -k 4 -good 4 -algo optimal -format json > run.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"github.com/gmrl/househunt"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "hhtrace:", err)
+		os.Exit(1)
+	}
+}
+
+// run executes one traced colony and exports it; split for testability.
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("hhtrace", flag.ContinueOnError)
+	var (
+		n        = fs.Int("n", 256, "colony size")
+		k        = fs.Int("k", 4, "number of candidate nests")
+		good     = fs.Int("good", 1, "number of good nests")
+		algoName = fs.String("algo", "simple", "algorithm name")
+		seed     = fs.Uint64("seed", 1, "random seed")
+		rounds   = fs.Int("rounds", 0, "round budget (0 = automatic)")
+		format   = fs.String("format", "csv", "output format: csv or json")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	res, err := househunt.Run(
+		househunt.WithColonySize(*n),
+		househunt.WithBinaryNests(*k, *good),
+		househunt.WithAlgorithm(househunt.Algorithm(*algoName)),
+		househunt.WithSeed(*seed),
+		househunt.WithMaxRounds(*rounds),
+		househunt.WithTracing(),
+	)
+	if err != nil {
+		return err
+	}
+	switch *format {
+	case "csv":
+		if err := res.WriteCSV(out); err != nil {
+			return err
+		}
+	case "json":
+		if err := res.WriteJSON(out); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("unknown format %q (want csv or json)", *format)
+	}
+	fmt.Fprintln(os.Stderr, res.Summary())
+	return nil
+}

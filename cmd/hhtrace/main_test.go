@@ -1,0 +1,43 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunCSV(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-n", "32", "-k", "2", "-good", "1", "-format", "csv", "-seed", "3"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(out.String(), "round,pop0,pop1,pop2") {
+		t.Fatalf("csv header missing:\n%.80s", out.String())
+	}
+	if len(strings.Split(out.String(), "\n")) < 3 {
+		t.Fatal("csv has no data rows")
+	}
+}
+
+func TestRunJSON(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-n", "32", "-k", "2", "-good", "1", "-format", "json", "-seed", "3"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "\"rounds\"") {
+		t.Fatalf("json missing rounds:\n%.120s", out.String())
+	}
+}
+
+func TestRunRejectsBadInput(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-format", "xml"}, &out); err == nil {
+		t.Fatal("unknown format accepted")
+	}
+	if err := run([]string{"-n", "0"}, &out); err == nil {
+		t.Fatal("zero colony accepted")
+	}
+	if err := run([]string{"-algo", "bogus"}, &out); err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+}

@@ -1,0 +1,71 @@
+// Comparison races the paper's algorithms against each other across the
+// number of candidate nests, reproducing the headline asymptotic story on a
+// laptop: Algorithm 2 ("Optimal", O(log n)) is nearly flat in k, Algorithm 3
+// ("Simple", O(k log n)) grows with k, and the §6 adaptive extension pays a
+// ramp-up at small k to stay flat at large k.
+//
+//	go run ./examples/comparison
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/gmrl/househunt"
+)
+
+func main() {
+	const colony = 512
+	const repetitions = 5
+	algorithms := []househunt.Algorithm{
+		househunt.AlgorithmOptimal,
+		househunt.AlgorithmSimple,
+		househunt.AlgorithmAdaptive,
+	}
+
+	fmt.Printf("colony of %d ants, all nests good, %d repetitions per cell\n\n", colony, repetitions)
+	fmt.Printf("%6s", "k")
+	for _, a := range algorithms {
+		fmt.Printf("  %12s", a)
+	}
+	fmt.Println()
+
+	for _, k := range []int{2, 4, 8, 16, 32} {
+		fmt.Printf("%6d", k)
+		for _, algorithm := range algorithms {
+			mean, err := meanRounds(algorithm, colony, k, repetitions)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("  %12.1f", mean)
+		}
+		fmt.Println()
+	}
+
+	fmt.Println()
+	fmt.Println("expected shape: the 'simple' column grows with k (its O(k log n) bound);")
+	fmt.Println("'optimal' stays nearly flat (O(log n)); 'adaptive' starts slower but is")
+	fmt.Println("flat in k, overtaking 'simple' around k ≈ 16.")
+}
+
+// meanRounds averages convergence rounds over repetitions (all runs at these
+// sizes solve, so failures are reported as errors rather than skipped).
+func meanRounds(algorithm househunt.Algorithm, n, k, reps int) (float64, error) {
+	total := 0
+	for rep := 0; rep < reps; rep++ {
+		res, err := househunt.Run(
+			househunt.WithColonySize(n),
+			househunt.WithBinaryNests(k, k),
+			househunt.WithAlgorithm(algorithm),
+			househunt.WithSeed(uint64(9000+rep*31+k)),
+		)
+		if err != nil {
+			return 0, err
+		}
+		if !res.Solved {
+			return 0, fmt.Errorf("%s failed to converge at n=%d k=%d", algorithm, n, k)
+		}
+		total += res.Rounds
+	}
+	return float64(total) / float64(reps), nil
+}

@@ -1,0 +1,102 @@
+// Emigration walks through the biological scenario that motivates the paper:
+// a Temnothorax colony's rock crevice is destroyed and the colony must find,
+// agree on, and move to a new home.
+//
+// The candidate sites are described physically (cavity area, entrance width,
+// darkness) and scored with the attribute priorities reported in the biology
+// literature (darkness dominates, then entrance size, then area). The colony
+// runs the quality-aware algorithm and the example narrates the emigration:
+// discovery, competition, quorum, and transport, with an ASCII plot of the
+// commitment dynamics.
+//
+//	go run ./examples/emigration
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/gmrl/househunt"
+)
+
+// site pairs a nickname with physical attributes (all normalized to [0,1]).
+type site struct {
+	name     string
+	area     float64 // larger is better
+	entrance float64 // smaller is better
+	darkness float64 // larger is better
+}
+
+func main() {
+	// Four candidate crevices around the destroyed nest. "oak hollow" is the
+	// clear winner on the attributes ants weigh most.
+	sites := []site{
+		{name: "sunlit crack", area: 0.8, entrance: 0.9, darkness: 0.1},
+		{name: "oak hollow", area: 0.7, entrance: 0.2, darkness: 0.9},
+		{name: "shallow chip", area: 0.2, entrance: 0.5, darkness: 0.4},
+		{name: "gravel gap", area: 0.5, entrance: 0.6, darkness: 0.5},
+	}
+
+	// Weighted quality per Healey & Pratt: darkness 0.5, entrance 0.3, area 0.2.
+	qualities := make([]float64, len(sites))
+	fmt.Println("scouting report (quality = 0.2*area + 0.3*(1-entrance) + 0.5*darkness):")
+	for i, s := range sites {
+		qualities[i] = 0.2*s.area + 0.3*(1-s.entrance) + 0.5*s.darkness
+		fmt.Printf("  nest %d %-14s area=%.1f entrance=%.1f darkness=%.1f  -> quality %.2f\n",
+			i+1, s.name, s.area, s.entrance, s.darkness, qualities[i])
+	}
+
+	const colony = 384
+	fmt.Printf("\nthe home nest collapsed; %d ants begin searching...\n\n", colony)
+
+	res, err := househunt.Run(
+		househunt.WithColonySize(colony),
+		househunt.WithNests(qualities...),
+		househunt.WithAlgorithm(househunt.AlgorithmQualityAware),
+		househunt.WithSeed(7),
+		househunt.WithTracing(),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Narrate the emigration from the trace: discovery, first majority
+	// (quorum-like threshold), unanimity.
+	history := res.History()
+	quorum := colony / 2
+	firstMajority := -1
+	for _, snap := range history {
+		if firstMajority < 0 {
+			for nestID := 1; nestID < len(snap.Commitments); nestID++ {
+				if snap.Commitments[nestID] >= quorum {
+					firstMajority = snap.Round
+					fmt.Printf("round %3d: nest %d (%s) passes a quorum of %d committed ants\n",
+						snap.Round, nestID, sites[nestID-1].name, quorum)
+				}
+			}
+		}
+	}
+	if res.Solved {
+		fmt.Printf("round %3d: unanimity — every ant is committed to nest %d (%s)\n",
+			res.Rounds, res.Winner, sites[res.Winner-1].name)
+		fmt.Printf("\nchosen home: %q with quality %.2f (best available: %.2f)\n\n",
+			sites[res.Winner-1].name, res.WinnerQuality, maxOf(qualities))
+	} else {
+		fmt.Println("the colony failed to reach consensus within the round budget")
+	}
+
+	fmt.Println(res.RenderPlot(72, 14))
+	fmt.Println("(the rising series is the winning site absorbing the colony;")
+	fmt.Println(" falling series are competitors draining as their ants are recruited away)")
+}
+
+// maxOf returns the maximum of a non-empty slice.
+func maxOf(xs []float64) float64 {
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}

@@ -1,0 +1,82 @@
+// Faulttolerance demonstrates the paper's §6 robustness claims: Algorithm 3
+// keeps working when part of the colony crashes mid-emigration and when
+// Byzantine ants actively lure nestmates toward a bad site.
+//
+// The example sweeps the fault fraction and prints how the surviving colony
+// fares: whether the correct ants still reach a good-nest supermajority and
+// how much the faults slow them down.
+//
+//	go run ./examples/faulttolerance
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/gmrl/househunt"
+)
+
+func main() {
+	const colony = 300
+
+	fmt.Println("crash faults: a fraction of ants dies at a random round early in the emigration")
+	fmt.Printf("%8s  %8s  %8s  %s\n", "fraction", "solved", "rounds", "note")
+	for _, frac := range []float64{0, 0.05, 0.1, 0.2, 0.3} {
+		res, err := househunt.Run(
+			househunt.WithColonySize(colony),
+			househunt.WithBinaryNests(4, 2),
+			househunt.WithAlgorithm(househunt.AlgorithmSimple),
+			househunt.WithSeed(11),
+			househunt.WithCrashFaults(frac, 40),
+		)
+		if err != nil {
+			log.Fatal(err)
+		}
+		note := ""
+		if res.FaultyAnts > 0 {
+			note = fmt.Sprintf("%d ants lost; survivors still agree", res.FaultyAnts)
+		}
+		fmt.Printf("%8.2f  %8v  %8d  %s\n", frac, res.Solved, res.Rounds, note)
+	}
+
+	fmt.Println("\nbyzantine ants: adversaries recruit nestmates toward a bad site forever")
+	fmt.Println("(full unanimity can flicker while kidnapping continues, so we report the")
+	fmt.Println(" final share of correct ants committed to a good nest)")
+	fmt.Printf("%8s  %12s  %s\n", "fraction", "goodShare", "verdict")
+	for _, frac := range []float64{0, 0.02, 0.05, 0.1} {
+		res, err := househunt.Run(
+			househunt.WithColonySize(colony),
+			househunt.WithBinaryNests(4, 2),
+			househunt.WithAlgorithm(househunt.AlgorithmSimple),
+			househunt.WithSeed(13),
+			househunt.WithByzantineAnts(frac),
+			househunt.WithMaxRounds(1500),
+		)
+		if err != nil {
+			log.Fatal(err)
+		}
+		good := goodShare(res)
+		verdict := "colony resists the lure"
+		if good < 0.9 {
+			verdict = "adversary visibly disrupts the census"
+		}
+		fmt.Printf("%8.2f  %12.3f  %s\n", frac, good, verdict)
+	}
+}
+
+// goodShare computes the fraction of correct (non-faulty) ants committed to
+// good nests at the end of the run. The example uses binary nests 1..2 good
+// (WithBinaryNests(4, 2) marks the first two nests good).
+func goodShare(res *househunt.Result) float64 {
+	total, good := 0, 0
+	for nestID, count := range res.Commitments {
+		total += count
+		if nestID == 1 || nestID == 2 {
+			good += count
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(good) / float64(total)
+}

@@ -1,0 +1,33 @@
+// Quickstart: the smallest possible use of the househunt library.
+//
+// A colony of 256 ants must choose between 4 candidate nests, 2 of which are
+// good. We run the paper's Algorithm 3 ("Simple": recruit with probability
+// proportional to nest population) and print the decision.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/gmrl/househunt"
+)
+
+func main() {
+	res, err := househunt.Run(
+		househunt.WithColonySize(256),
+		househunt.WithBinaryNests(4, 2),
+		househunt.WithAlgorithm(househunt.AlgorithmSimple),
+		househunt.WithSeed(2015), // PODC 2015
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println(res.Summary())
+	fmt.Printf("commitments by nest (index 0 = uncommitted): %v\n", res.Commitments)
+	if res.Solved {
+		fmt.Printf("the colony now lives in nest %d\n", res.Winner)
+	}
+}

@@ -1,0 +1,356 @@
+package househunt
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunQuickstart(t *testing.T) {
+	t.Parallel()
+	res, err := Run(
+		WithColonySize(128),
+		WithBinaryNests(4, 2),
+		WithAlgorithm(AlgorithmSimple),
+		WithSeed(42),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Solved {
+		t.Fatalf("quickstart did not converge: %+v", res)
+	}
+	if res.Winner < 1 || res.Winner > 2 {
+		t.Fatalf("winner %d is not one of the good nests", res.Winner)
+	}
+	if res.WinnerQuality != 1 {
+		t.Fatalf("winner quality %v", res.WinnerQuality)
+	}
+	if !strings.Contains(res.Summary(), "solved") {
+		t.Fatalf("summary: %s", res.Summary())
+	}
+}
+
+func TestRunRequiredOptions(t *testing.T) {
+	t.Parallel()
+	if _, err := Run(WithBinaryNests(2, 1)); err == nil {
+		t.Fatal("missing colony size accepted")
+	}
+	if _, err := Run(WithColonySize(10)); err == nil {
+		t.Fatal("missing nests accepted")
+	}
+	if _, err := Run(WithColonySize(10), WithNests(0, 0)); err == nil {
+		t.Fatal("all-bad environment accepted")
+	}
+	if _, err := Run(WithColonySize(10), WithBinaryNests(2, 1), WithAlgorithm("bogus")); err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+}
+
+func TestOptionValidation(t *testing.T) {
+	t.Parallel()
+	bad := []Option{
+		WithColonySize(0),
+		WithNests(),
+		WithBinaryNests(0, 0),
+		WithBinaryNests(2, 3),
+		WithMaxRounds(-1),
+		WithStabilityWindow(-1),
+		WithCountNoise(-0.5),
+		WithAssessmentFlips(1.5),
+		WithEncounterRateSensing(0, 1),
+		WithCrashFaults(-0.1, 10),
+		WithByzantineAnts(2),
+		WithJitter(1.0, 0),
+		WithJitter(0.1, -1),
+		WithAdaptiveSchedule(-1, 0),
+		WithQuorum(0.5, 3, 0.2),
+		WithQuorum(2, -1, 0.2),
+		WithQuorum(2, 3, 1.5),
+		WithColonySizeError(-0.1),
+		WithColonySizeError(1),
+	}
+	for i, opt := range bad {
+		cfg := Config{}
+		if err := opt(&cfg); err == nil {
+			t.Errorf("bad option %d accepted", i)
+		}
+	}
+}
+
+func TestAllAlgorithmsRun(t *testing.T) {
+	t.Parallel()
+	algos := []Algorithm{
+		AlgorithmOptimal, AlgorithmSimple, AlgorithmSimplePFSM,
+		AlgorithmAdaptive, AlgorithmQualityAware, AlgorithmQuorum,
+		AlgorithmApproxN,
+	}
+	for _, a := range algos {
+		a := a
+		t.Run(string(a), func(t *testing.T) {
+			t.Parallel()
+			res, err := Run(
+				WithColonySize(96),
+				WithBinaryNests(3, 2),
+				WithAlgorithm(a),
+				WithSeed(7),
+			)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Solved {
+				t.Fatalf("%s did not converge", a)
+			}
+		})
+	}
+}
+
+func TestSpreaderNeedsSingleGood(t *testing.T) {
+	t.Parallel()
+	if _, err := Run(
+		WithColonySize(64),
+		WithBinaryNests(3, 2),
+		WithAlgorithm(AlgorithmSpreader),
+	); err == nil {
+		t.Fatal("spreader with two good nests accepted")
+	}
+	res, err := Run(
+		WithColonySize(64),
+		WithBinaryNests(3, 1),
+		WithAlgorithm(AlgorithmSpreader),
+		WithSeed(3),
+	)
+	if err != nil || !res.Solved {
+		t.Fatalf("spreader run: %v, %+v", err, res)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	t.Parallel()
+	run := func() *Result {
+		res, err := Run(
+			WithColonySize(200),
+			WithBinaryNests(6, 3),
+			WithAlgorithm(AlgorithmOptimal),
+			WithSeed(99),
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.Rounds != b.Rounds || a.Winner != b.Winner {
+		t.Fatalf("equal seeds diverged: %+v vs %+v", a, b)
+	}
+}
+
+func TestTracingExports(t *testing.T) {
+	t.Parallel()
+	res, err := Run(
+		WithColonySize(80),
+		WithBinaryNests(3, 1),
+		WithAlgorithm(AlgorithmSimple),
+		WithSeed(5),
+		WithTracing(),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Traced() {
+		t.Fatal("traced run reports untraced")
+	}
+	hist := res.History()
+	if len(hist) != res.Rounds {
+		t.Fatalf("history %d rounds, result %d", len(hist), res.Rounds)
+	}
+	total := 0
+	for _, p := range hist[0].Populations {
+		total += p
+	}
+	if total != 80 {
+		t.Fatalf("history populations sum %d, want 80", total)
+	}
+	var csv bytes.Buffer
+	if err := res.WriteCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(csv.String(), "round,pop0") {
+		t.Fatalf("csv header: %q", csv.String()[:40])
+	}
+	var js bytes.Buffer
+	if err := res.WriteJSON(&js); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(js.String(), "populations") {
+		t.Fatal("json export missing populations")
+	}
+	if plot := res.RenderPlot(40, 10); !strings.Contains(plot, "legend") {
+		t.Fatalf("plot: %q", plot)
+	}
+}
+
+func TestUntracedExportsFail(t *testing.T) {
+	t.Parallel()
+	res, err := Run(
+		WithColonySize(32),
+		WithBinaryNests(2, 1),
+		WithSeed(2),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Traced() {
+		t.Fatal("untraced run reports traced")
+	}
+	if err := res.WriteCSV(&bytes.Buffer{}); err == nil {
+		t.Fatal("CSV export on untraced run accepted")
+	}
+	if err := res.WriteJSON(&bytes.Buffer{}); err == nil {
+		t.Fatal("JSON export on untraced run accepted")
+	}
+	if res.RenderPlot(0, 0) != "" {
+		t.Fatal("plot on untraced run non-empty")
+	}
+	if res.History() != nil {
+		t.Fatal("history on untraced run non-nil")
+	}
+}
+
+func TestNoiseForcesSimple(t *testing.T) {
+	t.Parallel()
+	if _, err := Run(
+		WithColonySize(50),
+		WithBinaryNests(2, 1),
+		WithAlgorithm(AlgorithmOptimal),
+		WithCountNoise(0.1),
+	); err == nil {
+		t.Fatal("noise with optimal accepted")
+	}
+	res, err := Run(
+		WithColonySize(150),
+		WithBinaryNests(3, 2),
+		WithCountNoise(0.2),
+		WithSeed(8),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Solved {
+		t.Fatal("noisy run did not converge")
+	}
+	if !strings.Contains(res.Algorithm, "noisy") {
+		t.Fatalf("algorithm = %q, want noisy variant", res.Algorithm)
+	}
+}
+
+func TestEncounterSensingRuns(t *testing.T) {
+	t.Parallel()
+	res, err := Run(
+		WithColonySize(150),
+		WithBinaryNests(2, 1),
+		WithEncounterRateSensing(64, 8),
+		WithSeed(9),
+		WithMaxRounds(4000),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Solved {
+		t.Fatal("encounter-rate sensing run did not converge")
+	}
+}
+
+func TestFaultsAndJitterViaFacade(t *testing.T) {
+	t.Parallel()
+	res, err := Run(
+		WithColonySize(200),
+		WithBinaryNests(4, 2),
+		WithCrashFaults(0.1, 30),
+		WithByzantineAnts(0.05),
+		WithJitter(0.1, 3),
+		WithSeed(13),
+		WithMaxRounds(6000),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FaultyAnts == 0 {
+		t.Fatal("no faulty ants recorded despite fault options")
+	}
+}
+
+func TestConcurrentFacade(t *testing.T) {
+	t.Parallel()
+	seq, err := Run(
+		WithColonySize(64), WithBinaryNests(2, 2), WithSeed(21),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	con, err := Run(
+		WithColonySize(64), WithBinaryNests(2, 2), WithSeed(21), WithConcurrentAnts(),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.Rounds != con.Rounds || seq.Winner != con.Winner {
+		t.Fatalf("concurrent facade diverged: %+v vs %+v", seq, con)
+	}
+}
+
+func TestQualityLadderViaFacade(t *testing.T) {
+	t.Parallel()
+	res, err := Run(
+		WithColonySize(256),
+		WithNests(0.2, 0.5, 0.95),
+		WithAlgorithm(AlgorithmQualityAware),
+		WithSeed(17),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Solved {
+		t.Fatal("quality ladder did not converge")
+	}
+	if res.WinnerQuality < 0.5 {
+		t.Fatalf("winner quality %v suspiciously low", res.WinnerQuality)
+	}
+}
+
+func TestQuorumViaFacade(t *testing.T) {
+	t.Parallel()
+	res, err := Run(
+		WithColonySize(240),
+		WithBinaryNests(4, 2),
+		WithAlgorithm(AlgorithmQuorum),
+		WithQuorum(2.0, 3, 0.25),
+		WithSeed(5),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Solved {
+		t.Fatal("quorum facade run did not converge")
+	}
+	if res.Winner != 1 && res.Winner != 2 {
+		t.Fatalf("quorum winner %d is not a good nest", res.Winner)
+	}
+}
+
+func TestApproxNViaFacade(t *testing.T) {
+	t.Parallel()
+	res, err := Run(
+		WithColonySize(200),
+		WithBinaryNests(3, 2),
+		WithAlgorithm(AlgorithmApproxN),
+		WithColonySizeError(0.4),
+		WithSeed(6),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Solved {
+		t.Fatal("approxn facade run did not converge")
+	}
+}

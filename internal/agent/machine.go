@@ -1,0 +1,145 @@
+// Package agent provides the probabilistic finite state machine (PFSM)
+// framework in which the paper models individual ants (§2: "the colony
+// consists of n identical probabilistic finite state machines").
+//
+// A Machine is a declarative PFSM: every state has an emit function (which
+// environment call to make this round) and a transition function (which state
+// to enter given the call's outcome). The engine's Act/Observe discipline
+// maps exactly onto emit/transition, and the framework enforces that
+// discipline: a missing state or a transition to an undeclared state is an
+// error surfaced through Machine.Err rather than silent misbehaviour.
+//
+// The register file matches the variables of the paper's pseudocode
+// (Algorithm 2 lines 1-5 and Algorithm 3 line 1): the committed nest, the
+// remembered count, the perceived quality, and the scratch registers nestT /
+// countT / countH used inside Algorithm 2's four-round phases.
+package agent
+
+import (
+	"fmt"
+
+	"github.com/gmrl/househunt/internal/rng"
+	"github.com/gmrl/househunt/internal/sim"
+)
+
+// StateID names a machine state. The empty string is invalid.
+type StateID string
+
+// Registers is the PFSM register file. All algorithms in the paper fit in
+// these few cells, which is the point: ants have O(log n) bits of state.
+type Registers struct {
+	// Nest is the committed nest (paper: "an ant is committed to n_i if
+	// nest = i"). Home (0) means uncommitted.
+	Nest sim.NestID
+	// Count is the remembered population of the committed nest.
+	Count int
+	// Quality is the perceived quality of the committed nest.
+	Quality float64
+	// NestT, CountT, CountH are Algorithm 2's intra-phase scratch registers
+	// (nest_t, count_t, count_h in the pseudocode).
+	NestT  sim.NestID
+	CountT int
+	CountH int
+}
+
+// Spec declares one state's behaviour.
+type Spec struct {
+	// Emit chooses the environment call for this round. It may read and
+	// write registers and draw randomness from the machine's source.
+	Emit func(m *Machine, round int) sim.Action
+	// Next consumes the outcome and returns the next state. Returning the
+	// current state loops.
+	Next func(m *Machine, round int, out sim.Outcome) StateID
+}
+
+// Machine is a runnable PFSM. It implements sim.Agent. Construct with
+// NewMachine; the zero value is unusable.
+type Machine struct {
+	state  StateID
+	regs   Registers
+	src    *rng.Source
+	spec   map[StateID]Spec
+	err    error
+	halted bool
+}
+
+var _ sim.Agent = (*Machine)(nil)
+
+// NewMachine builds a machine with the given initial state, state table and
+// random source. Every Spec must have both Emit and Next.
+func NewMachine(initial StateID, spec map[StateID]Spec, src *rng.Source) (*Machine, error) {
+	if initial == "" {
+		return nil, fmt.Errorf("agent: empty initial state")
+	}
+	if src == nil {
+		return nil, fmt.Errorf("agent: nil random source")
+	}
+	if _, ok := spec[initial]; !ok {
+		return nil, fmt.Errorf("agent: initial state %q not in spec", initial)
+	}
+	for id, s := range spec {
+		if id == "" {
+			return nil, fmt.Errorf("agent: empty state id in spec")
+		}
+		if s.Emit == nil || s.Next == nil {
+			return nil, fmt.Errorf("agent: state %q missing Emit or Next", id)
+		}
+	}
+	return &Machine{state: initial, spec: spec, src: src}, nil
+}
+
+// State returns the current state.
+func (m *Machine) State() StateID { return m.state }
+
+// Regs returns the register file for reading and writing by Spec functions
+// and by tests.
+func (m *Machine) Regs() *Registers { return &m.regs }
+
+// Src returns the machine's random source.
+func (m *Machine) Src() *rng.Source { return m.src }
+
+// Err returns the first protocol error the machine encountered, if any.
+func (m *Machine) Err() error { return m.err }
+
+// Act implements sim.Agent. A machine that has erred parks itself passively
+// at home so the colony keeps satisfying the one-call-per-round rule; the
+// error remains observable through Err.
+func (m *Machine) Act(round int) sim.Action {
+	if m.err != nil || m.halted {
+		return sim.Recruit(false, sim.Home)
+	}
+	s, ok := m.spec[m.state]
+	if !ok {
+		m.err = fmt.Errorf("agent: round %d: state %q not in spec", round, m.state)
+		return sim.Recruit(false, sim.Home)
+	}
+	return s.Emit(m, round)
+}
+
+// Observe implements sim.Agent.
+func (m *Machine) Observe(round int, out sim.Outcome) {
+	if m.err != nil || m.halted {
+		return
+	}
+	s, ok := m.spec[m.state]
+	if !ok {
+		m.err = fmt.Errorf("agent: round %d: state %q not in spec", round, m.state)
+		return
+	}
+	next := s.Next(m, round, out)
+	if next == "" {
+		m.err = fmt.Errorf("agent: round %d: state %q transitioned to empty state", round, m.state)
+		return
+	}
+	if _, ok := m.spec[next]; !ok {
+		m.err = fmt.Errorf("agent: round %d: state %q transitioned to undeclared state %q", round, m.state, next)
+		return
+	}
+	m.state = next
+}
+
+// Committed reports the machine's committed nest; it satisfies the core
+// package's Committer contract used for convergence detection.
+func (m *Machine) Committed() (sim.NestID, bool) {
+	return m.regs.Nest, m.regs.Nest != sim.Home
+}

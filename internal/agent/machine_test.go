@@ -1,0 +1,195 @@
+package agent
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/gmrl/househunt/internal/rng"
+	"github.com/gmrl/househunt/internal/sim"
+)
+
+// twoState builds a minimal searcher: search once, then loop going to the
+// found nest forever.
+func twoState(t *testing.T) *Machine {
+	t.Helper()
+	spec := map[StateID]Spec{
+		"search": {
+			Emit: func(m *Machine, _ int) sim.Action { return sim.Search() },
+			Next: func(m *Machine, _ int, out sim.Outcome) StateID {
+				m.Regs().Nest = out.Nest
+				m.Regs().Quality = out.Quality
+				return "sit"
+			},
+		},
+		"sit": {
+			Emit: func(m *Machine, _ int) sim.Action { return sim.Goto(m.Regs().Nest) },
+			Next: func(m *Machine, _ int, out sim.Outcome) StateID {
+				m.Regs().Count = out.Count
+				return "sit"
+			},
+		},
+	}
+	m, err := NewMachine("search", spec, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestNewMachineValidation(t *testing.T) {
+	t.Parallel()
+	emit := func(m *Machine, _ int) sim.Action { return sim.Search() }
+	next := func(m *Machine, _ int, _ sim.Outcome) StateID { return "a" }
+	good := map[StateID]Spec{"a": {Emit: emit, Next: next}}
+
+	if _, err := NewMachine("", good, rng.New(1)); err == nil {
+		t.Fatal("empty initial state accepted")
+	}
+	if _, err := NewMachine("a", good, nil); err == nil {
+		t.Fatal("nil source accepted")
+	}
+	if _, err := NewMachine("missing", good, rng.New(1)); err == nil {
+		t.Fatal("unknown initial state accepted")
+	}
+	if _, err := NewMachine("a", map[StateID]Spec{"a": {Emit: emit}}, rng.New(1)); err == nil {
+		t.Fatal("missing Next accepted")
+	}
+	if _, err := NewMachine("a", map[StateID]Spec{"a": {Next: next}}, rng.New(1)); err == nil {
+		t.Fatal("missing Emit accepted")
+	}
+	if _, err := NewMachine("a", map[StateID]Spec{"a": {Emit: emit, Next: next}, "": {Emit: emit, Next: next}}, rng.New(1)); err == nil {
+		t.Fatal("empty state id accepted")
+	}
+}
+
+func TestMachineRunsInEngine(t *testing.T) {
+	t.Parallel()
+	env := sim.MustEnvironment([]float64{1, 1})
+	machines := []*Machine{twoState(t), twoState(t), twoState(t)}
+	agents := make([]sim.Agent, len(machines))
+	for i, m := range machines {
+		agents[i] = m
+	}
+	e, err := sim.New(env, agents, sim.WithSeed(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 5; r++ {
+		if err := e.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, m := range machines {
+		if m.Err() != nil {
+			t.Fatalf("machine %d erred: %v", i, m.Err())
+		}
+		if m.State() != "sit" {
+			t.Fatalf("machine %d in state %q, want sit", i, m.State())
+		}
+		nest, ok := m.Committed()
+		if !ok || nest == sim.Home {
+			t.Fatalf("machine %d not committed: %v %v", i, nest, ok)
+		}
+		if m.Regs().Count <= 0 {
+			t.Fatalf("machine %d count register %d", i, m.Regs().Count)
+		}
+	}
+}
+
+func TestMachineErrorOnUndeclaredTransition(t *testing.T) {
+	t.Parallel()
+	spec := map[StateID]Spec{
+		"a": {
+			Emit: func(m *Machine, _ int) sim.Action { return sim.Search() },
+			Next: func(m *Machine, _ int, _ sim.Outcome) StateID { return "ghost" },
+		},
+	}
+	m, err := NewMachine("a", spec, rng.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Act(1)
+	m.Observe(1, sim.Outcome{Nest: 1})
+	if m.Err() == nil {
+		t.Fatal("transition to undeclared state not reported")
+	}
+	if !strings.Contains(m.Err().Error(), "ghost") {
+		t.Fatalf("error does not name the bad state: %v", m.Err())
+	}
+	// After the error, the machine parks passively instead of misbehaving.
+	act := m.Act(2)
+	if act.Kind != sim.ActionRecruit || act.Active {
+		t.Fatalf("erred machine acted %+v, want passive recruit", act)
+	}
+	m.Observe(2, sim.Outcome{})
+	if m.State() != "a" {
+		t.Fatal("erred machine kept transitioning")
+	}
+}
+
+func TestMachineErrorOnEmptyTransition(t *testing.T) {
+	t.Parallel()
+	spec := map[StateID]Spec{
+		"a": {
+			Emit: func(m *Machine, _ int) sim.Action { return sim.Search() },
+			Next: func(m *Machine, _ int, _ sim.Outcome) StateID { return "" },
+		},
+	}
+	m, err := NewMachine("a", spec, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Act(1)
+	m.Observe(1, sim.Outcome{})
+	if m.Err() == nil {
+		t.Fatal("empty transition not reported")
+	}
+}
+
+func TestMachineCommittedUncommitted(t *testing.T) {
+	t.Parallel()
+	m := twoState(t)
+	if _, ok := m.Committed(); ok {
+		t.Fatal("fresh machine reports commitment")
+	}
+}
+
+func TestMachineRandomness(t *testing.T) {
+	t.Parallel()
+	// Two machines with different sources should diverge; equal sources agree.
+	build := func(seed uint64) *Machine {
+		spec := map[StateID]Spec{
+			"flip": {
+				Emit: func(m *Machine, _ int) sim.Action {
+					if m.Src().Bernoulli(0.5) {
+						return sim.Recruit(false, sim.Home)
+					}
+					return sim.Search()
+				},
+				Next: func(m *Machine, _ int, _ sim.Outcome) StateID { return "flip" },
+			},
+		}
+		m, err := NewMachine("flip", spec, rng.New(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	a, b, c := build(7), build(7), build(8)
+	sameAB, sameAC := 0, 0
+	for r := 1; r <= 64; r++ {
+		actA, actB, actC := a.Act(r), b.Act(r), c.Act(r)
+		if actA == actB {
+			sameAB++
+		}
+		if actA == actC {
+			sameAC++
+		}
+	}
+	if sameAB != 64 {
+		t.Fatalf("equal seeds agreed only %d/64 rounds", sameAB)
+	}
+	if sameAC == 64 {
+		t.Fatal("different seeds agreed on every round")
+	}
+}

@@ -1,0 +1,92 @@
+package algo
+
+import (
+	"fmt"
+
+	"github.com/gmrl/househunt/internal/agent"
+	"github.com/gmrl/househunt/internal/rng"
+	"github.com/gmrl/househunt/internal/sim"
+)
+
+// SimplePFSM is Algorithm 3 expressed in the declarative PFSM framework of
+// internal/agent rather than as hand-written Go control flow. It exists to
+// substantiate the paper's "ants are probabilistic finite state machines"
+// model claim and as a cross-validation oracle: for equal seeds it must
+// reproduce the hand-written SimpleAnt execution exactly (tested in
+// pfsm_test.go), because both draw the same single Bernoulli per recruit
+// phase from the same stream.
+type SimplePFSM struct{}
+
+// Name implements core.Algorithm.
+func (SimplePFSM) Name() string { return "simple-pfsm" }
+
+// States of the Simple PFSM. "active" is encoded in the Quality register
+// (quality > 0) exactly as the paper's pseudocode gates it, so the machine
+// needs only the three call-phases as states.
+const (
+	pfsmSearch  agent.StateID = "search"
+	pfsmRecruit agent.StateID = "recruit"
+	pfsmAssess  agent.StateID = "assess"
+)
+
+// newSimpleSpec builds the Algorithm 3 state table for a colony of n ants.
+func newSimpleSpec(n int) map[agent.StateID]agent.Spec {
+	return map[agent.StateID]agent.Spec{
+		pfsmSearch: {
+			Emit: func(m *agent.Machine, _ int) sim.Action { return sim.Search() },
+			Next: func(m *agent.Machine, _ int, out sim.Outcome) agent.StateID {
+				r := m.Regs()
+				r.Nest = out.Nest
+				r.Count = out.Count
+				r.Quality = out.Quality
+				return pfsmRecruit
+			},
+		},
+		pfsmRecruit: {
+			Emit: func(m *agent.Machine, _ int) sim.Action {
+				r := m.Regs()
+				b := false
+				if r.Quality > 0 {
+					b = m.Src().Bernoulli(float64(r.Count) / float64(n))
+				}
+				return sim.Recruit(b, r.Nest)
+			},
+			Next: func(m *agent.Machine, _ int, out sim.Outcome) agent.StateID {
+				r := m.Regs()
+				if out.Nest != r.Nest {
+					// Captured: commit to the recruiter's nest and activate.
+					r.Nest = out.Nest
+					r.Quality = 1
+				}
+				return pfsmAssess
+			},
+		},
+		pfsmAssess: {
+			Emit: func(m *agent.Machine, _ int) sim.Action { return sim.Goto(m.Regs().Nest) },
+			Next: func(m *agent.Machine, _ int, out sim.Outcome) agent.StateID {
+				m.Regs().Count = out.Count
+				return pfsmRecruit
+			},
+		},
+	}
+}
+
+// Build implements core.Algorithm.
+func (SimplePFSM) Build(n int, env sim.Environment, src *rng.Source) ([]sim.Agent, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("algo: simple-pfsm needs a positive colony, got %d", n)
+	}
+	if env.K() == 0 {
+		return nil, fmt.Errorf("algo: simple-pfsm needs a non-empty environment")
+	}
+	spec := newSimpleSpec(n)
+	agents := make([]sim.Agent, n)
+	for i := range agents {
+		m, err := agent.NewMachine(pfsmSearch, spec, src.Split(uint64(i)))
+		if err != nil {
+			return nil, fmt.Errorf("algo: building PFSM ant %d: %w", i, err)
+		}
+		agents[i] = m
+	}
+	return agents, nil
+}

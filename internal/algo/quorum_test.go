@@ -1,0 +1,189 @@
+package algo
+
+import (
+	"testing"
+
+	"github.com/gmrl/househunt/internal/core"
+	"github.com/gmrl/househunt/internal/nest"
+	"github.com/gmrl/househunt/internal/sim"
+)
+
+func TestQuorumConverges(t *testing.T) {
+	t.Parallel()
+	env := sim.MustEnvironment([]float64{1, 0, 1, 0})
+	for seed := uint64(1); seed <= 8; seed++ {
+		res := runAlgo(t, Quorum{}, 200, env, seed, 0)
+		if !res.Solved {
+			t.Fatalf("seed %d: quorum colony unsolved", seed)
+		}
+		if !env.Good(res.Winner) {
+			t.Fatalf("seed %d: quorum picked bad nest %d", seed, res.Winner)
+		}
+		// Algorithm's Decided == transporting: everyone must be moving.
+		if res.FinalCensus.Decided != res.FinalCensus.Total {
+			t.Fatalf("seed %d: %d/%d ants transporting at convergence",
+				seed, res.FinalCensus.Decided, res.FinalCensus.Total)
+		}
+	}
+}
+
+func TestQuorumTransportSpeedsFinish(t *testing.T) {
+	t.Parallel()
+	// With carry=3 transports, the post-quorum phase should finish faster
+	// than with carry=1 (pure tandem runs) on average.
+	env := sim.MustEnvironment([]float64{1, 1})
+	const n, reps = 300, 8
+	var fast, slow int
+	for seed := uint64(1); seed <= reps; seed++ {
+		withTransport := runAlgo(t, Quorum{Carry: 3}, n, env, seed, 0)
+		tandemOnly := runAlgo(t, Quorum{Carry: 1}, n, env, seed, 0)
+		if !withTransport.Solved || !tandemOnly.Solved {
+			t.Fatalf("seed %d: transport=%v tandem=%v", seed, withTransport.Solved, tandemOnly.Solved)
+		}
+		fast += withTransport.Rounds
+		slow += tandemOnly.Rounds
+	}
+	if fast >= slow {
+		t.Fatalf("transports (%d total rounds) not faster than tandem-only (%d)", fast, slow)
+	}
+}
+
+func TestQuorumAntPromotion(t *testing.T) {
+	t.Parallel()
+	a := NewQuorumAnt(100, testSrc(1), 2.0, 3, 0, nil)
+	a.Act(1)
+	a.Observe(1, sim.Outcome{Nest: 1, Count: 5, Quality: 1})
+	// Self-calibrated threshold: 2.0 × 5 = 10 ants.
+	if a.Transporting() {
+		t.Fatal("transporting below quorum")
+	}
+	if a.Decided() {
+		t.Fatal("decided below quorum")
+	}
+	a.Act(2)
+	a.Observe(2, sim.Outcome{Nest: 1})
+	a.Act(3)
+	a.Observe(3, sim.Outcome{Nest: 1, Count: 9}) // below 10: no quorum yet
+	if a.Transporting() {
+		t.Fatal("transporting below the calibrated threshold")
+	}
+	a.Act(4)
+	a.Observe(4, sim.Outcome{Nest: 1})
+	a.Act(5)
+	a.Observe(5, sim.Outcome{Nest: 1, Count: 12}) // quorum reached at assess
+	if !a.Transporting() || !a.Decided() {
+		t.Fatal("quorum at assess did not promote to transport")
+	}
+	act := a.Act(6)
+	if act.Kind != sim.ActionRecruit || !act.Active || act.Carry != 3 {
+		t.Fatalf("transporting act = %+v, want transport(1, carry 3)", act)
+	}
+}
+
+func TestQuorumPassiveNeverTransportsAlone(t *testing.T) {
+	t.Parallel()
+	// An ant on a bad nest stays passive; even a crowded bad nest must not
+	// trigger transport (only canvassers promote).
+	a := NewQuorumAnt(100, testSrc(2), 1.5, 3, 0, nil)
+	a.Act(1)
+	a.Observe(1, sim.Outcome{Nest: 2, Count: 50, Quality: 0})
+	a.Act(2)
+	a.Observe(2, sim.Outcome{Nest: 2})
+	a.Act(3)
+	a.Observe(3, sim.Outcome{Nest: 2, Count: 90}) // above threshold but passive
+	if a.Transporting() {
+		t.Fatal("passive ant transporting")
+	}
+	act := a.Act(2)
+	if act.Active {
+		t.Fatalf("passive quorum ant recruited actively: %+v", act)
+	}
+}
+
+func TestQuorumNoisyAssessmentStillSolves(t *testing.T) {
+	t.Parallel()
+	env := sim.MustEnvironment([]float64{1, 0, 1, 0})
+	a := Quorum{Multiplier: 2.0, Assessor: nest.FlipAssessor{P: 0.1}}
+	solved := 0
+	const reps = 8
+	for seed := uint64(1); seed <= reps; seed++ {
+		res := runAlgo(t, a, 200, env, seed, 0)
+		if res.Solved && env.Good(res.Winner) {
+			solved++
+		}
+	}
+	if solved < reps/2 {
+		t.Fatalf("noisy quorum solved only %d/%d", solved, reps)
+	}
+}
+
+func TestQuorumBuilderValidation(t *testing.T) {
+	t.Parallel()
+	env := sim.MustEnvironment([]float64{1})
+	if _, err := (Quorum{}).Build(0, env, testSrc(1)); err == nil {
+		t.Fatal("zero colony accepted")
+	}
+	if _, err := (Quorum{}).Build(5, sim.Environment{}, testSrc(1)); err == nil {
+		t.Fatal("empty environment accepted")
+	}
+	if _, err := (Quorum{Multiplier: 0.8}).Build(5, env, testSrc(1)); err == nil {
+		t.Fatal("multiplier <= 1 accepted")
+	}
+	if (Quorum{}).Name() == (Quorum{Assessor: nest.FlipAssessor{P: 0.1}}).Name() {
+		t.Fatal("assessor not reflected in name")
+	}
+}
+
+func TestApproxNZeroDeltaMatchesSimple(t *testing.T) {
+	t.Parallel()
+	// δ = 0 must reproduce Algorithm 3 exactly, draw for draw.
+	env := sim.MustEnvironment([]float64{1, 0, 1})
+	const n = 96
+	for seed := uint64(1); seed <= 3; seed++ {
+		plain, err := core.Run(Simple{}, core.RunConfig{N: n, Env: env, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		approx, err := core.Run(ApproxN{}, core.RunConfig{N: n, Env: env, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if plain.Rounds != approx.Rounds || plain.Winner != approx.Winner {
+			t.Fatalf("seed %d: δ=0 diverged from simple: %+v vs %+v", seed, plain, approx)
+		}
+	}
+}
+
+func TestApproxNToleratesLargeError(t *testing.T) {
+	t.Parallel()
+	env := sim.MustEnvironment([]float64{1, 0, 1, 0})
+	a := ApproxN{Delta: 0.5}
+	solved := 0
+	const reps = 8
+	for seed := uint64(1); seed <= reps; seed++ {
+		res := runAlgo(t, a, 200, env, seed, 0)
+		if res.Solved && env.Good(res.Winner) {
+			solved++
+		}
+	}
+	if solved < reps-1 {
+		t.Fatalf("solved only %d/%d with ±50%% error in n", solved, reps)
+	}
+}
+
+func TestApproxNBuilderValidation(t *testing.T) {
+	t.Parallel()
+	env := sim.MustEnvironment([]float64{1})
+	if _, err := (ApproxN{Delta: -0.1}).Build(5, env, testSrc(1)); err == nil {
+		t.Fatal("negative delta accepted")
+	}
+	if _, err := (ApproxN{Delta: 1}).Build(5, env, testSrc(1)); err == nil {
+		t.Fatal("delta >= 1 accepted")
+	}
+	if _, err := (ApproxN{}).Build(0, env, testSrc(1)); err == nil {
+		t.Fatal("zero colony accepted")
+	}
+	if _, err := NewApproxNAnt(0, testSrc(1)); err == nil {
+		t.Fatal("zero estimate accepted")
+	}
+}

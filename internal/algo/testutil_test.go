@@ -1,0 +1,8 @@
+package algo
+
+import (
+	"github.com/gmrl/househunt/internal/rng"
+)
+
+// testSrc returns a fresh deterministic source for unit tests.
+func testSrc(seed uint64) *rng.Source { return rng.New(seed) }

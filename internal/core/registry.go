@@ -1,0 +1,74 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Registry maps algorithm names to implementations so the CLI tools and the
+// experiment harness can select algorithms by name. A Registry is safe for
+// concurrent use.
+type Registry struct {
+	mu    sync.RWMutex
+	algos map[string]Algorithm
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{algos: make(map[string]Algorithm, 8)}
+}
+
+// Register adds an algorithm under its own Name. Duplicate names and nil
+// algorithms are rejected.
+func (r *Registry) Register(a Algorithm) error {
+	if a == nil {
+		return errNilAlgorithm
+	}
+	name := a.Name()
+	if name == "" {
+		return fmt.Errorf("core: algorithm with empty name")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.algos[name]; dup {
+		return fmt.Errorf("core: algorithm %q already registered", name)
+	}
+	r.algos[name] = a
+	return nil
+}
+
+// MustRegister is Register that panics on error; for package-level wiring of
+// known-unique names in cmd binaries.
+func (r *Registry) MustRegister(a Algorithm) {
+	if err := r.Register(a); err != nil {
+		panic(err)
+	}
+}
+
+// Lookup returns the algorithm registered under name.
+func (r *Registry) Lookup(name string) (Algorithm, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	a, ok := r.algos[name]
+	if !ok {
+		return nil, fmt.Errorf("core: unknown algorithm %q (have %v)", name, r.namesLocked())
+	}
+	return a, nil
+}
+
+// Names returns the registered names in sorted order.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.namesLocked()
+}
+
+func (r *Registry) namesLocked() []string {
+	names := make([]string, 0, len(r.algos))
+	for n := range r.algos {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,9 @@
+package experiment
+
+import "github.com/gmrl/househunt/internal/stats"
+
+// statsWilson aliases the stats package's Wilson interval so probes.go reads
+// without a qualified import at each call site.
+func statsWilson(successes, trials int) (lo, hi float64) {
+	return stats.WilsonInterval(successes, trials)
+}

@@ -1,0 +1,192 @@
+// Package faults injects crash and Byzantine failures into house-hunting
+// colonies, implementing the paper's §6 "Fault tolerance" extension: "a small
+// number of ants suffering from crash-faults or even malicious faults should
+// not affect the overall populations of recruiting ants and the algorithm's
+// performance". EXPERIMENTS.md E13 quantifies that claim.
+//
+// Faulty ants still occupy the model (every ant must make exactly one call
+// per round), so:
+//
+//   - a crashed ant wanders to its last known nest and stays there — a lost
+//     ant that still physically exists and perturbs population counts;
+//   - a Byzantine ant searches until it finds a BAD nest and then actively
+//     recruits for it forever, trying to lure the colony to a bad home.
+//
+// Both wrappers implement core.Faulty, excluding them from the convergence
+// census: the problem is for the correct ants to co-locate.
+package faults
+
+import (
+	"fmt"
+
+	"github.com/gmrl/househunt/internal/rng"
+	"github.com/gmrl/househunt/internal/sim"
+)
+
+// committer mirrors core.Committer without importing core (the dependency
+// points from core/experiment down into faults's wrapped colonies).
+type committer interface {
+	Committed() (sim.NestID, bool)
+}
+
+// CrashAnt wraps an agent and kills it at a scheduled round. Before the
+// crash it is transparent. After the crash it repeatedly walks to the last
+// candidate nest it knew (or waits passively at home if it never learned
+// one) and ignores everything it observes.
+type CrashAnt struct {
+	inner      sim.Agent
+	crashRound int
+	crashed    bool
+	lastNest   sim.NestID
+}
+
+var _ sim.Agent = (*CrashAnt)(nil)
+
+// NewCrashAnt schedules inner to crash at the start of crashRound (1-based).
+func NewCrashAnt(inner sim.Agent, crashRound int) (*CrashAnt, error) {
+	if inner == nil {
+		return nil, fmt.Errorf("faults: nil inner agent")
+	}
+	if crashRound < 1 {
+		return nil, fmt.Errorf("faults: crash round %d must be >= 1", crashRound)
+	}
+	return &CrashAnt{inner: inner, crashRound: crashRound}, nil
+}
+
+// Act implements sim.Agent.
+func (c *CrashAnt) Act(round int) sim.Action {
+	if !c.crashed && round >= c.crashRound {
+		c.crashed = true
+	}
+	if !c.crashed {
+		return c.inner.Act(round)
+	}
+	if c.lastNest != sim.Home {
+		return sim.Goto(c.lastNest)
+	}
+	return sim.Recruit(false, sim.Home)
+}
+
+// Observe implements sim.Agent.
+func (c *CrashAnt) Observe(round int, out sim.Outcome) {
+	if c.crashed {
+		// A dead ant can still be dragged around by recruiters; track where it
+		// ends up so its corpse keeps occupying a consistent location, but
+		// never wake the inner agent again.
+		if out.Nest != sim.Home {
+			c.lastNest = out.Nest
+		}
+		return
+	}
+	if out.Nest != sim.Home {
+		c.lastNest = out.Nest
+	}
+	c.inner.Observe(round, out)
+}
+
+// Faulty implements the core.Faulty contract once the crash has fired.
+func (c *CrashAnt) Faulty() bool { return c.crashed }
+
+// Committed delegates to the inner agent before the crash so censuses remain
+// meaningful, and reports no commitment afterwards.
+func (c *CrashAnt) Committed() (sim.NestID, bool) {
+	if c.crashed {
+		return sim.Home, false
+	}
+	if com, ok := c.inner.(committer); ok {
+		return com.Committed()
+	}
+	return sim.Home, false
+}
+
+// ByzantineAnt actively works against the colony: it searches until it finds
+// a bad nest, then recruits for that nest every round, kidnapping correct
+// ants into a site the colony must not choose. If the environment has no bad
+// nest it searches forever, which merely removes it from the workforce.
+type ByzantineAnt struct {
+	src     *rng.Source
+	badNest sim.NestID
+}
+
+var _ sim.Agent = (*ByzantineAnt)(nil)
+
+// NewByzantineAnt builds a luring adversary.
+func NewByzantineAnt(src *rng.Source) *ByzantineAnt {
+	return &ByzantineAnt{src: src}
+}
+
+// Act implements sim.Agent.
+func (b *ByzantineAnt) Act(int) sim.Action {
+	if b.badNest == sim.Home {
+		return sim.Search()
+	}
+	return sim.Recruit(true, b.badNest)
+}
+
+// Observe implements sim.Agent.
+func (b *ByzantineAnt) Observe(_ int, out sim.Outcome) {
+	if b.badNest == sim.Home && out.Nest != sim.Home && out.Quality == 0 {
+		b.badNest = out.Nest
+	}
+}
+
+// Faulty implements the core.Faulty contract: Byzantine ants never count
+// toward convergence.
+func (b *ByzantineAnt) Faulty() bool { return true }
+
+// Plan describes a fault-injection configuration for a colony.
+type Plan struct {
+	// CrashFraction of the colony crashes at a uniformly random round in
+	// [1, CrashWindow].
+	CrashFraction float64
+	// CrashWindow is the last round by which scheduled crashes fire;
+	// default 64 if <= 0 and crashes are requested.
+	CrashWindow int
+	// ByzantineFraction of the colony is replaced by luring adversaries.
+	ByzantineFraction float64
+}
+
+// Validate checks the plan's fractions.
+func (p Plan) Validate() error {
+	if p.CrashFraction < 0 || p.ByzantineFraction < 0 {
+		return fmt.Errorf("faults: negative fault fraction %+v", p)
+	}
+	if p.CrashFraction+p.ByzantineFraction > 1 {
+		return fmt.Errorf("faults: fault fractions sum to %v > 1",
+			p.CrashFraction+p.ByzantineFraction)
+	}
+	return nil
+}
+
+// Apply wraps a built colony according to the plan, choosing victims
+// uniformly at random from src. It returns a wrapper function suitable for
+// core.RunConfig.Wrap.
+func (p Plan) Apply(src *rng.Source) func([]sim.Agent) ([]sim.Agent, error) {
+	return func(agents []sim.Agent) ([]sim.Agent, error) {
+		if err := p.Validate(); err != nil {
+			return nil, err
+		}
+		n := len(agents)
+		nCrash := int(p.CrashFraction * float64(n))
+		nByz := int(p.ByzantineFraction * float64(n))
+		window := p.CrashWindow
+		if window <= 0 {
+			window = 64
+		}
+		perm := src.Perm(n)
+		idx := 0
+		for ; idx < nCrash; idx++ {
+			victim := perm[idx]
+			crashed, err := NewCrashAnt(agents[victim], 1+src.Intn(window))
+			if err != nil {
+				return nil, err
+			}
+			agents[victim] = crashed
+		}
+		for ; idx < nCrash+nByz; idx++ {
+			victim := perm[idx]
+			agents[victim] = NewByzantineAnt(src.Split(uint64(victim)))
+		}
+		return agents, nil
+	}
+}

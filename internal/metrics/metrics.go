@@ -1,0 +1,135 @@
+// Package metrics provides lightweight counters and gauges used to instrument
+// the simulation engine: recruitment attempts/successes, protocol violations,
+// rounds executed, and similar engine-health signals.
+//
+// A Registry is plain single-goroutine state by default; the engine resolves
+// rounds on one goroutine even in concurrent mode, so no locking is needed on
+// the hot path. A locked view is available via Snapshot for observers on
+// other goroutines.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Counter is a monotonically increasing count.
+type Counter struct {
+	value uint64
+}
+
+// Inc adds 1 to the counter.
+func (c *Counter) Inc() { c.value++ }
+
+// Add adds delta to the counter; negative deltas are ignored because counters
+// are monotone by contract.
+func (c *Counter) Add(delta int) {
+	if delta > 0 {
+		c.value += uint64(delta)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.value }
+
+// Gauge is an instantaneous value that can move in both directions.
+type Gauge struct {
+	value float64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v float64) { g.value = v }
+
+// Add shifts the gauge by delta.
+func (g *Gauge) Add(delta float64) { g.value += delta }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return g.value }
+
+// Registry is a named collection of counters and gauges. The zero value is
+// unusable; construct with NewRegistry.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter, 16),
+		gauges:   make(map[string]*Gauge, 8),
+	}
+}
+
+// Counter returns the counter with the given name, creating it on first use.
+// The returned pointer may be cached by the caller and incremented without
+// further map lookups; creation is guarded so setup can race with Snapshot.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the gauge with the given name, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Snapshot returns a stable copy of all metric values, sorted by name.
+func (r *Registry) Snapshot() []Sample {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Sample, 0, len(r.counters)+len(r.gauges))
+	for name, c := range r.counters {
+		out = append(out, Sample{Name: name, Value: float64(c.Value()), Kind: KindCounter})
+	}
+	for name, g := range r.gauges {
+		out = append(out, Sample{Name: name, Value: g.Value(), Kind: KindGauge})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Kind distinguishes counter and gauge samples.
+type Kind int
+
+// Sample kinds. Starting at 1 keeps the zero value invalid.
+const (
+	KindCounter Kind = iota + 1
+	KindGauge
+)
+
+// Sample is one named metric value captured by Snapshot.
+type Sample struct {
+	Name  string
+	Value float64
+	Kind  Kind
+}
+
+// String renders the registry one metric per line, for CLI summaries.
+func (r *Registry) String() string {
+	var b strings.Builder
+	for _, s := range r.Snapshot() {
+		kind := "counter"
+		if s.Kind == KindGauge {
+			kind = "gauge"
+		}
+		fmt.Fprintf(&b, "%-40s %-8s %g\n", s.Name, kind, s.Value)
+	}
+	return b.String()
+}

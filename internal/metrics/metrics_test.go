@@ -1,0 +1,96 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounter(t *testing.T) {
+	t.Parallel()
+	var c Counter
+	c.Inc()
+	c.Add(5)
+	c.Add(-3) // ignored: counters are monotone
+	if c.Value() != 6 {
+		t.Fatalf("Value = %d, want 6", c.Value())
+	}
+}
+
+func TestGauge(t *testing.T) {
+	t.Parallel()
+	var g Gauge
+	g.Set(10)
+	g.Add(-2.5)
+	if g.Value() != 7.5 {
+		t.Fatalf("Value = %v, want 7.5", g.Value())
+	}
+}
+
+func TestRegistryReuse(t *testing.T) {
+	t.Parallel()
+	r := NewRegistry()
+	a := r.Counter("recruit.success")
+	b := r.Counter("recruit.success")
+	if a != b {
+		t.Fatal("same name returned different counters")
+	}
+	a.Inc()
+	if b.Value() != 1 {
+		t.Fatal("aliased counter did not share state")
+	}
+	if r.Gauge("x") != r.Gauge("x") {
+		t.Fatal("same name returned different gauges")
+	}
+}
+
+func TestSnapshotSorted(t *testing.T) {
+	t.Parallel()
+	r := NewRegistry()
+	r.Counter("zzz").Add(3)
+	r.Counter("aaa").Inc()
+	r.Gauge("mmm").Set(2.5)
+	snap := r.Snapshot()
+	if len(snap) != 3 {
+		t.Fatalf("snapshot size = %d, want 3", len(snap))
+	}
+	for i := 1; i < len(snap); i++ {
+		if snap[i-1].Name > snap[i].Name {
+			t.Fatalf("snapshot not sorted: %v", snap)
+		}
+	}
+	if snap[0].Name != "aaa" || snap[0].Value != 1 || snap[0].Kind != KindCounter {
+		t.Fatalf("unexpected first sample: %+v", snap[0])
+	}
+}
+
+func TestRegistryString(t *testing.T) {
+	t.Parallel()
+	r := NewRegistry()
+	r.Counter("rounds").Add(42)
+	r.Gauge("population").Set(128)
+	out := r.String()
+	if !strings.Contains(out, "rounds") || !strings.Contains(out, "counter") ||
+		!strings.Contains(out, "population") || !strings.Contains(out, "gauge") {
+		t.Fatalf("String output missing entries:\n%s", out)
+	}
+}
+
+func TestConcurrentCreation(t *testing.T) {
+	t.Parallel()
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r.Counter("shared")
+			r.Gauge("g")
+			r.Snapshot()
+		}()
+	}
+	wg.Wait()
+	if len(r.Snapshot()) != 2 {
+		t.Fatalf("snapshot = %v", r.Snapshot())
+	}
+}

@@ -1,0 +1,279 @@
+package nest
+
+import (
+	"math"
+	"testing"
+
+	"github.com/gmrl/househunt/internal/rng"
+)
+
+func TestQualityWeighting(t *testing.T) {
+	t.Parallel()
+	w := QualityWeights{Area: 1, Entrance: 1, Darkness: 1}
+	perfect := Site{Area: 1, Entrance: 0, Darkness: 1}
+	q, err := Quality(perfect, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(q, 1, 1e-12) {
+		t.Fatalf("perfect site quality = %v, want 1", q)
+	}
+	awful := Site{Area: 0, Entrance: 1, Darkness: 0}
+	q, err = Quality(awful, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(q, 0, 1e-12) {
+		t.Fatalf("awful site quality = %v, want 0", q)
+	}
+}
+
+func TestQualityClampsAttributes(t *testing.T) {
+	t.Parallel()
+	q, err := Quality(Site{Area: 5, Entrance: -3, Darkness: 2}, DefaultWeights())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q < 0 || q > 1 {
+		t.Fatalf("quality %v escaped [0,1]", q)
+	}
+}
+
+func TestQualityErrors(t *testing.T) {
+	t.Parallel()
+	if _, err := Quality(Site{}, QualityWeights{}); err == nil {
+		t.Fatal("all-zero weights accepted")
+	}
+	if _, err := Quality(Site{}, QualityWeights{Area: -1, Entrance: 1, Darkness: 1}); err == nil {
+		t.Fatal("negative weight accepted")
+	}
+}
+
+func TestQualityPriorities(t *testing.T) {
+	t.Parallel()
+	// With default weights, darkness must dominate: a dark small nest beats a
+	// bright large one.
+	w := DefaultWeights()
+	dark := Site{Area: 0.2, Entrance: 0.5, Darkness: 1}
+	bright := Site{Area: 1, Entrance: 0.5, Darkness: 0.1}
+	qd, err := Quality(dark, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qb, err := Quality(bright, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qd <= qb {
+		t.Fatalf("darkness priority violated: dark %v <= bright %v", qd, qb)
+	}
+}
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestExactAssessor(t *testing.T) {
+	t.Parallel()
+	src := rng.New(1)
+	var a ExactAssessor
+	for _, q := range []float64{0, 0.3, 1} {
+		if got := a.Assess(q, src); got != q {
+			t.Fatalf("ExactAssessor(%v) = %v", q, got)
+		}
+	}
+	if a.Name() == "" {
+		t.Fatal("empty name")
+	}
+}
+
+func TestGaussianAssessorUnbiasedAndClamped(t *testing.T) {
+	t.Parallel()
+	src := rng.New(2)
+	a := GaussianAssessor{Sigma: 0.1}
+	const trials = 50000
+	var sum float64
+	for i := 0; i < trials; i++ {
+		v := a.Assess(0.5, src)
+		if v < 0 || v > 1 {
+			t.Fatalf("assessment %v escaped [0,1]", v)
+		}
+		sum += v
+	}
+	mean := sum / trials
+	if math.Abs(mean-0.5) > 0.005 {
+		t.Fatalf("GaussianAssessor mean %v, want ~0.5 (unbiased away from boundary)", mean)
+	}
+}
+
+func TestFlipAssessor(t *testing.T) {
+	t.Parallel()
+	src := rng.New(3)
+	a := FlipAssessor{P: 0.25}
+	const trials = 40000
+	flips := 0
+	for i := 0; i < trials; i++ {
+		if a.Assess(1, src) == 0 {
+			flips++
+		}
+	}
+	freq := float64(flips) / trials
+	if math.Abs(freq-0.25) > 0.02 {
+		t.Fatalf("flip frequency %v, want ~0.25", freq)
+	}
+	never := FlipAssessor{P: 0}
+	if never.Assess(1, src) != 1 {
+		t.Fatal("P=0 flipped")
+	}
+}
+
+func TestExactCounter(t *testing.T) {
+	t.Parallel()
+	src := rng.New(4)
+	var c ExactCounter
+	if c.Estimate(42, 100, src) != 42 {
+		t.Fatal("ExactCounter distorted count")
+	}
+}
+
+func TestRelativeNoiseCounterUnbiased(t *testing.T) {
+	t.Parallel()
+	src := rng.New(5)
+	c := RelativeNoiseCounter{Sigma: 0.2}
+	const trials, count = 50000, 200
+	var sum float64
+	for i := 0; i < trials; i++ {
+		v := c.Estimate(count, 1000, src)
+		if v < 0 {
+			t.Fatalf("negative count estimate %d", v)
+		}
+		sum += float64(v)
+	}
+	mean := sum / trials
+	if math.Abs(mean-count) > 1.5 {
+		t.Fatalf("RelativeNoiseCounter mean %v, want ~%d", mean, count)
+	}
+}
+
+func TestEncounterRateCounterMonotoneInPopulation(t *testing.T) {
+	t.Parallel()
+	src := rng.New(6)
+	c := EncounterRateCounter{Probes: 256, Volume: 16}
+	const trials = 3000
+	avg := func(count int) float64 {
+		var sum float64
+		for i := 0; i < trials; i++ {
+			sum += float64(c.Estimate(count, 1000, src))
+		}
+		return sum / trials
+	}
+	small, medium, large := avg(4), avg(16), avg(64)
+	if !(small < medium && medium < large) {
+		t.Fatalf("encounter estimates not monotone: %v, %v, %v", small, medium, large)
+	}
+	// The inversion should land within ~35%% of truth for mid-range loads.
+	if math.Abs(medium-16)/16 > 0.35 {
+		t.Fatalf("encounter estimate for 16 ants = %v, want within 35%%", medium)
+	}
+	if c.Estimate(0, 100, src) != 0 {
+		t.Fatal("empty nest estimated non-zero")
+	}
+}
+
+func TestEncounterRateCounterSaturation(t *testing.T) {
+	t.Parallel()
+	src := rng.New(7)
+	// Tiny volume and huge population: every probe hits; estimator must not
+	// divide by zero and must return something large but finite.
+	c := EncounterRateCounter{Probes: 8, Volume: 0.001}
+	got := c.Estimate(1000000, 1000000, src)
+	if got <= 0 {
+		t.Fatalf("saturated estimate = %d, want positive", got)
+	}
+}
+
+func TestEncounterRateDefaults(t *testing.T) {
+	t.Parallel()
+	src := rng.New(8)
+	c := EncounterRateCounter{} // zero-value uses defaults
+	if got := c.Estimate(10, 100, src); got < 0 {
+		t.Fatalf("default-config estimate = %d", got)
+	}
+	if c.Name() == "" {
+		t.Fatal("empty name")
+	}
+}
+
+func TestBuffonEstimatorConcentratesNearTruth(t *testing.T) {
+	t.Parallel()
+	src := rng.New(9)
+	b := BuffonAreaEstimator{TrailLength: 30, SegmentLength: 0.25}
+	const trials = 300
+	for _, area := range []float64{4, 16} {
+		var sum float64
+		for i := 0; i < trials; i++ {
+			est, err := b.EstimateArea(area, src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sum += est
+		}
+		mean := sum / trials
+		// Buffon sampling in a bounded square is biased low relative to the
+		// ideal chord formula (edge effects shorten effective needles); accept
+		// a factor-2 band, which is what the biology reports too.
+		if mean < area/2 || mean > area*2 {
+			t.Fatalf("Buffon mean estimate %v for true area %v outside factor-2 band", mean, area)
+		}
+	}
+}
+
+func TestBuffonEstimatorErrors(t *testing.T) {
+	t.Parallel()
+	src := rng.New(10)
+	var b BuffonAreaEstimator
+	if _, err := b.EstimateArea(0, src); err == nil {
+		t.Fatal("zero area accepted")
+	}
+	if _, err := b.EstimateArea(-3, src); err == nil {
+		t.Fatal("negative area accepted")
+	}
+}
+
+func TestBuffonLargerAreaFewerCrossings(t *testing.T) {
+	t.Parallel()
+	src := rng.New(11)
+	b := BuffonAreaEstimator{TrailLength: 20, SegmentLength: 0.25}
+	const trials = 300
+	avg := func(area float64) float64 {
+		var sum float64
+		for i := 0; i < trials; i++ {
+			est, err := b.EstimateArea(area, src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sum += est
+		}
+		return sum / trials
+	}
+	small, large := avg(2), avg(32)
+	if small >= large {
+		t.Fatalf("Buffon estimates not ordered: small-area %v >= large-area %v", small, large)
+	}
+}
+
+func TestSegmentIntersects(t *testing.T) {
+	t.Parallel()
+	cross1 := segment{0, 0, 2, 2}
+	cross2 := segment{0, 2, 2, 0}
+	if !cross1.intersects(cross2) {
+		t.Fatal("crossing segments not detected")
+	}
+	parallel1 := segment{0, 0, 1, 0}
+	parallel2 := segment{0, 1, 1, 1}
+	if parallel1.intersects(parallel2) {
+		t.Fatal("parallel segments detected as crossing")
+	}
+	disjoint := segment{5, 5, 6, 6}
+	if cross1.intersects(disjoint) {
+		t.Fatal("disjoint segments detected as crossing")
+	}
+}

@@ -1,0 +1,8 @@
+package rng
+
+import "math"
+
+// logImpl and sqrtImpl isolate the package's only dependencies on math so the
+// hot integer paths stay visibly stdlib-free in rng.go.
+func logImpl(x float64) float64  { return math.Log(x) }
+func sqrtImpl(x float64) float64 { return math.Sqrt(x) }

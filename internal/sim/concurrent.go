@@ -1,0 +1,85 @@
+package sim
+
+import (
+	"fmt"
+	"sync"
+)
+
+// antCommand instructs an ant goroutine which phase to run.
+type antCommand int
+
+const (
+	cmdAct antCommand = iota + 1
+	cmdObserve
+	cmdQuit
+)
+
+// RunConcurrent executes rounds with one goroutine per ant, synchronized by a
+// per-round barrier: all ants act, the resolver applies the round, all ants
+// observe. The semantics and the random choices are identical to Run for the
+// same seed — resolution always happens in ant-index order — so the two modes
+// are interchangeable oracles for each other.
+//
+// All goroutines are joined before RunConcurrent returns, including on error
+// and on early termination via until.
+func (e *Engine) RunConcurrent(maxRounds int, until func(*Engine) bool) (rounds int, err error) {
+	if maxRounds <= 0 {
+		return e.round, fmt.Errorf("sim: RunConcurrent needs positive maxRounds, got %d", maxRounds)
+	}
+	if e.err != nil {
+		return e.round, e.err
+	}
+
+	n := len(e.agents)
+	cmds := make([]chan antCommand, n)
+	done := make(chan int, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		cmds[i] = make(chan antCommand, 1)
+		wg.Add(1)
+		go func(idx int) {
+			defer wg.Done()
+			agent := e.agents[idx]
+			for cmd := range cmds[idx] {
+				switch cmd {
+				case cmdAct:
+					e.actions[idx] = agent.Act(e.round)
+					done <- idx
+				case cmdObserve:
+					agent.Observe(e.round, e.outcomes[idx])
+					done <- idx
+				case cmdQuit:
+					return
+				}
+			}
+		}(i)
+	}
+	defer func() {
+		for i := 0; i < n; i++ {
+			cmds[i] <- cmdQuit
+		}
+		wg.Wait()
+	}()
+
+	broadcast := func(cmd antCommand) {
+		for i := 0; i < n; i++ {
+			cmds[i] <- cmd
+		}
+		for i := 0; i < n; i++ {
+			<-done
+		}
+	}
+
+	for e.round < maxRounds {
+		e.round++
+		broadcast(cmdAct)
+		if err := e.resolve(); err != nil {
+			return e.round, err
+		}
+		broadcast(cmdObserve)
+		if until != nil && until(e) {
+			return e.round, nil
+		}
+	}
+	return e.round, nil
+}

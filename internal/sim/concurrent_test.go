@@ -1,0 +1,122 @@
+package sim
+
+import (
+	"testing"
+
+	"github.com/gmrl/househunt/internal/rng"
+)
+
+// buildColony constructs a deterministic mixed-behaviour colony for the
+// equivalence tests.
+func buildColony(t *testing.T, n int, seed uint64) *Engine {
+	t.Helper()
+	env := MustEnvironment([]float64{1, 0, 1, 0, 1})
+	agents := make([]Agent, n)
+	for i := range agents {
+		agents[i] = &randomWalker{src: rng.New(seed).Split(uint64(i))}
+	}
+	e, err := New(env, agents, WithSeed(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// TestConcurrentMatchesSequential is the cross-mode oracle: the goroutine-
+// per-ant execution must produce exactly the same end-of-round populations as
+// the sequential engine for the same seed, round by round.
+func TestConcurrentMatchesSequential(t *testing.T) {
+	t.Parallel()
+	const n, rounds = 48, 40
+	seq := buildColony(t, n, 909)
+	con := buildColony(t, n, 909)
+
+	seqCounts := make([][]int, 0, rounds)
+	for r := 0; r < rounds; r++ {
+		if err := seq.Step(); err != nil {
+			t.Fatal(err)
+		}
+		seqCounts = append(seqCounts, seq.Counts())
+	}
+
+	round := 0
+	_, err := con.RunConcurrent(rounds, func(e *Engine) bool {
+		for i, c := range e.Counts() {
+			if c != seqCounts[round][i] {
+				t.Fatalf("round %d nest %d: concurrent %d != sequential %d",
+					round+1, i, c, seqCounts[round][i])
+			}
+		}
+		round++
+		return false
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if round != rounds {
+		t.Fatalf("concurrent run completed %d rounds, want %d", round, rounds)
+	}
+}
+
+func TestRunConcurrentUntil(t *testing.T) {
+	t.Parallel()
+	e := buildColony(t, 8, 11)
+	rounds, err := e.RunConcurrent(100, func(e *Engine) bool { return e.Round() >= 7 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rounds != 7 {
+		t.Fatalf("stopped at %d, want 7", rounds)
+	}
+}
+
+func TestRunConcurrentValidation(t *testing.T) {
+	t.Parallel()
+	e := buildColony(t, 4, 12)
+	if _, err := e.RunConcurrent(0, nil); err == nil {
+		t.Fatal("zero maxRounds accepted")
+	}
+}
+
+func TestRunConcurrentPropagatesProtocolError(t *testing.T) {
+	t.Parallel()
+	env := MustEnvironment([]float64{1})
+	e, err := New(env, agentsOf(scripted(Goto(1)))) // go before any visit
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.RunConcurrent(5, nil); err == nil {
+		t.Fatal("protocol violation not propagated from concurrent run")
+	}
+	// Engine must be poisoned and joinable a second time without hanging.
+	if _, err := e.RunConcurrent(5, nil); err == nil {
+		t.Fatal("poisoned engine accepted concurrent run")
+	}
+}
+
+func TestRunConcurrentThenSequential(t *testing.T) {
+	t.Parallel()
+	// Modes can be interleaved on one engine: rounds 1-10 concurrent,
+	// rounds 11-20 sequential, against a pure-sequential twin.
+	mixed := buildColony(t, 32, 313)
+	pure := buildColony(t, 32, 313)
+
+	if _, err := mixed.RunConcurrent(10, nil); err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 10; r++ {
+		if err := mixed.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for r := 0; r < 20; r++ {
+		if err := pure.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, c := range mixed.Counts() {
+		if c != pure.Count(NestID(i)) {
+			t.Fatalf("nest %d: mixed %d != pure %d", i, c, pure.Count(NestID(i)))
+		}
+	}
+}

@@ -1,0 +1,221 @@
+package sim
+
+import (
+	"github.com/gmrl/househunt/internal/rng"
+)
+
+// Matcher computes one round's recruitment assignment over the recruiting
+// set R (the ants that called recruit this round). Implementations work in
+// slot space: slot t ∈ [0, n) is the t-th recruiting ant in engine order; the
+// engine maps slots back to ant indices.
+//
+// Match must fill:
+//
+//   - capturedBy[t] = slot of the recruiter that captured slot t, or -1 if t
+//     was not captured. A self-pair is capturedBy[t] == t.
+//   - succeeded[s]  = true iff slot s actively recruited and captured a slot.
+//
+// active[t] reports whether slot t called recruit(1, ·). Implementations may
+// use scratch space owned by the matcher; the engine never calls Match
+// concurrently on one matcher instance.
+type Matcher interface {
+	Match(n int, active []bool, src *rng.Source, capturedBy []int, succeeded []bool)
+	// Name identifies the matcher in benchmarks and ablation tables.
+	Name() string
+}
+
+// CarryMatcher is implemented by matchers that support the §6 transport
+// extension: an active slot t may capture up to carry[t] ants in one round.
+// carry may be nil, meaning capacity 1 everywhere, in which case the process
+// must be identical to Match (including its randomness).
+type CarryMatcher interface {
+	Matcher
+	MatchCarry(n int, active []bool, carry []int, src *rng.Source, capturedBy []int, succeeded []bool)
+}
+
+// AlgorithmOneMatcher is the paper's Algorithm 1, reproduced exactly:
+//
+//	M ← ∅  (a set of ordered pairs)
+//	P ← uniform random permutation of R
+//	for i = 1..|P|:
+//	    if a_P(i) ∈ S (active) and (·, a_P(i)) ∉ M:
+//	        a' ← uniform random ant from R        // may be a_P(i) itself
+//	        if (a', ·) ∉ M and (·, a') ∉ M:
+//	            M ← M ∪ {(a_P(i), a')}
+//
+// An ant captured earlier in the permutation loses its chance to recruit; a
+// drawn ant that already recruited or was already captured blocks the pair
+// (no retry). Self-pairs are possible and count as a success whose captured
+// ant learns its own nest, matching the paper's remark that a lone ant "is
+// forced to recruit itself".
+//
+// The zero value is ready to use; the matcher grows internal scratch buffers
+// as needed and is not safe for concurrent use.
+type AlgorithmOneMatcher struct {
+	perm []int
+}
+
+var (
+	_ Matcher      = (*AlgorithmOneMatcher)(nil)
+	_ CarryMatcher = (*AlgorithmOneMatcher)(nil)
+)
+
+// Name implements Matcher.
+func (m *AlgorithmOneMatcher) Name() string { return "algorithm1" }
+
+// Match implements Matcher with the paper's sequential pairing process.
+func (m *AlgorithmOneMatcher) Match(n int, active []bool, src *rng.Source, capturedBy []int, succeeded []bool) {
+	m.MatchCarry(n, active, nil, src, capturedBy, succeeded)
+}
+
+// MatchCarry implements CarryMatcher: the paper's process generalized so slot
+// a draws up to carry[a] targets (each draw independent and lost if blocked,
+// exactly like the single draw of Algorithm 1). With carry nil or all-ones
+// the process — including its random draw sequence — is exactly Algorithm 1.
+func (m *AlgorithmOneMatcher) MatchCarry(n int, active []bool, carry []int, src *rng.Source, capturedBy []int, succeeded []bool) {
+	for t := 0; t < n; t++ {
+		capturedBy[t] = -1
+		succeeded[t] = false
+	}
+	if n == 0 {
+		return
+	}
+	if cap(m.perm) < n {
+		m.perm = make([]int, n)
+	}
+	perm := m.perm[:n]
+	src.PermInto(perm)
+
+	for _, a := range perm {
+		if !active[a] || capturedBy[a] >= 0 {
+			continue
+		}
+		draws := 1
+		if carry != nil && carry[a] > 1 {
+			draws = carry[a]
+		}
+		for d := 0; d < draws; d++ {
+			target := src.Intn(n)
+			if succeeded[target] || capturedBy[target] >= 0 {
+				continue
+			}
+			capturedBy[target] = a
+			succeeded[a] = true
+			if target == a {
+				// A self-pair consumes the recruiter itself; it cannot keep
+				// carrying others, matching the lone-ant semantics of §3.
+				break
+			}
+		}
+	}
+}
+
+// SimultaneousMatcher is an ablation model ("other natural models" per the
+// paper's §2 remark): every active ant draws a target simultaneously; each
+// ant drawn by one or more recruiters is captured by one of them chosen
+// uniformly at random. Unlike Algorithm 1, a recruiter can simultaneously be
+// captured and succeed, and no permutation priority exists.
+type SimultaneousMatcher struct {
+	picks []int
+}
+
+var _ Matcher = (*SimultaneousMatcher)(nil)
+
+// Name implements Matcher.
+func (m *SimultaneousMatcher) Name() string { return "simultaneous" }
+
+// Match implements Matcher.
+func (m *SimultaneousMatcher) Match(n int, active []bool, src *rng.Source, capturedBy []int, succeeded []bool) {
+	for t := 0; t < n; t++ {
+		capturedBy[t] = -1
+		succeeded[t] = false
+	}
+	if n == 0 {
+		return
+	}
+	if cap(m.picks) < n {
+		m.picks = make([]int, n)
+	}
+	picks := m.picks[:n]
+	for t := 0; t < n; t++ {
+		picks[t] = -1
+		if active[t] {
+			picks[t] = src.Intn(n)
+		}
+	}
+	// Reservoir-sample one capturer per target among its pickers, so each
+	// contender wins with equal probability without extra allocations.
+	seen := make([]int, n) // seen[target] = number of pickers observed so far
+	for s := 0; s < n; s++ {
+		target := picks[s]
+		if target < 0 {
+			continue
+		}
+		seen[target]++
+		if seen[target] == 1 || src.Intn(seen[target]) == 0 {
+			capturedBy[target] = s
+		}
+	}
+	for t := 0; t < n; t++ {
+		if capturedBy[t] >= 0 {
+			succeeded[capturedBy[t]] = true
+		}
+	}
+}
+
+// RendezvousMatcher is a second ablation model: the recruiting set is
+// shuffled and scanned once; each still-unmatched active ant captures the
+// nearest following unmatched ant in the shuffled order (wrapping around).
+// This "speed dating" process has no random target draw at all, only the
+// permutation, and produces near-perfect matchings — an upper bound on how
+// efficient pairing could plausibly be.
+type RendezvousMatcher struct {
+	perm []int
+}
+
+var _ Matcher = (*RendezvousMatcher)(nil)
+
+// Name implements Matcher.
+func (m *RendezvousMatcher) Name() string { return "rendezvous" }
+
+// Match implements Matcher.
+func (m *RendezvousMatcher) Match(n int, active []bool, src *rng.Source, capturedBy []int, succeeded []bool) {
+	for t := 0; t < n; t++ {
+		capturedBy[t] = -1
+		succeeded[t] = false
+	}
+	if n == 0 {
+		return
+	}
+	if cap(m.perm) < n {
+		m.perm = make([]int, n)
+	}
+	perm := m.perm[:n]
+	src.PermInto(perm)
+
+	for i := 0; i < n; i++ {
+		a := perm[i]
+		if !active[a] || capturedBy[a] >= 0 || succeeded[a] {
+			continue
+		}
+		for j := 1; j < n; j++ {
+			b := perm[(i+j)%n]
+			if capturedBy[b] >= 0 || succeeded[b] {
+				continue
+			}
+			capturedBy[b] = a
+			succeeded[a] = true
+			break
+		}
+	}
+}
+
+// Matchers returns one instance of every matcher model, the paper's first,
+// for ablation sweeps.
+func Matchers() []Matcher {
+	return []Matcher{
+		&AlgorithmOneMatcher{},
+		&SimultaneousMatcher{},
+		&RendezvousMatcher{},
+	}
+}

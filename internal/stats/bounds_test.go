@@ -1,0 +1,183 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/gmrl/househunt/internal/rng"
+)
+
+func TestBinomialTailUpper(t *testing.T) {
+	t.Parallel()
+	// P[X >= 75] for X ~ Bin(100, 0.5) is tiny; the bound must reflect that.
+	if got := BinomialTailUpper(100, 0.5, 75); got > 1e-4 {
+		t.Fatalf("tail bound %v too loose", got)
+	}
+	if got := BinomialTailUpper(100, 0.5, 40); got != 1 {
+		t.Fatalf("below-mean threshold should give trivial bound 1, got %v", got)
+	}
+	if got := BinomialTailUpper(100, 0.5, 0); got != 1 {
+		t.Fatalf("k=0 should give 1, got %v", got)
+	}
+	if got := BinomialTailUpper(100, 0.5, 101); got != 0 {
+		t.Fatalf("k>n should give 0, got %v", got)
+	}
+}
+
+func TestBinomialTailLower(t *testing.T) {
+	t.Parallel()
+	if got := BinomialTailLower(100, 0.5, 25); got > 1e-4 {
+		t.Fatalf("lower tail bound %v too loose", got)
+	}
+	if got := BinomialTailLower(100, 0.5, 60); got != 1 {
+		t.Fatalf("above-mean threshold should give 1, got %v", got)
+	}
+	if got := BinomialTailLower(100, 0.5, -1); got != 0 {
+		t.Fatalf("k<0 should give 0, got %v", got)
+	}
+	if got := BinomialTailLower(100, 0.5, 100); got != 1 {
+		t.Fatalf("k=n should give 1, got %v", got)
+	}
+}
+
+func TestWilsonInterval(t *testing.T) {
+	t.Parallel()
+	lo, hi := WilsonInterval(50, 100)
+	if lo >= 0.5 || hi <= 0.5 {
+		t.Fatalf("Wilson interval [%v, %v] should contain 0.5", lo, hi)
+	}
+	if hi-lo > 0.25 {
+		t.Fatalf("Wilson interval [%v, %v] too wide for n=100", lo, hi)
+	}
+	lo, hi = WilsonInterval(0, 100)
+	if lo != 0 || hi > 0.06 {
+		t.Fatalf("Wilson interval for 0/100 = [%v, %v]", lo, hi)
+	}
+	lo, hi = WilsonInterval(100, 100)
+	if hi != 1 || lo < 0.94 {
+		t.Fatalf("Wilson interval for 100/100 = [%v, %v]", lo, hi)
+	}
+	lo, hi = WilsonInterval(0, 0)
+	if lo != 0 || hi != 1 {
+		t.Fatalf("Wilson interval with no trials = [%v, %v], want [0,1]", lo, hi)
+	}
+}
+
+func TestBootstrapCI(t *testing.T) {
+	t.Parallel()
+	src := rng.New(55)
+	xs := make([]float64, 500)
+	for i := range xs {
+		xs[i] = src.NormFloat64() + 42
+	}
+	lo, hi, err := BootstrapCI(xs, 0.95, 500, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo > 42 || hi < 42 {
+		t.Fatalf("bootstrap CI [%v, %v] misses true mean 42", lo, hi)
+	}
+	if hi-lo > 0.5 {
+		t.Fatalf("bootstrap CI [%v, %v] too wide", lo, hi)
+	}
+	if _, _, err := BootstrapCI(nil, 0.95, 100, src); err == nil {
+		t.Fatal("empty sample accepted")
+	}
+	if _, _, err := BootstrapCI(xs, 1.5, 100, src); err == nil {
+		t.Fatal("bad level accepted")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	t.Parallel()
+	h, err := NewHistogram(0, 10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range []float64{0, 1, 2.5, 5, 7.5, 9.99, -3, 100} {
+		h.Add(x)
+	}
+	if h.Total() != 8 {
+		t.Fatalf("Total = %d, want 8", h.Total())
+	}
+	if h.Underflow != 1 || h.Overflow != 1 {
+		t.Fatalf("under/over = %d/%d, want 1/1", h.Underflow, h.Overflow)
+	}
+	sum := 0
+	for _, c := range h.Counts {
+		sum += c
+	}
+	if sum != 8 {
+		t.Fatalf("bin sum = %d, want 8 (clamped values must land in edge bins)", sum)
+	}
+	if got := h.BinCenter(0); !almostEqual(got, 1, 1e-12) {
+		t.Fatalf("BinCenter(0) = %v, want 1", got)
+	}
+	if out := h.Render(20); !strings.Contains(out, "#") {
+		t.Fatalf("Render produced no bars:\n%s", out)
+	}
+}
+
+func TestHistogramErrors(t *testing.T) {
+	t.Parallel()
+	if _, err := NewHistogram(0, 10, 0); err == nil {
+		t.Fatal("zero bins accepted")
+	}
+	if _, err := NewHistogram(5, 5, 3); err == nil {
+		t.Fatal("hi == lo accepted")
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	t.Parallel()
+	if got := Sparkline(nil); got != "" {
+		t.Fatalf("empty sparkline = %q", got)
+	}
+	out := Sparkline([]float64{0, 1, 2, 3, 4, 5, 6, 7})
+	if len([]rune(out)) != 8 {
+		t.Fatalf("sparkline length = %d, want 8", len([]rune(out)))
+	}
+	flat := Sparkline([]float64{3, 3, 3})
+	if len([]rune(flat)) != 3 {
+		t.Fatalf("flat sparkline = %q", flat)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	t.Parallel()
+	tb := NewTable("E9: Simple scaling", "n", "k", "rounds", "success")
+	tb.AddRow("256", "2", "38.2", "1.00")
+	tb.AddRow("65536", "16", "912.4", "1.00")
+	out := tb.String()
+	if !strings.Contains(out, "E9: Simple scaling") {
+		t.Fatalf("missing title:\n%s", out)
+	}
+	if !strings.Contains(out, "rounds") || !strings.Contains(out, "912.4") {
+		t.Fatalf("missing cells:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, rule, 2 rows
+		t.Fatalf("got %d lines, want 5:\n%s", len(lines), out)
+	}
+	if tb.NumRows() != 2 {
+		t.Fatalf("NumRows = %d", tb.NumRows())
+	}
+}
+
+func TestTableAddRowf(t *testing.T) {
+	t.Parallel()
+	tb := NewTable("", "a", "b")
+	tb.AddRowf("%d\t%.2f", 7, 3.14159)
+	out := tb.String()
+	if !strings.Contains(out, "7") || !strings.Contains(out, "3.14") {
+		t.Fatalf("AddRowf row missing:\n%s", out)
+	}
+}
+
+func TestTableEmpty(t *testing.T) {
+	t.Parallel()
+	tb := &Table{}
+	if out := tb.String(); out == "" {
+		t.Fatal("empty table should still render newline-terminated title")
+	}
+}

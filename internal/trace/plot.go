@@ -1,0 +1,104 @@
+package trace
+
+import (
+	"fmt"
+	"strings"
+)
+
+// PlotOptions configures RenderPlot.
+type PlotOptions struct {
+	Width  int  // plot columns; default 72
+	Height int  // plot rows; default 16
+	Home   bool // include nest 0 (home) as a series
+	// Commitments plots the commitment census instead of physical
+	// populations; rounds without a census read as zero. Commitment series
+	// are smoother because committed ants shuttle between home and nest.
+	Commitments bool
+}
+
+// seriesGlyphs are the per-series markers, cycled when more series than
+// glyphs are plotted.
+var seriesGlyphs = []byte{'*', 'o', '+', 'x', '#', '@', '%', '&'}
+
+// RenderPlot draws the population trajectories of every candidate nest (and
+// optionally the home nest) as a shared-axes ASCII chart. It is intentionally
+// simple: columns are round buckets, rows are population buckets, later
+// series overwrite earlier ones on collisions.
+func (t *Trace) RenderPlot(opts PlotOptions) string {
+	if opts.Width <= 0 {
+		opts.Width = 72
+	}
+	if opts.Height <= 0 {
+		opts.Height = 16
+	}
+	if len(t.rounds) == 0 {
+		return "(empty trace)\n"
+	}
+
+	first := 1
+	if opts.Home {
+		first = 0
+	}
+	value := func(r Round, i int) int {
+		if opts.Commitments {
+			if r.Commitments == nil {
+				return 0
+			}
+			return r.Commitments[i]
+		}
+		return r.Populations[i]
+	}
+	maxPop := 1
+	for _, r := range t.rounds {
+		for i := first; i <= t.numNests; i++ {
+			if v := value(r, i); v > maxPop {
+				maxPop = v
+			}
+		}
+	}
+
+	grid := make([][]byte, opts.Height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", opts.Width))
+	}
+	for nest := first; nest <= t.numNests; nest++ {
+		glyph := seriesGlyphs[(nest-first)%len(seriesGlyphs)]
+		for i, r := range t.rounds {
+			col := 0
+			if len(t.rounds) > 1 {
+				col = i * (opts.Width - 1) / (len(t.rounds) - 1)
+			}
+			row := 0
+			if maxPop > 0 {
+				row = value(r, nest) * (opts.Height - 1) / maxPop
+			}
+			grid[opts.Height-1-row][col] = glyph
+		}
+	}
+
+	var b strings.Builder
+	series := "population"
+	if opts.Commitments {
+		series = "committed ants"
+	}
+	fmt.Fprintf(&b, "%s (max %d) by round (1..%d)\n", series, maxPop, t.rounds[len(t.rounds)-1].Round)
+	for _, row := range grid {
+		b.WriteByte('|')
+		b.Write(row)
+		b.WriteByte('\n')
+	}
+	b.WriteByte('+')
+	b.WriteString(strings.Repeat("-", opts.Width))
+	b.WriteByte('\n')
+	b.WriteString("legend:")
+	for nest := first; nest <= t.numNests; nest++ {
+		glyph := seriesGlyphs[(nest-first)%len(seriesGlyphs)]
+		label := fmt.Sprintf(" nest%d=%c", nest, glyph)
+		if nest == 0 {
+			label = fmt.Sprintf(" home=%c", glyph)
+		}
+		b.WriteString(label)
+	}
+	b.WriteByte('\n')
+	return b.String()
+}

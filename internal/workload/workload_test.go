@@ -1,0 +1,112 @@
+package workload
+
+import (
+	"testing"
+
+	"github.com/gmrl/househunt/internal/sim"
+)
+
+func TestBinaryFamilies(t *testing.T) {
+	t.Parallel()
+	env, err := Binary(8, 3)
+	if err != nil || env.K() != 8 || len(env.GoodNests()) != 3 {
+		t.Fatalf("Binary(8,3): %v, k=%d good=%v", err, env.K(), env.GoodNests())
+	}
+	env, err = AllGood(5)
+	if err != nil || len(env.GoodNests()) != 5 {
+		t.Fatalf("AllGood(5): %v, good=%v", err, env.GoodNests())
+	}
+	env, err = SingleGood(7)
+	if err != nil || len(env.GoodNests()) != 1 {
+		t.Fatalf("SingleGood(7): %v, good=%v", err, env.GoodNests())
+	}
+	if _, err := Binary(0, 0); err == nil {
+		t.Fatal("Binary(0,0) accepted")
+	}
+}
+
+func TestQualityLadder(t *testing.T) {
+	t.Parallel()
+	env, err := QualityLadder(4, 0.2, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env.Quality(1) != 0.2 || env.Quality(4) != 0.8 {
+		t.Fatalf("ladder endpoints: %v .. %v", env.Quality(1), env.Quality(4))
+	}
+	for i := 2; i <= 4; i++ {
+		if env.Quality(sim.NestID(i)) <= env.Quality(sim.NestID(i-1)) {
+			t.Fatalf("ladder not increasing at %d", i)
+		}
+	}
+	best := env.BestNests()
+	if len(best) != 1 || best[0] != 4 {
+		t.Fatalf("best = %v, want nest 4", best)
+	}
+	single, err := QualityLadder(1, 0.5, 0.9)
+	if err != nil || single.Quality(1) != 0.9 {
+		t.Fatalf("single-rung ladder: %v, q=%v", err, single.Quality(1))
+	}
+	for _, bad := range [][3]float64{{0, 0.5, 0.9}, {3, 0, 0.9}, {3, 0.9, 0.5}, {3, 0.5, 1.5}} {
+		if _, err := QualityLadder(int(bad[0]), bad[1], bad[2]); err == nil {
+			t.Fatalf("QualityLadder(%v) accepted", bad)
+		}
+	}
+}
+
+func TestGridPoints(t *testing.T) {
+	t.Parallel()
+	g := Grid{Ns: []int{64, 128}, Ks: []int{2, 4, 8}, Tag: "t"}
+	pts := g.Points()
+	if len(pts) != 6 {
+		t.Fatalf("points = %d, want 6", len(pts))
+	}
+	seen := make(map[uint64]bool, len(pts))
+	for _, p := range pts {
+		if p.Seed == 0 {
+			t.Fatal("zero seed")
+		}
+		if seen[p.Seed] {
+			t.Fatalf("duplicate seed for %+v", p)
+		}
+		seen[p.Seed] = true
+	}
+}
+
+func TestSeedForStability(t *testing.T) {
+	t.Parallel()
+	a := SeedFor("exp", 1, 2, 3)
+	b := SeedFor("exp", 1, 2, 3)
+	if a != b {
+		t.Fatal("SeedFor not deterministic")
+	}
+	if SeedFor("exp", 1, 2, 3) == SeedFor("exp", 1, 2, 4) {
+		t.Fatal("rep index did not decorrelate")
+	}
+	if SeedFor("expA", 1, 2, 3) == SeedFor("expB", 1, 2, 3) {
+		t.Fatal("tag did not decorrelate")
+	}
+	if SeedFor("", 0, 0, 0) == 0 {
+		t.Fatal("zero seed produced")
+	}
+}
+
+func TestPowersOfTwo(t *testing.T) {
+	t.Parallel()
+	got := PowersOfTwo(3, 6)
+	want := []int{8, 16, 32, 64}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+	if PowersOfTwo(5, 3) != nil {
+		t.Fatal("inverted range should be nil")
+	}
+	if PowersOfTwo(-1, 3) != nil {
+		t.Fatal("negative exponent should be nil")
+	}
+}
