@@ -14,6 +14,7 @@ import (
 	"testing"
 
 	"github.com/gmrl/househunt/internal/algo"
+	"github.com/gmrl/househunt/internal/core"
 	"github.com/gmrl/househunt/internal/experiment"
 	"github.com/gmrl/househunt/internal/rng"
 	"github.com/gmrl/househunt/internal/sim"
@@ -184,6 +185,47 @@ func itoa(v int) string {
 	}
 	return string(buf[i:])
 }
+
+// benchReplicateSweep measures a full replicate sweep (Algorithm 3, n=1024,
+// k=4, R=32 colonies to convergence) through experiment.MeasureConvergence on
+// the selected engine. The scalar and batch variants execute bit-identical
+// replicates, so the pair is a before/after comparison of the batch engine;
+// the acceptance floor is a 3x throughput gain for the batch path.
+func benchReplicateSweep(b *testing.B, batch bool) {
+	b.Helper()
+	const (
+		n    = 1024
+		k    = 4
+		reps = 32
+	)
+	env, err := sim.Uniform(k, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := core.RunConfig{N: n, Env: env, MaxRounds: 4000}
+	experiment.SetBatchEngine(batch)
+	defer experiment.SetBatchEngine(true)
+	b.ReportAllocs()
+	b.ResetTimer()
+	totalRounds := 0.0
+	for i := 0; i < b.N; i++ {
+		pt, err := experiment.MeasureConvergence(algo.Simple{}, cfg, reps, "bench-sweep")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if pt.Solved == 0 {
+			b.Fatal("sweep solved no replicates")
+		}
+		totalRounds += pt.Rounds.Mean*float64(pt.Solved) + float64(4000*(reps-pt.Solved))
+	}
+	b.ReportMetric(totalRounds*n/b.Elapsed().Seconds(), "ant-steps/s")
+}
+
+// BenchmarkReplicateSweepScalar is the scalar agent path baseline.
+func BenchmarkReplicateSweepScalar(b *testing.B) { benchReplicateSweep(b, false) }
+
+// BenchmarkReplicateSweepBatch is the struct-of-arrays batch engine path.
+func BenchmarkReplicateSweepBatch(b *testing.B) { benchReplicateSweep(b, true) }
 
 // BenchmarkEngineRoundConcurrent measures the goroutine-per-ant mode's round
 // latency (including the two barrier crossings).

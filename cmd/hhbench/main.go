@@ -6,6 +6,8 @@
 //	hhbench -list
 //	hhbench -exp E9
 //	hhbench -exp all -scale full
+//	hhbench -engine scalar -exp E9   (force the scalar replicate loop)
+//	hhbench -batchbench              (batch vs scalar throughput comparison)
 package main
 
 import (
@@ -16,7 +18,10 @@ import (
 	"strings"
 	"time"
 
+	"github.com/gmrl/househunt/internal/algo"
+	"github.com/gmrl/househunt/internal/core"
 	"github.com/gmrl/househunt/internal/experiment"
+	"github.com/gmrl/househunt/internal/workload"
 )
 
 func main() {
@@ -30,12 +35,27 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("hhbench", flag.ContinueOnError)
 	var (
-		exp   = fs.String("exp", "all", "experiment id (E1..E21) or 'all'")
-		scale = fs.String("scale", "small", "experiment sizing: small or full")
-		list  = fs.Bool("list", false, "list experiment ids and exit")
+		exp        = fs.String("exp", "all", "experiment id (E1..E21) or 'all'")
+		scale      = fs.String("scale", "small", "experiment sizing: small or full")
+		list       = fs.Bool("list", false, "list experiment ids and exit")
+		engine     = fs.String("engine", "auto", "replicate engine: auto (batch where eligible) or scalar")
+		batchbench = fs.Bool("batchbench", false, "run the batch vs scalar replicate-sweep throughput comparison and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	switch strings.ToLower(*engine) {
+	case "auto":
+		experiment.SetBatchEngine(true)
+	case "scalar":
+		experiment.SetBatchEngine(false)
+	default:
+		return fmt.Errorf("unknown engine %q (want auto or scalar)", *engine)
+	}
+
+	if *batchbench {
+		return runBatchBench(out)
 	}
 
 	if *list {
@@ -76,5 +96,76 @@ func run(args []string, out io.Writer) error {
 	if failed > 0 {
 		return fmt.Errorf("%d experiment(s) reported a violated shape", failed)
 	}
+	return nil
+}
+
+// runBatchBench times the same replicate sweep (Algorithm 3, n=1024, k=4,
+// R=32 colonies) on the scalar agent path and on the batch struct-of-arrays
+// engine, reporting ant-step throughput and the speedup. Both paths execute
+// bit-identical replicates, so the comparison is apples to apples.
+func runBatchBench(out io.Writer) error {
+	const (
+		n         = 1024
+		k         = 4
+		good      = 2
+		reps      = 32
+		maxRounds = 4000
+		minTime   = time.Second
+	)
+	env, err := workload.Binary(k, good)
+	if err != nil {
+		return err
+	}
+	cfg := core.RunConfig{N: n, Env: env, MaxRounds: maxRounds}
+
+	sweep := func() (totalRounds int, err error) {
+		pt, err := experiment.MeasureConvergence(algo.Simple{}, cfg, reps, "batchbench")
+		if err != nil {
+			return 0, err
+		}
+		// Ant-steps executed: every solved replicate ran its recorded rounds,
+		// every unsolved one the full budget.
+		solvedRounds := int(pt.Rounds.Mean*float64(pt.Solved) + 0.5)
+		return solvedRounds + (reps-pt.Solved)*maxRounds, nil
+	}
+
+	measure := func(label string, batch bool) (float64, error) {
+		experiment.SetBatchEngine(batch)
+		if _, err := sweep(); err != nil { // warm-up
+			return 0, err
+		}
+		var (
+			elapsed time.Duration
+			rounds  int
+			iters   int
+		)
+		for elapsed < minTime {
+			start := time.Now()
+			r, err := sweep()
+			if err != nil {
+				return 0, err
+			}
+			elapsed += time.Since(start)
+			rounds += r
+			iters++
+		}
+		perSweep := elapsed / time.Duration(iters)
+		steps := float64(rounds) * n / elapsed.Seconds()
+		fmt.Fprintf(out, "%-7s %3d sweep(s) of %d x n=%d k=%d: %8.1f ms/sweep, %11.0f ant-steps/s\n",
+			label, iters, reps, n, k, perSweep.Seconds()*1e3, steps)
+		return steps, nil
+	}
+
+	fmt.Fprintf(out, "replicate-sweep throughput, scalar agents vs batch engine\n\n")
+	scalar, err := measure("scalar", false)
+	if err != nil {
+		return err
+	}
+	batch, err := measure("batch", true)
+	if err != nil {
+		return err
+	}
+	experiment.SetBatchEngine(true)
+	fmt.Fprintf(out, "\nspeedup: %.2fx\n", batch/scalar)
 	return nil
 }

@@ -1,0 +1,62 @@
+package househunt
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// TestExamplesBuildAndRun smoke-tests every program under examples/: each
+// must build and then run to completion quickly with a zero exit status.
+// The examples are the library's de-facto integration suite — refactors that
+// break their use of the public API fail here instead of silently rotting.
+func TestExamplesBuildAndRun(t *testing.T) {
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skipf("go toolchain not on PATH: %v", err)
+	}
+	entries, err := os.ReadDir("examples")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bindir := t.TempDir()
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		name := e.Name()
+		t.Run(name, func(t *testing.T) {
+			bin := filepath.Join(bindir, name)
+			build := exec.Command("go", "build", "-o", bin, "./"+filepath.Join("examples", name))
+			if out, err := build.CombinedOutput(); err != nil {
+				t.Fatalf("build failed: %v\n%s", err, out)
+			}
+
+			// Each example is a deterministic small-scale demo; a minute is
+			// far beyond any of them (they run in well under a second).
+			deadline := time.Now().Add(time.Minute)
+			if testDeadline, ok := t.Deadline(); ok && testDeadline.Before(deadline) {
+				deadline = testDeadline
+			}
+			run := exec.Command(bin)
+			done := make(chan error, 1)
+			if err := run.Start(); err != nil {
+				t.Fatalf("start failed: %v", err)
+			}
+			go func() { done <- run.Wait() }()
+			select {
+			case err := <-done:
+				if err != nil {
+					t.Fatalf("example exited with error: %v", err)
+				}
+			case <-time.After(time.Until(deadline)):
+				_ = run.Process.Kill()
+				t.Fatalf("example did not finish before deadline")
+			}
+		})
+	}
+	if len(entries) == 0 {
+		t.Fatal("no examples found")
+	}
+}

@@ -1,0 +1,3 @@
+module github.com/gmrl/househunt
+
+go 1.24

@@ -1,0 +1,170 @@
+package algo
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"github.com/gmrl/househunt/internal/agent"
+	"github.com/gmrl/househunt/internal/core"
+	"github.com/gmrl/househunt/internal/sim"
+)
+
+// TestBatchGoldenEquivalence is the tentpole cross-validation: for equal
+// seeds the batch engine must produce round-for-round identical populations
+// and commitments to sim.Engine running the scalar SimplePFSM machines.
+func TestBatchGoldenEquivalence(t *testing.T) {
+	t.Parallel()
+	const (
+		n         = 128
+		maxRounds = 400
+	)
+	env := sim.MustEnvironment([]float64{1, 0, 1, 0})
+	seeds := []uint64{1, 7, 42, 2015}
+
+	type roundRec struct {
+		counts []int
+		commit []int
+	}
+	scalar := make([][]roundRec, len(seeds))
+	for si, seed := range seeds {
+		agents, err := (SimplePFSM{}).Build(n, env, testSrc(seed).Split(2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng, err := sim.New(env, agents, sim.WithSeed(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for r := 0; r < maxRounds; r++ {
+			if err := eng.Step(); err != nil {
+				t.Fatalf("seed %d: scalar step: %v", seed, err)
+			}
+			commit := make([]int, env.K()+1)
+			for _, a := range agents {
+				commit[a.(*agent.Machine).Regs().Nest]++
+			}
+			scalar[si] = append(scalar[si], roundRec{counts: eng.Counts(), commit: commit})
+		}
+	}
+
+	prog, ok := (SimplePFSM{}).CompileBatch(n, env)
+	if !ok {
+		t.Fatal("SimplePFSM did not compile")
+	}
+	var mu sync.Mutex
+	batchRecs := make([][]roundRec, len(seeds))
+	b, err := sim.NewBatch(env, prog, n, sim.WithBatchProbe(func(rep, round int, counts, committed []int) {
+		rec := roundRec{
+			counts: append([]int(nil), counts...),
+			commit: append([]int(nil), committed...),
+		}
+		mu.Lock()
+		batchRecs[rep] = append(batchRecs[rep], rec)
+		mu.Unlock()
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Run(seeds, maxRounds, maxRounds+1); err != nil {
+		t.Fatal(err)
+	}
+
+	for si, seed := range seeds {
+		if len(batchRecs[si]) != len(scalar[si]) {
+			t.Fatalf("seed %d: batch ran %d rounds, scalar %d", seed, len(batchRecs[si]), len(scalar[si]))
+		}
+		for r := range scalar[si] {
+			if !reflect.DeepEqual(batchRecs[si][r], scalar[si][r]) {
+				t.Fatalf("seed %d round %d diverged:\nbatch  counts=%v commit=%v\nscalar counts=%v commit=%v",
+					seed, r+1,
+					batchRecs[si][r].counts, batchRecs[si][r].commit,
+					scalar[si][r].counts, scalar[si][r].commit)
+			}
+		}
+	}
+}
+
+// TestRunBatchMatchesRunResults checks the runner-level contract: for both
+// compilable algorithms, core.RunBatch must return exactly the Results that
+// per-seed core.Run produces — same solved flags, winners, round counts and
+// final censuses — across environments with mixed nest qualities.
+func TestRunBatchMatchesRunResults(t *testing.T) {
+	t.Parallel()
+	envs := []sim.Environment{
+		sim.MustEnvironment([]float64{1, 1, 0, 0}),
+		sim.MustEnvironment([]float64{1}),
+		sim.MustEnvironment([]float64{0, 0, 1}),
+	}
+	algos := []core.Algorithm{Simple{}, SimplePFSM{}}
+	seeds := []uint64{3, 11, 99, 1234, 87251}
+	for _, env := range envs {
+		for _, a := range algos {
+			cfg := core.RunConfig{N: 64, Env: env, MaxRounds: 5000, StabilityWindow: 2}
+			batched, ok, err := core.RunBatch(a, cfg, seeds)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ok {
+				t.Fatalf("%s: expected batch eligibility", a.Name())
+			}
+			for i, seed := range seeds {
+				scfg := cfg
+				scfg.Seed = seed
+				want, err := core.Run(a, scfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got := batched[i]
+				if got.Solved != want.Solved || got.Winner != want.Winner ||
+					got.Rounds != want.Rounds || got.WinnerQuality != want.WinnerQuality ||
+					got.Algorithm != want.Algorithm {
+					t.Fatalf("%s k=%d seed %d: batch %+v != scalar %+v", a.Name(), env.K(), seed, got, want)
+				}
+				if !reflect.DeepEqual(got.FinalCensus.Committed, want.FinalCensus.Committed) ||
+					got.FinalCensus.Total != want.FinalCensus.Total ||
+					got.FinalCensus.Decided != want.FinalCensus.Decided {
+					t.Fatalf("%s k=%d seed %d: census diverged: batch %+v != scalar %+v",
+						a.Name(), env.K(), seed, got.FinalCensus, want.FinalCensus)
+				}
+			}
+		}
+	}
+}
+
+// TestRunBatchFallsBackForScalarOnlyConfigs pins the eligibility rules:
+// configurations carrying scalar-only features must decline the batch path.
+func TestRunBatchFallsBackForScalarOnlyConfigs(t *testing.T) {
+	t.Parallel()
+	env := sim.MustEnvironment([]float64{1, 0})
+	base := core.RunConfig{N: 16, Env: env}
+	ineligible := map[string]core.RunConfig{
+		"wrap": func() core.RunConfig {
+			c := base
+			c.Wrap = func(a []sim.Agent) ([]sim.Agent, error) { return a, nil }
+			return c
+		}(),
+		"matcher": func() core.RunConfig {
+			c := base
+			c.NewMatcher = func() sim.Matcher { return &sim.AlgorithmOneMatcher{} }
+			return c
+		}(),
+		"concurrent": func() core.RunConfig {
+			c := base
+			c.Concurrent = true
+			return c
+		}(),
+	}
+	for name, cfg := range ineligible {
+		if _, ok := core.CompileForBatch(Simple{}, cfg); ok {
+			t.Errorf("%s: config should not be batch-eligible", name)
+		}
+	}
+	// Non-compilable algorithms decline too.
+	if _, ok := core.CompileForBatch(Optimal{}, base); ok {
+		t.Error("Optimal has no compiled form yet and must fall back")
+	}
+	if _, ok, err := core.RunBatch(Optimal{}, base, []uint64{1}); ok || err != nil {
+		t.Errorf("RunBatch on a non-compilable algorithm: ok=%v err=%v, want fallback", ok, err)
+	}
+}

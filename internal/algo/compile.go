@@ -1,0 +1,49 @@
+package algo
+
+import (
+	"github.com/gmrl/househunt/internal/sim"
+)
+
+// This file lowers algorithms to the batch engine's compiled form
+// (sim.Program). An algorithm that can be compiled implements
+// core.BatchCompilable by exposing CompileBatch; the replicate-sweep
+// machinery (core.RunBatch, experiment.MeasureConvergence) then executes it
+// on the struct-of-arrays fast path, with the scalar agent path as the
+// fallback for everything else.
+
+// simpleBatchProgram is Algorithm 3's three-state table: search, then the
+// recruit/assess loop. It is the opcode form of newSimpleSpec — the states
+// correspond one-to-one and the randomness (a single Bernoulli(count/n) per
+// recruit phase, gated on positive quality) is drawn identically, so batch
+// executions are bit-identical to both SimplePFSM and the hand-written
+// SimpleAnt (which pfsm_test.go proves equivalent to each other).
+func simpleBatchProgram(name string) sim.Program {
+	return sim.Program{
+		Algorithm: name,
+		Init:      0,
+		States: []sim.ProgramState{
+			{Emit: sim.EmitSearch, Observe: sim.ObserveDiscovery, Next: 1},
+			{Emit: sim.EmitRecruitPop, Observe: sim.ObserveAdopt, Next: 2},
+			{Emit: sim.EmitGotoNest, Observe: sim.ObserveCount, Next: 1},
+		},
+	}
+}
+
+// CompileBatch implements core.BatchCompilable: SimplePFSM's declarative
+// state table lowered to opcodes.
+func (a SimplePFSM) CompileBatch(n int, env sim.Environment) (sim.Program, bool) {
+	if n <= 0 || env.K() == 0 {
+		return sim.Program{}, false
+	}
+	return simpleBatchProgram(a.Name()), true
+}
+
+// CompileBatch implements core.BatchCompilable. The hand-written SimpleAnt
+// and the PFSM formulation execute identically for equal seeds (the active
+// flag coincides with quality > 0), so Simple compiles to the same program.
+func (a Simple) CompileBatch(n int, env sim.Environment) (sim.Program, bool) {
+	if n <= 0 || env.K() == 0 {
+		return sim.Program{}, false
+	}
+	return simpleBatchProgram(a.Name()), true
+}

@@ -1,0 +1,83 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/gmrl/househunt/internal/sim"
+)
+
+// BatchCompilable is implemented by algorithms that can lower themselves to
+// the batch engine's compiled form (sim.Program). CompileBatch returns
+// ok = false when the algorithm cannot be compiled for the given parameters;
+// callers then fall back to the scalar agent path.
+type BatchCompilable interface {
+	Algorithm
+	CompileBatch(n int, env sim.Environment) (sim.Program, bool)
+}
+
+// CompileForBatch reports whether algo + cfg can run on the batch engine and
+// returns the compiled program if so. Eligibility requires a compilable
+// algorithm and a configuration with none of the scalar-only features: agent
+// wrappers (faults, asynchrony), traces, metrics, custom matchers and the
+// goroutine-per-ant mode all hold per-agent or per-engine state the batch
+// lanes do not model.
+func CompileForBatch(algo Algorithm, cfg RunConfig) (sim.Program, bool) {
+	if algo == nil || cfg.N <= 0 || cfg.Env.K() == 0 {
+		return sim.Program{}, false
+	}
+	if cfg.Wrap != nil || cfg.Trace != nil || cfg.Metrics != nil || cfg.NewMatcher != nil || cfg.Concurrent {
+		return sim.Program{}, false
+	}
+	bc, ok := algo.(BatchCompilable)
+	if !ok {
+		return sim.Program{}, false
+	}
+	return bc.CompileBatch(cfg.N, cfg.Env)
+}
+
+// RunBatch executes one replicate per seed on the batch engine and returns
+// results equal to what Run would produce for the same (algo, cfg, seed)
+// triples — same winners, same round counts, same censuses. The boolean
+// reports eligibility: when false, the caller must run the scalar path
+// (cfg cannot run batched); no work has been done in that case.
+func RunBatch(algo Algorithm, cfg RunConfig, seeds []uint64) ([]Result, bool, error) {
+	prog, ok := CompileForBatch(algo, cfg)
+	if !ok {
+		return nil, false, nil
+	}
+	if len(seeds) == 0 {
+		return nil, true, fmt.Errorf("core: batch run needs at least one seed")
+	}
+	batch, err := sim.NewBatch(cfg.Env, prog, cfg.N)
+	if err != nil {
+		return nil, true, fmt.Errorf("core: constructing batch engine: %w", err)
+	}
+	maxRounds := cfg.MaxRounds
+	if maxRounds <= 0 {
+		maxRounds = defaultMaxRounds(cfg.N, cfg.Env.K())
+	}
+	window := cfg.StabilityWindow
+	if window <= 0 {
+		window = 1
+	}
+	raw, err := batch.Run(seeds, maxRounds, window)
+	if err != nil {
+		return nil, true, fmt.Errorf("core: running %s batched: %w", algo.Name(), err)
+	}
+	results := make([]Result, len(raw))
+	for i, r := range raw {
+		results[i] = Result{
+			Solved:        r.Solved,
+			Winner:        r.Winner,
+			WinnerQuality: r.WinnerQuality,
+			Rounds:        r.Rounds,
+			FinalCensus: Census{
+				Committed: r.Committed,
+				Decided:   -1, // compiled programs expose commitment only
+				Total:     cfg.N,
+			},
+			Algorithm: algo.Name(),
+		}
+	}
+	return results, true, nil
+}

@@ -73,51 +73,71 @@ func defaultMaxRounds(n, k int) int {
 	return 64 * (k + 1) * (log2n + 1)
 }
 
-// Run executes one colony of algo on cfg and reports the result. The error
-// return covers configuration and protocol failures; failing to converge
-// within the budget is NOT an error — it is Result.Solved == false — because
-// non-convergence is a measured outcome for the lower-bound and fault
-// experiments.
-func Run(algo Algorithm, cfg RunConfig) (Result, error) {
+// buildColony validates cfg, builds the algorithm's agents and applies the
+// wrapper, enforcing the colony-size contract at every stage. It is the
+// single setup path shared by Run and RunTraced so the two runners cannot
+// drift apart (RunTraced once lost cfg.Strict and the size checks exactly
+// that way).
+func buildColony(algo Algorithm, cfg RunConfig) ([]sim.Agent, error) {
 	if algo == nil {
-		return Result{}, errNilAlgorithm
+		return nil, errNilAlgorithm
 	}
 	if cfg.N <= 0 {
-		return Result{}, errBadColony
+		return nil, errBadColony
 	}
 	if cfg.Env.K() == 0 {
-		return Result{}, errors.New("core: empty environment")
+		return nil, errors.New("core: empty environment")
 	}
 	root := rng.New(cfg.Seed)
 	agents, err := algo.Build(cfg.N, cfg.Env, root.Split(2))
 	if err != nil {
-		return Result{}, wrapBuild(algo.Name(), err)
+		return nil, wrapBuild(algo.Name(), err)
 	}
 	if len(agents) != cfg.N {
-		return Result{}, fmt.Errorf("core: %s built %d agents for n=%d", algo.Name(), len(agents), cfg.N)
+		return nil, fmt.Errorf("core: %s built %d agents for n=%d", algo.Name(), len(agents), cfg.N)
 	}
 	if cfg.Wrap != nil {
 		agents, err = cfg.Wrap(agents)
 		if err != nil {
-			return Result{}, fmt.Errorf("core: wrapping agents: %w", err)
+			return nil, fmt.Errorf("core: wrapping agents: %w", err)
 		}
 		if len(agents) != cfg.N {
-			return Result{}, fmt.Errorf("core: wrapper changed colony size to %d", len(agents))
+			return nil, fmt.Errorf("core: wrapper changed colony size to %d", len(agents))
 		}
 	}
+	return agents, nil
+}
 
+// engineOptions assembles the sim options both runners share. The trace
+// option is deliberately excluded: Run forwards cfg.Trace to the engine,
+// while RunTraced records richer per-round censuses itself.
+func engineOptions(cfg RunConfig) []sim.Option {
 	opts := []sim.Option{sim.WithSeed(cfg.Seed)}
 	if cfg.NewMatcher != nil {
 		opts = append(opts, sim.WithMatcher(cfg.NewMatcher()))
-	}
-	if cfg.Trace != nil {
-		opts = append(opts, sim.WithTrace(cfg.Trace))
 	}
 	if cfg.Metrics != nil {
 		opts = append(opts, sim.WithMetrics(cfg.Metrics))
 	}
 	if cfg.Strict != nil {
 		opts = append(opts, sim.WithStrict(*cfg.Strict))
+	}
+	return opts
+}
+
+// Run executes one colony of algo on cfg and reports the result. The error
+// return covers configuration and protocol failures; failing to converge
+// within the budget is NOT an error — it is Result.Solved == false — because
+// non-convergence is a measured outcome for the lower-bound and fault
+// experiments.
+func Run(algo Algorithm, cfg RunConfig) (Result, error) {
+	agents, err := buildColony(algo, cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	opts := engineOptions(cfg)
+	if cfg.Trace != nil {
+		opts = append(opts, sim.WithTrace(cfg.Trace))
 	}
 	engine, err := sim.New(cfg.Env, agents, opts...)
 	if err != nil {
@@ -179,35 +199,15 @@ func RunTraced(algo Algorithm, cfg RunConfig) (Result, error) {
 	if cfg.Trace == nil {
 		return Result{}, errors.New("core: RunTraced needs a trace")
 	}
-	if algo == nil {
-		return Result{}, errNilAlgorithm
-	}
-	if cfg.N <= 0 {
-		return Result{}, errBadColony
-	}
-	root := rng.New(cfg.Seed)
-	agents, err := algo.Build(cfg.N, cfg.Env, root.Split(2))
+	agents, err := buildColony(algo, cfg)
 	if err != nil {
-		return Result{}, wrapBuild(algo.Name(), err)
-	}
-	if cfg.Wrap != nil {
-		agents, err = cfg.Wrap(agents)
-		if err != nil {
-			return Result{}, fmt.Errorf("core: wrapping agents: %w", err)
-		}
+		return Result{}, err
 	}
 
 	// The engine records populations; we mirror commitments into a parallel
 	// trace by census after each round, using Run's machinery via a manual
 	// loop to interleave the census records.
-	opts := []sim.Option{sim.WithSeed(cfg.Seed)}
-	if cfg.NewMatcher != nil {
-		opts = append(opts, sim.WithMatcher(cfg.NewMatcher()))
-	}
-	if cfg.Metrics != nil {
-		opts = append(opts, sim.WithMetrics(cfg.Metrics))
-	}
-	engine, err := sim.New(cfg.Env, agents, opts...)
+	engine, err := sim.New(cfg.Env, agents, engineOptions(cfg)...)
 	if err != nil {
 		return Result{}, fmt.Errorf("core: constructing engine: %w", err)
 	}

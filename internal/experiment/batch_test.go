@@ -1,0 +1,63 @@
+package experiment
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/gmrl/househunt/internal/algo"
+	"github.com/gmrl/househunt/internal/core"
+	"github.com/gmrl/househunt/internal/workload"
+)
+
+// TestMeasureConvergenceBatchMatchesScalar pins the config switch: a
+// measurement taken on the batch fast path must aggregate to exactly the same
+// ConvergencePoint as the scalar replicate loop, because per-replicate
+// executions are bit-identical.
+func TestMeasureConvergenceBatchMatchesScalar(t *testing.T) {
+	env, err := workload.Binary(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.RunConfig{N: 96, Env: env, MaxRounds: 4000}
+	const reps = 24
+
+	if !BatchEngineEnabled() {
+		t.Fatal("batch engine should be enabled by default")
+	}
+	batched, err := MeasureConvergence(algo.Simple{}, cfg, reps, "batch-equiv")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	SetBatchEngine(false)
+	defer SetBatchEngine(true)
+	scalar, err := MeasureConvergence(algo.Simple{}, cfg, reps, "batch-equiv")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !reflect.DeepEqual(batched, scalar) {
+		t.Fatalf("batch and scalar measurements diverge:\nbatch  %+v\nscalar %+v", batched, scalar)
+	}
+	if batched.Solved == 0 {
+		t.Fatal("measurement solved no replicates; the equivalence check is vacuous")
+	}
+}
+
+// TestMeasureConvergenceScalarFallback exercises the fallback branch with an
+// algorithm that has no compiled form; the batch switch must not change its
+// results either (it never engages).
+func TestMeasureConvergenceScalarFallback(t *testing.T) {
+	env, err := workload.Binary(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.RunConfig{N: 64, Env: env}
+	pt, err := MeasureConvergence(algo.Optimal{}, cfg, 8, "batch-fallback")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pt.Reps != 8 || pt.Solved == 0 {
+		t.Fatalf("fallback measurement implausible: %+v", pt)
+	}
+}

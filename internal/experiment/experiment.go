@@ -13,11 +13,26 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"github.com/gmrl/househunt/internal/core"
 	"github.com/gmrl/househunt/internal/stats"
 	"github.com/gmrl/househunt/internal/workload"
 )
+
+// batchDisabled gates the batch-engine fast path for replicate loops. The
+// batch engine is bit-identical to the scalar path for eligible
+// (algorithm, config) pairs (see core.RunBatch), so it is on by default and
+// every eligible measurement uses it automatically; SetBatchEngine(false)
+// forces the scalar path, which the before/after benchmarks and the
+// equivalence tests use.
+var batchDisabled atomic.Bool
+
+// SetBatchEngine toggles the batch-engine fast path (default enabled).
+func SetBatchEngine(enabled bool) { batchDisabled.Store(!enabled) }
+
+// BatchEngineEnabled reports whether the batch fast path is enabled.
+func BatchEngineEnabled() bool { return !batchDisabled.Load() }
 
 // ConvergencePoint aggregates repeated runs of one algorithm on one
 // environment and colony size.
@@ -47,38 +62,61 @@ func MeasureConvergence(algo core.Algorithm, cfg core.RunConfig, reps int, tag s
 	if reps <= 0 {
 		return ConvergencePoint{}, fmt.Errorf("experiment: reps must be positive, got %d", reps)
 	}
-	type repResult struct {
-		res core.Result
-		err error
+	seeds := make([]uint64, reps)
+	for rep := range seeds {
+		seeds[rep] = workload.SeedFor(tag, cfg.N, cfg.Env.K(), rep+1)
 	}
-	results := make([]repResult, reps)
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, maxParallelism())
-	for rep := 0; rep < reps; rep++ {
-		wg.Add(1)
-		go func(rep int) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			repCfg := cfg
-			repCfg.Seed = workload.SeedFor(tag, cfg.N, cfg.Env.K(), rep+1)
-			res, err := core.Run(algo, repCfg)
-			results[rep] = repResult{res: res, err: err}
-		}(rep)
+
+	var runs []core.Result
+	if BatchEngineEnabled() {
+		// Batch fast path: one struct-of-arrays sweep over all replicates.
+		// Ineligible (algo, cfg) pairs fall through to the scalar loop.
+		batched, ok, err := core.RunBatch(algo, cfg, seeds)
+		if err != nil {
+			return ConvergencePoint{}, fmt.Errorf("experiment: batch sweep: %w", err)
+		}
+		if ok {
+			runs = batched
+		}
 	}
-	wg.Wait()
+	if runs == nil {
+		type repResult struct {
+			res core.Result
+			err error
+		}
+		results := make([]repResult, reps)
+		var wg sync.WaitGroup
+		sem := make(chan struct{}, maxParallelism())
+		for rep := 0; rep < reps; rep++ {
+			wg.Add(1)
+			go func(rep int) {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				repCfg := cfg
+				repCfg.Seed = seeds[rep]
+				res, err := core.Run(algo, repCfg)
+				results[rep] = repResult{res: res, err: err}
+			}(rep)
+		}
+		wg.Wait()
+		runs = make([]core.Result, reps)
+		for rep, r := range results {
+			if r.err != nil {
+				return ConvergencePoint{}, fmt.Errorf("experiment: rep %d: %w", rep, r.err)
+			}
+			runs[rep] = r.res
+		}
+	}
 
 	point := ConvergencePoint{Algorithm: algo.Name(), N: cfg.N, K: cfg.Env.K(), Reps: reps}
 	rounds := make([]float64, 0, reps)
 	quality := make([]float64, 0, reps)
-	for rep, r := range results {
-		if r.err != nil {
-			return ConvergencePoint{}, fmt.Errorf("experiment: rep %d: %w", rep, r.err)
-		}
-		if r.res.Solved {
+	for _, res := range runs {
+		if res.Solved {
 			point.Solved++
-			rounds = append(rounds, float64(r.res.Rounds))
-			quality = append(quality, r.res.WinnerQuality)
+			rounds = append(rounds, float64(res.Rounds))
+			quality = append(quality, res.WinnerQuality)
 		}
 	}
 	point.SuccessRate = float64(point.Solved) / float64(reps)

@@ -92,12 +92,19 @@ func (s *Source) Uint64() uint64 {
 // it does NOT advance the parent stream, so the same parent can deterministically
 // derive any number of children (e.g. one per ant, keyed by ant index).
 func (s *Source) Split(index uint64) *Source {
+	var child Source
+	s.SplitInto(index, &child)
+	return &child
+}
+
+// SplitInto derives the same child stream as Split directly into dst,
+// avoiding the allocation; the batch engine uses it to re-seed thousands of
+// per-ant streams per replicate without garbage.
+func (s *Source) SplitInto(index uint64, dst *Source) {
 	// Mix the parent state with the index through splitmix64 so that children
 	// with adjacent indices are decorrelated.
 	mix := s.s0 ^ bits.RotateLeft64(s.s2, 19) ^ (index * 0xd1342543de82ef95)
-	var child Source
-	child.Reseed(mix)
-	return &child
+	dst.Reseed(mix)
 }
 
 // Int63 returns a non-negative 63-bit integer, mirroring math/rand.Source.

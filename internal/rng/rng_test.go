@@ -410,3 +410,23 @@ func BenchmarkPermInto1024(b *testing.B) {
 		s.PermInto(dst)
 	}
 }
+
+// TestSplitIntoMatchesSplit pins the allocation-free variant to Split: both
+// must derive the identical child stream, and SplitInto must not advance the
+// parent.
+func TestSplitIntoMatchesSplit(t *testing.T) {
+	t.Parallel()
+	parent := New(99)
+	before := parent.State()
+	for index := uint64(0); index < 50; index++ {
+		want := parent.Split(index)
+		var got Source
+		parent.SplitInto(index, &got)
+		if got.State() != want.State() {
+			t.Fatalf("index %d: SplitInto state %v != Split state %v", index, got.State(), want.State())
+		}
+	}
+	if parent.State() != before {
+		t.Fatal("SplitInto advanced the parent stream")
+	}
+}

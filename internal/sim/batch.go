@@ -1,0 +1,412 @@
+package sim
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"github.com/gmrl/househunt/internal/rng"
+)
+
+// Batch executes R replicate colonies of n ants each, all running one
+// compiled Program, as a struct-of-arrays sweep: per-ant state (PFSM state
+// id, register file, RNG stream, location) lives in flat slices rather than
+// heap-allocated agent objects, and a round resolves with plain switches over
+// opcodes — no interface dispatch, no map lookups and no per-round
+// allocations on the hot path. Replicates are fanned out across a worker
+// pool; each worker owns one lane of flat arrays and streams replicates
+// through it.
+//
+// The engine is bit-compatible with the scalar path: replicate r seeded with
+// seeds[r] produces round-for-round identical populations, commitments and
+// final results to an Engine running the same algorithm's scalar agents under
+// the same seed (tested against SimplePFSM in internal/algo). That holds
+// because the batch engine derives exactly the same RNG streams — envSrc =
+// root.Split(0), matchSrc = root.Split(1), ant i = root.Split(2).Split(i) —
+// and consumes them in the same order as Engine.Step: per-ant draws are
+// stream-disjoint from environment draws, so fusing the emit and move loops
+// preserves every sequence.
+//
+// A Batch is reusable and safe for concurrent Run calls; all mutable state
+// lives in per-worker lanes.
+type Batch struct {
+	env     Environment
+	prog    Program
+	n       int
+	workers int
+	probe   func(rep, round int, counts, committed []int)
+}
+
+// BatchResult reports one replicate of a Batch run, mirroring the fields the
+// scalar runner derives for core.Result.
+type BatchResult struct {
+	// Seed is the replicate's root seed.
+	Seed uint64
+	// Solved reports convergence within the round budget.
+	Solved bool
+	// Winner is the unanimously chosen nest (0 if unsolved).
+	Winner NestID
+	// WinnerQuality is q(Winner).
+	WinnerQuality float64
+	// Rounds is the round at which convergence was detected (the end of the
+	// stability window), or the budget if unsolved.
+	Rounds int
+	// Committed is the final commitment census (index 0 = uncommitted).
+	Committed []int
+}
+
+// BatchOption configures a Batch.
+type BatchOption func(*Batch)
+
+// WithBatchWorkers caps the worker pool; values < 1 select GOMAXPROCS.
+func WithBatchWorkers(w int) BatchOption {
+	return func(b *Batch) { b.workers = w }
+}
+
+// WithBatchProbe installs a per-round observer, called after each replicate
+// round with that round's end-of-round populations (index 0 = home) and
+// commitment census (index 0 = uncommitted). The slices are worker-owned
+// scratch, valid only during the call; the probe may be invoked concurrently
+// for different replicates. Probes exist for the golden equivalence tests.
+func WithBatchProbe(probe func(rep, round int, counts, committed []int)) BatchOption {
+	return func(b *Batch) { b.probe = probe }
+}
+
+// NewBatch builds a batch engine for n-ant colonies of prog in env.
+func NewBatch(env Environment, prog Program, n int, opts ...BatchOption) (*Batch, error) {
+	if env.K() == 0 {
+		return nil, fmt.Errorf("sim: batch needs a non-empty environment")
+	}
+	if n <= 0 {
+		return nil, fmt.Errorf("sim: batch needs a positive colony, got %d", n)
+	}
+	if err := prog.Validate(); err != nil {
+		return nil, err
+	}
+	b := &Batch{env: env, prog: prog, n: n}
+	for _, o := range opts {
+		o(b)
+	}
+	return b, nil
+}
+
+// N returns the colony size per replicate.
+func (b *Batch) N() int { return b.n }
+
+// K returns the number of candidate nests.
+func (b *Batch) K() int { return b.env.K() }
+
+// Run executes one replicate per seed and returns the results in seed order.
+// maxRounds bounds each replicate; window is the stability window in rounds
+// (values < 1 mean 1), both matching the scalar runner's semantics. The first
+// replicate error (a compiled program emitting an invalid call) aborts the
+// run.
+func (b *Batch) Run(seeds []uint64, maxRounds, window int) ([]BatchResult, error) {
+	if len(seeds) == 0 {
+		return nil, fmt.Errorf("sim: batch run needs at least one seed")
+	}
+	if maxRounds <= 0 {
+		return nil, fmt.Errorf("sim: batch run needs positive maxRounds, got %d", maxRounds)
+	}
+	if window < 1 {
+		window = 1
+	}
+	workers := b.workers
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(seeds) {
+		workers = len(seeds)
+	}
+
+	results := make([]BatchResult, len(seeds))
+	var next atomic.Int64
+	var firstErr atomic.Value
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ln := newLane(b)
+			for {
+				rep := int(next.Add(1)) - 1
+				if rep >= len(seeds) || firstErr.Load() != nil {
+					return
+				}
+				res, err := ln.runReplicate(rep, seeds[rep], maxRounds, window, b.probe)
+				if err != nil {
+					firstErr.CompareAndSwap(nil, fmt.Errorf("sim: batch replicate %d (seed %d): %w", rep, seeds[rep], err))
+					return
+				}
+				results[rep] = res
+			}
+		}()
+	}
+	wg.Wait()
+	if err := firstErr.Load(); err != nil {
+		return nil, err.(error)
+	}
+	return results, nil
+}
+
+// lane is one worker's flat-array state: a full colony's registers plus the
+// per-round scratch, reused across replicates.
+//
+// The current Program format has outcome-independent successors, so every
+// ant of a colony is always in the same state — the colony advances in
+// lockstep through phases. The lane exploits that: the opcode dispatch
+// happens once per round, the per-ant work runs in tight specialized loops,
+// and a recruit phase needs no recruiter/slot indirection because slot t is
+// ant t. When the opcode set grows outcome-dependent transitions, a per-ant
+// state column slots back in here.
+type lane struct {
+	prog Program
+	env  Environment
+	qual []float64 // quality by nest id (index 0 = home)
+	n, k int
+
+	envSrc, matchSrc rng.Source
+	antSrc           []rng.Source // one stream per ant, stored by value
+
+	// Register file (struct of arrays); the shared PFSM state lives in
+	// runReplicate's phase variable.
+	nest    []NestID
+	count   []int32
+	quality []float64
+
+	// Per-round scratch.
+	actNest    []NestID // the nest advertised by this round's search/recruit
+	counts     []int    // end-of-round population per nest
+	commit     []int    // commitment census, maintained incrementally
+	active     []bool   // recruit(1, ·) per ant
+	capturedBy []int
+	succeeded  []bool
+	matcher    AlgorithmOneMatcher
+}
+
+func newLane(b *Batch) *lane {
+	n, k := b.n, b.env.K()
+	qs := b.env.Qualities()
+	return &lane{
+		prog:       b.prog,
+		env:        b.env,
+		qual:       qs,
+		n:          n,
+		k:          k,
+		antSrc:     make([]rng.Source, n),
+		nest:       make([]NestID, n),
+		count:      make([]int32, n),
+		quality:    make([]float64, n),
+		actNest:    make([]NestID, n),
+		counts:     make([]int, k+1),
+		commit:     make([]int, k+1),
+		active:     make([]bool, n),
+		capturedBy: make([]int, n),
+		succeeded:  make([]bool, n),
+	}
+}
+
+// reset re-seeds the lane for a fresh replicate, deriving the same streams
+// the scalar stack does: the engine splits {0: environment, 1: matcher} and
+// the algorithm builder splits {2} then per-ant substreams.
+func (ln *lane) reset(seed uint64) {
+	root := rng.New(seed)
+	root.SplitInto(0, &ln.envSrc)
+	root.SplitInto(1, &ln.matchSrc)
+	var agents rng.Source
+	root.SplitInto(2, &agents)
+	for i := range ln.antSrc {
+		agents.SplitInto(uint64(i), &ln.antSrc[i])
+	}
+	for i := 0; i < ln.n; i++ {
+		ln.nest[i] = Home
+		ln.count[i] = 0
+		ln.quality[i] = 0
+	}
+	for i := range ln.commit {
+		ln.commit[i] = 0
+	}
+	ln.commit[Home] = ln.n
+}
+
+// runReplicate executes one colony to convergence or the round budget.
+func (ln *lane) runReplicate(rep int, seed uint64, maxRounds, window int, probe func(rep, round int, counts, committed []int)) (BatchResult, error) {
+	ln.reset(seed)
+	res := BatchResult{Seed: seed}
+	streak := 0
+	var winner NestID
+	phase := ln.prog.Init
+	for round := 1; round <= maxRounds; round++ {
+		next, err := ln.step(phase)
+		if err != nil {
+			return BatchResult{}, fmt.Errorf("round %d: %w", round, err)
+		}
+		phase = next
+		w, ok := ln.census()
+		if probe != nil {
+			probe(rep, round, ln.counts, ln.commit)
+		}
+		// Streak bookkeeping mirrors core.Run's until predicate exactly.
+		switch {
+		case !ok:
+			streak = 0
+		case streak == 0 || w == winner:
+			winner = w
+			streak++
+		default: // converged, but to a different nest than the streak's
+			winner = w
+			streak = 1
+		}
+		res.Rounds = round
+		if streak >= window {
+			break
+		}
+	}
+	res.Committed = append([]int(nil), ln.commit...)
+	if streak >= window {
+		res.Solved = true
+		res.Winner = winner
+		res.WinnerQuality = ln.qual[winner]
+	}
+	return res, nil
+}
+
+// step resolves one synchronous round for the lane's colony: emit + move,
+// recruitment matching, end-of-round counts, observe. It is the batch
+// counterpart of Engine.Step/resolve with the same randomness. phase is the
+// colony's shared PFSM state; the returned value is next round's phase.
+func (ln *lane) step(phase uint8) (uint8, error) {
+	n, k := ln.n, ln.k
+	st := ln.prog.States[phase]
+	nest := ln.nest
+	actNest := ln.actNest
+	counts := ln.counts
+
+	for i := range counts {
+		counts[i] = 0
+	}
+
+	// Emit and move, accumulating end-of-round populations as we go. Per-ant
+	// Bernoulli draws and envSrc search draws touch disjoint streams, so
+	// fusing the scalar engine's act/move phases preserves both sequences.
+	recruited := false
+	switch st.Emit {
+	case EmitSearch:
+		envSrc := &ln.envSrc
+		for i := range actNest {
+			dest := NestID(envSrc.Intn(k) + 1)
+			actNest[i] = dest
+			counts[dest]++
+		}
+	case EmitGotoNest:
+		for i := range nest {
+			dest := nest[i]
+			if dest < 1 || int(dest) > k {
+				return 0, fmt.Errorf("ant %d: go(%d): nest out of range 1..%d", i, dest, k)
+			}
+			counts[dest]++
+		}
+	case EmitRecruitPop:
+		recruited = true
+		nF := float64(n)
+		quality := ln.quality
+		count := ln.count
+		active := ln.active
+		for i := range nest {
+			b := false
+			if quality[i] > 0 {
+				b = ln.antSrc[i].Bernoulli(float64(count[i]) / nF)
+			}
+			active[i] = b
+			actNest[i] = nest[i]
+		}
+		counts[Home] = n
+
+		// Recruitment matching: the paper's Algorithm 1, via the same
+		// matcher implementation (and thus the same draw sequence) as the
+		// scalar engine. Every ant recruits, so slot t is ant t and no
+		// recruiter indirection exists; one concrete call per round costs
+		// nothing against the per-ant loops.
+		ln.matcher.Match(n, active, &ln.matchSrc, ln.capturedBy, ln.succeeded)
+	}
+
+	// Resolve outcome nests in place in actNest: a search outcome is the
+	// drawn destination (already there), a go outcome the committed nest,
+	// and a recruit outcome the capturer's advertised nest for captured
+	// ants. The in-place rewrite is safe because a capturer is never itself
+	// captured by another slot (Algorithm 1 blocks both directions), so its
+	// entry still holds its own advertised nest when read.
+	switch st.Emit {
+	case EmitGotoNest:
+		copy(actNest, nest)
+	case EmitRecruitPop:
+		capturedBy := ln.capturedBy
+		for i := range actNest {
+			if cb := capturedBy[i]; cb >= 0 && cb != i {
+				actNest[i] = actNest[cb]
+			}
+		}
+	}
+
+	// Observe: fold outcomes into the registers. Recruit outcomes carry no
+	// quality and report the home population (= n, everyone recruited); the
+	// commitment census updates incrementally on the rare nest-register
+	// writes instead of a full per-round recount.
+	commit := ln.commit
+	switch st.Observe {
+	case ObserveDiscovery:
+		count := ln.count
+		quality := ln.quality
+		for i := range nest {
+			outNest := actNest[i]
+			if outNest != nest[i] {
+				commit[nest[i]]--
+				commit[outNest]++
+				nest[i] = outNest
+			}
+			if recruited {
+				count[i] = int32(n)
+				quality[i] = 0
+			} else {
+				count[i] = int32(counts[outNest])
+				quality[i] = ln.qual[outNest]
+			}
+		}
+	case ObserveAdopt:
+		quality := ln.quality
+		for i := range nest {
+			if outNest := actNest[i]; outNest != nest[i] {
+				commit[nest[i]]--
+				commit[outNest]++
+				nest[i] = outNest
+				quality[i] = 1
+			}
+		}
+	case ObserveCount:
+		count := ln.count
+		if recruited {
+			for i := range count {
+				count[i] = int32(n)
+			}
+		} else {
+			for i := range count {
+				count[i] = int32(counts[actNest[i]])
+			}
+		}
+	}
+	return st.Next, nil
+}
+
+// census reports unanimous commitment to a good nest from the incrementally
+// maintained tally, mirroring core.TakeCensus + Census.Converged for agents
+// that expose commitment only (no Decided, no Faulty — compiled programs
+// model neither).
+func (ln *lane) census() (NestID, bool) {
+	for i := 1; i <= ln.k; i++ {
+		if ln.commit[i] == ln.n && ln.qual[i] > 0 {
+			return NestID(i), true
+		}
+	}
+	return Home, false
+}

@@ -1,0 +1,287 @@
+package sim
+
+import (
+	"sync"
+	"testing"
+
+	"github.com/gmrl/househunt/internal/rng"
+)
+
+// simpleProgram is the Algorithm 3 state table used by the batch tests: the
+// same three-state machine algo.SimplePFSM declares, lowered to opcodes.
+func simpleProgram() Program {
+	return Program{
+		Algorithm: "batch-test-simple",
+		Init:      0,
+		States: []ProgramState{
+			{Emit: EmitSearch, Observe: ObserveDiscovery, Next: 1},
+			{Emit: EmitRecruitPop, Observe: ObserveAdopt, Next: 2},
+			{Emit: EmitGotoNest, Observe: ObserveCount, Next: 1},
+		},
+	}
+}
+
+// scalarSimpleAnt mirrors the compiled program as a hand-written sim.Agent,
+// drawing randomness exactly as algo.SimpleAnt does. It is the in-package
+// oracle for the batch engine (the cross-package oracle against the real
+// algorithms lives in internal/algo).
+type scalarSimpleAnt struct {
+	n       int
+	src     *rng.Source
+	state   int
+	nest    NestID
+	count   int
+	quality float64
+}
+
+func (a *scalarSimpleAnt) Act(int) Action {
+	switch a.state {
+	case 0:
+		return Search()
+	case 1:
+		b := false
+		if a.quality > 0 {
+			b = a.src.Bernoulli(float64(a.count) / float64(a.n))
+		}
+		return Recruit(b, a.nest)
+	default:
+		return Goto(a.nest)
+	}
+}
+
+func (a *scalarSimpleAnt) Observe(_ int, out Outcome) {
+	switch a.state {
+	case 0:
+		a.nest, a.count, a.quality = out.Nest, out.Count, out.Quality
+		a.state = 1
+	case 1:
+		if out.Nest != a.nest {
+			a.nest = out.Nest
+			a.quality = 1
+		}
+		a.state = 2
+	default:
+		a.count = out.Count
+		a.state = 1
+	}
+}
+
+// buildScalarColony wires the scalar oracle colony with the exact stream
+// derivation the core runner uses: engine streams from the root seed, ant i
+// from root.Split(2).Split(i).
+func buildScalarColony(n int, seed uint64) []Agent {
+	agents := make([]Agent, n)
+	antRoot := rng.New(seed).Split(2)
+	for i := range agents {
+		agents[i] = &scalarSimpleAnt{n: n, src: antRoot.Split(uint64(i)), state: 0}
+	}
+	return agents
+}
+
+func TestProgramValidate(t *testing.T) {
+	t.Parallel()
+	if err := simpleProgram().Validate(); err != nil {
+		t.Fatalf("valid program rejected: %v", err)
+	}
+	cases := map[string]Program{
+		"empty":       {Algorithm: "x"},
+		"init range":  {Algorithm: "x", Init: 3, States: []ProgramState{{}}},
+		"next range":  {Algorithm: "x", States: []ProgramState{{Next: 9}}},
+		"bad emit":    {Algorithm: "x", States: []ProgramState{{Emit: 99}}},
+		"bad observe": {Algorithm: "x", States: []ProgramState{{Observe: 99}}},
+	}
+	for name, prog := range cases {
+		if err := prog.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted an invalid program", name)
+		}
+	}
+}
+
+func TestNewBatchRejectsBadInputs(t *testing.T) {
+	t.Parallel()
+	env := MustEnvironment([]float64{1, 0})
+	if _, err := NewBatch(Environment{}, simpleProgram(), 8); err == nil {
+		t.Error("empty environment accepted")
+	}
+	if _, err := NewBatch(env, simpleProgram(), 0); err == nil {
+		t.Error("zero colony accepted")
+	}
+	if _, err := NewBatch(env, Program{Algorithm: "x"}, 8); err == nil {
+		t.Error("invalid program accepted")
+	}
+	b, err := NewBatch(env, simpleProgram(), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Run(nil, 10, 1); err == nil {
+		t.Error("empty seed list accepted")
+	}
+	if _, err := b.Run([]uint64{1}, 0, 1); err == nil {
+		t.Error("non-positive round budget accepted")
+	}
+}
+
+// TestBatchMatchesScalarRoundForRound is the engine-level golden equivalence
+// check: for equal seeds, every round's populations and commitment census
+// must be identical between the batch engine and a scalar Engine running the
+// equivalent agents.
+func TestBatchMatchesScalarRoundForRound(t *testing.T) {
+	t.Parallel()
+	const (
+		n         = 96
+		maxRounds = 300
+	)
+	env := MustEnvironment([]float64{1, 0, 1, 0, 0})
+	seeds := []uint64{1, 7, 42, 2015, 0xdeadbeef}
+
+	type roundRec struct {
+		counts []int
+		commit []int
+	}
+	// Scalar reference: step an Engine manually, recording per-round state.
+	scalar := make([][]roundRec, len(seeds))
+	for si, seed := range seeds {
+		agents := buildScalarColony(n, seed)
+		eng, err := New(env, agents, WithSeed(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for r := 0; r < maxRounds; r++ {
+			if err := eng.Step(); err != nil {
+				t.Fatalf("seed %d: scalar step: %v", seed, err)
+			}
+			commit := make([]int, env.K()+1)
+			for _, a := range agents {
+				commit[a.(*scalarSimpleAnt).nest]++
+			}
+			scalar[si] = append(scalar[si], roundRec{counts: eng.Counts(), commit: commit})
+		}
+	}
+
+	var mu sync.Mutex
+	batchRecs := make([][]roundRec, len(seeds))
+	probe := func(rep, round int, counts, committed []int) {
+		rec := roundRec{
+			counts: append([]int(nil), counts...),
+			commit: append([]int(nil), committed...),
+		}
+		mu.Lock()
+		batchRecs[rep] = append(batchRecs[rep], rec)
+		mu.Unlock()
+	}
+	b, err := NewBatch(env, simpleProgram(), n, WithBatchProbe(probe))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A window larger than the budget keeps every replicate running all
+	// maxRounds rounds so the trace lengths line up with the scalar loop.
+	if _, err := b.Run(seeds, maxRounds, maxRounds+1); err != nil {
+		t.Fatal(err)
+	}
+
+	for si, seed := range seeds {
+		if got, want := len(batchRecs[si]), len(scalar[si]); got != want {
+			t.Fatalf("seed %d: batch ran %d rounds, scalar %d", seed, got, want)
+		}
+		for r := range scalar[si] {
+			if !equalInts(batchRecs[si][r].counts, scalar[si][r].counts) {
+				t.Fatalf("seed %d round %d: populations diverge: batch %v scalar %v",
+					seed, r+1, batchRecs[si][r].counts, scalar[si][r].counts)
+			}
+			if !equalInts(batchRecs[si][r].commit, scalar[si][r].commit) {
+				t.Fatalf("seed %d round %d: commitments diverge: batch %v scalar %v",
+					seed, r+1, batchRecs[si][r].commit, scalar[si][r].commit)
+			}
+		}
+	}
+}
+
+// TestBatchSolvesAndReportsCensus checks the result bookkeeping: solved
+// replicates report a good winner, a full census and a plausible round count.
+func TestBatchSolvesAndReportsCensus(t *testing.T) {
+	t.Parallel()
+	const n = 128
+	env := MustEnvironment([]float64{1, 1, 0, 0})
+	b, err := NewBatch(env, simpleProgram(), n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seeds := make([]uint64, 16)
+	for i := range seeds {
+		seeds[i] = uint64(i + 1)
+	}
+	results, err := b.Run(seeds, 4000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, res := range results {
+		if res.Seed != seeds[i] {
+			t.Fatalf("replicate %d: seed %d out of order", i, res.Seed)
+		}
+		if !res.Solved {
+			t.Fatalf("replicate %d (seed %d) failed to converge in 4000 rounds", i, res.Seed)
+		}
+		if !env.Good(res.Winner) {
+			t.Fatalf("replicate %d: winner %d is not a good nest", i, res.Winner)
+		}
+		if res.WinnerQuality != env.Quality(res.Winner) {
+			t.Fatalf("replicate %d: winner quality %v != q(%d)", i, res.WinnerQuality, res.Winner)
+		}
+		total := 0
+		for _, c := range res.Committed {
+			total += c
+		}
+		if total != n || res.Committed[res.Winner] != n {
+			t.Fatalf("replicate %d: census %v does not show unanimity of %d ants", i, res.Committed, n)
+		}
+		if res.Rounds < 1 || res.Rounds > 4000 {
+			t.Fatalf("replicate %d: implausible round count %d", i, res.Rounds)
+		}
+	}
+
+	// Determinism: a second run (single worker) reproduces the first exactly.
+	b2, err := NewBatch(env, simpleProgram(), n, WithBatchWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := b2.Run(seeds, 4000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range results {
+		if results[i].Rounds != again[i].Rounds || results[i].Winner != again[i].Winner {
+			t.Fatalf("replicate %d not deterministic across worker counts: %+v vs %+v", i, results[i], again[i])
+		}
+	}
+}
+
+// TestBatchReportsProgramErrors ensures a program that emits an invalid call
+// surfaces a clean error instead of corrupting memory.
+func TestBatchReportsProgramErrors(t *testing.T) {
+	t.Parallel()
+	env := MustEnvironment([]float64{1})
+	// go(nest) in the initial state dereferences the zero nest register.
+	prog := Program{
+		Algorithm: "broken",
+		States:    []ProgramState{{Emit: EmitGotoNest, Observe: ObserveCount, Next: 0}},
+	}
+	b, err := NewBatch(env, prog, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Run([]uint64{1}, 10, 1); err == nil {
+		t.Fatal("expected an error from go on the zero nest register")
+	}
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

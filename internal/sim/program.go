@@ -1,0 +1,95 @@
+package sim
+
+import "fmt"
+
+// Program is a compiled probabilistic finite state machine: the declarative
+// agent.Spec tables of internal/agent lowered to a dense opcode form that the
+// batch engine (see Batch) can execute over flat state arrays with no
+// interface dispatch, no map lookups and no per-ant heap objects.
+//
+// A Program state pairs one emit opcode (which environment call to make) with
+// one observe opcode (how to fold the call's outcome into the register file)
+// and a successor state. The register file is the paper's: a committed nest,
+// a remembered count and a perceived quality — exactly the cells of
+// agent.Registers that the currently compilable algorithms touch.
+//
+// The opcode set intentionally covers only what the compiled algorithms need
+// today (Algorithm 3 / simple-pfsm); growing it as more algorithms gain state
+// tables is a ROADMAP item. An algorithm advertises its compiled form by
+// implementing the core package's BatchCompilable interface.
+type Program struct {
+	// Algorithm is the source algorithm's name, carried into results.
+	Algorithm string
+	// Init is the index of the initial state.
+	Init uint8
+	// States is the dense state table; successor indices refer into it.
+	States []ProgramState
+}
+
+// ProgramState is one compiled PFSM state.
+type ProgramState struct {
+	// Emit selects the environment call made while in this state.
+	Emit EmitOp
+	// Observe selects how the outcome updates the registers.
+	Observe ObserveOp
+	// Next is the state entered after Observe runs.
+	Next uint8
+}
+
+// EmitOp enumerates the compiled emit behaviours.
+type EmitOp uint8
+
+const (
+	// EmitSearch performs search().
+	EmitSearch EmitOp = iota
+	// EmitGotoNest performs go(nest) on the committed nest register.
+	EmitGotoNest
+	// EmitRecruitPop performs recruit(b, nest) with b drawn as
+	// Bernoulli(count/n) when the quality register is positive and b = 0
+	// otherwise — Algorithm 3's population-proportional recruitment. The
+	// Bernoulli draw consumes ant randomness exactly as the scalar
+	// SimpleAnt/SimplePFSM do (no draw when count/n <= 0), which is what
+	// keeps batch and scalar executions bit-identical.
+	EmitRecruitPop
+)
+
+// ObserveOp enumerates the compiled observe behaviours.
+type ObserveOp uint8
+
+const (
+	// ObserveDiscovery loads nest, count and quality from the outcome — the
+	// pattern after search().
+	ObserveDiscovery ObserveOp = iota
+	// ObserveAdopt adopts the recruiter's nest when the outcome's nest
+	// differs from the committed one, setting quality to 1 (a captured ant
+	// trusts its recruiter) — the pattern after recruit().
+	ObserveAdopt
+	// ObserveCount loads only the count register — the pattern after go().
+	ObserveCount
+)
+
+// Validate checks structural soundness: a non-empty table, an in-range
+// initial state, in-range successors and known opcodes.
+func (p Program) Validate() error {
+	if len(p.States) == 0 {
+		return fmt.Errorf("sim: program %q has no states", p.Algorithm)
+	}
+	if len(p.States) > 256 {
+		return fmt.Errorf("sim: program %q has %d states; state ids are 8-bit", p.Algorithm, len(p.States))
+	}
+	if int(p.Init) >= len(p.States) {
+		return fmt.Errorf("sim: program %q initial state %d out of range", p.Algorithm, p.Init)
+	}
+	for i, st := range p.States {
+		if st.Emit > EmitRecruitPop {
+			return fmt.Errorf("sim: program %q state %d: unknown emit opcode %d", p.Algorithm, i, st.Emit)
+		}
+		if st.Observe > ObserveCount {
+			return fmt.Errorf("sim: program %q state %d: unknown observe opcode %d", p.Algorithm, i, st.Observe)
+		}
+		if int(st.Next) >= len(p.States) {
+			return fmt.Errorf("sim: program %q state %d: successor %d out of range", p.Algorithm, i, st.Next)
+		}
+	}
+	return nil
+}
