@@ -186,12 +186,13 @@ func itoa(v int) string {
 	return string(buf[i:])
 }
 
-// benchReplicateSweep measures a full replicate sweep (Algorithm 3, n=1024,
-// k=4, R=32 colonies to convergence) through experiment.MeasureConvergence on
-// the selected engine. The scalar and batch variants execute bit-identical
-// replicates, so the pair is a before/after comparison of the batch engine;
-// the acceptance floor is a 3x throughput gain for the batch path.
-func benchReplicateSweep(b *testing.B, batch bool) {
+// benchReplicateSweep measures a full replicate sweep (n=1024, k=4, R=32
+// colonies to convergence) through experiment.MeasureConvergence on the
+// selected algorithm and engine. The scalar and batch variants execute
+// bit-identical replicates, so each pair is a before/after comparison of the
+// batch engine; the acceptance floors are a 3x throughput gain for Algorithm 3
+// (lockstep path) and 1.5x for Algorithm 2 (per-ant state column path).
+func benchReplicateSweep(b *testing.B, a core.Algorithm, batch bool) {
 	b.Helper()
 	const (
 		n    = 1024
@@ -209,7 +210,7 @@ func benchReplicateSweep(b *testing.B, batch bool) {
 	b.ResetTimer()
 	totalRounds := 0.0
 	for i := 0; i < b.N; i++ {
-		pt, err := experiment.MeasureConvergence(algo.Simple{}, cfg, reps, "bench-sweep")
+		pt, err := experiment.MeasureConvergence(a, cfg, reps, "bench-sweep")
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -221,11 +222,23 @@ func benchReplicateSweep(b *testing.B, batch bool) {
 	b.ReportMetric(totalRounds*n/b.Elapsed().Seconds(), "ant-steps/s")
 }
 
-// BenchmarkReplicateSweepScalar is the scalar agent path baseline.
-func BenchmarkReplicateSweepScalar(b *testing.B) { benchReplicateSweep(b, false) }
+// BenchmarkReplicateSweepScalar is the Algorithm 3 scalar agent path baseline.
+func BenchmarkReplicateSweepScalar(b *testing.B) { benchReplicateSweep(b, algo.Simple{}, false) }
 
-// BenchmarkReplicateSweepBatch is the struct-of-arrays batch engine path.
-func BenchmarkReplicateSweepBatch(b *testing.B) { benchReplicateSweep(b, true) }
+// BenchmarkReplicateSweepBatch is the Algorithm 3 batch engine path (lockstep
+// shared-phase kernels).
+func BenchmarkReplicateSweepBatch(b *testing.B) { benchReplicateSweep(b, algo.Simple{}, true) }
+
+// BenchmarkReplicateSweepScalarOptimal is the Algorithm 2 scalar baseline.
+func BenchmarkReplicateSweepScalarOptimal(b *testing.B) {
+	benchReplicateSweep(b, algo.Optimal{}, false)
+}
+
+// BenchmarkReplicateSweepBatchOptimal is the Algorithm 2 batch engine path
+// (per-ant state column with outcome-dependent transitions).
+func BenchmarkReplicateSweepBatchOptimal(b *testing.B) {
+	benchReplicateSweep(b, algo.Optimal{}, true)
+}
 
 // BenchmarkEngineRoundConcurrent measures the goroutine-per-ant mode's round
 // latency (including the two barrier crossings).

@@ -8,9 +8,11 @@
 //	hhbench -exp all -scale full
 //	hhbench -engine scalar -exp E9   (force the scalar replicate loop)
 //	hhbench -batchbench              (batch vs scalar throughput comparison)
+//	hhbench -batchbench -json        (machine-readable BENCH records)
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -40,6 +42,7 @@ func run(args []string, out io.Writer) error {
 		list       = fs.Bool("list", false, "list experiment ids and exit")
 		engine     = fs.String("engine", "auto", "replicate engine: auto (batch where eligible) or scalar")
 		batchbench = fs.Bool("batchbench", false, "run the batch vs scalar replicate-sweep throughput comparison and exit")
+		jsonOut    = fs.Bool("json", false, "with -batchbench, write machine-readable BENCH records instead of text")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -54,8 +57,11 @@ func run(args []string, out io.Writer) error {
 		return fmt.Errorf("unknown engine %q (want auto or scalar)", *engine)
 	}
 
+	if *jsonOut && !*batchbench {
+		return fmt.Errorf("-json requires -batchbench")
+	}
 	if *batchbench {
-		return runBatchBench(out)
+		return runBatchBench(out, defaultBatchBench(*jsonOut))
 	}
 
 	if *list {
@@ -99,39 +105,63 @@ func run(args []string, out io.Writer) error {
 	return nil
 }
 
-// runBatchBench times the same replicate sweep (Algorithm 3, n=1024, k=4,
-// R=32 colonies) on the scalar agent path and on the batch struct-of-arrays
-// engine, reporting ant-step throughput and the speedup. Both paths execute
-// bit-identical replicates, so the comparison is apples to apples.
-func runBatchBench(out io.Writer) error {
-	const (
-		n         = 1024
-		k         = 4
-		good      = 2
-		reps      = 32
-		maxRounds = 4000
-		minTime   = time.Second
-	)
-	env, err := workload.Binary(k, good)
+// batchBenchConfig sizes the batch-vs-scalar comparison; the test shrinks it
+// so the JSON record path stays exercisable in unit-test time.
+type batchBenchConfig struct {
+	n, k, good, reps, maxRounds int
+	minTime                     time.Duration
+	json                        bool
+}
+
+// defaultBatchBench is the published benchmark point: n=1024, k=4, R=32
+// replicate colonies, at least a second of measurement per engine.
+func defaultBatchBench(jsonOut bool) batchBenchConfig {
+	return batchBenchConfig{n: 1024, k: 4, good: 2, reps: 32, maxRounds: 4000, minTime: time.Second, json: jsonOut}
+}
+
+// benchRecord is the machine-readable BENCH line -batchbench -json emits, one
+// per (algorithm, engine) cell; the batch cells carry the speedup over their
+// scalar baseline. The record tracks the perf trajectory across PRs.
+type benchRecord struct {
+	Type           string  `json:"type"` // always "BENCH"
+	Engine         string  `json:"engine"`
+	Algorithm      string  `json:"algorithm"`
+	N              int     `json:"n"`
+	K              int     `json:"k"`
+	Reps           int     `json:"reps"`
+	MsPerSweep     float64 `json:"ms_per_sweep"`
+	AntStepsPerSec float64 `json:"ant_steps_per_sec"`
+	Speedup        float64 `json:"speedup,omitempty"`
+}
+
+// runBatchBench times the same replicate sweep (R colonies of n ants to
+// convergence) on the scalar agent path and on the batch struct-of-arrays
+// engine, for both compiled algorithms — Algorithm 3 (simple, lockstep path)
+// and Algorithm 2 (optimal, per-ant state column path) — reporting ant-step
+// throughput and the batch/scalar speedup. Both paths execute bit-identical
+// replicates, so the comparison is apples to apples.
+func runBatchBench(out io.Writer, bb batchBenchConfig) error {
+	env, err := workload.Binary(bb.k, bb.good)
 	if err != nil {
 		return err
 	}
-	cfg := core.RunConfig{N: n, Env: env, MaxRounds: maxRounds}
+	cfg := core.RunConfig{N: bb.n, Env: env, MaxRounds: bb.maxRounds}
+	enc := json.NewEncoder(out)
 
-	sweep := func() (totalRounds int, err error) {
-		pt, err := experiment.MeasureConvergence(algo.Simple{}, cfg, reps, "batchbench")
+	sweep := func(a core.Algorithm) (totalRounds int, err error) {
+		pt, err := experiment.MeasureConvergence(a, cfg, bb.reps, "batchbench")
 		if err != nil {
 			return 0, err
 		}
 		// Ant-steps executed: every solved replicate ran its recorded rounds,
 		// every unsolved one the full budget.
 		solvedRounds := int(pt.Rounds.Mean*float64(pt.Solved) + 0.5)
-		return solvedRounds + (reps-pt.Solved)*maxRounds, nil
+		return solvedRounds + (bb.reps-pt.Solved)*bb.maxRounds, nil
 	}
 
-	measure := func(label string, batch bool) (float64, error) {
+	measure := func(a core.Algorithm, engine string, batch bool, speedupOver float64) (float64, error) {
 		experiment.SetBatchEngine(batch)
-		if _, err := sweep(); err != nil { // warm-up
+		if _, err := sweep(a); err != nil { // warm-up
 			return 0, err
 		}
 		var (
@@ -139,9 +169,9 @@ func runBatchBench(out io.Writer) error {
 			rounds  int
 			iters   int
 		)
-		for elapsed < minTime {
+		for elapsed < bb.minTime || iters == 0 {
 			start := time.Now()
-			r, err := sweep()
+			r, err := sweep(a)
 			if err != nil {
 				return 0, err
 			}
@@ -149,23 +179,43 @@ func runBatchBench(out io.Writer) error {
 			rounds += r
 			iters++
 		}
-		perSweep := elapsed / time.Duration(iters)
-		steps := float64(rounds) * n / elapsed.Seconds()
-		fmt.Fprintf(out, "%-7s %3d sweep(s) of %d x n=%d k=%d: %8.1f ms/sweep, %11.0f ant-steps/s\n",
-			label, iters, reps, n, k, perSweep.Seconds()*1e3, steps)
+		perSweepMs := (elapsed / time.Duration(iters)).Seconds() * 1e3
+		steps := float64(rounds) * float64(bb.n) / elapsed.Seconds()
+		if bb.json {
+			rec := benchRecord{
+				Type: "BENCH", Engine: engine, Algorithm: a.Name(),
+				N: bb.n, K: bb.k, Reps: bb.reps,
+				MsPerSweep: perSweepMs, AntStepsPerSec: steps,
+			}
+			if speedupOver > 0 {
+				rec.Speedup = steps / speedupOver
+			}
+			if err := enc.Encode(rec); err != nil {
+				return 0, err
+			}
+		} else {
+			fmt.Fprintf(out, "%-8s %-7s %3d sweep(s) of %d x n=%d k=%d: %8.1f ms/sweep, %11.0f ant-steps/s\n",
+				a.Name(), engine, iters, bb.reps, bb.n, bb.k, perSweepMs, steps)
+		}
 		return steps, nil
 	}
 
-	fmt.Fprintf(out, "replicate-sweep throughput, scalar agents vs batch engine\n\n")
-	scalar, err := measure("scalar", false)
-	if err != nil {
-		return err
+	if !bb.json {
+		fmt.Fprintf(out, "replicate-sweep throughput, scalar agents vs batch engine\n\n")
 	}
-	batch, err := measure("batch", true)
-	if err != nil {
-		return err
+	defer experiment.SetBatchEngine(true)
+	for _, a := range []core.Algorithm{algo.Simple{}, algo.Optimal{}} {
+		scalar, err := measure(a, "scalar", false, 0)
+		if err != nil {
+			return err
+		}
+		batch, err := measure(a, "batch", true, scalar)
+		if err != nil {
+			return err
+		}
+		if !bb.json {
+			fmt.Fprintf(out, "\n%s speedup: %.2fx\n\n", a.Name(), batch/scalar)
+		}
 	}
-	experiment.SetBatchEngine(true)
-	fmt.Fprintf(out, "\nspeedup: %.2fx\n", batch/scalar)
 	return nil
 }

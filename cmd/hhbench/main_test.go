@@ -2,8 +2,10 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"strings"
 	"testing"
+	"time"
 )
 
 func TestRunList(t *testing.T) {
@@ -43,6 +45,59 @@ func TestRunRejectsBadFlags(t *testing.T) {
 	}
 	if err := run([]string{"-engine", "warp"}, &out); err == nil {
 		t.Fatal("unknown engine accepted")
+	}
+	if err := run([]string{"-json"}, &out); err == nil {
+		t.Fatal("-json without -batchbench accepted")
+	}
+}
+
+// TestBatchBenchJSONRecords runs a shrunken batch benchmark and checks the
+// machine-readable BENCH records: one per (algorithm, engine) cell, with the
+// batch cells carrying a positive speedup. The published sizing is exercised
+// by hand via `hhbench -batchbench`; this pins the record schema.
+func TestBatchBenchJSONRecords(t *testing.T) {
+	var out bytes.Buffer
+	bb := batchBenchConfig{n: 64, k: 4, good: 2, reps: 4, maxRounds: 2000, minTime: time.Millisecond, json: true}
+	if err := runBatchBench(&out, bb); err != nil {
+		t.Fatal(err)
+	}
+	dec := json.NewDecoder(&out)
+	var recs []benchRecord
+	for dec.More() {
+		var rec benchRecord
+		if err := dec.Decode(&rec); err != nil {
+			t.Fatal(err)
+		}
+		recs = append(recs, rec)
+	}
+	if len(recs) != 4 {
+		t.Fatalf("got %d BENCH records, want 4:\n%+v", len(recs), recs)
+	}
+	wantCells := []struct{ algorithm, engine string }{
+		{"simple", "scalar"}, {"simple", "batch"},
+		{"optimal", "scalar"}, {"optimal", "batch"},
+	}
+	for i, rec := range recs {
+		if rec.Type != "BENCH" {
+			t.Errorf("record %d: type %q, want BENCH", i, rec.Type)
+		}
+		if rec.Algorithm != wantCells[i].algorithm || rec.Engine != wantCells[i].engine {
+			t.Errorf("record %d: cell %s/%s, want %s/%s",
+				i, rec.Algorithm, rec.Engine, wantCells[i].algorithm, wantCells[i].engine)
+		}
+		if rec.N != bb.n || rec.K != bb.k || rec.Reps != bb.reps {
+			t.Errorf("record %d: sizing %+v does not match config", i, rec)
+		}
+		if rec.AntStepsPerSec <= 0 || rec.MsPerSweep <= 0 {
+			t.Errorf("record %d: non-positive throughput: %+v", i, rec)
+		}
+		isBatch := rec.Engine == "batch"
+		if isBatch && rec.Speedup <= 0 {
+			t.Errorf("record %d: batch cell missing speedup: %+v", i, rec)
+		}
+		if !isBatch && rec.Speedup != 0 {
+			t.Errorf("record %d: scalar cell carries a speedup: %+v", i, rec)
+		}
 	}
 }
 

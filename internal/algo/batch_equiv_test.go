@@ -85,10 +85,103 @@ func TestBatchGoldenEquivalence(t *testing.T) {
 	}
 }
 
-// TestRunBatchMatchesRunResults checks the runner-level contract: for both
-// compilable algorithms, core.RunBatch must return exactly the Results that
+// TestOptimalBatchGoldenEquivalence is the Algorithm 2 tentpole
+// cross-validation: across a seeds × n × k × {rebaseline, literal} grid, the
+// batch engine's general (per-ant state column) path must produce
+// round-for-round identical populations and commitment censuses to sim.Engine
+// running the scalar OptimalAnt colony. The literal variant's cells include
+// deadlocking executions, which must reproduce bit-identically too.
+func TestOptimalBatchGoldenEquivalence(t *testing.T) {
+	t.Parallel()
+	const maxRounds = 160
+	variants := []Optimal{{}, {Literal: true}}
+	ns := []int{32, 96}
+	envs := []sim.Environment{
+		sim.MustEnvironment([]float64{1, 0}),
+		sim.MustEnvironment([]float64{1, 0, 1, 0}),
+		sim.MustEnvironment([]float64{0, 1, 1, 0, 0}),
+	}
+	seeds := []uint64{1, 7, 42, 2015}
+
+	type roundRec struct {
+		counts []int
+		commit []int
+	}
+	for _, variant := range variants {
+		for _, n := range ns {
+			for _, env := range envs {
+				scalar := make([][]roundRec, len(seeds))
+				for si, seed := range seeds {
+					agents, err := variant.Build(n, env, testSrc(seed).Split(2))
+					if err != nil {
+						t.Fatal(err)
+					}
+					eng, err := sim.New(env, agents, sim.WithSeed(seed))
+					if err != nil {
+						t.Fatal(err)
+					}
+					for r := 0; r < maxRounds; r++ {
+						if err := eng.Step(); err != nil {
+							t.Fatalf("%s n=%d k=%d seed %d: scalar step: %v", variant.Name(), n, env.K(), seed, err)
+						}
+						scalar[si] = append(scalar[si], roundRec{
+							counts: eng.Counts(),
+							commit: core.TakeCensus(agents, env.K()).Committed,
+						})
+					}
+				}
+
+				prog, ok := variant.CompileBatch(n, env)
+				if !ok {
+					t.Fatalf("%s did not compile", variant.Name())
+				}
+				if prog.Lockstep() {
+					t.Fatalf("%s compiled to a lockstep program; the general path is untested", variant.Name())
+				}
+				var mu sync.Mutex
+				batchRecs := make([][]roundRec, len(seeds))
+				b, err := sim.NewBatch(env, prog, n, sim.WithBatchProbe(func(rep, round int, counts, committed []int) {
+					rec := roundRec{
+						counts: append([]int(nil), counts...),
+						commit: append([]int(nil), committed...),
+					}
+					mu.Lock()
+					batchRecs[rep] = append(batchRecs[rep], rec)
+					mu.Unlock()
+				}))
+				if err != nil {
+					t.Fatal(err)
+				}
+				// A window larger than the budget keeps every replicate
+				// running all maxRounds rounds so traces line up.
+				if _, err := b.Run(seeds, maxRounds, maxRounds+1); err != nil {
+					t.Fatal(err)
+				}
+
+				for si, seed := range seeds {
+					if len(batchRecs[si]) != len(scalar[si]) {
+						t.Fatalf("%s n=%d k=%d seed %d: batch ran %d rounds, scalar %d",
+							variant.Name(), n, env.K(), seed, len(batchRecs[si]), len(scalar[si]))
+					}
+					for r := range scalar[si] {
+						if !reflect.DeepEqual(batchRecs[si][r], scalar[si][r]) {
+							t.Fatalf("%s n=%d k=%d seed %d round %d diverged:\nbatch  counts=%v commit=%v\nscalar counts=%v commit=%v",
+								variant.Name(), n, env.K(), seed, r+1,
+								batchRecs[si][r].counts, batchRecs[si][r].commit,
+								scalar[si][r].counts, scalar[si][r].commit)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestRunBatchMatchesRunResults checks the runner-level contract: for every
+// compilable algorithm, core.RunBatch must return exactly the Results that
 // per-seed core.Run produces — same solved flags, winners, round counts and
-// final censuses — across environments with mixed nest qualities.
+// final censuses (including the decided count Algorithm 2 exposes) — across
+// environments with mixed nest qualities.
 func TestRunBatchMatchesRunResults(t *testing.T) {
 	t.Parallel()
 	envs := []sim.Environment{
@@ -96,7 +189,7 @@ func TestRunBatchMatchesRunResults(t *testing.T) {
 		sim.MustEnvironment([]float64{1}),
 		sim.MustEnvironment([]float64{0, 0, 1}),
 	}
-	algos := []core.Algorithm{Simple{}, SimplePFSM{}}
+	algos := []core.Algorithm{Simple{}, SimplePFSM{}, Optimal{}, Optimal{Literal: true}}
 	seeds := []uint64{3, 11, 99, 1234, 87251}
 	for _, env := range envs {
 		for _, a := range algos {
@@ -161,10 +254,10 @@ func TestRunBatchFallsBackForScalarOnlyConfigs(t *testing.T) {
 		}
 	}
 	// Non-compilable algorithms decline too.
-	if _, ok := core.CompileForBatch(Optimal{}, base); ok {
-		t.Error("Optimal has no compiled form yet and must fall back")
+	if _, ok := core.CompileForBatch(Adaptive{}, base); ok {
+		t.Error("Adaptive has no compiled form yet and must fall back")
 	}
-	if _, ok, err := core.RunBatch(Optimal{}, base, []uint64{1}); ok || err != nil {
+	if _, ok, err := core.RunBatch(Adaptive{}, base, []uint64{1}); ok || err != nil {
 		t.Errorf("RunBatch on a non-compilable algorithm: ok=%v err=%v, want fallback", ok, err)
 	}
 }

@@ -47,3 +47,80 @@ func (a Simple) CompileBatch(n int, env sim.Environment) (sim.Program, bool) {
 	}
 	return simpleBatchProgram(a.Name()), true
 }
+
+// State indices of the compiled Algorithm 2 table. The layout mirrors the
+// pseudocode's structure: the global search round, the active 4-round
+// subroutine with its three R2 cases as separate state chains, the passive
+// subroutine with a separate pending chain for captured ants, and the
+// absorbing final recruit loop. The scalar OptimalAnt's branch register is
+// the choice of chain, its pending flag is the P_R3P/P_R4P chain, and its
+// phase-boundary next-state latch is each chain's last transition — the
+// outcome-dependent successors encode all three, so the lane needs no columns
+// for them. Every chain from a block entry (A_R1 or P_R1) back to a block
+// entry or to F is exactly four states long, which keeps all non-final ants
+// aligned on the pseudocode's R1..R4 positions without any round arithmetic.
+const (
+	optS0     = iota // round 1: global search
+	optAR1           // active R1: recruit(1, nest), learn nest_t     (line 23)
+	optAR2           // active R2: go(nest_t), three-way compare      (lines 24-38)
+	optAR3C1         // case 1 R3: go(nest)                           (line 28)
+	optAR4C1         // case 1 R4: recruit(0, nest), final check      (lines 29-31)
+	optAR3C2         // case 2 R3: recruit(0, nest)                   (line 35)
+	optAR4C2         // case 2 R4: go(nest), latch passive            (line 36)
+	optAR3C3         // case 3 R3: go(nest), population check         (lines 39-41)
+	optAR4C3         // case 3 R4: go(nest), stay active              (line 42)
+	optAR4C3P        // case 3 R4: go(nest), latch passive            (line 42)
+	optPR1           // passive R1: go(nest)                          (line 13)
+	optPR2           // passive R2: recruit(0, nest), maybe adopt     (lines 14-17)
+	optPR3           // passive R3: go(nest)                          (line 18)
+	optPR4           // passive R4: go(nest)                          (line 19)
+	optPR3P          // pending R3: go(nest)                          (line 18)
+	optPR4P          // pending R4: go(nest), latch final             (line 19)
+	optF             // final: recruit(1, nest) forever               (line 21)
+)
+
+// optimalBatchProgram is Algorithm 2's compiled state table. literal selects
+// the pseudocode-literal Case 3 count handling (stale baseline) over the
+// analysis-consistent re-baselining, matching OptimalAnt's Literal knob; the
+// two variants differ in exactly one observe opcode.
+func optimalBatchProgram(name string, literal bool) sim.Program {
+	recount := sim.ObserveRecountRebase
+	if literal {
+		recount = sim.ObserveRecountLiteral
+	}
+	return sim.Program{
+		Algorithm: name,
+		Init:      optS0,
+		States: []sim.ProgramState{
+			optS0:     {Emit: sim.EmitSearch, Observe: sim.ObserveDiscoverBranch, Next: optAR1, NextB: optPR1},
+			optAR1:    {Emit: sim.EmitRecruitBit, Arg: 1, Observe: sim.ObserveRecruitNest, Next: optAR2},
+			optAR2:    {Emit: sim.EmitGotoScratch, Observe: sim.ObserveCompareR2, Next: optAR3C1, NextB: optAR3C2, NextC: optAR3C3},
+			optAR3C1:  {Emit: sim.EmitGotoNest, Observe: sim.ObserveNone, Next: optAR4C1},
+			optAR4C1:  {Emit: sim.EmitRecruitBit, Arg: 0, Observe: sim.ObserveFinalEq, Next: optAR1, NextB: optF},
+			optAR3C2:  {Emit: sim.EmitRecruitBit, Arg: 0, Observe: sim.ObserveNone, Next: optAR4C2},
+			optAR4C2:  {Emit: sim.EmitGotoNest, Observe: sim.ObserveNone, Next: optPR1},
+			optAR3C3:  {Emit: sim.EmitGotoNest, Observe: recount, Next: optAR4C3, NextB: optAR4C3P},
+			optAR4C3:  {Emit: sim.EmitGotoNest, Observe: sim.ObserveNone, Next: optAR1},
+			optAR4C3P: {Emit: sim.EmitGotoNest, Observe: sim.ObserveNone, Next: optPR1},
+			optPR1:    {Emit: sim.EmitGotoNest, Observe: sim.ObserveNone, Next: optPR2},
+			optPR2:    {Emit: sim.EmitRecruitBit, Arg: 0, Observe: sim.ObserveAdoptPend, Next: optPR3, NextB: optPR3P},
+			optPR3:    {Emit: sim.EmitGotoNest, Observe: sim.ObserveNone, Next: optPR4},
+			optPR4:    {Emit: sim.EmitGotoNest, Observe: sim.ObserveNone, Next: optPR1},
+			optPR3P:   {Emit: sim.EmitGotoNest, Observe: sim.ObserveNone, Next: optPR4P},
+			optPR4P:   {Emit: sim.EmitGotoNest, Observe: sim.ObserveNone, Next: optF},
+			optF:      {Emit: sim.EmitRecruitBit, Arg: 1, Observe: sim.ObserveNestLatch, Next: optF, Final: true},
+		},
+	}
+}
+
+// CompileBatch implements core.BatchCompilable: Algorithm 2 lowered to the
+// batch engine's outcome-dependent opcode form, in both the
+// analysis-consistent and Literal variants. Batch executions are
+// round-for-round bit-identical to the scalar OptimalAnt colony (pinned by
+// the golden grid in batch_equiv_test.go).
+func (o Optimal) CompileBatch(n int, env sim.Environment) (sim.Program, bool) {
+	if n <= 0 || env.K() == 0 {
+		return sim.Program{}, false
+	}
+	return optimalBatchProgram(o.Name(), o.Literal), true
+}

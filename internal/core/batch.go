@@ -73,8 +73,11 @@ func RunBatch(algo Algorithm, cfg RunConfig, seeds []uint64) ([]Result, bool, er
 			Rounds:        r.Rounds,
 			FinalCensus: Census{
 				Committed: r.Committed,
-				Decided:   -1, // compiled programs expose commitment only
-				Total:     cfg.N,
+				// Deciding programs (Final-flagged states, Algorithm 2)
+				// report the decided count like TakeCensus would; others
+				// expose commitment only (-1).
+				Decided: r.Decided,
+				Total:   cfg.N,
 			},
 			Algorithm: algo.Name(),
 		}

@@ -44,6 +44,45 @@ func TestMeasureConvergenceBatchMatchesScalar(t *testing.T) {
 	}
 }
 
+// TestMeasureConvergenceBatchMatchesScalarOptimal is the Algorithm 2
+// counterpart: Optimal now compiles to the batch engine's general path, and a
+// measurement taken on it must aggregate identically to the scalar loop for
+// both Case-3 variants.
+func TestMeasureConvergenceBatchMatchesScalarOptimal(t *testing.T) {
+	env, err := workload.Binary(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.RunConfig{N: 96, Env: env, MaxRounds: 4000}
+	const reps = 24
+
+	for _, variant := range []algo.Optimal{{}, {Literal: true}} {
+		SetBatchEngine(true)
+		if _, ok := core.CompileForBatch(variant, cfg); !ok {
+			t.Fatalf("%s: expected batch eligibility", variant.Name())
+		}
+		batched, err := MeasureConvergence(variant, cfg, reps, "batch-equiv-opt")
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		SetBatchEngine(false)
+		scalar, err := MeasureConvergence(variant, cfg, reps, "batch-equiv-opt")
+		SetBatchEngine(true)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		if !reflect.DeepEqual(batched, scalar) {
+			t.Fatalf("%s: batch and scalar measurements diverge:\nbatch  %+v\nscalar %+v",
+				variant.Name(), batched, scalar)
+		}
+		if variant == (algo.Optimal{}) && batched.Solved == 0 {
+			t.Fatal("measurement solved no replicates; the equivalence check is vacuous")
+		}
+	}
+}
+
 // TestMeasureConvergenceScalarFallback exercises the fallback branch with an
 // algorithm that has no compiled form; the batch switch must not change its
 // results either (it never engages).
@@ -53,7 +92,10 @@ func TestMeasureConvergenceScalarFallback(t *testing.T) {
 		t.Fatal(err)
 	}
 	cfg := core.RunConfig{N: 64, Env: env}
-	pt, err := MeasureConvergence(algo.Optimal{}, cfg, 8, "batch-fallback")
+	if _, ok := core.CompileForBatch(algo.Adaptive{}, cfg); ok {
+		t.Fatal("Adaptive should have no compiled form")
+	}
+	pt, err := MeasureConvergence(algo.Adaptive{}, cfg, 8, "batch-fallback")
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -48,9 +48,16 @@ func orient(ax, ay, bx, by, cx, cy float64) float64 {
 	return (bx-ax)*(cy-ay) - (by-ay)*(cx-ax)
 }
 
+// needleCount is the number of whole needles a trail of the given nominal
+// length is chopped into; dropTrail lays needleCount·segLen of actual path,
+// and EstimateArea's formula must use that same length.
+func needleCount(trail, segLen float64) int {
+	return int(math.Ceil(trail / segLen))
+}
+
 // dropTrail scatters needles of total length trail inside a side×side square.
 func dropTrail(side, trail, segLen float64, src *rng.Source) []segment {
-	n := int(math.Ceil(trail / segLen))
+	n := needleCount(trail, segLen)
 	segs := make([]segment, 0, n)
 	for i := 0; i < n; i++ {
 		x := src.Float64() * side
@@ -97,5 +104,10 @@ func (b BuffonAreaEstimator) EstimateArea(trueArea float64, src *rng.Source) (fl
 		// above truth, mirroring how an ant would read an empty sample.
 		return trueArea * 10, nil
 	}
-	return 2 * trail * trail / (math.Pi * float64(crossings)), nil
+	// The estimator must use the path length actually laid, not the nominal
+	// trail length: dropTrail rounds up to whole needles, so each visit lays
+	// needleCount·segLen of path. Using the nominal length biases the
+	// estimate low whenever TrailLength is not a multiple of SegmentLength.
+	laid := float64(needleCount(trail, segLen)) * segLen
+	return 2 * laid * laid / (math.Pi * float64(crossings)), nil
 }

@@ -226,6 +226,40 @@ func TestBuffonEstimatorConcentratesNearTruth(t *testing.T) {
 	}
 }
 
+// TestBuffonEstimatorUsesLaidTrailLength is the regression test for the
+// laid-length bias: dropTrail rounds the trail up to whole needles, laying
+// ceil(trail/segLen)·segLen of path per visit, and the estimator formula must
+// use that actual length. Two configurations that round to the same needle
+// count drop identical segments under the same seed, so after the fix they
+// must produce identical estimates; before it, the nominal trail length
+// biased the non-multiple configuration low by (1.3/1.5)².
+func TestBuffonEstimatorUsesLaidTrailLength(t *testing.T) {
+	t.Parallel()
+	const area = 4.0
+	nonMultiple := BuffonAreaEstimator{TrailLength: 1.3, SegmentLength: 0.5} // lays 3 needles = 1.5
+	multiple := BuffonAreaEstimator{TrailLength: 1.5, SegmentLength: 0.5}    // lays 3 needles = 1.5
+	for seed := uint64(1); seed <= 20; seed++ {
+		a, err := nonMultiple.EstimateArea(area, rng.New(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := multiple.EstimateArea(area, rng.New(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a != b {
+			t.Fatalf("seed %d: same laid trail, different estimates: %v (trail 1.3) vs %v (trail 1.5)", seed, a, b)
+		}
+	}
+
+	// (A statistical band at a high-rounding setting would not isolate the
+	// bug: making the rounding excess large forces needles comparable to the
+	// cavity side, where edge effects and the convexity of 1/X dominate the
+	// mean regardless of which length the formula uses. The per-seed equality
+	// above is the sharp check — it fails under the nominal-length formula
+	// for every seed.)
+}
+
 func TestBuffonEstimatorErrors(t *testing.T) {
 	t.Parallel()
 	src := rng.New(10)

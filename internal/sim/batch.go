@@ -18,15 +18,24 @@ import (
 // pool; each worker owns one lane of flat arrays and streams replicates
 // through it.
 //
+// Two execution paths exist. Programs whose transitions are all
+// outcome-independent (Program.Lockstep) keep the whole colony in one shared
+// state, so the opcode dispatch happens once per round and the recruit phase
+// needs no recruiter/slot indirection because slot t is ant t. Programs with
+// branching observes (Algorithm 2) run the general path: a per-ant state
+// column drives per-ant dispatch, and recruiting ants are gathered into a
+// slot table so the matcher sees exactly the scalar engine's slot space.
+//
 // The engine is bit-compatible with the scalar path: replicate r seeded with
 // seeds[r] produces round-for-round identical populations, commitments and
 // final results to an Engine running the same algorithm's scalar agents under
-// the same seed (tested against SimplePFSM in internal/algo). That holds
-// because the batch engine derives exactly the same RNG streams — envSrc =
-// root.Split(0), matchSrc = root.Split(1), ant i = root.Split(2).Split(i) —
-// and consumes them in the same order as Engine.Step: per-ant draws are
-// stream-disjoint from environment draws, so fusing the emit and move loops
-// preserves every sequence.
+// the same seed (tested against SimplePFSM and OptimalAnt in internal/algo).
+// That holds because the batch engine derives exactly the same RNG streams —
+// envSrc = root.Split(0), matchSrc = root.Split(1), ant i = root.Split(2).
+// Split(i) — and consumes them in the same order as Engine.Step: per-ant
+// draws are stream-disjoint from environment draws, search draws happen in
+// ant order, and the matcher receives the recruiting slots in ant order, so
+// fusing the emit and move loops preserves every sequence.
 //
 // A Batch is reusable and safe for concurrent Run calls; all mutable state
 // lives in per-worker lanes.
@@ -36,6 +45,12 @@ type Batch struct {
 	n       int
 	workers int
 	probe   func(rep, round int, counts, committed []int)
+
+	// Program traits, computed once at construction.
+	lockstep bool
+	decides  bool
+	antRNG   bool
+	isFinal  []bool
 }
 
 // BatchResult reports one replicate of a Batch run, mirroring the fields the
@@ -54,6 +69,10 @@ type BatchResult struct {
 	Rounds int
 	// Committed is the final commitment census (index 0 = uncommitted).
 	Committed []int
+	// Decided counts ants in Final program states at termination, or -1 when
+	// the program does not distinguish terminal states — the same convention
+	// as core.Census.Decided.
+	Decided int
 }
 
 // BatchOption configures a Batch.
@@ -84,7 +103,18 @@ func NewBatch(env Environment, prog Program, n int, opts ...BatchOption) (*Batch
 	if err := prog.Validate(); err != nil {
 		return nil, err
 	}
-	b := &Batch{env: env, prog: prog, n: n}
+	b := &Batch{
+		env:      env,
+		prog:     prog,
+		n:        n,
+		lockstep: prog.Lockstep(),
+		decides:  prog.Decides(),
+		antRNG:   prog.NeedsAntRNG(),
+		isFinal:  make([]bool, len(prog.States)),
+	}
+	for i, st := range prog.States {
+		b.isFinal[i] = st.Final
+	}
 	for _, o := range opts {
 		o(b)
 	}
@@ -153,96 +183,145 @@ func (b *Batch) Run(seeds []uint64, maxRounds, window int) ([]BatchResult, error
 // lane is one worker's flat-array state: a full colony's registers plus the
 // per-round scratch, reused across replicates.
 //
-// The current Program format has outcome-independent successors, so every
-// ant of a colony is always in the same state — the colony advances in
-// lockstep through phases. The lane exploits that: the opcode dispatch
-// happens once per round, the per-ant work runs in tight specialized loops,
-// and a recruit phase needs no recruiter/slot indirection because slot t is
-// ant t. When the opcode set grows outcome-dependent transitions, a per-ant
-// state column slots back in here.
+// The per-ant state column is the execution model; the lockstep path (taken
+// for programs with static successors, where the column would stay uniform by
+// construction) models it as the single phase variable of runReplicate and
+// keeps its specialized per-opcode loops. The general path dispatches per ant
+// and maintains the recruiter/slot indirection: recruiting ants are appended
+// to recruiters in ant order, so slot t is the t-th recruiting ant exactly as
+// in Engine.resolve, and matching draws consume matchSrc in the scalar
+// engine's order.
 type lane struct {
 	prog Program
 	env  Environment
 	qual []float64 // quality by nest id (index 0 = home)
 	n, k int
 
+	lockstep bool
+	decides  bool
+	antRNG   bool
+	isFinal  []bool
+
 	envSrc, matchSrc rng.Source
 	antSrc           []rng.Source // one stream per ant, stored by value
 
-	// Register file (struct of arrays); the shared PFSM state lives in
-	// runReplicate's phase variable.
+	// Register file (struct of arrays). state is unused on the lockstep path
+	// (the shared PFSM state lives in runReplicate's phase variable); nestT
+	// and countT are Algorithm 2's cross-round scratch registers.
+	state   []uint8
 	nest    []NestID
 	count   []int32
 	quality []float64
+	nestT   []NestID
+	countT  []int32
 
 	// Per-round scratch.
-	actNest    []NestID // the nest advertised by this round's search/recruit
+	actNest    []NestID // the nest advertised by this round's search/go/recruit
 	counts     []int    // end-of-round population per nest
 	commit     []int    // commitment census, maintained incrementally
-	active     []bool   // recruit(1, ·) per ant
+	recruiters []int    // slot -> ant index (general path)
+	slotOf     []int    // ant index -> recruiter slot this round (-1 otherwise)
+	active     []bool   // recruit(1, ·) per slot (per ant on the lockstep path)
 	capturedBy []int
 	succeeded  []bool
+	finals     int // ants currently in Final states (deciding programs)
 	matcher    AlgorithmOneMatcher
 }
 
 func newLane(b *Batch) *lane {
 	n, k := b.n, b.env.K()
 	qs := b.env.Qualities()
-	return &lane{
+	ln := &lane{
 		prog:       b.prog,
 		env:        b.env,
 		qual:       qs,
 		n:          n,
 		k:          k,
-		antSrc:     make([]rng.Source, n),
+		lockstep:   b.lockstep,
+		decides:    b.decides,
+		antRNG:     b.antRNG,
+		isFinal:    b.isFinal,
+		state:      make([]uint8, n),
 		nest:       make([]NestID, n),
 		count:      make([]int32, n),
 		quality:    make([]float64, n),
+		nestT:      make([]NestID, n),
+		countT:     make([]int32, n),
 		actNest:    make([]NestID, n),
 		counts:     make([]int, k+1),
 		commit:     make([]int, k+1),
+		recruiters: make([]int, 0, n),
+		slotOf:     make([]int, n),
 		active:     make([]bool, n),
 		capturedBy: make([]int, n),
 		succeeded:  make([]bool, n),
 	}
+	if b.antRNG {
+		ln.antSrc = make([]rng.Source, n)
+	}
+	return ln
 }
 
 // reset re-seeds the lane for a fresh replicate, deriving the same streams
 // the scalar stack does: the engine splits {0: environment, 1: matcher} and
-// the algorithm builder splits {2} then per-ant substreams.
+// the algorithm builder splits {2} then per-ant substreams. Per-ant streams
+// are only materialized when the program draws ant randomness (programs
+// without EmitRecruitPop never touch them, so seeding n streams would be
+// wasted work — and the scalar agents' unused sources draw nothing either).
 func (ln *lane) reset(seed uint64) {
 	root := rng.New(seed)
 	root.SplitInto(0, &ln.envSrc)
 	root.SplitInto(1, &ln.matchSrc)
-	var agents rng.Source
-	root.SplitInto(2, &agents)
-	for i := range ln.antSrc {
-		agents.SplitInto(uint64(i), &ln.antSrc[i])
+	if ln.antRNG {
+		var agents rng.Source
+		root.SplitInto(2, &agents)
+		for i := range ln.antSrc {
+			agents.SplitInto(uint64(i), &ln.antSrc[i])
+		}
 	}
 	for i := 0; i < ln.n; i++ {
+		ln.state[i] = ln.prog.Init
 		ln.nest[i] = Home
 		ln.count[i] = 0
 		ln.quality[i] = 0
+		ln.nestT[i] = Home
+		ln.countT[i] = 0
 	}
 	for i := range ln.commit {
 		ln.commit[i] = 0
 	}
 	ln.commit[Home] = ln.n
+	ln.finals = 0
+	if ln.isFinal[ln.prog.Init] {
+		ln.finals = ln.n
+	}
 }
 
 // runReplicate executes one colony to convergence or the round budget.
 func (ln *lane) runReplicate(rep int, seed uint64, maxRounds, window int, probe func(rep, round int, counts, committed []int)) (BatchResult, error) {
 	ln.reset(seed)
-	res := BatchResult{Seed: seed}
+	res := BatchResult{Seed: seed, Decided: -1}
 	streak := 0
 	var winner NestID
 	phase := ln.prog.Init
 	for round := 1; round <= maxRounds; round++ {
-		next, err := ln.step(phase)
+		var err error
+		if ln.lockstep {
+			var next uint8
+			next, err = ln.stepLockstep(phase)
+			phase = next
+			if ln.decides {
+				ln.finals = 0
+				if ln.isFinal[phase] {
+					ln.finals = ln.n
+				}
+			}
+		} else {
+			err = ln.stepGeneral()
+		}
 		if err != nil {
 			return BatchResult{}, fmt.Errorf("round %d: %w", round, err)
 		}
-		phase = next
 		w, ok := ln.census()
 		if probe != nil {
 			probe(rep, round, ln.counts, ln.commit)
@@ -264,6 +343,9 @@ func (ln *lane) runReplicate(rep int, seed uint64, maxRounds, window int, probe 
 		}
 	}
 	res.Committed = append([]int(nil), ln.commit...)
+	if ln.decides {
+		res.Decided = ln.finals
+	}
 	if streak >= window {
 		res.Solved = true
 		res.Winner = winner
@@ -272,11 +354,12 @@ func (ln *lane) runReplicate(rep int, seed uint64, maxRounds, window int, probe 
 	return res, nil
 }
 
-// step resolves one synchronous round for the lane's colony: emit + move,
-// recruitment matching, end-of-round counts, observe. It is the batch
-// counterpart of Engine.Step/resolve with the same randomness. phase is the
-// colony's shared PFSM state; the returned value is next round's phase.
-func (ln *lane) step(phase uint8) (uint8, error) {
+// stepLockstep resolves one synchronous round for a colony whose program has
+// static successors: emit + move, recruitment matching, end-of-round counts,
+// observe, all in per-opcode specialized loops. It is the batch counterpart
+// of Engine.Step/resolve with the same randomness. phase is the colony's
+// shared PFSM state; the returned value is next round's phase.
+func (ln *lane) stepLockstep(phase uint8) (uint8, error) {
 	n, k := ln.n, ln.k
 	st := ln.prog.States[phase]
 	nest := ln.nest
@@ -398,11 +481,219 @@ func (ln *lane) step(phase uint8) (uint8, error) {
 	return st.Next, nil
 }
 
+// stepGeneral resolves one synchronous round for a colony with a per-ant
+// state column: per-ant emit + move with the recruiter/slot indirection,
+// recruitment matching over the recruiting set, end-of-round counts, per-ant
+// observe with outcome-dependent successor selection. The loop structure
+// mirrors Engine.Step/resolve exactly: envSrc search draws happen in ant
+// order, recruiting ants enter the slot table in ant order, and the matcher
+// runs only when the recruiting set is non-empty — so every RNG stream is
+// consumed in the scalar engine's order.
+func (ln *lane) stepGeneral() error {
+	n, k := ln.n, ln.k
+	states := ln.prog.States
+	state := ln.state
+	nest := ln.nest
+	actNest := ln.actNest
+	counts := ln.counts
+	slotOf := ln.slotOf
+	recruiters := ln.recruiters[:0]
+
+	for i := range counts {
+		counts[i] = 0
+	}
+
+	// Emit and move. actNest holds each ant's advertised nest: the drawn
+	// destination for searchers, the target for goers, the recruited-for
+	// nest for recruiters.
+	for i := 0; i < n; i++ {
+		st := &states[state[i]]
+		switch st.Emit {
+		case EmitSearch:
+			dest := NestID(ln.envSrc.Intn(k) + 1)
+			actNest[i] = dest
+			counts[dest]++
+			slotOf[i] = -1
+		case EmitGotoNest:
+			dest := nest[i]
+			if dest < 1 || int(dest) > k {
+				return fmt.Errorf("ant %d: go(%d): nest out of range 1..%d", i, dest, k)
+			}
+			actNest[i] = dest
+			counts[dest]++
+			slotOf[i] = -1
+		case EmitGotoScratch:
+			dest := ln.nestT[i]
+			if dest < 1 || int(dest) > k {
+				return fmt.Errorf("ant %d: go(%d): scratch nest out of range 1..%d", i, dest, k)
+			}
+			actNest[i] = dest
+			counts[dest]++
+			slotOf[i] = -1
+		case EmitRecruitBit:
+			adv := nest[i]
+			if adv < 0 || int(adv) > k {
+				return fmt.Errorf("ant %d: recruit(%d,%d): nest out of range 0..%d", i, st.Arg, adv, k)
+			}
+			if st.Arg == 1 && adv == Home {
+				return fmt.Errorf("ant %d: recruit(1,0): cannot actively recruit for the home nest", i)
+			}
+			slot := len(recruiters)
+			slotOf[i] = slot
+			recruiters = append(recruiters, i)
+			ln.active[slot] = st.Arg == 1
+			actNest[i] = adv
+			counts[Home]++
+		case EmitRecruitPop:
+			adv := nest[i]
+			b := false
+			if ln.quality[i] > 0 {
+				b = ln.antSrc[i].Bernoulli(float64(ln.count[i]) / float64(n))
+			}
+			if b && adv == Home {
+				return fmt.Errorf("ant %d: recruit(1,0): cannot actively recruit for the home nest", i)
+			}
+			slot := len(recruiters)
+			slotOf[i] = slot
+			recruiters = append(recruiters, i)
+			ln.active[slot] = b
+			actNest[i] = adv
+			counts[Home]++
+		}
+	}
+	ln.recruiters = recruiters
+
+	// Recruitment matching over the recruiting set, in slot space. The
+	// scalar engine skips the matcher entirely for an empty set; matching
+	// that exactly keeps matchSrc in sync on all-goto rounds.
+	nR := len(recruiters)
+	if nR > 0 {
+		ln.matcher.Match(nR, ln.active, &ln.matchSrc, ln.capturedBy, ln.succeeded)
+		// Resolve captured recruiters' outcome nests: a captured slot reads
+		// its capturer's advertised nest. The in-place rewrite is safe
+		// because Algorithm 1 never captures a capturer, so the capturer's
+		// actNest entry still holds its own advertised nest when read.
+		for t := 0; t < nR; t++ {
+			if cb := ln.capturedBy[t]; cb >= 0 && cb != t {
+				actNest[recruiters[t]] = actNest[recruiters[cb]]
+			}
+		}
+	}
+
+	// Observe: fold outcomes into the registers and select successors. The
+	// outcome count is the end-of-round population of the outcome nest for
+	// searchers and goers, and the home population for recruiters (everyone
+	// recruiting stands at the home nest), exactly as Engine.resolve fills
+	// Outcome.Count. The commitment census updates incrementally on the
+	// rare nest-register writes.
+	commit := ln.commit
+	countHome := int32(counts[Home])
+	finals := 0
+	for i := 0; i < n; i++ {
+		st := &states[state[i]]
+		outNest := actNest[i]
+		outCount := countHome
+		if slotOf[i] < 0 {
+			outCount = int32(counts[outNest])
+		}
+		next := st.Next
+		switch st.Observe {
+		case ObserveNone:
+			// Padding call; outcome discarded.
+		case ObserveDiscovery:
+			if outNest != nest[i] {
+				commit[nest[i]]--
+				commit[outNest]++
+				nest[i] = outNest
+			}
+			ln.count[i] = outCount
+			if slotOf[i] < 0 {
+				ln.quality[i] = ln.qual[outNest]
+			} else {
+				ln.quality[i] = 0
+			}
+		case ObserveAdopt:
+			if outNest != nest[i] {
+				commit[nest[i]]--
+				commit[outNest]++
+				nest[i] = outNest
+				ln.quality[i] = 1
+			}
+		case ObserveCount:
+			ln.count[i] = outCount
+		case ObserveDiscoverBranch:
+			if outNest != nest[i] {
+				commit[nest[i]]--
+				commit[outNest]++
+				nest[i] = outNest
+			}
+			ln.count[i] = outCount
+			ln.quality[i] = ln.qual[outNest]
+			if ln.quality[i] == 0 {
+				next = st.NextB
+			}
+		case ObserveRecruitNest:
+			ln.nestT[i] = outNest
+		case ObserveCompareR2:
+			ln.countT[i] = outCount
+			switch {
+			case ln.nestT[i] == nest[i] && ln.countT[i] >= ln.count[i]:
+				ln.count[i] = ln.countT[i] // Case 1: re-baseline
+			case ln.nestT[i] == nest[i]:
+				next = st.NextB // Case 2: population dropped
+			default:
+				// Case 3: recruited to another nest.
+				commit[nest[i]]--
+				commit[ln.nestT[i]]++
+				nest[i] = ln.nestT[i]
+				next = st.NextC
+			}
+		case ObserveRecountRebase:
+			if outCount < ln.countT[i] {
+				next = st.NextB
+			} else {
+				ln.count[i] = outCount
+			}
+		case ObserveRecountLiteral:
+			if outCount < ln.countT[i] {
+				next = st.NextB
+			}
+		case ObserveFinalEq:
+			if outCount == ln.count[i] {
+				next = st.NextB
+			}
+		case ObserveAdoptPend:
+			if outNest != nest[i] {
+				commit[nest[i]]--
+				commit[outNest]++
+				nest[i] = outNest
+				next = st.NextB
+			}
+		case ObserveNestLatch:
+			if outNest != nest[i] {
+				commit[nest[i]]--
+				commit[outNest]++
+				nest[i] = outNest
+			}
+		}
+		state[i] = next
+		if ln.isFinal[next] {
+			finals++
+		}
+	}
+	ln.finals = finals
+	return nil
+}
+
 // census reports unanimous commitment to a good nest from the incrementally
-// maintained tally, mirroring core.TakeCensus + Census.Converged for agents
-// that expose commitment only (no Decided, no Faulty — compiled programs
-// model neither).
+// maintained tally, mirroring core.TakeCensus + Census.Converged: compiled
+// programs model no faults, and a deciding program (one with Final states)
+// additionally requires every ant to have reached a Final state, exactly as
+// the scalar runner gates on the core.Decided contract.
 func (ln *lane) census() (NestID, bool) {
+	if ln.decides && ln.finals != ln.n {
+		return Home, false
+	}
 	for i := 1; i <= ln.k; i++ {
 		if ln.commit[i] == ln.n && ln.qual[i] > 0 {
 			return NestID(i), true

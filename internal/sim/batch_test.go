@@ -89,10 +89,151 @@ func TestProgramValidate(t *testing.T) {
 		"next range":  {Algorithm: "x", States: []ProgramState{{Next: 9}}},
 		"bad emit":    {Algorithm: "x", States: []ProgramState{{Emit: 99}}},
 		"bad observe": {Algorithm: "x", States: []ProgramState{{Observe: 99}}},
+		"bad recruit bit": {Algorithm: "x", States: []ProgramState{
+			{Emit: EmitRecruitBit, Arg: 2, Observe: ObserveNone},
+		}},
+		"nextB range": {Algorithm: "x", States: []ProgramState{
+			{Emit: EmitSearch, Observe: ObserveDiscoverBranch, Next: 0, NextB: 7},
+		}},
+		"nextC range": {Algorithm: "x", States: []ProgramState{
+			{Emit: EmitGotoScratch, Observe: ObserveCompareR2, Next: 0, NextB: 0, NextC: 7},
+		}},
 	}
 	for name, prog := range cases {
 		if err := prog.Validate(); err == nil {
 			t.Errorf("%s: Validate accepted an invalid program", name)
+		}
+	}
+}
+
+// TestProgramTraits pins the trait classification that selects the execution
+// path: the simple program is lockstep and non-deciding; any branching
+// observe or non-uniform emit forces the general path; Final states make a
+// program deciding.
+func TestProgramTraits(t *testing.T) {
+	t.Parallel()
+	if p := simpleProgram(); !p.Lockstep() || p.Decides() || !p.NeedsAntRNG() {
+		t.Errorf("simple program traits: lockstep=%v decides=%v antRNG=%v, want true/false/true",
+			p.Lockstep(), p.Decides(), p.NeedsAntRNG())
+	}
+	p := decidingProgram()
+	if p.Lockstep() {
+		t.Error("a program with branching observes classified as lockstep")
+	}
+	if !p.Decides() {
+		t.Error("a program with a Final state classified as non-deciding")
+	}
+	if p.NeedsAntRNG() {
+		t.Error("a program without EmitRecruitPop claims to need ant RNG")
+	}
+}
+
+// decidingProgram is a minimal general-path program: search once, then
+// recruit for the discovered nest forever as a Final state — the skeleton of
+// Algorithm 2's final loop.
+func decidingProgram() Program {
+	return Program{
+		Algorithm: "batch-test-decider",
+		Init:      0,
+		States: []ProgramState{
+			{Emit: EmitSearch, Observe: ObserveDiscoverBranch, Next: 1, NextB: 1},
+			{Emit: EmitRecruitBit, Arg: 1, Observe: ObserveNestLatch, Next: 1, Final: true},
+		},
+	}
+}
+
+// TestBatchDecidingProgram exercises the general path's result bookkeeping:
+// a single-ant colony decides and converges in round one, and the decided
+// count lands in BatchResult.Decided.
+func TestBatchDecidingProgram(t *testing.T) {
+	t.Parallel()
+	env := MustEnvironment([]float64{1})
+	b, err := NewBatch(env, decidingProgram(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := b.Run([]uint64{1, 2, 3}, 50, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, res := range results {
+		if !res.Solved || res.Winner != 1 || res.Rounds != 1 {
+			t.Fatalf("replicate %d: %+v, want solved winner 1 in round 1", i, res)
+		}
+		if res.Decided != 1 {
+			t.Fatalf("replicate %d: Decided = %d, want 1", i, res.Decided)
+		}
+	}
+}
+
+// TestBatchDecidedGatesConvergence pins the census gate: with a deciding
+// program, unanimous commitment alone must not count as convergence until
+// every ant reaches a Final state — mirroring core.Census.Converged for
+// colonies implementing core.Decided.
+func TestBatchDecidedGatesConvergence(t *testing.T) {
+	t.Parallel()
+	// All ants commit to the lone good nest in round one and then shuttle to
+	// it forever, but the Final state (2) is unreachable.
+	prog := Program{
+		Algorithm: "batch-test-undecided",
+		Init:      0,
+		States: []ProgramState{
+			{Emit: EmitSearch, Observe: ObserveDiscoverBranch, Next: 1, NextB: 1},
+			{Emit: EmitGotoNest, Observe: ObserveNone, Next: 1},
+			{Emit: EmitGotoNest, Observe: ObserveNone, Next: 2, Final: true},
+		},
+	}
+	env := MustEnvironment([]float64{1})
+	b, err := NewBatch(env, prog, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := b.Run([]uint64{1}, 30, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := results[0]
+	if res.Solved {
+		t.Fatalf("undecided colony reported solved: %+v", res)
+	}
+	if res.Rounds != 30 {
+		t.Fatalf("undecided colony stopped at round %d, want the full budget", res.Rounds)
+	}
+	if res.Decided != 0 {
+		t.Fatalf("Decided = %d, want 0", res.Decided)
+	}
+	if res.Committed[1] != 8 {
+		t.Fatalf("census %v, want unanimous commitment to nest 1", res.Committed)
+	}
+}
+
+// TestBatchGeneralPathReportsProgramErrors covers the general path's protocol
+// validation: dereferencing an unset scratch nest and actively recruiting for
+// the home nest both surface clean errors.
+func TestBatchGeneralPathReportsProgramErrors(t *testing.T) {
+	t.Parallel()
+	env := MustEnvironment([]float64{1})
+	cases := map[string]Program{
+		"goto scratch unset": {
+			Algorithm: "broken-scratch",
+			States: []ProgramState{
+				{Emit: EmitGotoScratch, Observe: ObserveCompareR2, Next: 0, NextB: 0, NextC: 0},
+			},
+		},
+		"active recruit for home": {
+			Algorithm: "broken-recruit",
+			States: []ProgramState{
+				{Emit: EmitRecruitBit, Arg: 1, Observe: ObserveFinalEq, Next: 0, NextB: 0},
+			},
+		},
+	}
+	for name, prog := range cases {
+		b, err := NewBatch(env, prog, 4)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if _, err := b.Run([]uint64{1}, 10, 1); err == nil {
+			t.Errorf("%s: expected a protocol error", name)
 		}
 	}
 }
@@ -236,6 +377,9 @@ func TestBatchSolvesAndReportsCensus(t *testing.T) {
 		}
 		if res.Rounds < 1 || res.Rounds > 4000 {
 			t.Fatalf("replicate %d: implausible round count %d", i, res.Rounds)
+		}
+		if res.Decided != -1 {
+			t.Fatalf("replicate %d: Decided = %d for a non-deciding program, want -1", i, res.Decided)
 		}
 	}
 

@@ -2,21 +2,40 @@ package sim
 
 import "fmt"
 
-// Program is a compiled probabilistic finite state machine: the declarative
-// agent.Spec tables of internal/agent lowered to a dense opcode form that the
+// Program is a compiled probabilistic finite state machine: the agent logic of
+// internal/agent and internal/algo lowered to a dense opcode form that the
 // batch engine (see Batch) can execute over flat state arrays with no
 // interface dispatch, no map lookups and no per-ant heap objects.
 //
 // A Program state pairs one emit opcode (which environment call to make) with
 // one observe opcode (how to fold the call's outcome into the register file)
-// and a successor state. The register file is the paper's: a committed nest,
-// a remembered count and a perceived quality — exactly the cells of
-// agent.Registers that the currently compilable algorithms touch.
+// and up to three successor states. The register file covers both compiled
+// algorithms: a committed nest, a remembered count and a perceived quality
+// (Algorithm 3), plus the scratch nest and scratch count Algorithm 2's 4-round
+// subroutine carries between rounds (the pseudocode's nest_t and count_t).
+//
+// Two classes of observe opcode exist. The static ones (ObserveDiscovery,
+// ObserveAdopt, ObserveCount) always enter Next, so a colony running only
+// those advances in lockstep — the batch engine detects this (Lockstep) and
+// runs a specialized shared-phase fast path. The branching ones select among
+// Next/NextB/NextC based on the outcome; they are what Algorithm 2 needs, and
+// they force the per-ant state column of the general execution path. The
+// scalar OptimalAnt's branch, pending and latched next-state registers have no
+// columns of their own: outcome-dependent successors encode them as dedicated
+// states (e.g. a captured passive ant enters the pending chain of states that
+// ends in the final state, exactly when the scalar ant would latch the
+// transition at its phase boundary).
+//
+// States marked Final are terminal "decided" states (Algorithm 2's final
+// state). A program with any Final state Decides: the batch engine then gates
+// convergence on every ant having reached a Final state, mirroring the
+// core.Decided contract of the scalar path, and reports the decided count in
+// BatchResult.Decided.
 //
 // The opcode set intentionally covers only what the compiled algorithms need
-// today (Algorithm 3 / simple-pfsm); growing it as more algorithms gain state
-// tables is a ROADMAP item. An algorithm advertises its compiled form by
-// implementing the core package's BatchCompilable interface.
+// today (Algorithms 2 and 3); the §6 extensions, batched faults and batched
+// matcher ablations remain ROADMAP items. An algorithm advertises its compiled
+// form by implementing the core package's BatchCompilable interface.
 type Program struct {
 	// Algorithm is the source algorithm's name, carried into results.
 	Algorithm string
@@ -30,10 +49,21 @@ type Program struct {
 type ProgramState struct {
 	// Emit selects the environment call made while in this state.
 	Emit EmitOp
-	// Observe selects how the outcome updates the registers.
+	// Arg parameterizes Emit; only EmitRecruitBit uses it (the active bit,
+	// 0 or 1).
+	Arg uint8
+	// Observe selects how the outcome updates the registers and which
+	// successor is entered.
 	Observe ObserveOp
-	// Next is the state entered after Observe runs.
+	// Next is the default successor state.
 	Next uint8
+	// NextB is the secondary successor of branching observe opcodes (see the
+	// per-opcode docs); unused by the static ones.
+	NextB uint8
+	// NextC is the tertiary successor; only ObserveCompareR2 uses it.
+	NextC uint8
+	// Final marks a terminal "decided" state for the core.Decided contract.
+	Final bool
 }
 
 // EmitOp enumerates the compiled emit behaviours.
@@ -48,28 +78,131 @@ const (
 	// Bernoulli(count/n) when the quality register is positive and b = 0
 	// otherwise — Algorithm 3's population-proportional recruitment. The
 	// Bernoulli draw consumes ant randomness exactly as the scalar
-	// SimpleAnt/SimplePFSM do (no draw when count/n <= 0), which is what
+	// SimpleAnt/SimplePFSM do (no draw when quality <= 0), which is what
 	// keeps batch and scalar executions bit-identical.
 	EmitRecruitPop
+	// EmitRecruitBit performs recruit(Arg, nest): the active bit is fixed by
+	// the state rather than drawn — Algorithm 2's recruits are all of this
+	// form (lines 14, 21, 23, 29, 35 of the pseudocode).
+	EmitRecruitBit
+	// EmitGotoScratch performs go(nestT) on the scratch nest register —
+	// Algorithm 2's R2 visit to the nest learned while recruiting (line 24).
+	EmitGotoScratch
 )
 
-// ObserveOp enumerates the compiled observe behaviours.
+// ObserveOp enumerates the compiled observe behaviours. Static opcodes always
+// enter Next; branching ones document which successor each outcome selects.
 type ObserveOp uint8
 
 const (
 	// ObserveDiscovery loads nest, count and quality from the outcome — the
-	// pattern after search().
+	// pattern after search(). Static.
 	ObserveDiscovery ObserveOp = iota
 	// ObserveAdopt adopts the recruiter's nest when the outcome's nest
 	// differs from the committed one, setting quality to 1 (a captured ant
-	// trusts its recruiter) — the pattern after recruit().
+	// trusts its recruiter) — the pattern after recruit(). Static.
 	ObserveAdopt
 	// ObserveCount loads only the count register — the pattern after go().
+	// Static.
 	ObserveCount
+	// ObserveNone folds nothing — the padding calls of Algorithm 2 whose
+	// return values are discarded. Static.
+	ObserveNone
+	// ObserveDiscoverBranch loads nest, count and quality like
+	// ObserveDiscovery, then branches on the discovered quality: Next when
+	// quality > 0 (Algorithm 2's active), NextB when quality = 0 (passive) —
+	// lines 8-11.
+	ObserveDiscoverBranch
+	// ObserveRecruitNest stores the outcome nest in the scratch nest register
+	// nestT (the recruit of line 23, whose result is the capturer's nest when
+	// captured and the ant's own nest otherwise), then enters Next.
+	ObserveRecruitNest
+	// ObserveCompareR2 stores the outcome count in countT and performs
+	// Algorithm 2's three-way R2 compare (lines 25-38): Case 1 (nestT = nest
+	// and countT >= count) re-baselines count := countT and enters Next;
+	// Case 2 (nestT = nest, population dropped) enters NextB; Case 3
+	// (recruited elsewhere) commits nest := nestT and enters NextC.
+	ObserveCompareR2
+	// ObserveRecountRebase is Case 3's R3 population check (lines 39-41) in
+	// the analysis-consistent reading: count_n := outcome count; if
+	// count_n < countT enter NextB (the to-passive chain), else re-baseline
+	// count := count_n and enter Next.
+	ObserveRecountRebase
+	// ObserveRecountLiteral is the pseudocode-literal Case 3 check: same
+	// branching as ObserveRecountRebase but count keeps the old nest's value
+	// on the Next branch (the stale baseline the E17 ablation quantifies).
+	ObserveRecountLiteral
+	// ObserveFinalEq is branch 1's R4 check (lines 29-31): if the outcome
+	// count equals the count register enter NextB (the final state), else
+	// Next. The outcome of a recruit call carries the home-nest population.
+	ObserveFinalEq
+	// ObserveAdoptPend is the passive R2 fold (lines 14-17): when the outcome
+	// nest differs the ant adopts it and enters NextB (the pending chain that
+	// latches final at the phase boundary); otherwise it enters Next.
+	ObserveAdoptPend
+	// ObserveNestLatch re-loads the nest register from the outcome — the
+	// final-state recruit loop's ⟨nest, ·⟩ := recruit(1, nest) of line 21 —
+	// then enters Next.
+	ObserveNestLatch
 )
 
+// staticObserve reports whether op always enters Next.
+func staticObserve(op ObserveOp) bool {
+	switch op {
+	case ObserveDiscovery, ObserveAdopt, ObserveCount, ObserveNone,
+		ObserveRecruitNest, ObserveNestLatch:
+		return true
+	}
+	return false
+}
+
+// lockstepEmit reports whether the lockstep fast path implements op.
+func lockstepEmit(op EmitOp) bool {
+	switch op {
+	case EmitSearch, EmitGotoNest, EmitRecruitPop:
+		return true
+	}
+	return false
+}
+
+// Lockstep reports whether every transition is outcome-independent and every
+// emit is colony-uniform, i.e. all ants of a colony are always in the same
+// state. The batch engine runs such programs on a specialized shared-phase
+// path with no per-ant state column or recruiter indirection.
+func (p Program) Lockstep() bool {
+	for _, st := range p.States {
+		if !staticObserve(st.Observe) || !lockstepEmit(st.Emit) {
+			return false
+		}
+	}
+	return true
+}
+
+// Decides reports whether the program distinguishes terminal states: true
+// when any state is Final. Deciding programs gate convergence on all ants
+// final, mirroring core.Decided.
+func (p Program) Decides() bool {
+	for _, st := range p.States {
+		if st.Final {
+			return true
+		}
+	}
+	return false
+}
+
+// NeedsAntRNG reports whether any state draws per-ant randomness.
+func (p Program) NeedsAntRNG() bool {
+	for _, st := range p.States {
+		if st.Emit == EmitRecruitPop {
+			return true
+		}
+	}
+	return false
+}
+
 // Validate checks structural soundness: a non-empty table, an in-range
-// initial state, in-range successors and known opcodes.
+// initial state, in-range successors (including the alternates of branching
+// opcodes) and known, well-parameterized opcodes.
 func (p Program) Validate() error {
 	if len(p.States) == 0 {
 		return fmt.Errorf("sim: program %q has no states", p.Algorithm)
@@ -81,14 +214,25 @@ func (p Program) Validate() error {
 		return fmt.Errorf("sim: program %q initial state %d out of range", p.Algorithm, p.Init)
 	}
 	for i, st := range p.States {
-		if st.Emit > EmitRecruitPop {
+		if st.Emit > EmitGotoScratch {
 			return fmt.Errorf("sim: program %q state %d: unknown emit opcode %d", p.Algorithm, i, st.Emit)
 		}
-		if st.Observe > ObserveCount {
+		if st.Emit == EmitRecruitBit && st.Arg > 1 {
+			return fmt.Errorf("sim: program %q state %d: recruit bit %d is not 0 or 1", p.Algorithm, i, st.Arg)
+		}
+		if st.Observe > ObserveNestLatch {
 			return fmt.Errorf("sim: program %q state %d: unknown observe opcode %d", p.Algorithm, i, st.Observe)
 		}
 		if int(st.Next) >= len(p.States) {
 			return fmt.Errorf("sim: program %q state %d: successor %d out of range", p.Algorithm, i, st.Next)
+		}
+		if !staticObserve(st.Observe) {
+			if int(st.NextB) >= len(p.States) {
+				return fmt.Errorf("sim: program %q state %d: alternate successor %d out of range", p.Algorithm, i, st.NextB)
+			}
+			if st.Observe == ObserveCompareR2 && int(st.NextC) >= len(p.States) {
+				return fmt.Errorf("sim: program %q state %d: tertiary successor %d out of range", p.Algorithm, i, st.NextC)
+			}
 		}
 	}
 	return nil

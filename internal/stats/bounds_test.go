@@ -1,7 +1,6 @@
 package stats
 
 import (
-	"strings"
 	"testing"
 
 	"github.com/gmrl/househunt/internal/rng"
@@ -85,99 +84,5 @@ func TestBootstrapCI(t *testing.T) {
 	}
 	if _, _, err := BootstrapCI(xs, 1.5, 100, src); err == nil {
 		t.Fatal("bad level accepted")
-	}
-}
-
-func TestHistogram(t *testing.T) {
-	t.Parallel()
-	h, err := NewHistogram(0, 10, 5)
-	if err != nil {
-		t.Fatal(err)
-	}
-	for _, x := range []float64{0, 1, 2.5, 5, 7.5, 9.99, -3, 100} {
-		h.Add(x)
-	}
-	if h.Total() != 8 {
-		t.Fatalf("Total = %d, want 8", h.Total())
-	}
-	if h.Underflow != 1 || h.Overflow != 1 {
-		t.Fatalf("under/over = %d/%d, want 1/1", h.Underflow, h.Overflow)
-	}
-	sum := 0
-	for _, c := range h.Counts {
-		sum += c
-	}
-	if sum != 8 {
-		t.Fatalf("bin sum = %d, want 8 (clamped values must land in edge bins)", sum)
-	}
-	if got := h.BinCenter(0); !almostEqual(got, 1, 1e-12) {
-		t.Fatalf("BinCenter(0) = %v, want 1", got)
-	}
-	if out := h.Render(20); !strings.Contains(out, "#") {
-		t.Fatalf("Render produced no bars:\n%s", out)
-	}
-}
-
-func TestHistogramErrors(t *testing.T) {
-	t.Parallel()
-	if _, err := NewHistogram(0, 10, 0); err == nil {
-		t.Fatal("zero bins accepted")
-	}
-	if _, err := NewHistogram(5, 5, 3); err == nil {
-		t.Fatal("hi == lo accepted")
-	}
-}
-
-func TestSparkline(t *testing.T) {
-	t.Parallel()
-	if got := Sparkline(nil); got != "" {
-		t.Fatalf("empty sparkline = %q", got)
-	}
-	out := Sparkline([]float64{0, 1, 2, 3, 4, 5, 6, 7})
-	if len([]rune(out)) != 8 {
-		t.Fatalf("sparkline length = %d, want 8", len([]rune(out)))
-	}
-	flat := Sparkline([]float64{3, 3, 3})
-	if len([]rune(flat)) != 3 {
-		t.Fatalf("flat sparkline = %q", flat)
-	}
-}
-
-func TestTableRendering(t *testing.T) {
-	t.Parallel()
-	tb := NewTable("E9: Simple scaling", "n", "k", "rounds", "success")
-	tb.AddRow("256", "2", "38.2", "1.00")
-	tb.AddRow("65536", "16", "912.4", "1.00")
-	out := tb.String()
-	if !strings.Contains(out, "E9: Simple scaling") {
-		t.Fatalf("missing title:\n%s", out)
-	}
-	if !strings.Contains(out, "rounds") || !strings.Contains(out, "912.4") {
-		t.Fatalf("missing cells:\n%s", out)
-	}
-	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
-	if len(lines) != 5 { // title, header, rule, 2 rows
-		t.Fatalf("got %d lines, want 5:\n%s", len(lines), out)
-	}
-	if tb.NumRows() != 2 {
-		t.Fatalf("NumRows = %d", tb.NumRows())
-	}
-}
-
-func TestTableAddRowf(t *testing.T) {
-	t.Parallel()
-	tb := NewTable("", "a", "b")
-	tb.AddRowf("%d\t%.2f", 7, 3.14159)
-	out := tb.String()
-	if !strings.Contains(out, "7") || !strings.Contains(out, "3.14") {
-		t.Fatalf("AddRowf row missing:\n%s", out)
-	}
-}
-
-func TestTableEmpty(t *testing.T) {
-	t.Parallel()
-	tb := &Table{}
-	if out := tb.String(); out == "" {
-		t.Fatal("empty table should still render newline-terminated title")
 	}
 }

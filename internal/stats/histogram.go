@@ -6,9 +6,10 @@ import (
 	"strings"
 )
 
-// Histogram is a fixed-width-bin histogram over a closed interval. Values
-// outside [Lo, Hi] are clamped into the first/last bin and tracked in
-// Underflow/Overflow so no observation is silently dropped.
+// Histogram is a fixed-width-bin histogram over the closed interval
+// [Lo, Hi]: the upper bound itself lands in the last bin, not in Overflow.
+// Values strictly outside the interval are clamped into the first/last bin
+// and tracked in Underflow/Overflow so no observation is silently dropped.
 type Histogram struct {
 	Lo, Hi    float64
 	Counts    []int
@@ -17,8 +18,9 @@ type Histogram struct {
 	total     int
 }
 
-// NewHistogram creates a histogram with the given number of bins spanning
-// [lo, hi). It returns an error for degenerate bounds or non-positive bins.
+// NewHistogram creates a histogram with the given number of bins spanning the
+// closed interval [lo, hi]. It returns an error for degenerate bounds or
+// non-positive bins.
 func NewHistogram(lo, hi float64, bins int) (*Histogram, error) {
 	if bins <= 0 {
 		return nil, fmt.Errorf("stats: histogram needs positive bin count, got %d", bins)
@@ -37,13 +39,13 @@ func (h *Histogram) Add(x float64) {
 		h.Counts[0]++
 		return
 	}
-	if x >= h.Hi {
+	if x > h.Hi {
 		h.Overflow++
 		h.Counts[len(h.Counts)-1]++
 		return
 	}
 	idx := int(float64(len(h.Counts)) * (x - h.Lo) / (h.Hi - h.Lo))
-	if idx >= len(h.Counts) { // guards the x == Hi-epsilon float edge
+	if idx >= len(h.Counts) { // x == Hi (closed interval) and float edges near it
 		idx = len(h.Counts) - 1
 	}
 	h.Counts[idx]++

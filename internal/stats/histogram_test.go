@@ -1,0 +1,166 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestHistogramClosedUpperBound pins the boundary semantics the type promises:
+// the interval is closed, so x == Hi lands in the last bin and does NOT count
+// as overflow; only x > Hi does.
+func TestHistogramClosedUpperBound(t *testing.T) {
+	t.Parallel()
+	h, err := NewHistogram(0, 10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Add(10) // == Hi: last bin, no overflow
+	if h.Overflow != 0 {
+		t.Fatalf("Add(Hi) inflated Overflow to %d", h.Overflow)
+	}
+	if h.Counts[4] != 1 {
+		t.Fatalf("Add(Hi) landed in counts %v, want last bin", h.Counts)
+	}
+	h.Add(10.0001) // > Hi: last bin and overflow
+	if h.Overflow != 1 {
+		t.Fatalf("Add(>Hi): Overflow = %d, want 1", h.Overflow)
+	}
+	if h.Counts[4] != 2 {
+		t.Fatalf("Add(>Hi) landed in counts %v, want last bin", h.Counts)
+	}
+	h.Add(0) // == Lo: first bin, no underflow
+	if h.Underflow != 0 || h.Counts[0] != 1 {
+		t.Fatalf("Add(Lo): underflow %d counts %v, want clean first bin", h.Underflow, h.Counts)
+	}
+	if h.Total() != 3 {
+		t.Fatalf("Total = %d, want 3", h.Total())
+	}
+}
+
+// TestHistogramBinEdges checks that interior bin edges split left-closed:
+// an observation exactly on an edge belongs to the bin it opens.
+func TestHistogramBinEdges(t *testing.T) {
+	t.Parallel()
+	h, err := NewHistogram(0, 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range []float64{0, 1, 2, 3} {
+		h.Add(x)
+	}
+	for i, c := range h.Counts {
+		if c != 1 {
+			t.Fatalf("edge observations distributed as %v, want one per bin (bin %d)", h.Counts, i)
+		}
+	}
+}
+
+func TestHistogramErrors(t *testing.T) {
+	t.Parallel()
+	if _, err := NewHistogram(0, 10, 0); err == nil {
+		t.Fatal("zero bins accepted")
+	}
+	if _, err := NewHistogram(0, 10, -1); err == nil {
+		t.Fatal("negative bins accepted")
+	}
+	if _, err := NewHistogram(5, 5, 3); err == nil {
+		t.Fatal("degenerate interval accepted")
+	}
+	if _, err := NewHistogram(10, 0, 3); err == nil {
+		t.Fatal("inverted interval accepted")
+	}
+}
+
+func TestHistogramBinCenter(t *testing.T) {
+	t.Parallel()
+	h, err := NewHistogram(0, 10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range []float64{1, 3, 5, 7, 9} {
+		if got := h.BinCenter(i); got != want {
+			t.Fatalf("BinCenter(%d) = %v, want %v", i, got, want)
+		}
+	}
+}
+
+func TestHistogramTotalCountsEverything(t *testing.T) {
+	t.Parallel()
+	h, err := NewHistogram(-1, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range []float64{-5, -1, 0, 1, 5} {
+		h.Add(x)
+	}
+	if h.Total() != 5 {
+		t.Fatalf("Total = %d, want 5", h.Total())
+	}
+	if h.Underflow != 1 || h.Overflow != 1 {
+		t.Fatalf("under/over = %d/%d, want 1/1", h.Underflow, h.Overflow)
+	}
+	sum := 0
+	for _, c := range h.Counts {
+		sum += c
+	}
+	if sum != 5 {
+		t.Fatalf("bin sum = %d, want 5 (clamping must not drop observations)", sum)
+	}
+}
+
+func TestHistogramRender(t *testing.T) {
+	t.Parallel()
+	h, err := NewHistogram(0, 3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range []float64{0.5, 1.5, 1.5, 1.5, 1.5} {
+		h.Add(x)
+	}
+	out := h.Render(8)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("Render produced %d rows, want one per bin:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[1], strings.Repeat("#", 8)) {
+		t.Fatalf("fullest bin not drawn at full width:\n%s", out)
+	}
+	if strings.Contains(lines[2], "#") {
+		t.Fatalf("empty bin drew a bar:\n%s", out)
+	}
+	// Non-positive width falls back to the default.
+	if def := h.Render(0); !strings.Contains(def, strings.Repeat("#", 50)) {
+		t.Fatalf("Render(0) did not use the 50-column default:\n%s", def)
+	}
+}
+
+func TestHistogramRenderEmpty(t *testing.T) {
+	t.Parallel()
+	h, err := NewHistogram(0, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := h.Render(10)
+	if strings.Contains(out, "#") {
+		t.Fatalf("empty histogram drew bars:\n%s", out)
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	t.Parallel()
+	if got := Sparkline(nil); got != "" {
+		t.Fatalf("Sparkline(nil) = %q, want empty", got)
+	}
+	flat := Sparkline([]float64{2, 2, 2})
+	if flat != "▁▁▁" {
+		t.Fatalf("flat series = %q, want all-minimum ticks", flat)
+	}
+	ramp := Sparkline([]float64{0, 1, 2, 3, 4, 5, 6, 7})
+	if ramp != "▁▂▃▄▅▆▇█" {
+		t.Fatalf("ramp = %q, want one tick per level", ramp)
+	}
+	vee := []rune(Sparkline([]float64{5, 0, 5}))
+	if len(vee) != 3 || vee[0] != vee[2] || vee[1] != '▁' {
+		t.Fatalf("vee = %q, want symmetric with minimum mid-tick", string(vee))
+	}
+}
