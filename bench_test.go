@@ -240,6 +240,41 @@ func BenchmarkReplicateSweepBatchOptimal(b *testing.B) {
 	benchReplicateSweep(b, algo.Optimal{}, true)
 }
 
+// BenchmarkReplicateSweepScalarAdaptive is the §6 boosted-rate scalar baseline.
+func BenchmarkReplicateSweepScalarAdaptive(b *testing.B) {
+	benchReplicateSweep(b, algo.Adaptive{}, false)
+}
+
+// BenchmarkReplicateSweepBatchAdaptive is the §6 boosted-rate batch path
+// (lockstep with the per-ant phase-clock column).
+func BenchmarkReplicateSweepBatchAdaptive(b *testing.B) {
+	benchReplicateSweep(b, algo.Adaptive{}, true)
+}
+
+// BenchmarkReplicateSweepScalarQuality is the §6 non-binary-quality scalar
+// baseline.
+func BenchmarkReplicateSweepScalarQuality(b *testing.B) {
+	benchReplicateSweep(b, algo.QualityAware{}, false)
+}
+
+// BenchmarkReplicateSweepBatchQuality is the §6 non-binary-quality batch path
+// (lockstep with the quality-weighted draw).
+func BenchmarkReplicateSweepBatchQuality(b *testing.B) {
+	benchReplicateSweep(b, algo.QualityAware{}, true)
+}
+
+// BenchmarkReplicateSweepScalarApproxN is the §6 approximate-n scalar
+// baseline at δ = 0.2.
+func BenchmarkReplicateSweepScalarApproxN(b *testing.B) {
+	benchReplicateSweep(b, algo.ApproxN{Delta: 0.2}, false)
+}
+
+// BenchmarkReplicateSweepBatchApproxN is the §6 approximate-n batch path
+// (lockstep with the per-ant ñ column) at δ = 0.2.
+func BenchmarkReplicateSweepBatchApproxN(b *testing.B) {
+	benchReplicateSweep(b, algo.ApproxN{Delta: 0.2}, true)
+}
+
 // BenchmarkEngineRoundConcurrent measures the goroutine-per-ant mode's round
 // latency (including the two barrier crossings).
 func BenchmarkEngineRoundConcurrent(b *testing.B) {

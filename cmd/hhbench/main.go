@@ -134,12 +134,25 @@ type benchRecord struct {
 	Speedup        float64 `json:"speedup,omitempty"`
 }
 
+// batchBenchAlgorithms is the benchmarked inventory: every compiled
+// algorithm — Algorithm 3 (simple, lockstep path), Algorithm 2 (optimal,
+// per-ant state column path) and the §6 extensions (adaptive, quality,
+// approxn; lockstep with parameter columns).
+func batchBenchAlgorithms() []core.Algorithm {
+	return []core.Algorithm{
+		algo.Simple{},
+		algo.Optimal{},
+		algo.Adaptive{},
+		algo.QualityAware{},
+		algo.ApproxN{Delta: 0.2},
+	}
+}
+
 // runBatchBench times the same replicate sweep (R colonies of n ants to
 // convergence) on the scalar agent path and on the batch struct-of-arrays
-// engine, for both compiled algorithms — Algorithm 3 (simple, lockstep path)
-// and Algorithm 2 (optimal, per-ant state column path) — reporting ant-step
-// throughput and the batch/scalar speedup. Both paths execute bit-identical
-// replicates, so the comparison is apples to apples.
+// engine, for every compiled algorithm, reporting ant-step throughput and the
+// batch/scalar speedup. Both paths execute bit-identical replicates, so the
+// comparison is apples to apples.
 func runBatchBench(out io.Writer, bb batchBenchConfig) error {
 	env, err := workload.Binary(bb.k, bb.good)
 	if err != nil {
@@ -204,7 +217,7 @@ func runBatchBench(out io.Writer, bb batchBenchConfig) error {
 		fmt.Fprintf(out, "replicate-sweep throughput, scalar agents vs batch engine\n\n")
 	}
 	defer experiment.SetBatchEngine(true)
-	for _, a := range []core.Algorithm{algo.Simple{}, algo.Optimal{}} {
+	for _, a := range batchBenchAlgorithms() {
 		scalar, err := measure(a, "scalar", false, 0)
 		if err != nil {
 			return err

@@ -70,12 +70,15 @@ func TestBatchBenchJSONRecords(t *testing.T) {
 		}
 		recs = append(recs, rec)
 	}
-	if len(recs) != 4 {
-		t.Fatalf("got %d BENCH records, want 4:\n%+v", len(recs), recs)
+	if len(recs) != 10 {
+		t.Fatalf("got %d BENCH records, want 10:\n%+v", len(recs), recs)
 	}
 	wantCells := []struct{ algorithm, engine string }{
 		{"simple", "scalar"}, {"simple", "batch"},
 		{"optimal", "scalar"}, {"optimal", "batch"},
+		{"adaptive", "scalar"}, {"adaptive", "batch"},
+		{"quality", "scalar"}, {"quality", "batch"},
+		{"approxn(δ=0.2)", "scalar"}, {"approxn(δ=0.2)", "batch"},
 	}
 	for i, rec := range recs {
 		if rec.Type != "BENCH" {

@@ -60,21 +60,12 @@ func NewAdaptiveAnt(n int, src *rng.Source, tau int, floorDiv float64) *Adaptive
 	return &AdaptiveAnt{n: n, src: src, phase: simpleSearch, active: true, tau: tau, floorDiv: floorDiv}
 }
 
-// recruitProbability computes b(r) for the current registers.
+// recruitProbability computes b(r) for the current registers. It delegates to
+// the sim package's shared formula — the semantic definition of the batch
+// engine's EmitRecruitAdaptive opcode — so the scalar and compiled executions
+// agree float for float by construction.
 func (a *AdaptiveAnt) recruitProbability() float64 {
-	decay := float64(a.n)
-	for i := 0; i < a.recruitPhases/a.tau; i++ {
-		decay /= 2
-		if decay <= float64(a.n)/a.floorDiv {
-			break
-		}
-	}
-	floor := float64(a.n) / a.floorDiv
-	if decay < floor {
-		decay = floor
-	}
-	c := float64(a.count)
-	return c / (c + decay)
+	return sim.AdaptiveRecruitProbability(a.n, a.count, a.recruitPhases, a.tau, a.floorDiv)
 }
 
 // Act implements sim.Agent.

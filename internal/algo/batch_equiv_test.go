@@ -1,263 +1,478 @@
 package algo
 
 import (
+	"fmt"
 	"reflect"
+	"strings"
 	"sync"
 	"testing"
 
-	"github.com/gmrl/househunt/internal/agent"
 	"github.com/gmrl/househunt/internal/core"
+	"github.com/gmrl/househunt/internal/rng"
 	"github.com/gmrl/househunt/internal/sim"
 )
 
-// TestBatchGoldenEquivalence is the tentpole cross-validation: for equal
-// seeds the batch engine must produce round-for-round identical populations
-// and commitments to sim.Engine running the scalar SimplePFSM machines.
-func TestBatchGoldenEquivalence(t *testing.T) {
-	t.Parallel()
-	const (
-		n         = 128
-		maxRounds = 400
-	)
-	env := sim.MustEnvironment([]float64{1, 0, 1, 0})
-	seeds := []uint64{1, 7, 42, 2015}
+// This file is the cross-engine differential harness: one shared set of
+// generators and layer assertions through which every compiled algorithm —
+// Simple/SimplePFSM (Algorithm 3), both Optimal variants (Algorithm 2) and
+// the §6 extensions (Adaptive, QualityAware, ApproxN) — is pinned
+// round-for-round bit-identical between the scalar agent engine and the batch
+// struct-of-arrays engine. Three layers are asserted per case:
+//
+//	algo layer: CompileBatch yields a structurally valid program carrying the
+//	            algorithm's name (compileCase);
+//	sim layer:  per-round populations and commitment censuses coincide
+//	            exactly for the full round budget (assertTraceEquivalence);
+//	core layer: core.RunBatch returns exactly the Results per-seed core.Run
+//	            produces, censuses and decided counts included
+//	            (assertRunnerEquivalence).
+//
+// The experiment layer (MeasureConvergence aggregation) is pinned in
+// internal/experiment/batch_test.go over the same algorithm inventory, and
+// FuzzBatchEquivalence in batch_fuzz_test.go drives the sim layer from raw
+// fuzz words.
 
-	type roundRec struct {
-		counts []int
-		commit []int
-	}
-	scalar := make([][]roundRec, len(seeds))
-	for si, seed := range seeds {
-		agents, err := (SimplePFSM{}).Build(n, env, testSrc(seed).Split(2))
-		if err != nil {
-			t.Fatal(err)
-		}
-		eng, err := sim.New(env, agents, sim.WithSeed(seed))
-		if err != nil {
-			t.Fatal(err)
-		}
-		for r := 0; r < maxRounds; r++ {
-			if err := eng.Step(); err != nil {
-				t.Fatalf("seed %d: scalar step: %v", seed, err)
-			}
-			commit := make([]int, env.K()+1)
-			for _, a := range agents {
-				commit[a.(*agent.Machine).Regs().Nest]++
-			}
-			scalar[si] = append(scalar[si], roundRec{counts: eng.Counts(), commit: commit})
-		}
-	}
+// diffCase is one configuration of the differential harness.
+type diffCase struct {
+	name      string
+	algo      core.Algorithm
+	n         int
+	env       sim.Environment
+	seeds     []uint64
+	maxRounds int
+}
 
-	prog, ok := (SimplePFSM{}).CompileBatch(n, env)
+// roundRec is one round's end-of-round populations (index 0 = home) and
+// commitment census (index 0 = uncommitted).
+type roundRec struct {
+	counts []int
+	commit []int
+}
+
+// compiledInventory is the full set of algorithms advertising a compiled
+// form, with representative parameterizations of the §6 extensions.
+func compiledInventory() []core.Algorithm {
+	return []core.Algorithm{
+		Simple{},
+		SimplePFSM{},
+		Optimal{},
+		Optimal{Literal: true},
+		Adaptive{},
+		Adaptive{Tau: 1, FloorDiv: 8},
+		QualityAware{},
+		ApproxN{},
+		ApproxN{Delta: 0.3},
+		ApproxN{Delta: 0.75},
+	}
+}
+
+// compileCase is the algo-layer assertion: the algorithm must compile to a
+// structurally valid program that carries its name.
+func compileCase(t *testing.T, c diffCase) sim.Program {
+	t.Helper()
+	bc, ok := c.algo.(core.BatchCompilable)
 	if !ok {
-		t.Fatal("SimplePFSM did not compile")
+		t.Fatalf("%s: algorithm is not BatchCompilable", c.name)
 	}
+	prog, ok := bc.CompileBatch(c.n, c.env)
+	if !ok {
+		t.Fatalf("%s: did not compile for n=%d k=%d", c.name, c.n, c.env.K())
+	}
+	if err := prog.Validate(); err != nil {
+		t.Fatalf("%s: compiled program invalid: %v", c.name, err)
+	}
+	if prog.Algorithm != c.algo.Name() {
+		t.Errorf("%s: program carries name %q, want %q", c.name, prog.Algorithm, c.algo.Name())
+	}
+	return prog
+}
+
+// scalarTrace runs the scalar engine on each seed, recording per-round
+// populations and commitment censuses, with the exact stream derivation the
+// core runner uses (ant root = rng.New(seed).Split(2)).
+func scalarTrace(t *testing.T, c diffCase) [][]roundRec {
+	t.Helper()
+	recs := make([][]roundRec, len(c.seeds))
+	for si, seed := range c.seeds {
+		agents, err := c.algo.Build(c.n, c.env, rng.New(seed).Split(2))
+		if err != nil {
+			t.Fatalf("%s seed %d: build: %v", c.name, seed, err)
+		}
+		eng, err := sim.New(c.env, agents, sim.WithSeed(seed))
+		if err != nil {
+			t.Fatalf("%s seed %d: engine: %v", c.name, seed, err)
+		}
+		for r := 0; r < c.maxRounds; r++ {
+			if err := eng.Step(); err != nil {
+				t.Fatalf("%s seed %d: scalar step: %v", c.name, seed, err)
+			}
+			recs[si] = append(recs[si], roundRec{
+				counts: eng.Counts(),
+				commit: core.TakeCensus(agents, c.env.K()).Committed,
+			})
+		}
+	}
+	return recs
+}
+
+// batchTrace runs the compiled program on the batch engine with a recording
+// probe; the window exceeding the budget keeps every replicate running all
+// maxRounds rounds so traces line up with scalarTrace.
+func batchTrace(t *testing.T, c diffCase, prog sim.Program) [][]roundRec {
+	t.Helper()
 	var mu sync.Mutex
-	batchRecs := make([][]roundRec, len(seeds))
-	b, err := sim.NewBatch(env, prog, n, sim.WithBatchProbe(func(rep, round int, counts, committed []int) {
+	recs := make([][]roundRec, len(c.seeds))
+	b, err := sim.NewBatch(c.env, prog, c.n, sim.WithBatchProbe(func(rep, round int, counts, committed []int) {
 		rec := roundRec{
 			counts: append([]int(nil), counts...),
 			commit: append([]int(nil), committed...),
 		}
 		mu.Lock()
-		batchRecs[rep] = append(batchRecs[rep], rec)
+		recs[rep] = append(recs[rep], rec)
 		mu.Unlock()
 	}))
 	if err != nil {
-		t.Fatal(err)
+		t.Fatalf("%s: batch: %v", c.name, err)
 	}
-	if _, err := b.Run(seeds, maxRounds, maxRounds+1); err != nil {
-		t.Fatal(err)
+	if _, err := b.Run(c.seeds, c.maxRounds, c.maxRounds+1); err != nil {
+		t.Fatalf("%s: batch run: %v", c.name, err)
 	}
+	return recs
+}
 
-	for si, seed := range seeds {
-		if len(batchRecs[si]) != len(scalar[si]) {
-			t.Fatalf("seed %d: batch ran %d rounds, scalar %d", seed, len(batchRecs[si]), len(scalar[si]))
+// compareTraces asserts two per-seed round traces are bit-identical.
+func compareTraces(t *testing.T, c diffCase, want, got [][]roundRec) {
+	t.Helper()
+	for si, seed := range c.seeds {
+		if len(got[si]) != len(want[si]) {
+			t.Fatalf("%s seed %d: batch ran %d rounds, scalar %d", c.name, seed, len(got[si]), len(want[si]))
 		}
-		for r := range scalar[si] {
-			if !reflect.DeepEqual(batchRecs[si][r], scalar[si][r]) {
-				t.Fatalf("seed %d round %d diverged:\nbatch  counts=%v commit=%v\nscalar counts=%v commit=%v",
-					seed, r+1,
-					batchRecs[si][r].counts, batchRecs[si][r].commit,
-					scalar[si][r].counts, scalar[si][r].commit)
+		for r := range want[si] {
+			if !reflect.DeepEqual(got[si][r], want[si][r]) {
+				t.Fatalf("%s seed %d round %d diverged:\nbatch  counts=%v commit=%v\nscalar counts=%v commit=%v",
+					c.name, seed, r+1,
+					got[si][r].counts, got[si][r].commit,
+					want[si][r].counts, want[si][r].commit)
 			}
 		}
 	}
 }
 
-// TestOptimalBatchGoldenEquivalence is the Algorithm 2 tentpole
-// cross-validation: across a seeds × n × k × {rebaseline, literal} grid, the
-// batch engine's general (per-ant state column) path must produce
-// round-for-round identical populations and commitment censuses to sim.Engine
-// running the scalar OptimalAnt colony. The literal variant's cells include
-// deadlocking executions, which must reproduce bit-identically too.
-func TestOptimalBatchGoldenEquivalence(t *testing.T) {
-	t.Parallel()
-	const maxRounds = 160
-	variants := []Optimal{{}, {Literal: true}}
-	ns := []int{32, 96}
-	envs := []sim.Environment{
-		sim.MustEnvironment([]float64{1, 0}),
-		sim.MustEnvironment([]float64{1, 0, 1, 0}),
-		sim.MustEnvironment([]float64{0, 1, 1, 0, 0}),
+// assertTraceEquivalence is the sim-layer assertion: round-for-round
+// bit-identical populations and commitments across the full budget.
+func assertTraceEquivalence(t *testing.T, c diffCase) {
+	t.Helper()
+	prog := compileCase(t, c)
+	compareTraces(t, c, scalarTrace(t, c), batchTrace(t, c, prog))
+}
+
+// assertRunnerEquivalence is the core-layer assertion: core.RunBatch must
+// return exactly the Results per-seed core.Run produces — solved flags,
+// winners, round counts, censuses and decided counts.
+func assertRunnerEquivalence(t *testing.T, c diffCase) {
+	t.Helper()
+	cfg := core.RunConfig{N: c.n, Env: c.env, MaxRounds: 8 * c.maxRounds, StabilityWindow: 2}
+	batched, ok, err := core.RunBatch(c.algo, cfg, c.seeds)
+	if err != nil {
+		t.Fatalf("%s: RunBatch: %v", c.name, err)
 	}
+	if !ok {
+		t.Fatalf("%s: expected batch eligibility", c.name)
+	}
+	for i, seed := range c.seeds {
+		scfg := cfg
+		scfg.Seed = seed
+		want, err := core.Run(c.algo, scfg)
+		if err != nil {
+			t.Fatalf("%s seed %d: Run: %v", c.name, seed, err)
+		}
+		got := batched[i]
+		if got.Solved != want.Solved || got.Winner != want.Winner ||
+			got.Rounds != want.Rounds || got.WinnerQuality != want.WinnerQuality ||
+			got.Algorithm != want.Algorithm {
+			t.Fatalf("%s seed %d: batch %+v != scalar %+v", c.name, seed, got, want)
+		}
+		if !reflect.DeepEqual(got.FinalCensus.Committed, want.FinalCensus.Committed) ||
+			got.FinalCensus.Total != want.FinalCensus.Total ||
+			got.FinalCensus.Decided != want.FinalCensus.Decided {
+			t.Fatalf("%s seed %d: census diverged: batch %+v != scalar %+v",
+				c.name, seed, got.FinalCensus, want.FinalCensus)
+		}
+	}
+}
+
+// assertDiffCase runs every layer of the harness on one case.
+func assertDiffCase(t *testing.T, c diffCase) {
+	t.Helper()
+	assertTraceEquivalence(t, c)
+	assertRunnerEquivalence(t, c)
+}
+
+// randomDiffCases samples configurations from the full space the harness
+// covers: every compiled algorithm (with randomized δ and schedule
+// parameters), colony sizes, nest counts, binary and non-binary quality
+// vectors, random seeds and round budgets. The sampling is deterministic in
+// metaSeed, so failures reproduce; bump the count or vary the seed locally
+// for a deeper soak.
+func randomDiffCases(metaSeed uint64, count int) []diffCase {
+	src := rng.New(metaSeed)
+	cases := make([]diffCase, 0, count)
+	for i := 0; i < count; i++ {
+		var a core.Algorithm
+		switch src.Intn(7) {
+		case 0:
+			a = Simple{}
+		case 1:
+			a = SimplePFSM{}
+		case 2:
+			a = Optimal{}
+		case 3:
+			a = Optimal{Literal: true}
+		case 4:
+			a = Adaptive{} // zero values: the compiled defaults must match Build's
+			if src.Bernoulli(0.7) {
+				a = Adaptive{Tau: 1 + src.Intn(4), FloorDiv: float64(2 + src.Intn(7))}
+			}
+		case 5:
+			a = QualityAware{}
+		case 6:
+			var delta float64
+			if src.Bernoulli(0.8) {
+				delta = 0.9 * src.Float64()
+			}
+			a = ApproxN{Delta: delta}
+		}
+		n := 8 + src.Intn(120)
+		k := 1 + src.Intn(5)
+		quals := make([]float64, k)
+		nonBinary := src.Bernoulli(0.5)
+		sample := func() float64 {
+			if nonBinary {
+				return 0.05 + 0.95*src.Float64()
+			}
+			return 1
+		}
+		for j := range quals {
+			if src.Bernoulli(0.6) {
+				quals[j] = sample()
+			}
+		}
+		if good := src.Intn(k); quals[good] == 0 {
+			quals[good] = sample() // environments need at least one good nest
+		}
+		cases = append(cases, diffCase{
+			name:      fmt.Sprintf("case%02d/%s/n%d/k%d", i, a.Name(), n, k),
+			algo:      a,
+			n:         n,
+			env:       sim.MustEnvironment(quals),
+			seeds:     []uint64{src.Uint64(), src.Uint64()},
+			maxRounds: 40 + src.Intn(120),
+		})
+	}
+	return cases
+}
+
+// pinnedDiffCases is the fixed grid the harness always runs: the PR-1/PR-2
+// golden cells (Algorithm 3 and both Algorithm 2 variants across n × k) plus
+// hand-picked extension cells covering the default and stressed
+// parameterizations on binary and non-binary environments.
+func pinnedDiffCases() []diffCase {
+	envBinary := sim.MustEnvironment([]float64{1, 0, 1, 0})
+	envSingle := sim.MustEnvironment([]float64{1, 0})
+	envSparse := sim.MustEnvironment([]float64{0, 1, 1, 0, 0})
+	envGraded := sim.MustEnvironment([]float64{0.3, 0.9, 0.2})
 	seeds := []uint64{1, 7, 42, 2015}
 
-	type roundRec struct {
-		counts []int
-		commit []int
+	var cases []diffCase
+	add := func(a core.Algorithm, n int, env sim.Environment, maxRounds int) {
+		cases = append(cases, diffCase{
+			name:      fmt.Sprintf("%s/n%d/k%d", a.Name(), n, env.K()),
+			algo:      a,
+			n:         n,
+			env:       env,
+			seeds:     seeds,
+			maxRounds: maxRounds,
+		})
 	}
-	for _, variant := range variants {
-		for _, n := range ns {
-			for _, env := range envs {
-				scalar := make([][]roundRec, len(seeds))
-				for si, seed := range seeds {
-					agents, err := variant.Build(n, env, testSrc(seed).Split(2))
-					if err != nil {
-						t.Fatal(err)
-					}
-					eng, err := sim.New(env, agents, sim.WithSeed(seed))
-					if err != nil {
-						t.Fatal(err)
-					}
-					for r := 0; r < maxRounds; r++ {
-						if err := eng.Step(); err != nil {
-							t.Fatalf("%s n=%d k=%d seed %d: scalar step: %v", variant.Name(), n, env.K(), seed, err)
-						}
-						scalar[si] = append(scalar[si], roundRec{
-							counts: eng.Counts(),
-							commit: core.TakeCensus(agents, env.K()).Committed,
-						})
-					}
-				}
 
-				prog, ok := variant.CompileBatch(n, env)
-				if !ok {
-					t.Fatalf("%s did not compile", variant.Name())
-				}
-				if prog.Lockstep() {
-					t.Fatalf("%s compiled to a lockstep program; the general path is untested", variant.Name())
-				}
-				var mu sync.Mutex
-				batchRecs := make([][]roundRec, len(seeds))
-				b, err := sim.NewBatch(env, prog, n, sim.WithBatchProbe(func(rep, round int, counts, committed []int) {
-					rec := roundRec{
-						counts: append([]int(nil), counts...),
-						commit: append([]int(nil), committed...),
-					}
-					mu.Lock()
-					batchRecs[rep] = append(batchRecs[rep], rec)
-					mu.Unlock()
-				}))
-				if err != nil {
-					t.Fatal(err)
-				}
-				// A window larger than the budget keeps every replicate
-				// running all maxRounds rounds so traces line up.
-				if _, err := b.Run(seeds, maxRounds, maxRounds+1); err != nil {
-					t.Fatal(err)
-				}
-
-				for si, seed := range seeds {
-					if len(batchRecs[si]) != len(scalar[si]) {
-						t.Fatalf("%s n=%d k=%d seed %d: batch ran %d rounds, scalar %d",
-							variant.Name(), n, env.K(), seed, len(batchRecs[si]), len(scalar[si]))
-					}
-					for r := range scalar[si] {
-						if !reflect.DeepEqual(batchRecs[si][r], scalar[si][r]) {
-							t.Fatalf("%s n=%d k=%d seed %d round %d diverged:\nbatch  counts=%v commit=%v\nscalar counts=%v commit=%v",
-								variant.Name(), n, env.K(), seed, r+1,
-								batchRecs[si][r].counts, batchRecs[si][r].commit,
-								scalar[si][r].counts, scalar[si][r].commit)
-						}
-					}
-				}
+	// Algorithm 3: the original lockstep golden cell.
+	add(SimplePFSM{}, 128, envBinary, 400)
+	add(Simple{}, 64, envSparse, 200)
+	// Algorithm 2: the original general-path grid. The literal variant's
+	// cells include deadlocking executions, which must reproduce too.
+	for _, variant := range []Optimal{{}, {Literal: true}} {
+		for _, n := range []int{32, 96} {
+			for _, env := range []sim.Environment{envSingle, envBinary, envSparse} {
+				add(variant, n, env, 160)
 			}
 		}
 	}
+	// §6 extensions: defaults and stressed parameters, binary and graded
+	// qualities, δ = 0 degenerating to Algorithm 3 and δ near the cap.
+	add(Adaptive{}, 96, envBinary, 200)
+	add(Adaptive{Tau: 1, FloorDiv: 8}, 64, envSparse, 200)
+	add(QualityAware{}, 96, envGraded, 200)
+	add(QualityAware{}, 64, envBinary, 200)
+	add(ApproxN{}, 64, envBinary, 200)
+	add(ApproxN{Delta: 0.3}, 96, envBinary, 200)
+	add(ApproxN{Delta: 0.75}, 64, envSparse, 200)
+	return cases
 }
 
-// TestRunBatchMatchesRunResults checks the runner-level contract: for every
-// compilable algorithm, core.RunBatch must return exactly the Results that
-// per-seed core.Run produces — same solved flags, winners, round counts and
-// final censuses (including the decided count Algorithm 2 exposes) — across
-// environments with mixed nest qualities.
-func TestRunBatchMatchesRunResults(t *testing.T) {
+// TestBatchDifferentialPinned runs the fixed golden grid through every layer
+// of the harness. It subsumes the per-algorithm equivalence tables of PRs 1-2
+// (simple and optimal) and extends them to the §6 extensions.
+func TestBatchDifferentialPinned(t *testing.T) {
 	t.Parallel()
-	envs := []sim.Environment{
-		sim.MustEnvironment([]float64{1, 1, 0, 0}),
-		sim.MustEnvironment([]float64{1}),
-		sim.MustEnvironment([]float64{0, 0, 1}),
+	for _, c := range pinnedDiffCases() {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			t.Parallel()
+			assertDiffCase(t, c)
+		})
 	}
-	algos := []core.Algorithm{Simple{}, SimplePFSM{}, Optimal{}, Optimal{Literal: true}}
-	seeds := []uint64{3, 11, 99, 1234, 87251}
-	for _, env := range envs {
-		for _, a := range algos {
-			cfg := core.RunConfig{N: 64, Env: env, MaxRounds: 5000, StabilityWindow: 2}
-			batched, ok, err := core.RunBatch(a, cfg, seeds)
-			if err != nil {
-				t.Fatal(err)
-			}
-			if !ok {
-				t.Fatalf("%s: expected batch eligibility", a.Name())
-			}
-			for i, seed := range seeds {
-				scfg := cfg
-				scfg.Seed = seed
-				want, err := core.Run(a, scfg)
-				if err != nil {
-					t.Fatal(err)
-				}
-				got := batched[i]
-				if got.Solved != want.Solved || got.Winner != want.Winner ||
-					got.Rounds != want.Rounds || got.WinnerQuality != want.WinnerQuality ||
-					got.Algorithm != want.Algorithm {
-					t.Fatalf("%s k=%d seed %d: batch %+v != scalar %+v", a.Name(), env.K(), seed, got, want)
-				}
-				if !reflect.DeepEqual(got.FinalCensus.Committed, want.FinalCensus.Committed) ||
-					got.FinalCensus.Total != want.FinalCensus.Total ||
-					got.FinalCensus.Decided != want.FinalCensus.Decided {
-					t.Fatalf("%s k=%d seed %d: census diverged: batch %+v != scalar %+v",
-						a.Name(), env.K(), seed, got.FinalCensus, want.FinalCensus)
-				}
-			}
+}
+
+// TestBatchDifferentialRandomized is the property-based sweep: randomized
+// (algorithm, seeds, n, k, quality vector, δ, schedule) configurations, all
+// asserted bit-identical at every layer.
+func TestBatchDifferentialRandomized(t *testing.T) {
+	t.Parallel()
+	for _, c := range randomDiffCases(2015, 24) {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			t.Parallel()
+			assertDiffCase(t, c)
+		})
+	}
+}
+
+// generalPathVariant rewrites a lockstep program so the batch engine must
+// take the general per-ant path without changing behavior: the initial
+// search's static ObserveDiscovery becomes an ObserveDiscoverBranch whose two
+// successors coincide. For a search outcome the two opcodes write identical
+// registers, so every round still resolves identically — but the branching
+// observe declassifies the program from Lockstep, forcing per-ant dispatch.
+func generalPathVariant(t *testing.T, prog sim.Program) sim.Program {
+	t.Helper()
+	states := append([]sim.ProgramState(nil), prog.States...)
+	rewritten := false
+	for i, st := range states {
+		if st.Emit == sim.EmitSearch && st.Observe == sim.ObserveDiscovery {
+			states[i].Observe = sim.ObserveDiscoverBranch
+			states[i].NextB = st.Next
+			rewritten = true
+		}
+	}
+	if !rewritten {
+		t.Fatalf("%s: no search/discovery state to rewrite", prog.Algorithm)
+	}
+	gp := prog
+	gp.States = states
+	if gp.Lockstep() {
+		t.Fatalf("%s: general-path variant still classifies as lockstep", prog.Algorithm)
+	}
+	return gp
+}
+
+// TestExtensionGeneralPathEquivalence pins the general-path implementations
+// of the §6 opcodes (the drawn-recruit emits and the quality-tracking
+// observes), which the compiled extension programs never reach on their own
+// because they all classify as lockstep: the same programs, forced onto the
+// per-ant path via generalPathVariant, must still reproduce the scalar trace
+// bit for bit.
+func TestExtensionGeneralPathEquivalence(t *testing.T) {
+	t.Parallel()
+	env := sim.MustEnvironment([]float64{1, 0, 1, 0})
+	graded := sim.MustEnvironment([]float64{0.3, 0.9, 0.2})
+	seeds := []uint64{1, 7, 42, 2015}
+	cases := []diffCase{
+		{name: "general/simple", algo: Simple{}, n: 64, env: env, seeds: seeds, maxRounds: 200},
+		{name: "general/adaptive", algo: Adaptive{}, n: 64, env: env, seeds: seeds, maxRounds: 200},
+		{name: "general/quality", algo: QualityAware{}, n: 64, env: graded, seeds: seeds, maxRounds: 200},
+		{name: "general/approxn", algo: ApproxN{Delta: 0.4}, n: 64, env: env, seeds: seeds, maxRounds: 200},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			t.Parallel()
+			gp := generalPathVariant(t, compileCase(t, c))
+			compareTraces(t, c, scalarTrace(t, c), batchTrace(t, c, gp))
+		})
+	}
+}
+
+// TestCompiledInventoryPrograms pins the path classification of every
+// compiled algorithm: the Algorithm 3 family and the §6 extensions stay on
+// the lockstep fast path, Algorithm 2 requires the general path, and only the
+// extensions that need parameter columns request them.
+func TestCompiledInventoryPrograms(t *testing.T) {
+	t.Parallel()
+	env := sim.MustEnvironment([]float64{1, 0})
+	for _, a := range compiledInventory() {
+		prog, ok := a.(core.BatchCompilable).CompileBatch(64, env)
+		if !ok {
+			t.Fatalf("%s: did not compile", a.Name())
+		}
+		_, isOptimal := a.(Optimal)
+		if got := prog.Lockstep(); got == isOptimal {
+			t.Errorf("%s: Lockstep() = %v, want %v", a.Name(), got, !isOptimal)
+		}
+		_, isAdaptive := a.(Adaptive)
+		if prog.NeedsIntParam() != isAdaptive {
+			t.Errorf("%s: NeedsIntParam() = %v", a.Name(), prog.NeedsIntParam())
+		}
+		_, isApproxN := a.(ApproxN)
+		if prog.NeedsFloatParam() != isApproxN {
+			t.Errorf("%s: NeedsFloatParam() = %v", a.Name(), prog.NeedsFloatParam())
 		}
 	}
 }
 
-// TestRunBatchFallsBackForScalarOnlyConfigs pins the eligibility rules:
-// configurations carrying scalar-only features must decline the batch path.
+// TestRunBatchFallsBackForScalarOnlyConfigs pins the eligibility rules and
+// the human-readable fallback reasons: configurations carrying scalar-only
+// features and algorithms without a compiled form must decline the batch path
+// and say why.
 func TestRunBatchFallsBackForScalarOnlyConfigs(t *testing.T) {
 	t.Parallel()
 	env := sim.MustEnvironment([]float64{1, 0})
 	base := core.RunConfig{N: 16, Env: env}
-	ineligible := map[string]core.RunConfig{
-		"wrap": func() core.RunConfig {
+	ineligible := []struct {
+		name       string
+		algo       core.Algorithm
+		cfg        core.RunConfig
+		wantReason string
+	}{
+		{"wrap", Simple{}, func() core.RunConfig {
 			c := base
 			c.Wrap = func(a []sim.Agent) ([]sim.Agent, error) { return a, nil }
 			return c
-		}(),
-		"matcher": func() core.RunConfig {
+		}(), "cfg.Wrap"},
+		{"matcher", Simple{}, func() core.RunConfig {
 			c := base
 			c.NewMatcher = func() sim.Matcher { return &sim.AlgorithmOneMatcher{} }
 			return c
-		}(),
-		"concurrent": func() core.RunConfig {
+		}(), "cfg.NewMatcher"},
+		{"concurrent", Simple{}, func() core.RunConfig {
 			c := base
 			c.Concurrent = true
 			return c
-		}(),
+		}(), "cfg.Concurrent"},
+		{"not compilable", Quorum{}, base, "does not implement core.BatchCompilable"},
+		{"declined", ApproxN{Delta: 1.5}, base, "declined to compile"},
 	}
-	for name, cfg := range ineligible {
-		if _, ok := core.CompileForBatch(Simple{}, cfg); ok {
-			t.Errorf("%s: config should not be batch-eligible", name)
+	for _, tc := range ineligible {
+		if _, ok, reason := core.CompileForBatch(tc.algo, tc.cfg); ok {
+			t.Errorf("%s: config should not be batch-eligible", tc.name)
+		} else if !strings.Contains(reason, tc.wantReason) {
+			t.Errorf("%s: reason %q does not mention %q", tc.name, reason, tc.wantReason)
 		}
 	}
-	// Non-compilable algorithms decline too.
-	if _, ok := core.CompileForBatch(Adaptive{}, base); ok {
-		t.Error("Adaptive has no compiled form yet and must fall back")
+	if _, ok, reason := core.CompileForBatch(Simple{}, base); !ok || reason != "" {
+		t.Errorf("eligible config: ok=%v reason=%q, want true and empty", ok, reason)
 	}
-	if _, ok, err := core.RunBatch(Adaptive{}, base, []uint64{1}); ok || err != nil {
+	// Non-compilable algorithms fall back without error at the runner level.
+	if _, ok, err := core.RunBatch(Quorum{}, base, []uint64{1}); ok || err != nil {
 		t.Errorf("RunBatch on a non-compilable algorithm: ok=%v err=%v, want fallback", ok, err)
 	}
 }

@@ -10,6 +10,26 @@ import (
 // machinery (core.RunBatch, experiment.MeasureConvergence) then executes it
 // on the struct-of-arrays fast path, with the scalar agent path as the
 // fallback for everything else.
+//
+// Batch-coverage matrix (algorithm × configuration → engine). Any scalar-only
+// cfg feature (Wrap, Trace, Metrics, NewMatcher, Concurrent) forces the
+// scalar path regardless of the algorithm; core.CompileForBatch reports which
+// field blocked compilation.
+//
+//	algorithm      plain cfg   batch path          notes
+//	Simple         batch       lockstep            Algorithm 3
+//	SimplePFSM     batch       lockstep            same program as Simple
+//	Optimal        batch       general (per-ant)   both Case-3 variants
+//	Adaptive       batch       lockstep            §6 boosted rate; per-ant phase-clock column
+//	QualityAware   batch       lockstep            §6 non-binary qualities; quality·count/n draw
+//	ApproxN        batch       lockstep            §6 approximate n; per-ant ñ column (δ ∈ [0,1))
+//	Noisy          scalar      —                   estimator/assessor closures are scalar-only
+//	Quorum         scalar      —                   transport carries need a CarryMatcher
+//	Spreader       scalar      —                   not a house-hunting PFSM
+//
+// Every compiled row is pinned round-for-round bit-identical to its scalar
+// agents by the randomized cross-engine differential harness in
+// batch_equiv_test.go and the FuzzBatchEquivalence fuzz target.
 
 // simpleBatchProgram is Algorithm 3's three-state table: search, then the
 // recruit/assess loop. It is the opcode form of newSimpleSpec — the states
@@ -123,4 +143,84 @@ func (o Optimal) CompileBatch(n int, env sim.Environment) (sim.Program, bool) {
 		return sim.Program{}, false
 	}
 	return optimalBatchProgram(o.Name(), o.Literal), true
+}
+
+// CompileBatch implements core.BatchCompilable: the §6 boosted-rate extension
+// is Algorithm 3's three-state cycle with the recruit draw swapped for the
+// schedule-driven EmitRecruitAdaptive, whose phase clock lives in the lane's
+// per-ant integer parameter column. The scalar AdaptiveAnt's active flag is
+// modeled by the quality register exactly as in the Simple program (adoption
+// sets quality 1; a passive discovery leaves it 0), and the probability
+// formula is shared with the scalar ant via sim.AdaptiveRecruitProbability,
+// so executions are bit-identical. The builder's defaulting (tau 2, floorDiv
+// 4) is applied here so the compiled program matches what Build constructs.
+func (ad Adaptive) CompileBatch(n int, env sim.Environment) (sim.Program, bool) {
+	if n <= 0 || env.K() == 0 {
+		return sim.Program{}, false
+	}
+	tau, floorDiv := ad.Tau, ad.FloorDiv
+	if tau <= 0 {
+		tau = 2
+	}
+	if floorDiv <= 0 {
+		floorDiv = 4
+	}
+	return sim.Program{
+		Algorithm: ad.Name(),
+		Init:      0,
+		States: []sim.ProgramState{
+			{Emit: sim.EmitSearch, Observe: sim.ObserveDiscovery, Next: 1},
+			{Emit: sim.EmitRecruitAdaptive, Observe: sim.ObserveAdopt, Next: 2},
+			{Emit: sim.EmitGotoNest, Observe: sim.ObserveCount, Next: 1},
+		},
+		Params: sim.ProgramParams{Tau: tau, FloorDiv: floorDiv},
+	}, true
+}
+
+// CompileBatch implements core.BatchCompilable: the §6 non-binary-quality
+// extension compiles to Algorithm 3's cycle with a quality-weighted draw
+// (EmitRecruitQual) and two quality-tracking observes: the recruit fold
+// resets quality to 0 on adoption (a captured ant prices the unknown nest
+// conservatively) and the assess visit re-prices it from the environment.
+// No explicit active flag is needed: the scalar QualityAnt only skips the
+// Bernoulli call when passive, and a passive ant's quality register is always
+// 0, where Bernoulli consumes no randomness anyway — so drawing at
+// quality·count/n unconditionally is bit-identical.
+func (QualityAware) CompileBatch(n int, env sim.Environment) (sim.Program, bool) {
+	if n <= 0 || env.K() == 0 {
+		return sim.Program{}, false
+	}
+	return sim.Program{
+		Algorithm: QualityAware{}.Name(),
+		Init:      0,
+		States: []sim.ProgramState{
+			{Emit: sim.EmitSearch, Observe: sim.ObserveDiscovery, Next: 1},
+			{Emit: sim.EmitRecruitQual, Observe: sim.ObserveAdoptZero, Next: 2},
+			{Emit: sim.EmitGotoNest, Observe: sim.ObserveCountQual, Next: 1},
+		},
+	}, true
+}
+
+// CompileBatch implements core.BatchCompilable: the §6 approximate-n
+// extension is Algorithm 3's cycle with the draw probability min(1, count/ñ)
+// (EmitRecruitApproxN), where each ant's private estimate ñ lives in the
+// lane's per-ant float parameter column. The lane draws ñ from the ant's own
+// stream at replicate start — and skips the draw entirely at δ = 0 — exactly
+// as the scalar builder does, which keeps every subsequent Bernoulli aligned.
+// A δ outside [0, 1) declines to compile so the scalar path surfaces the
+// builder's validation error.
+func (a ApproxN) CompileBatch(n int, env sim.Environment) (sim.Program, bool) {
+	if n <= 0 || env.K() == 0 || a.Delta < 0 || a.Delta >= 1 {
+		return sim.Program{}, false
+	}
+	return sim.Program{
+		Algorithm: a.Name(),
+		Init:      0,
+		States: []sim.ProgramState{
+			{Emit: sim.EmitSearch, Observe: sim.ObserveDiscovery, Next: 1},
+			{Emit: sim.EmitRecruitApproxN, Observe: sim.ObserveAdopt, Next: 2},
+			{Emit: sim.EmitGotoNest, Observe: sim.ObserveCount, Next: 1},
+		},
+		Params: sim.ProgramParams{NEstDelta: a.Delta},
+	}, true
 }

@@ -134,6 +134,105 @@ func TestQuorumBuilderValidation(t *testing.T) {
 	}
 }
 
+// TestQuorumThresholdExactBoundary pins the quorum comparison at its exact
+// boundary: checkQuorum promotes at count >= threshold, so a population of
+// threshold−1 must not transport and a population of exactly threshold must.
+func TestQuorumThresholdExactBoundary(t *testing.T) {
+	t.Parallel()
+	a := NewQuorumAnt(100, testSrc(11), 2.0, 3, 0, nil)
+	a.Act(1)
+	a.Observe(1, sim.Outcome{Nest: 1, Count: 5, Quality: 1})
+	if a.threshold != 10 {
+		t.Fatalf("threshold = %d, want 2.0 × 5 = 10", a.threshold)
+	}
+	cycle := func(round int, count int) {
+		a.Act(round)
+		a.Observe(round, sim.Outcome{Nest: 1})
+		a.Act(round + 1)
+		a.Observe(round+1, sim.Outcome{Nest: 1, Count: count})
+	}
+	cycle(2, 9) // one below: no quorum
+	if a.Transporting() {
+		t.Fatal("transporting at threshold − 1")
+	}
+	cycle(4, 10) // exactly at threshold: quorum
+	if !a.Transporting() {
+		t.Fatal("population equal to the threshold did not reach quorum")
+	}
+}
+
+// TestQuorumThresholdGrowthFloor pins the self-calibration floor: when
+// multiplier × initial count rounds below initial count + 2, the threshold is
+// lifted to initial count + 2 so growth is always required — a nest must gain
+// ants over the ant's first visit, never reach quorum standing still.
+func TestQuorumThresholdGrowthFloor(t *testing.T) {
+	t.Parallel()
+	// 1.5 × 2 = 3 < 2 + 2: floored to 4.
+	a := NewQuorumAnt(100, testSrc(12), 1.5, 3, 0, nil)
+	a.Act(1)
+	a.Observe(1, sim.Outcome{Nest: 1, Count: 2, Quality: 1})
+	if a.threshold != 4 {
+		t.Fatalf("threshold = %d, want the floor initial count + 2 = 4", a.threshold)
+	}
+	// 1.5 × 4 = 6 = 4 + 2: the multiplier value stands exactly at the floor.
+	b := NewQuorumAnt(100, testSrc(13), 1.5, 3, 0, nil)
+	b.Act(1)
+	b.Observe(1, sim.Outcome{Nest: 1, Count: 4, Quality: 1})
+	if b.threshold != 6 {
+		t.Fatalf("threshold = %d, want 1.5 × 4 = 6", b.threshold)
+	}
+}
+
+// TestQuorumTransporterCaptureSemantics pins the Recruited-flag handling for
+// transporters: an uncaptured recruit outcome leaves the transporter alone; a
+// fully docile transporter carried to its own nest submits but keeps
+// transporting (the "carried by a nestmate advertising the same nest" case);
+// carried to a different nest it demotes to a canvasser of that nest.
+func TestQuorumTransporterCaptureSemantics(t *testing.T) {
+	t.Parallel()
+	build := func(seed uint64) *QuorumAnt {
+		a := NewQuorumAnt(100, testSrc(seed), 2.0, 3, 1, nil)
+		a.Act(1)
+		a.Observe(1, sim.Outcome{Nest: 1, Count: 3, Quality: 1})
+		a.Act(2)
+		a.Observe(2, sim.Outcome{Nest: 1})
+		a.Act(3)
+		a.Observe(3, sim.Outcome{Nest: 1, Count: 50}) // far above quorum
+		if !a.Transporting() {
+			t.Fatal("setup: ant did not reach quorum")
+		}
+		return a
+	}
+
+	a := build(21)
+	a.Act(4)
+	a.Observe(4, sim.Outcome{Nest: 1, Count: 40}) // recruit outcome, not captured
+	if !a.Transporting() || a.nest != 1 {
+		t.Fatalf("uncaptured transporter changed state: transport=%v nest=%d", a.Transporting(), a.nest)
+	}
+
+	b := build(22)
+	b.Act(4)
+	b.Observe(4, sim.Outcome{Nest: 1, Recruited: true}) // carried to its own nest
+	if !b.Transporting() || !b.active {
+		t.Fatalf("transporter carried to its own nest: transport=%v active=%v, want still transporting",
+			b.Transporting(), b.active)
+	}
+
+	c := build(23)
+	c.Act(4)
+	c.Observe(4, sim.Outcome{Nest: 2, Recruited: true}) // carried to a rival nest
+	if c.Transporting() {
+		t.Fatal("docile transporter kept transporting after adoption")
+	}
+	if c.nest != 2 || !c.active {
+		t.Fatalf("docile transporter did not demote to canvasser of the new nest: nest=%d active=%v", c.nest, c.active)
+	}
+	if c.Decided() {
+		t.Fatal("demoted transporter still reports decided")
+	}
+}
+
 func TestApproxNZeroDeltaMatchesSimple(t *testing.T) {
 	t.Parallel()
 	// δ = 0 must reproduce Algorithm 3 exactly, draw for draw.

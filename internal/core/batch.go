@@ -21,18 +21,38 @@ type BatchCompilable interface {
 // wrappers (faults, asynchrony), traces, metrics, custom matchers and the
 // goroutine-per-ant mode all hold per-agent or per-engine state the batch
 // lanes do not model.
-func CompileForBatch(algo Algorithm, cfg RunConfig) (sim.Program, bool) {
-	if algo == nil || cfg.N <= 0 || cfg.Env.K() == 0 {
-		return sim.Program{}, false
+//
+// When compilation is declined, the returned reason names the cfg field or
+// algorithm that blocked it — one log line answers "why is this sweep on the
+// slow path". The reason is empty exactly when ok is true.
+func CompileForBatch(algo Algorithm, cfg RunConfig) (prog sim.Program, ok bool, reason string) {
+	switch {
+	case algo == nil:
+		return sim.Program{}, false, "no algorithm"
+	case cfg.N <= 0:
+		return sim.Program{}, false, fmt.Sprintf("colony size %d is not positive", cfg.N)
+	case cfg.Env.K() == 0:
+		return sim.Program{}, false, "empty environment"
+	case cfg.Wrap != nil:
+		return sim.Program{}, false, "cfg.Wrap is set (agent wrappers are scalar-only)"
+	case cfg.Trace != nil:
+		return sim.Program{}, false, "cfg.Trace is set (per-round traces are scalar-only)"
+	case cfg.Metrics != nil:
+		return sim.Program{}, false, "cfg.Metrics is set (engine instrumentation is scalar-only)"
+	case cfg.NewMatcher != nil:
+		return sim.Program{}, false, "cfg.NewMatcher is set (custom matchers are scalar-only)"
+	case cfg.Concurrent:
+		return sim.Program{}, false, "cfg.Concurrent is set (the goroutine-per-ant mode is scalar-only)"
 	}
-	if cfg.Wrap != nil || cfg.Trace != nil || cfg.Metrics != nil || cfg.NewMatcher != nil || cfg.Concurrent {
-		return sim.Program{}, false
+	bc, isCompilable := algo.(BatchCompilable)
+	if !isCompilable {
+		return sim.Program{}, false, fmt.Sprintf("algorithm %q does not implement core.BatchCompilable", algo.Name())
 	}
-	bc, ok := algo.(BatchCompilable)
+	prog, ok = bc.CompileBatch(cfg.N, cfg.Env)
 	if !ok {
-		return sim.Program{}, false
+		return sim.Program{}, false, fmt.Sprintf("algorithm %q declined to compile for n=%d, k=%d", algo.Name(), cfg.N, cfg.Env.K())
 	}
-	return bc.CompileBatch(cfg.N, cfg.Env)
+	return prog, true, ""
 }
 
 // RunBatch executes one replicate per seed on the batch engine and returns
@@ -41,7 +61,7 @@ func CompileForBatch(algo Algorithm, cfg RunConfig) (sim.Program, bool) {
 // reports eligibility: when false, the caller must run the scalar path
 // (cfg cannot run batched); no work has been done in that case.
 func RunBatch(algo Algorithm, cfg RunConfig, seeds []uint64) ([]Result, bool, error) {
-	prog, ok := CompileForBatch(algo, cfg)
+	prog, ok, _ := CompileForBatch(algo, cfg)
 	if !ok {
 		return nil, false, nil
 	}

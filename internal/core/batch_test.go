@@ -1,0 +1,104 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/gmrl/househunt/internal/metrics"
+	"github.com/gmrl/househunt/internal/rng"
+	"github.com/gmrl/househunt/internal/sim"
+	"github.com/gmrl/househunt/internal/trace"
+)
+
+// compilableOracle is a minimal BatchCompilable: it exposes a trivial
+// lockstep program so CompileForBatch's cfg gating can be probed without
+// depending on the algo package (core must not import it).
+type compilableOracle struct{ decline bool }
+
+func (compilableOracle) Name() string { return "oracle" }
+
+func (compilableOracle) Build(n int, env sim.Environment, src *rng.Source) ([]sim.Agent, error) {
+	return nil, nil
+}
+
+func (c compilableOracle) CompileBatch(n int, env sim.Environment) (sim.Program, bool) {
+	if c.decline {
+		return sim.Program{}, false
+	}
+	return sim.Program{
+		Algorithm: "oracle",
+		States: []sim.ProgramState{
+			{Emit: sim.EmitSearch, Observe: sim.ObserveDiscovery, Next: 0},
+		},
+	}, true
+}
+
+// TestCompileForBatchReasons pins the fallback diagnostics: every scalar-only
+// cfg field and every algorithm-side refusal must name itself in the returned
+// reason, and an eligible pair must return an empty reason — the "why is this
+// sweep slow" contract.
+func TestCompileForBatchReasons(t *testing.T) {
+	t.Parallel()
+	env := sim.MustEnvironment([]float64{1, 0})
+	base := RunConfig{N: 16, Env: env}
+	tr := trace.New(2)
+	cases := []struct {
+		name string
+		algo Algorithm
+		cfg  RunConfig
+		want string
+	}{
+		{"nil algorithm", nil, base, "no algorithm"},
+		{"bad colony", compilableOracle{}, RunConfig{N: 0, Env: env}, "colony size"},
+		{"empty environment", compilableOracle{}, RunConfig{N: 8}, "empty environment"},
+		{"wrap", compilableOracle{}, func() RunConfig {
+			c := base
+			c.Wrap = func(a []sim.Agent) ([]sim.Agent, error) { return a, nil }
+			return c
+		}(), "cfg.Wrap"},
+		{"trace", compilableOracle{}, func() RunConfig {
+			c := base
+			c.Trace = tr
+			return c
+		}(), "cfg.Trace"},
+		{"metrics", compilableOracle{}, func() RunConfig {
+			c := base
+			c.Metrics = metrics.NewRegistry()
+			return c
+		}(), "cfg.Metrics"},
+		{"matcher", compilableOracle{}, func() RunConfig {
+			c := base
+			c.NewMatcher = func() sim.Matcher { return &sim.AlgorithmOneMatcher{} }
+			return c
+		}(), "cfg.NewMatcher"},
+		{"concurrent", compilableOracle{}, func() RunConfig {
+			c := base
+			c.Concurrent = true
+			return c
+		}(), "cfg.Concurrent"},
+		{"not compilable", stubAlgorithm{}, base, "does not implement core.BatchCompilable"},
+		{"declined", compilableOracle{decline: true}, base, "declined to compile"},
+	}
+	for _, tc := range cases {
+		_, ok, reason := CompileForBatch(tc.algo, tc.cfg)
+		if ok {
+			t.Errorf("%s: unexpectedly batch-eligible", tc.name)
+			continue
+		}
+		if !strings.Contains(reason, tc.want) {
+			t.Errorf("%s: reason %q does not mention %q", tc.name, reason, tc.want)
+		}
+	}
+	if _, ok, reason := CompileForBatch(compilableOracle{}, base); !ok || reason != "" {
+		t.Errorf("eligible pair: ok=%v reason=%q, want true and empty", ok, reason)
+	}
+}
+
+// stubAlgorithm is an Algorithm without a compiled form.
+type stubAlgorithm struct{}
+
+func (stubAlgorithm) Name() string { return "stub" }
+
+func (stubAlgorithm) Build(n int, env sim.Environment, src *rng.Source) ([]sim.Agent, error) {
+	return nil, nil
+}

@@ -6,68 +6,52 @@ import (
 
 	"github.com/gmrl/househunt/internal/algo"
 	"github.com/gmrl/househunt/internal/core"
+	"github.com/gmrl/househunt/internal/sim"
 	"github.com/gmrl/househunt/internal/workload"
 )
 
-// TestMeasureConvergenceBatchMatchesScalar pins the config switch: a
+// TestMeasureConvergenceBatchMatchesScalar is the experiment layer of the
+// cross-engine differential harness: for every compiled algorithm — the
+// Algorithm 3 family, both Algorithm 2 variants and the §6 extensions — a
 // measurement taken on the batch fast path must aggregate to exactly the same
 // ConvergencePoint as the scalar replicate loop, because per-replicate
 // executions are bit-identical.
 func TestMeasureConvergenceBatchMatchesScalar(t *testing.T) {
-	env, err := workload.Binary(4, 2)
+	binary, err := workload.Binary(4, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
-	cfg := core.RunConfig{N: 96, Env: env, MaxRounds: 4000}
+	graded := sim.MustEnvironment([]float64{0.3, 0.9, 0.2, 0})
 	const reps = 24
 
 	if !BatchEngineEnabled() {
 		t.Fatal("batch engine should be enabled by default")
 	}
-	batched, err := MeasureConvergence(algo.Simple{}, cfg, reps, "batch-equiv")
-	if err != nil {
-		t.Fatal(err)
+	cases := []struct {
+		algo core.Algorithm
+		env  sim.Environment
+	}{
+		{algo.Simple{}, binary},
+		{algo.SimplePFSM{}, binary},
+		{algo.Optimal{}, binary},
+		{algo.Optimal{Literal: true}, binary},
+		{algo.Adaptive{}, binary},
+		{algo.QualityAware{}, graded},
+		{algo.ApproxN{Delta: 0.25}, binary},
 	}
-
-	SetBatchEngine(false)
-	defer SetBatchEngine(true)
-	scalar, err := MeasureConvergence(algo.Simple{}, cfg, reps, "batch-equiv")
-	if err != nil {
-		t.Fatal(err)
-	}
-
-	if !reflect.DeepEqual(batched, scalar) {
-		t.Fatalf("batch and scalar measurements diverge:\nbatch  %+v\nscalar %+v", batched, scalar)
-	}
-	if batched.Solved == 0 {
-		t.Fatal("measurement solved no replicates; the equivalence check is vacuous")
-	}
-}
-
-// TestMeasureConvergenceBatchMatchesScalarOptimal is the Algorithm 2
-// counterpart: Optimal now compiles to the batch engine's general path, and a
-// measurement taken on it must aggregate identically to the scalar loop for
-// both Case-3 variants.
-func TestMeasureConvergenceBatchMatchesScalarOptimal(t *testing.T) {
-	env, err := workload.Binary(4, 2)
-	if err != nil {
-		t.Fatal(err)
-	}
-	cfg := core.RunConfig{N: 96, Env: env, MaxRounds: 4000}
-	const reps = 24
-
-	for _, variant := range []algo.Optimal{{}, {Literal: true}} {
+	for _, tc := range cases {
+		cfg := core.RunConfig{N: 96, Env: tc.env, MaxRounds: 4000}
 		SetBatchEngine(true)
-		if _, ok := core.CompileForBatch(variant, cfg); !ok {
-			t.Fatalf("%s: expected batch eligibility", variant.Name())
+		if _, ok, reason := core.CompileForBatch(tc.algo, cfg); !ok {
+			t.Fatalf("%s: expected batch eligibility, got fallback: %s", tc.algo.Name(), reason)
 		}
-		batched, err := MeasureConvergence(variant, cfg, reps, "batch-equiv-opt")
+		batched, err := MeasureConvergence(tc.algo, cfg, reps, "batch-equiv")
 		if err != nil {
 			t.Fatal(err)
 		}
 
 		SetBatchEngine(false)
-		scalar, err := MeasureConvergence(variant, cfg, reps, "batch-equiv-opt")
+		scalar, err := MeasureConvergence(tc.algo, cfg, reps, "batch-equiv")
 		SetBatchEngine(true)
 		if err != nil {
 			t.Fatal(err)
@@ -75,10 +59,12 @@ func TestMeasureConvergenceBatchMatchesScalarOptimal(t *testing.T) {
 
 		if !reflect.DeepEqual(batched, scalar) {
 			t.Fatalf("%s: batch and scalar measurements diverge:\nbatch  %+v\nscalar %+v",
-				variant.Name(), batched, scalar)
+				tc.algo.Name(), batched, scalar)
 		}
-		if variant == (algo.Optimal{}) && batched.Solved == 0 {
-			t.Fatal("measurement solved no replicates; the equivalence check is vacuous")
+		// The literal Optimal variant can deadlock by design; every other
+		// cell must solve replicates or the equivalence check is vacuous.
+		if batched.Solved == 0 && !reflect.DeepEqual(tc.algo, algo.Optimal{Literal: true}) {
+			t.Fatalf("%s: measurement solved no replicates; the equivalence check is vacuous", tc.algo.Name())
 		}
 	}
 }
@@ -92,10 +78,14 @@ func TestMeasureConvergenceScalarFallback(t *testing.T) {
 		t.Fatal(err)
 	}
 	cfg := core.RunConfig{N: 64, Env: env}
-	if _, ok := core.CompileForBatch(algo.Adaptive{}, cfg); ok {
-		t.Fatal("Adaptive should have no compiled form")
+	_, ok, reason := core.CompileForBatch(algo.Noisy{}, cfg)
+	if ok {
+		t.Fatal("Noisy should have no compiled form")
 	}
-	pt, err := MeasureConvergence(algo.Adaptive{}, cfg, 8, "batch-fallback")
+	if reason == "" {
+		t.Fatal("fallback must carry a reason")
+	}
+	pt, err := MeasureConvergence(algo.Noisy{}, cfg, 8, "batch-fallback")
 	if err != nil {
 		t.Fatal(err)
 	}

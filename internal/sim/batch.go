@@ -29,7 +29,9 @@ import (
 // The engine is bit-compatible with the scalar path: replicate r seeded with
 // seeds[r] produces round-for-round identical populations, commitments and
 // final results to an Engine running the same algorithm's scalar agents under
-// the same seed (tested against SimplePFSM and OptimalAnt in internal/algo).
+// the same seed (pinned for every compiled algorithm — Algorithms 2 and 3 and
+// the §6 extensions — by the randomized cross-engine differential harness in
+// internal/algo).
 // That holds because the batch engine derives exactly the same RNG streams —
 // envSrc = root.Split(0), matchSrc = root.Split(1), ant i = root.Split(2).
 // Split(i) — and consumes them in the same order as Engine.Step: per-ant
@@ -50,6 +52,8 @@ type Batch struct {
 	lockstep bool
 	decides  bool
 	antRNG   bool
+	needI    bool
+	needF    bool
 	isFinal  []bool
 }
 
@@ -110,6 +114,8 @@ func NewBatch(env Environment, prog Program, n int, opts ...BatchOption) (*Batch
 		lockstep: prog.Lockstep(),
 		decides:  prog.Decides(),
 		antRNG:   prog.NeedsAntRNG(),
+		needI:    prog.NeedsIntParam(),
+		needF:    prog.NeedsFloatParam(),
 		isFinal:  make([]bool, len(prog.States)),
 	}
 	for i, st := range prog.States {
@@ -207,13 +213,18 @@ type lane struct {
 
 	// Register file (struct of arrays). state is unused on the lockstep path
 	// (the shared PFSM state lives in runReplicate's phase variable); nestT
-	// and countT are Algorithm 2's cross-round scratch registers.
+	// and countT are Algorithm 2's cross-round scratch registers. paramI and
+	// paramF are the §6 extension parameter columns — AdaptiveAnt's phase
+	// clock and ApproxNAnt's private ñ estimate — materialized only when the
+	// program's opcodes read them.
 	state   []uint8
 	nest    []NestID
 	count   []int32
 	quality []float64
 	nestT   []NestID
 	countT  []int32
+	paramI  []int32
+	paramF  []float64
 
 	// Per-round scratch.
 	actNest    []NestID // the nest advertised by this round's search/go/recruit
@@ -259,6 +270,12 @@ func newLane(b *Batch) *lane {
 	if b.antRNG {
 		ln.antSrc = make([]rng.Source, n)
 	}
+	if b.needI {
+		ln.paramI = make([]int32, n)
+	}
+	if b.needF {
+		ln.paramF = make([]float64, n)
+	}
 	return ln
 }
 
@@ -266,8 +283,11 @@ func newLane(b *Batch) *lane {
 // the scalar stack does: the engine splits {0: environment, 1: matcher} and
 // the algorithm builder splits {2} then per-ant substreams. Per-ant streams
 // are only materialized when the program draws ant randomness (programs
-// without EmitRecruitPop never touch them, so seeding n streams would be
-// wasted work — and the scalar agents' unused sources draw nothing either).
+// without drawn-recruit opcodes never touch them, so seeding n streams would
+// be wasted work — and the scalar agents' unused sources draw nothing either).
+// The float parameter column is seeded here because the scalar ApproxN
+// builder draws each ant's ñ from the ant's own stream before any round runs;
+// doing the same keeps the subsequent Bernoulli sequences aligned.
 func (ln *lane) reset(seed uint64) {
 	root := rng.New(seed)
 	root.SplitInto(0, &ln.envSrc)
@@ -277,6 +297,19 @@ func (ln *lane) reset(seed uint64) {
 		root.SplitInto(2, &agents)
 		for i := range ln.antSrc {
 			agents.SplitInto(uint64(i), &ln.antSrc[i])
+		}
+	}
+	for i := range ln.paramI {
+		ln.paramI[i] = 0
+	}
+	if ln.paramF != nil {
+		delta := ln.prog.Params.NEstDelta
+		nF := float64(ln.n)
+		for i := range ln.paramF {
+			ln.paramF[i] = nF
+			if delta > 0 {
+				ln.paramF[i] = nF * (1 + (2*ln.antSrc[i].Float64()-1)*delta)
+			}
 		}
 	}
 	for i := 0; i < ln.n; i++ {
@@ -390,20 +423,10 @@ func (ln *lane) stepLockstep(phase uint8) (uint8, error) {
 			}
 			counts[dest]++
 		}
-	case EmitRecruitPop:
+	case EmitRecruitPop, EmitRecruitQual, EmitRecruitAdaptive, EmitRecruitApproxN:
 		recruited = true
-		nF := float64(n)
-		quality := ln.quality
-		count := ln.count
-		active := ln.active
-		for i := range nest {
-			b := false
-			if quality[i] > 0 {
-				b = ln.antSrc[i].Bernoulli(float64(count[i]) / nF)
-			}
-			active[i] = b
-			actNest[i] = nest[i]
-		}
+		ln.drawActiveBits(st.Emit)
+		copy(actNest, nest)
 		counts[Home] = n
 
 		// Recruitment matching: the paper's Algorithm 1, via the same
@@ -411,7 +434,7 @@ func (ln *lane) stepLockstep(phase uint8) (uint8, error) {
 		// scalar engine. Every ant recruits, so slot t is ant t and no
 		// recruiter indirection exists; one concrete call per round costs
 		// nothing against the per-ant loops.
-		ln.matcher.Match(n, active, &ln.matchSrc, ln.capturedBy, ln.succeeded)
+		ln.matcher.Match(n, ln.active, &ln.matchSrc, ln.capturedBy, ln.succeeded)
 	}
 
 	// Resolve outcome nests in place in actNest: a search outcome is the
@@ -423,7 +446,7 @@ func (ln *lane) stepLockstep(phase uint8) (uint8, error) {
 	switch st.Emit {
 	case EmitGotoNest:
 		copy(actNest, nest)
-	case EmitRecruitPop:
+	case EmitRecruitPop, EmitRecruitQual, EmitRecruitAdaptive, EmitRecruitApproxN:
 		capturedBy := ln.capturedBy
 		for i := range actNest {
 			if cb := capturedBy[i]; cb >= 0 && cb != i {
@@ -477,8 +500,91 @@ func (ln *lane) stepLockstep(phase uint8) (uint8, error) {
 				count[i] = int32(counts[actNest[i]])
 			}
 		}
+	case ObserveAdoptZero:
+		quality := ln.quality
+		for i := range nest {
+			if outNest := actNest[i]; outNest != nest[i] {
+				commit[nest[i]]--
+				commit[outNest]++
+				nest[i] = outNest
+				quality[i] = 0
+			}
+		}
+	case ObserveCountQual:
+		count := ln.count
+		quality := ln.quality
+		if recruited {
+			for i := range count {
+				count[i] = int32(n)
+				quality[i] = 0
+			}
+		} else {
+			for i := range count {
+				count[i] = int32(counts[actNest[i]])
+				quality[i] = ln.qual[actNest[i]]
+			}
+		}
 	}
 	return st.Next, nil
+}
+
+// drawActiveBits fills the active column for a colony-wide drawn-recruit
+// round, one specialized loop per opcode. Each loop consumes the per-ant
+// streams exactly as the corresponding scalar ant does: Simple/Adaptive/
+// ApproxN gate the draw on a positive quality register (their active flag),
+// while Quality draws unconditionally — its probability is 0 whenever the
+// scalar ant would be passive, and rng.Source's Bernoulli consumes nothing at
+// p <= 0 or p >= 1, so both formulations touch the streams identically.
+func (ln *lane) drawActiveBits(op EmitOp) {
+	n := ln.n
+	nF := float64(n)
+	quality := ln.quality
+	count := ln.count
+	active := ln.active
+	switch op {
+	case EmitRecruitPop:
+		for i := 0; i < n; i++ {
+			b := false
+			if quality[i] > 0 {
+				b = ln.antSrc[i].Bernoulli(float64(count[i]) / nF)
+			}
+			active[i] = b
+		}
+	case EmitRecruitQual:
+		for i := 0; i < n; i++ {
+			active[i] = ln.antSrc[i].Bernoulli(quality[i] * float64(count[i]) / nF)
+		}
+	case EmitRecruitAdaptive:
+		// The phase clock is colony-uniform here — lockstep programs march
+		// every ant through the same emits — so the schedule's decay term is
+		// hoisted out of the loop; only count varies per ant, and
+		// c/(c+decay) is float-identical to AdaptiveRecruitProbability.
+		tau, floorDiv := ln.prog.Params.Tau, ln.prog.Params.FloorDiv
+		paramI := ln.paramI
+		decay := adaptiveDecay(n, int(paramI[0]), tau, floorDiv)
+		for i := 0; i < n; i++ {
+			b := false
+			if quality[i] > 0 {
+				c := float64(count[i])
+				b = ln.antSrc[i].Bernoulli(c / (c + decay))
+			}
+			paramI[i]++
+			active[i] = b
+		}
+	case EmitRecruitApproxN:
+		paramF := ln.paramF
+		for i := 0; i < n; i++ {
+			b := false
+			if quality[i] > 0 {
+				p := float64(count[i]) / paramF[i]
+				if p > 1 {
+					p = 1
+				}
+				b = ln.antSrc[i].Bernoulli(p)
+			}
+			active[i] = b
+		}
+	}
 }
 
 // stepGeneral resolves one synchronous round for a colony with a per-ant
@@ -544,11 +650,30 @@ func (ln *lane) stepGeneral() error {
 			ln.active[slot] = st.Arg == 1
 			actNest[i] = adv
 			counts[Home]++
-		case EmitRecruitPop:
+		case EmitRecruitPop, EmitRecruitQual, EmitRecruitAdaptive, EmitRecruitApproxN:
 			adv := nest[i]
-			b := false
-			if ln.quality[i] > 0 {
-				b = ln.antSrc[i].Bernoulli(float64(ln.count[i]) / float64(n))
+			var b bool
+			switch st.Emit {
+			case EmitRecruitPop:
+				if ln.quality[i] > 0 {
+					b = ln.antSrc[i].Bernoulli(float64(ln.count[i]) / float64(n))
+				}
+			case EmitRecruitQual:
+				b = ln.antSrc[i].Bernoulli(ln.quality[i] * float64(ln.count[i]) / float64(n))
+			case EmitRecruitAdaptive:
+				if ln.quality[i] > 0 {
+					b = ln.antSrc[i].Bernoulli(AdaptiveRecruitProbability(
+						n, int(ln.count[i]), int(ln.paramI[i]), ln.prog.Params.Tau, ln.prog.Params.FloorDiv))
+				}
+				ln.paramI[i]++
+			case EmitRecruitApproxN:
+				if ln.quality[i] > 0 {
+					p := float64(ln.count[i]) / ln.paramF[i]
+					if p > 1 {
+						p = 1
+					}
+					b = ln.antSrc[i].Bernoulli(p)
+				}
 			}
 			if b && adv == Home {
 				return fmt.Errorf("ant %d: recruit(1,0): cannot actively recruit for the home nest", i)
@@ -621,6 +746,20 @@ func (ln *lane) stepGeneral() error {
 			}
 		case ObserveCount:
 			ln.count[i] = outCount
+		case ObserveAdoptZero:
+			if outNest != nest[i] {
+				commit[nest[i]]--
+				commit[outNest]++
+				nest[i] = outNest
+				ln.quality[i] = 0
+			}
+		case ObserveCountQual:
+			ln.count[i] = outCount
+			if slotOf[i] < 0 {
+				ln.quality[i] = ln.qual[outNest]
+			} else {
+				ln.quality[i] = 0
+			}
 		case ObserveDiscoverBranch:
 			if outNest != nest[i] {
 				commit[nest[i]]--

@@ -32,10 +32,15 @@ import "fmt"
 // core.Decided contract of the scalar path, and reports the decided count in
 // BatchResult.Decided.
 //
-// The opcode set intentionally covers only what the compiled algorithms need
-// today (Algorithms 2 and 3); the §6 extensions, batched faults and batched
-// matcher ablations remain ROADMAP items. An algorithm advertises its compiled
-// form by implementing the core package's BatchCompilable interface.
+// The opcode set covers Algorithms 2 and 3 plus the §6 extensions that
+// reshape only the recruit draw (Adaptive's boosted schedule, QualityAware's
+// quality-weighted rate, ApproxN's private colony-size estimate). Extension
+// opcodes may read two per-ant parameter columns the lane materializes on
+// demand — an integer column (Adaptive's phase clock) and a float column
+// (ApproxN's ñ estimate) — and their scalar knobs travel in Params. Batched
+// faults and batched matcher ablations remain ROADMAP items. An algorithm
+// advertises its compiled form by implementing the core package's
+// BatchCompilable interface.
 type Program struct {
 	// Algorithm is the source algorithm's name, carried into results.
 	Algorithm string
@@ -43,6 +48,27 @@ type Program struct {
 	Init uint8
 	// States is the dense state table; successor indices refer into it.
 	States []ProgramState
+	// Params parameterizes the extension emit opcodes; zero unless the
+	// program uses one of them (see ProgramParams).
+	Params ProgramParams
+}
+
+// ProgramParams carries the scalar knobs of the §6 extension opcodes. The
+// fields are program-wide constants; per-ant state lives in the lane's
+// parameter columns instead.
+type ProgramParams struct {
+	// Tau is EmitRecruitAdaptive's boost-doubling period in recruit phases;
+	// must be positive when that opcode appears.
+	Tau int
+	// FloorDiv caps EmitRecruitAdaptive's boost at a virtual rival of
+	// n/FloorDiv; must be positive when that opcode appears.
+	FloorDiv float64
+	// NEstDelta is EmitRecruitApproxN's maximum relative colony-size error:
+	// each ant's private estimate is ñ = n·(1 + u), u ~ Uniform(−δ, +δ),
+	// drawn from the ant's own stream at replicate start (no draw when 0,
+	// matching the scalar builder). Must lie in [0, 1) when the opcode
+	// appears.
+	NEstDelta float64
 }
 
 // ProgramState is one compiled PFSM state.
@@ -88,7 +114,60 @@ const (
 	// EmitGotoScratch performs go(nestT) on the scratch nest register —
 	// Algorithm 2's R2 visit to the nest learned while recruiting (line 24).
 	EmitGotoScratch
+	// EmitRecruitQual performs recruit(b, nest) with b drawn as
+	// Bernoulli(quality·count/n) — the §6 non-binary-quality extension's
+	// assessment-weighted rate. The draw is made unconditionally: rng.Source's
+	// Bernoulli consumes no randomness at p <= 0 or p >= 1, which is exactly
+	// how the scalar QualityAnt's active gate behaves (a passive ant always
+	// holds quality 0, so skipping the call and making it at p = 0 are
+	// bit-identical).
+	EmitRecruitQual
+	// EmitRecruitAdaptive performs recruit(b, nest) with b drawn as
+	// Bernoulli(AdaptiveRecruitProbability(n, count, phases, Tau, FloorDiv))
+	// when the quality register is positive and b = 0 otherwise — the §6
+	// boosted-rate extension. phases is the ant's entry in the lane's integer
+	// parameter column, incremented on every emit (drawn or not), mirroring
+	// the scalar AdaptiveAnt's phase clock.
+	EmitRecruitAdaptive
+	// EmitRecruitApproxN performs recruit(b, nest) with b drawn as
+	// Bernoulli(min(1, count/ñ)) when the quality register is positive and
+	// b = 0 otherwise — the §6 approximate-n extension. ñ is the ant's entry
+	// in the lane's float parameter column, initialized from Params.NEstDelta
+	// at replicate start.
+	EmitRecruitApproxN
 )
+
+// AdaptiveRecruitProbability is the boosted recruitment rate of the §6
+// "improved running time" extension and the semantic definition of
+// EmitRecruitAdaptive:
+//
+//	b(r) = count / (count + A(r)),   A(r) = max(n·2^(−⌊phases/tau⌋), n/floorDiv)
+//
+// The scalar AdaptiveAnt delegates here too, so batch and scalar executions
+// share one float-for-float identical formula by construction.
+func AdaptiveRecruitProbability(n, count, phases, tau int, floorDiv float64) float64 {
+	c := float64(count)
+	decay := adaptiveDecay(n, phases, tau, floorDiv)
+	return c / (c + decay)
+}
+
+// adaptiveDecay computes the schedule's virtual-rival term A(r). It is split
+// out so the lockstep batch path, where the phase clock is colony-uniform,
+// can hoist it out of the per-ant loop.
+func adaptiveDecay(n, phases, tau int, floorDiv float64) float64 {
+	decay := float64(n)
+	for i := 0; i < phases/tau; i++ {
+		decay /= 2
+		if decay <= float64(n)/floorDiv {
+			break
+		}
+	}
+	floor := float64(n) / floorDiv
+	if decay < floor {
+		decay = floor
+	}
+	return decay
+}
 
 // ObserveOp enumerates the compiled observe behaviours. Static opcodes always
 // enter Next; branching ones document which successor each outcome selects.
@@ -144,13 +223,23 @@ const (
 	// final-state recruit loop's ⟨nest, ·⟩ := recruit(1, nest) of line 21 —
 	// then enters Next.
 	ObserveNestLatch
+	// ObserveAdoptZero adopts the recruiter's nest when the outcome's nest
+	// differs from the committed one, resetting quality to 0 — the §6
+	// quality-aware recruit fold: a captured ant prices the unknown nest
+	// conservatively until its next visit re-assesses it. Static.
+	ObserveAdoptZero
+	// ObserveCountQual loads the count register and re-assesses quality from
+	// the outcome — the quality-aware assess visit (the engine reports the
+	// nest's true quality on go outcomes; recruit outcomes carry quality 0).
+	// Static.
+	ObserveCountQual
 )
 
 // staticObserve reports whether op always enters Next.
 func staticObserve(op ObserveOp) bool {
 	switch op {
 	case ObserveDiscovery, ObserveAdopt, ObserveCount, ObserveNone,
-		ObserveRecruitNest, ObserveNestLatch:
+		ObserveRecruitNest, ObserveNestLatch, ObserveAdoptZero, ObserveCountQual:
 		return true
 	}
 	return false
@@ -159,7 +248,18 @@ func staticObserve(op ObserveOp) bool {
 // lockstepEmit reports whether the lockstep fast path implements op.
 func lockstepEmit(op EmitOp) bool {
 	switch op {
-	case EmitSearch, EmitGotoNest, EmitRecruitPop:
+	case EmitSearch, EmitGotoNest, EmitRecruitPop,
+		EmitRecruitQual, EmitRecruitAdaptive, EmitRecruitApproxN:
+		return true
+	}
+	return false
+}
+
+// recruitDrawEmit reports whether op is a recruit whose active bit is drawn
+// from the ant's stream (as opposed to EmitRecruitBit's fixed bit).
+func recruitDrawEmit(op EmitOp) bool {
+	switch op {
+	case EmitRecruitPop, EmitRecruitQual, EmitRecruitAdaptive, EmitRecruitApproxN:
 		return true
 	}
 	return false
@@ -190,10 +290,34 @@ func (p Program) Decides() bool {
 	return false
 }
 
-// NeedsAntRNG reports whether any state draws per-ant randomness.
+// NeedsAntRNG reports whether any state draws per-ant randomness (every
+// drawn-recruit opcode does; EmitRecruitApproxN additionally draws each ant's
+// ñ estimate at replicate start).
 func (p Program) NeedsAntRNG() bool {
 	for _, st := range p.States {
-		if st.Emit == EmitRecruitPop {
+		if recruitDrawEmit(st.Emit) {
+			return true
+		}
+	}
+	return false
+}
+
+// NeedsIntParam reports whether the lane must materialize the per-ant integer
+// parameter column (EmitRecruitAdaptive's phase clock).
+func (p Program) NeedsIntParam() bool {
+	for _, st := range p.States {
+		if st.Emit == EmitRecruitAdaptive {
+			return true
+		}
+	}
+	return false
+}
+
+// NeedsFloatParam reports whether the lane must materialize the per-ant float
+// parameter column (EmitRecruitApproxN's ñ estimate).
+func (p Program) NeedsFloatParam() bool {
+	for _, st := range p.States {
+		if st.Emit == EmitRecruitApproxN {
 			return true
 		}
 	}
@@ -202,7 +326,8 @@ func (p Program) NeedsAntRNG() bool {
 
 // Validate checks structural soundness: a non-empty table, an in-range
 // initial state, in-range successors (including the alternates of branching
-// opcodes) and known, well-parameterized opcodes.
+// opcodes), known, well-parameterized opcodes and, for the extension opcodes,
+// in-range program parameters.
 func (p Program) Validate() error {
 	if len(p.States) == 0 {
 		return fmt.Errorf("sim: program %q has no states", p.Algorithm)
@@ -213,14 +338,25 @@ func (p Program) Validate() error {
 	if int(p.Init) >= len(p.States) {
 		return fmt.Errorf("sim: program %q initial state %d out of range", p.Algorithm, p.Init)
 	}
+	if p.NeedsIntParam() {
+		if p.Params.Tau < 1 {
+			return fmt.Errorf("sim: program %q uses EmitRecruitAdaptive with tau %d; want >= 1", p.Algorithm, p.Params.Tau)
+		}
+		if !(p.Params.FloorDiv > 0) {
+			return fmt.Errorf("sim: program %q uses EmitRecruitAdaptive with floorDiv %v; want > 0", p.Algorithm, p.Params.FloorDiv)
+		}
+	}
+	if p.NeedsFloatParam() && !(p.Params.NEstDelta >= 0 && p.Params.NEstDelta < 1) {
+		return fmt.Errorf("sim: program %q uses EmitRecruitApproxN with delta %v outside [0, 1)", p.Algorithm, p.Params.NEstDelta)
+	}
 	for i, st := range p.States {
-		if st.Emit > EmitGotoScratch {
+		if st.Emit > EmitRecruitApproxN {
 			return fmt.Errorf("sim: program %q state %d: unknown emit opcode %d", p.Algorithm, i, st.Emit)
 		}
 		if st.Emit == EmitRecruitBit && st.Arg > 1 {
 			return fmt.Errorf("sim: program %q state %d: recruit bit %d is not 0 or 1", p.Algorithm, i, st.Arg)
 		}
-		if st.Observe > ObserveNestLatch {
+		if st.Observe > ObserveCountQual {
 			return fmt.Errorf("sim: program %q state %d: unknown observe opcode %d", p.Algorithm, i, st.Observe)
 		}
 		if int(st.Next) >= len(p.States) {
