@@ -16,6 +16,7 @@ import (
 	"github.com/gmrl/househunt/internal/algo"
 	"github.com/gmrl/househunt/internal/core"
 	"github.com/gmrl/househunt/internal/experiment"
+	"github.com/gmrl/househunt/internal/nest"
 	"github.com/gmrl/househunt/internal/rng"
 	"github.com/gmrl/househunt/internal/sim"
 )
@@ -273,6 +274,31 @@ func BenchmarkReplicateSweepScalarApproxN(b *testing.B) {
 // (lockstep with the per-ant ñ column) at δ = 0.2.
 func BenchmarkReplicateSweepBatchApproxN(b *testing.B) {
 	benchReplicateSweep(b, algo.ApproxN{Delta: 0.2}, true)
+}
+
+// BenchmarkReplicateSweepScalarQuorum is the §6 quorum-transport scalar
+// baseline (default multiplier 1.5, carry 3, docility 0.25).
+func BenchmarkReplicateSweepScalarQuorum(b *testing.B) {
+	benchReplicateSweep(b, algo.Quorum{}, false)
+}
+
+// BenchmarkReplicateSweepBatchQuorum is the §6 quorum-transport batch path
+// (general per-ant path with carry-aware recruitment matching and the
+// docility draw on capture).
+func BenchmarkReplicateSweepBatchQuorum(b *testing.B) {
+	benchReplicateSweep(b, algo.Quorum{}, true)
+}
+
+// BenchmarkReplicateSweepScalarNoisy is the §6 noisy-perception scalar
+// baseline (relative count noise σ = 0.1).
+func BenchmarkReplicateSweepScalarNoisy(b *testing.B) {
+	benchReplicateSweep(b, algo.Noisy{Counter: nest.RelativeNoiseCounter{Sigma: 0.1}}, false)
+}
+
+// BenchmarkReplicateSweepBatchNoisy is the §6 noisy-perception batch path
+// (lockstep with per-ant estimator hooks) at σ = 0.1.
+func BenchmarkReplicateSweepBatchNoisy(b *testing.B) {
+	benchReplicateSweep(b, algo.Noisy{Counter: nest.RelativeNoiseCounter{Sigma: 0.1}}, true)
 }
 
 // BenchmarkEngineRoundConcurrent measures the goroutine-per-ant mode's round

@@ -23,6 +23,7 @@ import (
 	"github.com/gmrl/househunt/internal/algo"
 	"github.com/gmrl/househunt/internal/core"
 	"github.com/gmrl/househunt/internal/experiment"
+	"github.com/gmrl/househunt/internal/nest"
 	"github.com/gmrl/househunt/internal/workload"
 )
 
@@ -136,8 +137,10 @@ type benchRecord struct {
 
 // batchBenchAlgorithms is the benchmarked inventory: every compiled
 // algorithm — Algorithm 3 (simple, lockstep path), Algorithm 2 (optimal,
-// per-ant state column path) and the §6 extensions (adaptive, quality,
-// approxn; lockstep with parameter columns).
+// per-ant state column path), the §6 recruit-draw extensions (adaptive,
+// quality, approxn; lockstep with parameter columns), the quorum-transport
+// strategy (general path with carry-aware matching) and the noisy-perception
+// model (lockstep with estimator hooks).
 func batchBenchAlgorithms() []core.Algorithm {
 	return []core.Algorithm{
 		algo.Simple{},
@@ -145,6 +148,8 @@ func batchBenchAlgorithms() []core.Algorithm {
 		algo.Adaptive{},
 		algo.QualityAware{},
 		algo.ApproxN{Delta: 0.2},
+		algo.Quorum{},
+		algo.Noisy{Counter: nest.RelativeNoiseCounter{Sigma: 0.1}},
 	}
 }
 

@@ -70,8 +70,8 @@ func TestBatchBenchJSONRecords(t *testing.T) {
 		}
 		recs = append(recs, rec)
 	}
-	if len(recs) != 10 {
-		t.Fatalf("got %d BENCH records, want 10:\n%+v", len(recs), recs)
+	if len(recs) != 14 {
+		t.Fatalf("got %d BENCH records, want 14:\n%+v", len(recs), recs)
 	}
 	wantCells := []struct{ algorithm, engine string }{
 		{"simple", "scalar"}, {"simple", "batch"},
@@ -79,6 +79,8 @@ func TestBatchBenchJSONRecords(t *testing.T) {
 		{"adaptive", "scalar"}, {"adaptive", "batch"},
 		{"quality", "scalar"}, {"quality", "batch"},
 		{"approxn(δ=0.2)", "scalar"}, {"approxn(δ=0.2)", "batch"},
+		{"quorum(M=1.5)", "scalar"}, {"quorum(M=1.5)", "batch"},
+		{"noisy[relative(σ=0.1),exact]", "scalar"}, {"noisy[relative(σ=0.1),exact]", "batch"},
 	}
 	for i, rec := range recs {
 		if rec.Type != "BENCH" {

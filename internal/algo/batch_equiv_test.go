@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"github.com/gmrl/househunt/internal/core"
+	"github.com/gmrl/househunt/internal/nest"
 	"github.com/gmrl/househunt/internal/rng"
 	"github.com/gmrl/househunt/internal/sim"
 )
@@ -15,9 +16,9 @@ import (
 // This file is the cross-engine differential harness: one shared set of
 // generators and layer assertions through which every compiled algorithm —
 // Simple/SimplePFSM (Algorithm 3), both Optimal variants (Algorithm 2) and
-// the §6 extensions (Adaptive, QualityAware, ApproxN) — is pinned
-// round-for-round bit-identical between the scalar agent engine and the batch
-// struct-of-arrays engine. Three layers are asserted per case:
+// the §6 extensions (Adaptive, QualityAware, ApproxN, Quorum, Noisy) — is
+// pinned round-for-round bit-identical between the scalar agent engine and
+// the batch struct-of-arrays engine. Three layers are asserted per case:
 //
 //	algo layer: CompileBatch yields a structurally valid program carrying the
 //	            algorithm's name (compileCase);
@@ -63,6 +64,11 @@ func compiledInventory() []core.Algorithm {
 		ApproxN{},
 		ApproxN{Delta: 0.3},
 		ApproxN{Delta: 0.75},
+		Quorum{},
+		Quorum{Multiplier: 2, Carry: 1, Docility: 1},
+		Quorum{Assessor: nest.FlipAssessor{P: 0.15}},
+		Noisy{},
+		Noisy{Counter: nest.RelativeNoiseCounter{Sigma: 0.2}, Assessor: nest.GaussianAssessor{Sigma: 0.1}},
 	}
 }
 
@@ -219,7 +225,7 @@ func randomDiffCases(metaSeed uint64, count int) []diffCase {
 	cases := make([]diffCase, 0, count)
 	for i := 0; i < count; i++ {
 		var a core.Algorithm
-		switch src.Intn(7) {
+		switch src.Intn(9) {
 		case 0:
 			a = Simple{}
 		case 1:
@@ -241,6 +247,34 @@ func randomDiffCases(metaSeed uint64, count int) []diffCase {
 				delta = 0.9 * src.Float64()
 			}
 			a = ApproxN{Delta: delta}
+		case 7:
+			q := Quorum{} // zero values: the compiled defaults must match Build's
+			if src.Bernoulli(0.7) {
+				q = Quorum{
+					Multiplier: 1.1 + 2*src.Float64(),
+					Carry:      1 + src.Intn(4),
+					Docility:   src.Float64(),
+				}
+			}
+			if src.Bernoulli(0.4) {
+				q.Assessor = nest.FlipAssessor{P: 0.3 * src.Float64()}
+			}
+			a = q
+		case 8:
+			no := Noisy{} // zero values: the compiled defaults must match Build's
+			if src.Bernoulli(0.7) {
+				no.Counter = nest.RelativeNoiseCounter{Sigma: 0.5 * src.Float64()}
+			}
+			switch src.Intn(3) {
+			case 1:
+				no.Assessor = nest.GaussianAssessor{Sigma: 0.3 * src.Float64()}
+			case 2:
+				no.Assessor = nest.FlipAssessor{P: 0.3 * src.Float64()}
+			}
+			if src.Bernoulli(0.3) {
+				no.Threshold = 0.2 + 0.6*src.Float64()
+			}
+			a = no
 		}
 		n := 8 + src.Intn(120)
 		k := 1 + src.Intn(5)
@@ -316,6 +350,25 @@ func pinnedDiffCases() []diffCase {
 	add(ApproxN{}, 64, envBinary, 200)
 	add(ApproxN{Delta: 0.3}, 96, envBinary, 200)
 	add(ApproxN{Delta: 0.75}, 64, envSparse, 200)
+	// Quorum/transport: the default parameterization, a hair-trigger quorum
+	// with tandem-only carry and full docility, a high quorum with a large
+	// carry, low docility (transport standoffs must reproduce too), and a
+	// noisy assessor (the E18 speed-accuracy cell). Transport rounds route the
+	// batch matcher through MatchCarry, so these cells pin the carry-aware
+	// pairing and the docility draw on capture.
+	add(Quorum{}, 96, envBinary, 200)
+	add(Quorum{Multiplier: 1.1, Carry: 1, Docility: 1}, 64, envBinary, 200)
+	add(Quorum{Multiplier: 3, Carry: 6, Docility: 0.05}, 64, envSparse, 240)
+	add(Quorum{Assessor: nest.FlipAssessor{P: 0.15}}, 96, envBinary, 200)
+	add(Quorum{Carry: 2}, 48, envSingle, 200)
+	// Noisy perception: exact (degenerates to Algorithm 3 with identical
+	// draws), each estimator/assessor family from the nest package, and a
+	// shifted classification threshold on graded qualities.
+	add(Noisy{}, 96, envBinary, 200)
+	add(Noisy{Counter: nest.RelativeNoiseCounter{Sigma: 0.3}}, 96, envBinary, 300)
+	add(Noisy{Counter: nest.EncounterRateCounter{Probes: 16, Volume: 4}}, 64, envBinary, 300)
+	add(Noisy{Assessor: nest.FlipAssessor{P: 0.2}}, 64, envSparse, 300)
+	add(Noisy{Counter: nest.RelativeNoiseCounter{Sigma: 0.2}, Assessor: nest.GaussianAssessor{Sigma: 0.15}, Threshold: 0.4}, 64, envGraded, 300)
 	return cases
 }
 
@@ -353,6 +406,10 @@ func TestBatchDifferentialRandomized(t *testing.T) {
 // successors coincide. For a search outcome the two opcodes write identical
 // registers, so every round still resolves identically — but the branching
 // observe declassifies the program from Lockstep, forcing per-ant dispatch.
+// Programs whose discovery observe has no branching twin (the noisy-perception
+// fold) instead gain an UNREACHABLE branching state: Lockstep() classifies by
+// the state table alone, so the dead state forces the general path while no
+// execution ever enters it.
 func generalPathVariant(t *testing.T, prog sim.Program) sim.Program {
 	t.Helper()
 	states := append([]sim.ProgramState(nil), prog.States...)
@@ -365,10 +422,15 @@ func generalPathVariant(t *testing.T, prog sim.Program) sim.Program {
 		}
 	}
 	if !rewritten {
-		t.Fatalf("%s: no search/discovery state to rewrite", prog.Algorithm)
+		states = append(states, sim.ProgramState{
+			Emit: sim.EmitSearch, Observe: sim.ObserveDiscoverBranch, Next: prog.Init, NextB: prog.Init,
+		})
 	}
 	gp := prog
 	gp.States = states
+	if err := gp.Validate(); err != nil {
+		t.Fatalf("%s: general-path variant invalid: %v", prog.Algorithm, err)
+	}
 	if gp.Lockstep() {
 		t.Fatalf("%s: general-path variant still classifies as lockstep", prog.Algorithm)
 	}
@@ -391,6 +453,8 @@ func TestExtensionGeneralPathEquivalence(t *testing.T) {
 		{name: "general/adaptive", algo: Adaptive{}, n: 64, env: env, seeds: seeds, maxRounds: 200},
 		{name: "general/quality", algo: QualityAware{}, n: 64, env: graded, seeds: seeds, maxRounds: 200},
 		{name: "general/approxn", algo: ApproxN{Delta: 0.4}, n: 64, env: env, seeds: seeds, maxRounds: 200},
+		{name: "general/noisy", algo: Noisy{Counter: nest.RelativeNoiseCounter{Sigma: 0.25}, Assessor: nest.FlipAssessor{P: 0.1}}, n: 64, env: env, seeds: seeds, maxRounds: 300},
+		{name: "general/noisy-exact", algo: Noisy{}, n: 64, env: graded, seeds: seeds, maxRounds: 200},
 	}
 	for _, c := range cases {
 		c := c
@@ -403,9 +467,12 @@ func TestExtensionGeneralPathEquivalence(t *testing.T) {
 }
 
 // TestCompiledInventoryPrograms pins the path classification of every
-// compiled algorithm: the Algorithm 3 family and the §6 extensions stay on
-// the lockstep fast path, Algorithm 2 requires the general path, and only the
-// extensions that need parameter columns request them.
+// compiled algorithm: the Algorithm 3 family and the recruit-draw/perception
+// extensions stay on the lockstep fast path, Algorithm 2 and the
+// quorum-transport strategy require the general path (branching observes),
+// only the extensions that need parameter columns request them, only the
+// quorum programs carry transport capacity, and only quorum decides (its
+// transport states are Final, mirroring QuorumAnt.Decided).
 func TestCompiledInventoryPrograms(t *testing.T) {
 	t.Parallel()
 	env := sim.MustEnvironment([]float64{1, 0})
@@ -415,8 +482,9 @@ func TestCompiledInventoryPrograms(t *testing.T) {
 			t.Fatalf("%s: did not compile", a.Name())
 		}
 		_, isOptimal := a.(Optimal)
-		if got := prog.Lockstep(); got == isOptimal {
-			t.Errorf("%s: Lockstep() = %v, want %v", a.Name(), got, !isOptimal)
+		_, isQuorum := a.(Quorum)
+		if got := prog.Lockstep(); got == (isOptimal || isQuorum) {
+			t.Errorf("%s: Lockstep() = %v, want %v", a.Name(), got, !(isOptimal || isQuorum))
 		}
 		_, isAdaptive := a.(Adaptive)
 		if prog.NeedsIntParam() != isAdaptive {
@@ -425,6 +493,15 @@ func TestCompiledInventoryPrograms(t *testing.T) {
 		_, isApproxN := a.(ApproxN)
 		if prog.NeedsFloatParam() != isApproxN {
 			t.Errorf("%s: NeedsFloatParam() = %v", a.Name(), prog.NeedsFloatParam())
+		}
+		if prog.UsesCarry() != isQuorum {
+			t.Errorf("%s: UsesCarry() = %v, want %v", a.Name(), prog.UsesCarry(), isQuorum)
+		}
+		if wantDecides := isQuorum || isOptimal; prog.Decides() != wantDecides {
+			t.Errorf("%s: Decides() = %v, want %v", a.Name(), prog.Decides(), wantDecides)
+		}
+		if !isOptimal && !prog.NeedsAntRNG() {
+			t.Errorf("%s: NeedsAntRNG() = false; every drawn-recruit program draws", a.Name())
 		}
 	}
 }
@@ -448,31 +525,47 @@ func TestRunBatchFallsBackForScalarOnlyConfigs(t *testing.T) {
 			c.Wrap = func(a []sim.Agent) ([]sim.Agent, error) { return a, nil }
 			return c
 		}(), "cfg.Wrap"},
-		{"matcher", Simple{}, func() core.RunConfig {
+		// The custom-matcher reason must distinguish the scalar-only custom
+		// matcher from the compiled default pairing: quorum's carry-aware
+		// transport matching IS batched, so the reason names what the batch
+		// engine does inline ("carry-aware") rather than implying no batched
+		// matching exists. The assertion loop checks every comma-separated
+		// fragment.
+		{"matcher", Quorum{}, func() core.RunConfig {
 			c := base
 			c.NewMatcher = func() sim.Matcher { return &sim.AlgorithmOneMatcher{} }
 			return c
-		}(), "cfg.NewMatcher"},
+		}(), "custom matchers are scalar-only,carry-aware"},
 		{"concurrent", Simple{}, func() core.RunConfig {
 			c := base
 			c.Concurrent = true
 			return c
 		}(), "cfg.Concurrent"},
-		{"not compilable", Quorum{}, base, "does not implement core.BatchCompilable"},
+		{"not compilable", Spreader{}, base, "does not implement core.BatchCompilable"},
 		{"declined", ApproxN{Delta: 1.5}, base, "declined to compile"},
+		{"declined quorum", Quorum{Multiplier: 0.5}, base, "declined to compile"},
+		{"declined quorum docility", Quorum{Docility: 1.5}, base, "declined to compile"},
 	}
 	for _, tc := range ineligible {
 		if _, ok, reason := core.CompileForBatch(tc.algo, tc.cfg); ok {
 			t.Errorf("%s: config should not be batch-eligible", tc.name)
-		} else if !strings.Contains(reason, tc.wantReason) {
-			t.Errorf("%s: reason %q does not mention %q", tc.name, reason, tc.wantReason)
+		} else {
+			for _, want := range strings.Split(tc.wantReason, ",") {
+				if !strings.Contains(reason, want) {
+					t.Errorf("%s: reason %q does not mention %q", tc.name, reason, want)
+				}
+			}
 		}
 	}
-	if _, ok, reason := core.CompileForBatch(Simple{}, base); !ok || reason != "" {
-		t.Errorf("eligible config: ok=%v reason=%q, want true and empty", ok, reason)
+	// The full house-hunting inventory — quorum and noisy included — is now
+	// batch-eligible on a plain configuration.
+	for _, a := range compiledInventory() {
+		if _, ok, reason := core.CompileForBatch(a, base); !ok || reason != "" {
+			t.Errorf("%s: ok=%v reason=%q, want eligible with empty reason", a.Name(), ok, reason)
+		}
 	}
 	// Non-compilable algorithms fall back without error at the runner level.
-	if _, ok, err := core.RunBatch(Quorum{}, base, []uint64{1}); ok || err != nil {
+	if _, ok, err := core.RunBatch(Spreader{}, base, []uint64{1}); ok || err != nil {
 		t.Errorf("RunBatch on a non-compilable algorithm: ok=%v err=%v, want fallback", ok, err)
 	}
 }

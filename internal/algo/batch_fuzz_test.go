@@ -5,15 +5,17 @@ import (
 	"testing"
 
 	"github.com/gmrl/househunt/internal/core"
+	"github.com/gmrl/househunt/internal/nest"
 	"github.com/gmrl/househunt/internal/sim"
 )
 
 // fuzzDiffCase derives a bounded differential-harness configuration from raw
-// fuzz words: the algorithm (all seven compiled forms), colony size, nest
-// count, binary or graded quality vector and the extension parameters are all
-// decoded from the inputs, so the fuzzer explores the same space as
-// randomDiffCases but steered by coverage. The decoding is total — every
-// input maps to a valid case — which keeps the target mutation-friendly.
+// fuzz words: the algorithm (all nine compiled forms, quorum/transport and
+// noisy perception included), colony size, nest count, binary or graded
+// quality vector and the extension parameters are all decoded from the
+// inputs, so the fuzzer explores the same space as randomDiffCases but
+// steered by coverage. The decoding is total — every input maps to a valid
+// case — which keeps the target mutation-friendly.
 func fuzzDiffCase(seed uint64, algoPick, nRaw, kRaw, qualBits, param uint16) diffCase {
 	n := 4 + int(nRaw%60)
 	k := 1 + int(kRaw%5)
@@ -39,7 +41,7 @@ func fuzzDiffCase(seed uint64, algoPick, nRaw, kRaw, qualBits, param uint16) dif
 		}
 	}
 	var a core.Algorithm
-	switch algoPick % 7 {
+	switch algoPick % 9 {
 	case 0:
 		a = Simple{}
 	case 1:
@@ -54,6 +56,31 @@ func fuzzDiffCase(seed uint64, algoPick, nRaw, kRaw, qualBits, param uint16) dif
 		a = QualityAware{}
 	case 6:
 		a = ApproxN{Delta: float64(param%900) / 1000}
+	case 7:
+		// Quorum: multiplier 1.1..2.85, carry 1..4, docility 0.1..1.0, a flip
+		// assessor on a third of the inputs — covering the carry-aware
+		// matching, the docility draw and noisy assessment.
+		q := Quorum{
+			Multiplier: 1.1 + float64(param%8)*0.25,
+			Carry:      1 + int(param/8)%4,
+			Docility:   float64(1+param%10) / 10,
+		}
+		if param%3 == 2 {
+			q.Assessor = nest.FlipAssessor{P: float64(param%25) / 100}
+		}
+		a = q
+	case 8:
+		// Noisy: relative count noise on three quarters of the inputs (the
+		// rest run exact estimation, the zero-noise degenerate), plus a flip
+		// assessor on a fifth.
+		no := Noisy{}
+		if param%4 != 0 {
+			no.Counter = nest.RelativeNoiseCounter{Sigma: float64(param%40) / 100}
+		}
+		if param%5 == 1 {
+			no.Assessor = nest.FlipAssessor{P: float64(param%20) / 100}
+		}
+		a = no
 	}
 	return diffCase{
 		name:      fmt.Sprintf("fuzz/%s/n%d/k%d", a.Name(), n, k),
@@ -79,6 +106,10 @@ func FuzzBatchEquivalence(f *testing.F) {
 	f.Add(uint64(11), uint16(5), uint16(50), uint16(3), uint16(9), uint16(7))   // quality-aware, graded
 	f.Add(uint64(13), uint16(6), uint16(33), uint16(2), uint16(7), uint16(450)) // approxn, δ = 0.45
 	f.Add(uint64(17), uint16(6), uint16(24), uint16(1), uint16(2), uint16(0))   // approxn, δ = 0
+	f.Add(uint64(19), uint16(7), uint16(40), uint16(1), uint16(3), uint16(4))   // quorum, M=2.1 carry 1 docility 0.5
+	f.Add(uint64(23), uint16(7), uint16(36), uint16(2), uint16(3), uint16(9))   // quorum, carry 2, full docility
+	f.Add(uint64(29), uint16(8), uint16(44), uint16(2), uint16(5), uint16(13))  // noisy, σ = 0.13
+	f.Add(uint64(31), uint16(8), uint16(30), uint16(1), uint16(1), uint16(0))   // noisy, zero noise (exact degenerate)
 	f.Fuzz(func(t *testing.T, seed uint64, algoPick, nRaw, kRaw, qualBits, param uint16) {
 		assertTraceEquivalence(t, fuzzDiffCase(seed, algoPick, nRaw, kRaw, qualBits, param))
 	})

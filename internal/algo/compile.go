@@ -1,6 +1,10 @@
 package algo
 
 import (
+	"math"
+
+	"github.com/gmrl/househunt/internal/nest"
+	"github.com/gmrl/househunt/internal/rng"
 	"github.com/gmrl/househunt/internal/sim"
 )
 
@@ -14,7 +18,9 @@ import (
 // Batch-coverage matrix (algorithm × configuration → engine). Any scalar-only
 // cfg feature (Wrap, Trace, Metrics, NewMatcher, Concurrent) forces the
 // scalar path regardless of the algorithm; core.CompileForBatch reports which
-// field blocked compilation.
+// field blocked compilation. Every house-hunting algorithm now has a compiled
+// form — only scalar-only cfg features and the non-house-hunting Spreader
+// fall back.
 //
 //	algorithm      plain cfg   batch path          notes
 //	Simple         batch       lockstep            Algorithm 3
@@ -23,8 +29,9 @@ import (
 //	Adaptive       batch       lockstep            §6 boosted rate; per-ant phase-clock column
 //	QualityAware   batch       lockstep            §6 non-binary qualities; quality·count/n draw
 //	ApproxN        batch       lockstep            §6 approximate n; per-ant ñ column (δ ∈ [0,1))
-//	Noisy          scalar      —                   estimator/assessor closures are scalar-only
-//	Quorum         scalar      —                   transport carries need a CarryMatcher
+//	Noisy          batch       lockstep            §6 noisy perception; estimator/assessor hooks
+//	Quorum         batch       general (per-ant)   §6 quorum/transport; carry-aware matching,
+//	                                               threshold in countT, docility draw on capture
 //	Spreader       scalar      —                   not a house-hunting PFSM
 //
 // Every compiled row is pinned round-for-round bit-identical to its scalar
@@ -223,4 +230,142 @@ func (a ApproxN) CompileBatch(n int, env sim.Environment) (sim.Program, bool) {
 		},
 		Params: sim.ProgramParams{NEstDelta: a.Delta},
 	}, true
+}
+
+// assessHook lowers a nest.Assessor to the batch engine's perception hook.
+// Exact assessment (nil or nest.ExactAssessor) lowers to a nil hook so the
+// hot path skips the call entirely — nest.ExactAssessor consumes no
+// randomness, so skipping it is bit-identical. Every assessor in the nest
+// package is a stateless value, which is what the hook contract (concurrent
+// calls from worker lanes) requires.
+func assessHook(a nest.Assessor) func(float64, *rng.Source) float64 {
+	if a == nil {
+		return nil
+	}
+	if _, exact := a.(nest.ExactAssessor); exact {
+		return nil
+	}
+	return a.Assess
+}
+
+// countHook lowers a nest.CountEstimator to the batch engine's perception
+// hook, with the same exact-perception elision as assessHook.
+func countHook(c nest.CountEstimator) func(int, int, *rng.Source) int {
+	if c == nil {
+		return nil
+	}
+	if _, exact := c.(nest.ExactCounter); exact {
+		return nil
+	}
+	return c.Estimate
+}
+
+// CompileBatch implements core.BatchCompilable: the §6 noisy-perception
+// extension is Algorithm 3's three-state cycle with every count and quality
+// read routed through the perception hooks, consumed from the ant's own
+// stream in NoisyAnt's order (count estimate first, then assessment). The
+// scalar ant's active flag is the quality register — 1 exactly when the
+// perceived discovery quality exceeds the classification threshold, and set
+// to 1 on adoption — so the recruit draw reuses EmitRecruitPop: NoisyAnt
+// clamps its probability at 1, but rng.Source's Bernoulli consumes nothing at
+// p >= 1 either way, so the unclamped draw is bit-identical. The builder's
+// threshold defaulting (0 → 0.5) is applied here so the compiled program
+// matches what Build constructs.
+func (no Noisy) CompileBatch(n int, env sim.Environment) (sim.Program, bool) {
+	if n <= 0 || env.K() == 0 {
+		return sim.Program{}, false
+	}
+	threshold := no.Threshold
+	if threshold == 0 {
+		threshold = 0.5
+	}
+	return sim.Program{
+		Algorithm: no.Name(),
+		Init:      0,
+		States: []sim.ProgramState{
+			{Emit: sim.EmitSearch, Observe: sim.ObserveDiscoverNoisy, Next: 1},
+			{Emit: sim.EmitRecruitPop, Observe: sim.ObserveAdopt, Next: 2},
+			{Emit: sim.EmitGotoNest, Observe: sim.ObserveCountNoisy, Next: 1},
+		},
+		Params: sim.ProgramParams{
+			Assess:    assessHook(no.Assessor),
+			Count:     countHook(no.Counter),
+			Threshold: threshold,
+		},
+	}, true
+}
+
+// State indices of the compiled quorum-transport table. The scalar QuorumAnt's
+// three phases alternate search/recruit/assess; its two mode flags map onto
+// the state chain instead of register columns: the active flag is the quality
+// register (1 canvasser, 0 passive — exactly the Simple encoding, so the
+// canvass recruit reuses EmitRecruitPop's gated draw) and the transport flag
+// is membership in the quoRT/quoAT chain, whose states are Final because
+// QuorumAnt.Decided reports transport. Every chain alternates a recruit state
+// with an assess state, so colony-wide the recruit rounds stay aligned — all
+// ants recruit in the same rounds, exactly like the scalar colony.
+const (
+	quoS0 = iota // round 1: global search, classify, self-calibrate threshold
+	quoR         // canvass/passive recruit: Bernoulli(count/n) gated on quality
+	quoA         // canvass assess: count + quorum check (promote → quoRT)
+	quoRT        // transport recruit: carry Params.QuorumCarry, docility on capture
+	quoAT        // transport assess: count only (checkQuorum is a no-op)
+)
+
+// quorumBatchProgram is the quorum-transport strategy's compiled state table.
+func quorumBatchProgram(name string, mult float64, carry int, docility float64, assessor nest.Assessor) sim.Program {
+	return sim.Program{
+		Algorithm: name,
+		Init:      quoS0,
+		States: []sim.ProgramState{
+			quoS0: {Emit: sim.EmitSearch, Observe: sim.ObserveDiscoverQuorum, Next: quoR},
+			quoR:  {Emit: sim.EmitRecruitPop, Observe: sim.ObserveQuorumAdopt, Next: quoA},
+			quoA:  {Emit: sim.EmitGotoNest, Observe: sim.ObserveQuorumCheck, Next: quoR, NextB: quoRT},
+			quoRT: {Emit: sim.EmitRecruitTransport, Observe: sim.ObserveQuorumTransport, Next: quoAT, NextB: quoA, Final: true},
+			quoAT: {Emit: sim.EmitGotoNest, Observe: sim.ObserveCount, Next: quoRT, Final: true},
+		},
+		Params: sim.ProgramParams{
+			Assess:         assessHook(assessor),
+			QuorumMult:     mult,
+			QuorumCarry:    carry,
+			QuorumDocility: docility,
+		},
+	}
+}
+
+// CompileBatch implements core.BatchCompilable: the §6 quorum/transport
+// strategy lowered to the general execution path with carry-aware recruitment
+// matching. The per-ant quorum threshold lives in the countT scratch register
+// (disjoint from Algorithm 2's use of it), the docility Bernoulli consumes
+// the captured ant's stream exactly like QuorumAnt's submit check, and the
+// builder's defaulting (multiplier 1.5, carry 3, docility 0.25) and
+// validation are mirrored here so invalid parameterizations surface the
+// scalar builder's error instead of silently compiling. A multiplier large
+// enough to overflow the 32-bit threshold register declines to compile.
+func (q Quorum) CompileBatch(n int, env sim.Environment) (sim.Program, bool) {
+	if n <= 0 || env.K() == 0 {
+		return sim.Program{}, false
+	}
+	if q.Multiplier != 0 && q.Multiplier <= 1 {
+		return sim.Program{}, false
+	}
+	if q.Docility < 0 || q.Docility > 1 {
+		return sim.Program{}, false
+	}
+	mult := q.Multiplier
+	if mult <= 1 {
+		mult = 1.5
+	}
+	carry := q.Carry
+	if carry < 1 {
+		carry = 3
+	}
+	docility := q.Docility
+	if docility <= 0 {
+		docility = 0.25
+	}
+	if mult*float64(n) >= math.MaxInt32 {
+		return sim.Program{}, false
+	}
+	return quorumBatchProgram(q.Name(), mult, carry, docility, q.Assessor), true
 }

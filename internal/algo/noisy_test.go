@@ -90,3 +90,39 @@ func TestNoisyOverestimateClampsProbability(t *testing.T) {
 		t.Fatal("clamped sure recruit consumed randomness")
 	}
 }
+
+// TestNoisyZeroNoisePerceptionTracksExactCounts runs a full colony whose
+// estimator and assessor both carry zero noise and asserts, round for round,
+// that every ant's perceived count equals the engine's true end-of-round
+// count of the nest it observed: the zero-noise perception stack degenerates
+// to exact counting (while still consuming its normal draws, so it is NOT
+// stream-identical to ExactCounter — only value-identical).
+func TestNoisyZeroNoisePerceptionTracksExactCounts(t *testing.T) {
+	t.Parallel()
+	env := sim.MustEnvironment([]float64{1, 0, 1, 0})
+	const n, rounds = 64, 120
+	a := Noisy{Counter: nest.RelativeNoiseCounter{Sigma: 0}, Assessor: nest.GaussianAssessor{Sigma: 0}}
+	agents, err := a.Build(n, env, testSrc(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := sim.New(env, agents, sim.WithSeed(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < rounds; r++ {
+		if err := eng.Step(); err != nil {
+			t.Fatal(err)
+		}
+		for i, ag := range agents {
+			ant := ag.(*NoisyAnt)
+			switch eng.ActionTaken(i).Kind {
+			case sim.ActionSearch, sim.ActionGo:
+				if want := eng.Outcome(i).Count; ant.count != want {
+					t.Fatalf("round %d ant %d: perceived count %d != exact count %d",
+						r+1, i, ant.count, want)
+				}
+			}
+		}
+	}
+}

@@ -286,3 +286,78 @@ func TestApproxNBuilderValidation(t *testing.T) {
 		t.Fatal("zero estimate accepted")
 	}
 }
+
+// buildTransporter drives a fresh QuorumAnt through search, one recruit round
+// and one assess round far above its threshold, returning it in transport
+// mode with the given docility.
+func buildTransporter(t *testing.T, seed uint64, docility float64) *QuorumAnt {
+	t.Helper()
+	a := NewQuorumAnt(100, testSrc(seed), 2.0, 3, docility, nil)
+	a.Act(1)
+	a.Observe(1, sim.Outcome{Nest: 1, Count: 3, Quality: 1})
+	a.Act(2)
+	a.Observe(2, sim.Outcome{Nest: 1})
+	a.Act(3)
+	a.Observe(3, sim.Outcome{Nest: 1, Count: 50})
+	if !a.Transporting() {
+		t.Fatal("setup: ant did not reach quorum")
+	}
+	return a
+}
+
+// TestQuorumDocilityBoundaries pins the docility Bernoulli at its endpoints.
+// A captured transporter with docility exactly 1 always submits, one with
+// docility exactly 0 never does — and both endpoints are draw-free, because
+// rng.Source's Bernoulli short-circuits at p <= 0 and p >= 1. The compiled
+// batch program relies on that draw-freeness for stream alignment, so the
+// endpoints are pinned here at the scalar source of truth. (The public
+// builder defaults docility 0 to 0.25; the field is set directly to reach
+// the boundary.)
+func TestQuorumDocilityBoundaries(t *testing.T) {
+	t.Parallel()
+
+	always := buildTransporter(t, 41, 0.5)
+	always.docility = 1
+	before := always.src.State()
+	always.Act(4)
+	always.Observe(4, sim.Outcome{Nest: 2, Recruited: true})
+	if always.Transporting() || always.nest != 2 || !always.active {
+		t.Fatalf("docility-1 transporter did not submit: transport=%v nest=%d active=%v",
+			always.Transporting(), always.nest, always.active)
+	}
+	if always.src.State() != before {
+		t.Fatal("docility 1 consumed randomness; Bernoulli(1) must be draw-free")
+	}
+
+	never := buildTransporter(t, 42, 0.5)
+	never.docility = 0
+	before = never.src.State()
+	never.Act(4)
+	never.Observe(4, sim.Outcome{Nest: 2, Recruited: true})
+	if !never.Transporting() || never.nest != 1 {
+		t.Fatalf("docility-0 transporter submitted: transport=%v nest=%d",
+			never.Transporting(), never.nest)
+	}
+	if never.src.State() != before {
+		t.Fatal("docility 0 consumed randomness; Bernoulli(0) must be draw-free")
+	}
+}
+
+// TestQuorumTransporterSelfCaptureExclusion pins the self-pair exclusion: a
+// transporter whose recruit round self-paired (SelfPaired and Succeeded set,
+// Recruited clear — the matcher drew the ant itself) was NOT captured, so it
+// keeps transporting and, critically, draws no docility Bernoulli. The batch
+// engine's capturedBy[slot] == slot convention encodes the same exclusion.
+func TestQuorumTransporterSelfCaptureExclusion(t *testing.T) {
+	t.Parallel()
+	a := buildTransporter(t, 43, 0.25)
+	before := a.src.State()
+	a.Act(4)
+	a.Observe(4, sim.Outcome{Nest: 1, Count: 60, SelfPaired: true, Succeeded: true})
+	if !a.Transporting() || a.nest != 1 {
+		t.Fatalf("self-paired transporter changed state: transport=%v nest=%d", a.Transporting(), a.nest)
+	}
+	if a.src.State() != before {
+		t.Fatal("self-pair consumed the docility draw; only capture may draw")
+	}
+}

@@ -40,7 +40,12 @@ func CompileForBatch(algo Algorithm, cfg RunConfig) (prog sim.Program, ok bool, 
 	case cfg.Metrics != nil:
 		return sim.Program{}, false, "cfg.Metrics is set (engine instrumentation is scalar-only)"
 	case cfg.NewMatcher != nil:
-		return sim.Program{}, false, "cfg.NewMatcher is set (custom matchers are scalar-only)"
+		// Note the distinction: the batch engine DOES implement the default
+		// Algorithm 1 pairing including its carry-aware transport form (the
+		// compiled quorum strategy uses it), but a cfg-supplied matcher is an
+		// arbitrary implementation with per-engine scratch state, so it stays
+		// scalar.
+		return sim.Program{}, false, "cfg.NewMatcher is set (custom matchers are scalar-only; the batch engine inlines only the default Algorithm 1 pairing and its carry-aware transport form)"
 	case cfg.Concurrent:
 		return sim.Program{}, false, "cfg.Concurrent is set (the goroutine-per-ant mode is scalar-only)"
 	}

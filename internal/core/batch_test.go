@@ -70,7 +70,7 @@ func TestCompileForBatchReasons(t *testing.T) {
 			c := base
 			c.NewMatcher = func() sim.Matcher { return &sim.AlgorithmOneMatcher{} }
 			return c
-		}(), "cfg.NewMatcher"},
+		}(), "custom matchers are scalar-only"},
 		{"concurrent", compilableOracle{}, func() RunConfig {
 			c := base
 			c.Concurrent = true
@@ -91,6 +91,16 @@ func TestCompileForBatchReasons(t *testing.T) {
 	}
 	if _, ok, reason := CompileForBatch(compilableOracle{}, base); !ok || reason != "" {
 		t.Errorf("eligible pair: ok=%v reason=%q, want true and empty", ok, reason)
+	}
+
+	// The custom-matcher reason must distinguish "your matcher is scalar-only"
+	// from the compiled default pairing: the batch engine inlines Algorithm 1
+	// including the carry-aware transport form, so the message names it rather
+	// than implying no batched matching exists at all.
+	matcherCfg := base
+	matcherCfg.NewMatcher = func() sim.Matcher { return &sim.SimultaneousMatcher{} }
+	if _, _, reason := CompileForBatch(compilableOracle{}, matcherCfg); !strings.Contains(reason, "Algorithm 1") || !strings.Contains(reason, "carry-aware") {
+		t.Errorf("matcher reason %q does not name the compiled Algorithm 1 carry-aware pairing", reason)
 	}
 }
 

@@ -6,6 +6,7 @@ import (
 
 	"github.com/gmrl/househunt/internal/algo"
 	"github.com/gmrl/househunt/internal/core"
+	"github.com/gmrl/househunt/internal/nest"
 	"github.com/gmrl/househunt/internal/sim"
 	"github.com/gmrl/househunt/internal/workload"
 )
@@ -38,6 +39,10 @@ func TestMeasureConvergenceBatchMatchesScalar(t *testing.T) {
 		{algo.Adaptive{}, binary},
 		{algo.QualityAware{}, graded},
 		{algo.ApproxN{Delta: 0.25}, binary},
+		{algo.Quorum{}, binary},
+		{algo.Quorum{Multiplier: 2, Assessor: nest.FlipAssessor{P: 0.1}}, binary},
+		{algo.Noisy{}, binary},
+		{algo.Noisy{Counter: nest.RelativeNoiseCounter{Sigma: 0.2}}, binary},
 	}
 	for _, tc := range cases {
 		cfg := core.RunConfig{N: 96, Env: tc.env, MaxRounds: 4000}
@@ -69,27 +74,45 @@ func TestMeasureConvergenceBatchMatchesScalar(t *testing.T) {
 	}
 }
 
-// TestMeasureConvergenceScalarFallback exercises the fallback branch with an
-// algorithm that has no compiled form; the batch switch must not change its
-// results either (it never engages).
+// TestMeasureConvergenceScalarFallback exercises the fallback branch. Every
+// house-hunting algorithm now compiles, so the fallback is driven by a
+// scalar-only configuration (a custom matcher) instead of an uncompiled
+// algorithm; the batch switch must not change its results either (it never
+// engages).
 func TestMeasureConvergenceScalarFallback(t *testing.T) {
 	env, err := workload.Binary(4, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
-	cfg := core.RunConfig{N: 64, Env: env}
-	_, ok, reason := core.CompileForBatch(algo.Noisy{}, cfg)
+	cfg := core.RunConfig{
+		N:   64,
+		Env: env,
+		// The ablation matcher keeps the measurement solving while forcing
+		// the scalar path.
+		NewMatcher: func() sim.Matcher { return &sim.SimultaneousMatcher{} },
+	}
+	_, ok, reason := core.CompileForBatch(algo.Simple{}, cfg)
 	if ok {
-		t.Fatal("Noisy should have no compiled form")
+		t.Fatal("a custom-matcher config should have no batch path")
 	}
 	if reason == "" {
 		t.Fatal("fallback must carry a reason")
 	}
-	pt, err := MeasureConvergence(algo.Noisy{}, cfg, 8, "batch-fallback")
+	pt, err := MeasureConvergence(algo.Simple{}, cfg, 8, "batch-fallback")
 	if err != nil {
 		t.Fatal(err)
 	}
 	if pt.Reps != 8 || pt.Solved == 0 {
 		t.Fatalf("fallback measurement implausible: %+v", pt)
+	}
+
+	// The Spreader process is the one remaining algorithm without a compiled
+	// form; it must decline with the core.BatchCompilable reason.
+	single, err := workload.Binary(4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, reason := core.CompileForBatch(algo.Spreader{}, core.RunConfig{N: 64, Env: single}); ok || reason == "" {
+		t.Fatalf("Spreader: ok=%v reason=%q, want scalar fallback with a reason", ok, reason)
 	}
 }

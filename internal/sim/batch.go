@@ -30,8 +30,9 @@ import (
 // seeds[r] produces round-for-round identical populations, commitments and
 // final results to an Engine running the same algorithm's scalar agents under
 // the same seed (pinned for every compiled algorithm — Algorithms 2 and 3 and
-// the §6 extensions — by the randomized cross-engine differential harness in
-// internal/algo).
+// the §6 extensions, including the carry-matched quorum-transport strategy and
+// the hook-driven noisy-perception model — by the randomized cross-engine
+// differential harness in internal/algo).
 // That holds because the batch engine derives exactly the same RNG streams —
 // envSrc = root.Split(0), matchSrc = root.Split(1), ant i = root.Split(2).
 // Split(i) — and consumes them in the same order as Engine.Step: per-ant
@@ -49,12 +50,13 @@ type Batch struct {
 	probe   func(rep, round int, counts, committed []int)
 
 	// Program traits, computed once at construction.
-	lockstep bool
-	decides  bool
-	antRNG   bool
-	needI    bool
-	needF    bool
-	isFinal  []bool
+	lockstep  bool
+	decides   bool
+	antRNG    bool
+	needI     bool
+	needF     bool
+	usesCarry bool
+	isFinal   []bool
 }
 
 // BatchResult reports one replicate of a Batch run, mirroring the fields the
@@ -108,15 +110,16 @@ func NewBatch(env Environment, prog Program, n int, opts ...BatchOption) (*Batch
 		return nil, err
 	}
 	b := &Batch{
-		env:      env,
-		prog:     prog,
-		n:        n,
-		lockstep: prog.Lockstep(),
-		decides:  prog.Decides(),
-		antRNG:   prog.NeedsAntRNG(),
-		needI:    prog.NeedsIntParam(),
-		needF:    prog.NeedsFloatParam(),
-		isFinal:  make([]bool, len(prog.States)),
+		env:       env,
+		prog:      prog,
+		n:         n,
+		lockstep:  prog.Lockstep(),
+		decides:   prog.Decides(),
+		antRNG:    prog.NeedsAntRNG(),
+		needI:     prog.NeedsIntParam(),
+		needF:     prog.NeedsFloatParam(),
+		usesCarry: prog.UsesCarry(),
+		isFinal:   make([]bool, len(prog.States)),
 	}
 	for i, st := range prog.States {
 		b.isFinal[i] = st.Final
@@ -233,6 +236,7 @@ type lane struct {
 	recruiters []int    // slot -> ant index (general path)
 	slotOf     []int    // ant index -> recruiter slot this round (-1 otherwise)
 	active     []bool   // recruit(1, ·) per slot (per ant on the lockstep path)
+	carries    []int    // carry capacity per slot; nil unless the program transports
 	capturedBy []int
 	succeeded  []bool
 	finals     int // ants currently in Final states (deciding programs)
@@ -275,6 +279,9 @@ func newLane(b *Batch) *lane {
 	}
 	if b.needF {
 		ln.paramF = make([]float64, n)
+	}
+	if b.usesCarry {
+		ln.carries = make([]int, n)
 	}
 	return ln
 }
@@ -524,6 +531,51 @@ func (ln *lane) stepLockstep(phase uint8) (uint8, error) {
 				quality[i] = ln.qual[actNest[i]]
 			}
 		}
+	case ObserveDiscoverNoisy:
+		count := ln.count
+		quality := ln.quality
+		countHook, assessHook := ln.prog.Params.Count, ln.prog.Params.Assess
+		threshold := ln.prog.Params.Threshold
+		for i := range nest {
+			outNest := actNest[i]
+			if outNest != nest[i] {
+				commit[nest[i]]--
+				commit[outNest]++
+				nest[i] = outNest
+			}
+			c, q := counts[outNest], ln.qual[outNest]
+			if recruited {
+				c, q = n, 0
+			}
+			// Perception order matches NoisyAnt's observe: the count estimate
+			// draws first, then the quality assessment, both from the ant's
+			// own stream.
+			if countHook != nil {
+				c = countHook(c, n, &ln.antSrc[i])
+			}
+			count[i] = int32(c)
+			if assessHook != nil {
+				q = assessHook(q, &ln.antSrc[i])
+			}
+			if q > threshold {
+				quality[i] = 1
+			} else {
+				quality[i] = 0
+			}
+		}
+	case ObserveCountNoisy:
+		count := ln.count
+		countHook := ln.prog.Params.Count
+		for i := range count {
+			c := counts[actNest[i]]
+			if recruited {
+				c = n
+			}
+			if countHook != nil {
+				c = countHook(c, n, &ln.antSrc[i])
+			}
+			count[i] = int32(c)
+		}
 	}
 	return st.Next, nil
 }
@@ -648,6 +700,21 @@ func (ln *lane) stepGeneral() error {
 			slotOf[i] = slot
 			recruiters = append(recruiters, i)
 			ln.active[slot] = st.Arg == 1
+			if ln.carries != nil {
+				ln.carries[slot] = 1
+			}
+			actNest[i] = adv
+			counts[Home]++
+		case EmitRecruitTransport:
+			adv := nest[i]
+			if adv < 1 || int(adv) > k {
+				return fmt.Errorf("ant %d: transport(%d): nest out of range 1..%d", i, adv, k)
+			}
+			slot := len(recruiters)
+			slotOf[i] = slot
+			recruiters = append(recruiters, i)
+			ln.active[slot] = true
+			ln.carries[slot] = ln.prog.Params.QuorumCarry
 			actNest[i] = adv
 			counts[Home]++
 		case EmitRecruitPop, EmitRecruitQual, EmitRecruitAdaptive, EmitRecruitApproxN:
@@ -682,6 +749,9 @@ func (ln *lane) stepGeneral() error {
 			slotOf[i] = slot
 			recruiters = append(recruiters, i)
 			ln.active[slot] = b
+			if ln.carries != nil {
+				ln.carries[slot] = 1
+			}
 			actNest[i] = adv
 			counts[Home]++
 		}
@@ -690,10 +760,18 @@ func (ln *lane) stepGeneral() error {
 
 	// Recruitment matching over the recruiting set, in slot space. The
 	// scalar engine skips the matcher entirely for an empty set; matching
-	// that exactly keeps matchSrc in sync on all-goto rounds.
+	// that exactly keeps matchSrc in sync on all-goto rounds. Transporting
+	// programs route through the carry-aware form; on rounds where every
+	// carry is 1 (no transporter recruited) MatchCarry's draw sequence is
+	// exactly Match's, so the scalar engine's anyCarry dispatch needs no
+	// mirroring.
 	nR := len(recruiters)
 	if nR > 0 {
-		ln.matcher.Match(nR, ln.active, &ln.matchSrc, ln.capturedBy, ln.succeeded)
+		if ln.carries != nil {
+			ln.matcher.MatchCarry(nR, ln.active, ln.carries, &ln.matchSrc, ln.capturedBy, ln.succeeded)
+		} else {
+			ln.matcher.Match(nR, ln.active, &ln.matchSrc, ln.capturedBy, ln.succeeded)
+		}
 		// Resolve captured recruiters' outcome nests: a captured slot reads
 		// its capturer's advertised nest. The in-place rewrite is safe
 		// because Algorithm 1 never captures a capturer, so the capturer's
@@ -813,6 +891,96 @@ func (ln *lane) stepGeneral() error {
 				commit[nest[i]]--
 				commit[outNest]++
 				nest[i] = outNest
+			}
+		case ObserveDiscoverNoisy:
+			if outNest != nest[i] {
+				commit[nest[i]]--
+				commit[outNest]++
+				nest[i] = outNest
+			}
+			c := int(outCount)
+			if hook := ln.prog.Params.Count; hook != nil {
+				c = hook(c, n, &ln.antSrc[i])
+			}
+			ln.count[i] = int32(c)
+			q := 0.0
+			if slotOf[i] < 0 {
+				q = ln.qual[outNest]
+			}
+			if hook := ln.prog.Params.Assess; hook != nil {
+				q = hook(q, &ln.antSrc[i])
+			}
+			if q > ln.prog.Params.Threshold {
+				ln.quality[i] = 1
+			} else {
+				ln.quality[i] = 0
+			}
+		case ObserveCountNoisy:
+			c := int(outCount)
+			if hook := ln.prog.Params.Count; hook != nil {
+				c = hook(c, n, &ln.antSrc[i])
+			}
+			ln.count[i] = int32(c)
+		case ObserveDiscoverQuorum:
+			if outNest != nest[i] {
+				commit[nest[i]]--
+				commit[outNest]++
+				nest[i] = outNest
+			}
+			ln.count[i] = outCount
+			q := 0.0
+			if slotOf[i] < 0 {
+				q = ln.qual[outNest]
+			}
+			if hook := ln.prog.Params.Assess; hook != nil {
+				q = hook(q, &ln.antSrc[i])
+			}
+			if q > 0.5 {
+				ln.quality[i] = 1
+			} else {
+				ln.quality[i] = 0
+			}
+			// Self-calibrate the quorum threshold into the countT scratch
+			// register: QuorumAnt's T = max(⌊mult·count⌋, count+2).
+			thr := int32(ln.prog.Params.QuorumMult * float64(outCount))
+			if thr < outCount+2 {
+				thr = outCount + 2
+			}
+			ln.countT[i] = thr
+		case ObserveQuorumAdopt:
+			// Capture — not a nest change — is what wakes a quorum ant: a
+			// carried ant knows it was picked up even when the capturer
+			// advertises the ant's own nest. Self-pairs are not captures.
+			if s := slotOf[i]; s >= 0 {
+				if cb := ln.capturedBy[s]; cb >= 0 && cb != s {
+					if outNest != nest[i] {
+						commit[nest[i]]--
+						commit[outNest]++
+						nest[i] = outNest
+					}
+					ln.quality[i] = 1
+				}
+			}
+		case ObserveQuorumCheck:
+			ln.count[i] = outCount
+			if ln.quality[i] > 0 && ln.countT[i] > 0 && outCount >= ln.countT[i] {
+				next = st.NextB // quorum reached: promote to transport
+			}
+		case ObserveQuorumTransport:
+			if s := slotOf[i]; s >= 0 {
+				if cb := ln.capturedBy[s]; cb >= 0 && cb != s {
+					// The docility draw consumes the CAPTURED ant's stream,
+					// exactly like QuorumAnt's submit check.
+					if ln.antSrc[i].Bernoulli(ln.prog.Params.QuorumDocility) {
+						if outNest != nest[i] {
+							commit[nest[i]]--
+							commit[outNest]++
+							nest[i] = outNest
+							next = st.NextB // demote to canvasser of the new nest
+						}
+						ln.quality[i] = 1
+					}
+				}
 			}
 		}
 		state[i] = next

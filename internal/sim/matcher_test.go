@@ -287,3 +287,98 @@ func BenchmarkAlgorithmOneMatch1024(b *testing.B) {
 		m.Match(n, active, src, capturedBy, succeeded)
 	}
 }
+
+// TestMatchCarrySaturation pins the carry-capacity ceiling: a lone transporter
+// with capacity c never captures more than c slots in one round, and with
+// everything else passive the cap is actually reached (draws are only lost to
+// blocking, which across seeds cannot suppress every full-capacity round).
+func TestMatchCarrySaturation(t *testing.T) {
+	t.Parallel()
+	const (
+		n     = 32
+		carry = 3
+	)
+	m := &AlgorithmOneMatcher{}
+	active := make([]bool, n)
+	active[0] = true
+	carries := make([]int, n)
+	for i := range carries {
+		carries[i] = 1
+	}
+	carries[0] = carry
+	capturedBy := make([]int, n)
+	succeeded := make([]bool, n)
+	maxCaptures := 0
+	for seed := uint64(1); seed <= 200; seed++ {
+		m.MatchCarry(n, active, carries, rng.New(seed), capturedBy, succeeded)
+		captures := 0
+		for slot, cb := range capturedBy {
+			if cb != 0 && cb != -1 {
+				t.Fatalf("seed %d: slot %d captured by %d; only slot 0 recruits", seed, slot, cb)
+			}
+			if cb == 0 && slot != 0 {
+				captures++
+			}
+			if cb == 0 && slot == 0 {
+				// Self-pair: the transporter consumed itself and must carry
+				// nobody else this round (§3's lone-ant semantics).
+				if captures > 0 {
+					t.Fatalf("seed %d: self-paired transporter also carried others", seed)
+				}
+				captures = -n // exclude this round from the saturation check
+			}
+		}
+		if captures > carry {
+			t.Fatalf("seed %d: transporter carried %d > capacity %d", seed, captures, carry)
+		}
+		if captures > maxCaptures {
+			maxCaptures = captures
+		}
+	}
+	if maxCaptures != carry {
+		t.Fatalf("capacity never saturated: max captures %d, want %d", maxCaptures, carry)
+	}
+}
+
+// TestMatchCarryAllOnesMatchesMatch pins the draw-sequence identity the batch
+// engine relies on: MatchCarry with an all-ones carry vector consumes the
+// stream exactly like Match, so a transporting program's canvass-only rounds
+// pair identically to the scalar engine's Match dispatch.
+func TestMatchCarryAllOnesMatchesMatch(t *testing.T) {
+	t.Parallel()
+	const n = 64
+	ones := make([]int, n)
+	for i := range ones {
+		ones[i] = 1
+	}
+	for seed := uint64(1); seed <= 25; seed++ {
+		src := rng.New(seed)
+		active := make([]bool, n)
+		for i := range active {
+			active[i] = src.Bernoulli(0.5)
+		}
+		plain := &AlgorithmOneMatcher{}
+		viaMatch, succMatch := runMatch(plain, n, active, rng.New(seed+1000))
+		withCarry := &AlgorithmOneMatcher{}
+		srcCarry := rng.New(seed + 1000)
+		viaCarry := make([]int, n)
+		succCarry := make([]bool, n)
+		withCarry.MatchCarry(n, active, ones, srcCarry, viaCarry, succCarry)
+		for slot := 0; slot < n; slot++ {
+			if viaMatch[slot] != viaCarry[slot] || succMatch[slot] != succCarry[slot] {
+				t.Fatalf("seed %d slot %d: Match (%d,%v) != MatchCarry ones (%d,%v)",
+					seed, slot, viaMatch[slot], succMatch[slot], viaCarry[slot], succCarry[slot])
+			}
+		}
+		// The draw identity must extend to the stream position: both calls
+		// leave the source in the same state.
+		ref := rng.New(seed + 1000)
+		refCaptured := make([]int, n)
+		refSucceeded := make([]bool, n)
+		plain2 := &AlgorithmOneMatcher{}
+		plain2.Match(n, active, ref, refCaptured, refSucceeded)
+		if srcCarry.State() != ref.State() {
+			t.Fatalf("seed %d: MatchCarry ones left the stream at a different position than Match", seed)
+		}
+	}
+}

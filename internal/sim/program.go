@@ -1,6 +1,10 @@
 package sim
 
-import "fmt"
+import (
+	"fmt"
+
+	"github.com/gmrl/househunt/internal/rng"
+)
 
 // Program is a compiled probabilistic finite state machine: the agent logic of
 // internal/agent and internal/algo lowered to a dense opcode form that the
@@ -32,14 +36,20 @@ import "fmt"
 // core.Decided contract of the scalar path, and reports the decided count in
 // BatchResult.Decided.
 //
-// The opcode set covers Algorithms 2 and 3 plus the §6 extensions that
-// reshape only the recruit draw (Adaptive's boosted schedule, QualityAware's
-// quality-weighted rate, ApproxN's private colony-size estimate). Extension
-// opcodes may read two per-ant parameter columns the lane materializes on
+// The opcode set covers Algorithms 2 and 3 plus the §6 extensions. The
+// extensions that reshape only the recruit draw (Adaptive's boosted schedule,
+// QualityAware's quality-weighted rate, ApproxN's private colony-size
+// estimate) may read two per-ant parameter columns the lane materializes on
 // demand — an integer column (Adaptive's phase clock) and a float column
-// (ApproxN's ñ estimate) — and their scalar knobs travel in Params. Batched
-// faults and batched matcher ablations remain ROADMAP items. An algorithm
-// advertises its compiled form by implementing the core package's
+// (ApproxN's ñ estimate) — and their scalar knobs travel in Params. The
+// noisy-perception extension routes every count and quality read through the
+// pluggable perception hooks of Params (nil hooks mean exact perception and
+// cost nothing), and the quorum-transport extension adds a carry-capable
+// recruit emit plus capture-sensitive observes: its threshold register lives
+// in the countT scratch column (disjoint from Algorithm 2's use) and its
+// transport flag is encoded in the state chain, so no new register columns are
+// needed. Batched faults and batched matcher ablations remain ROADMAP items.
+// An algorithm advertises its compiled form by implementing the core package's
 // BatchCompilable interface.
 type Program struct {
 	// Algorithm is the source algorithm's name, carried into results.
@@ -69,6 +79,37 @@ type ProgramParams struct {
 	// matching the scalar builder). Must lie in [0, 1) when the opcode
 	// appears.
 	NEstDelta float64
+
+	// Assess is the perception hook applied by ObserveDiscoverNoisy and
+	// ObserveDiscoverQuorum to the outcome quality, drawing any noise from the
+	// observing ant's own stream — the compiled form of a nest.Assessor. Nil
+	// means exact assessment (and consumes no randomness, exactly like
+	// nest.ExactAssessor). Hooks may be called concurrently from different
+	// worker lanes and must be stateless, which every assessor in the nest
+	// package is.
+	Assess func(q float64, src *rng.Source) float64
+	// Count is the perception hook applied by ObserveDiscoverNoisy and
+	// ObserveCountNoisy to the outcome count — the compiled form of a
+	// nest.CountEstimator. Nil means exact counting. The same statelessness
+	// requirement as Assess applies.
+	Count func(count, n int, src *rng.Source) int
+	// Threshold is ObserveDiscoverNoisy's good/bad classification cut: a
+	// perceived quality <= Threshold classifies the nest as bad (the ant
+	// recruits passively until captured), mirroring NoisyAnt.
+	Threshold float64
+
+	// QuorumMult scales an ant's initially observed population into its quorum
+	// threshold (ObserveDiscoverQuorum): T = max(⌊QuorumMult·count⌋, count+2).
+	// Must exceed 1 when that opcode appears.
+	QuorumMult float64
+	// QuorumCarry is EmitRecruitTransport's carry capacity (the §6 transport
+	// extension; the paper's [21] reports ≈ 3). Must be >= 1 when that opcode
+	// appears.
+	QuorumCarry int
+	// QuorumDocility is the probability a captured transporter submits to
+	// being carried away (ObserveQuorumTransport), drawn from the captured
+	// ant's stream. Must lie in [0, 1] when that opcode appears.
+	QuorumDocility float64
 }
 
 // ProgramState is one compiled PFSM state.
@@ -135,6 +176,13 @@ const (
 	// in the lane's float parameter column, initialized from Params.NEstDelta
 	// at replicate start.
 	EmitRecruitApproxN
+	// EmitRecruitTransport performs recruit(1, nest) with carry capacity
+	// Params.QuorumCarry — the §6 transport extension's direct carrying, as
+	// QuorumAnt emits after passing quorum. The bit is fixed at 1 (a
+	// transporter always recruits), so no randomness is drawn; the lane routes
+	// the round's pairing through the matcher's carry-aware form
+	// (CarryMatcher.MatchCarry) exactly as the scalar engine does.
+	EmitRecruitTransport
 )
 
 // AdaptiveRecruitProbability is the boosted recruitment rate of the §6
@@ -233,16 +281,69 @@ const (
 	// nest's true quality on go outcomes; recruit outcomes carry quality 0).
 	// Static.
 	ObserveCountQual
+	// ObserveDiscoverNoisy is the noisy-perception discovery fold: the count
+	// register loads Params.Count(outcome count) and the quality register
+	// loads 1 when Params.Assess(outcome quality) exceeds Params.Threshold and
+	// 0 otherwise — NoisyAnt's active flag encoded exactly like Simple's
+	// (quality > 0 gates the recruit draw). Both hooks draw from the observing
+	// ant's own stream, count first, then quality, matching NoisyAnt's observe
+	// order. Static.
+	ObserveDiscoverNoisy
+	// ObserveCountNoisy loads the count register through Params.Count — the
+	// noisy assess visit. Static.
+	ObserveCountNoisy
+	// ObserveDiscoverQuorum is the quorum-transport discovery fold: adopt the
+	// outcome nest, load the exact count, classify activity by
+	// Params.Assess(outcome quality) > 0.5 into the quality register (1 active
+	// canvasser, 0 passive), and self-calibrate the quorum threshold
+	// T = max(⌊QuorumMult·count⌋, count+2) into the countT scratch register —
+	// exactly QuorumAnt's search observe. Static.
+	ObserveDiscoverQuorum
+	// ObserveQuorumAdopt is the canvasser/passive recruit fold: when the ant
+	// was CAPTURED this round (capture is what QuorumAnt keys on, not a nest
+	// change — a carried ant knows it was picked up even if the capturer
+	// advertises its own nest) it adopts the capturer's nest and becomes an
+	// active canvasser (quality := 1). A self-pair does not count as capture.
+	// Static.
+	ObserveQuorumAdopt
+	// ObserveQuorumCheck is the canvasser assess fold: load the exact count,
+	// then promote to transport — NextB — when the ant canvasses actively
+	// (quality > 0) and the count has reached the countT threshold; otherwise
+	// enter Next (keep canvassing). The transport states are Final, making the
+	// compiled program deciding exactly as QuorumAnt.Decided reports transport.
+	ObserveQuorumCheck
+	// ObserveQuorumTransport is the transporter recruit fold: a captured
+	// transporter submits with probability Params.QuorumDocility (drawn from
+	// the captured ant's stream); a submitting transporter carried to a
+	// DIFFERENT nest demotes to a canvasser of that nest — NextB — while one
+	// carried for its own nest, a resisting one, or an uncaptured one stays in
+	// transport — Next.
+	ObserveQuorumTransport
 )
 
 // staticObserve reports whether op always enters Next.
 func staticObserve(op ObserveOp) bool {
 	switch op {
 	case ObserveDiscovery, ObserveAdopt, ObserveCount, ObserveNone,
-		ObserveRecruitNest, ObserveNestLatch, ObserveAdoptZero, ObserveCountQual:
+		ObserveRecruitNest, ObserveNestLatch, ObserveAdoptZero, ObserveCountQual,
+		ObserveDiscoverNoisy, ObserveCountNoisy,
+		ObserveDiscoverQuorum, ObserveQuorumAdopt:
 		return true
 	}
 	return false
+}
+
+// lockstepObserve reports whether the lockstep fast path implements op. The
+// quorum observes are static but deliberately excluded: they read the capture
+// table, and the only program emitting them (the compiled quorum-transport
+// strategy) carries branching observes anyway, so implementing them twice
+// would be dead code — a program using them runs the general path.
+func lockstepObserve(op ObserveOp) bool {
+	switch op {
+	case ObserveDiscoverQuorum, ObserveQuorumAdopt:
+		return false
+	}
+	return staticObserve(op)
 }
 
 // lockstepEmit reports whether the lockstep fast path implements op.
@@ -271,7 +372,7 @@ func recruitDrawEmit(op EmitOp) bool {
 // path with no per-ant state column or recruiter indirection.
 func (p Program) Lockstep() bool {
 	for _, st := range p.States {
-		if !staticObserve(st.Observe) || !lockstepEmit(st.Emit) {
+		if !lockstepObserve(st.Observe) || !lockstepEmit(st.Emit) {
 			return false
 		}
 	}
@@ -290,12 +391,40 @@ func (p Program) Decides() bool {
 	return false
 }
 
+// observeDrawsRNG reports whether op may draw from the observing ant's stream:
+// the perception observes route values through the (possibly noisy) hooks, and
+// the transporter fold draws the docility Bernoulli. The classification is
+// conservative — exact (nil) hooks draw nothing — so a lane may materialize
+// streams that end up untouched, which is exactly what the scalar agents'
+// unused sources do.
+func observeDrawsRNG(op ObserveOp) bool {
+	switch op {
+	case ObserveDiscoverNoisy, ObserveCountNoisy,
+		ObserveDiscoverQuorum, ObserveQuorumTransport:
+		return true
+	}
+	return false
+}
+
 // NeedsAntRNG reports whether any state draws per-ant randomness (every
 // drawn-recruit opcode does; EmitRecruitApproxN additionally draws each ant's
-// ñ estimate at replicate start).
+// ñ estimate at replicate start; the perception and docility observes draw
+// during the fold).
 func (p Program) NeedsAntRNG() bool {
 	for _, st := range p.States {
-		if recruitDrawEmit(st.Emit) {
+		if recruitDrawEmit(st.Emit) || observeDrawsRNG(st.Observe) {
+			return true
+		}
+	}
+	return false
+}
+
+// UsesCarry reports whether the lane must maintain the per-slot carry column
+// and route recruitment pairing through CarryMatcher.MatchCarry
+// (EmitRecruitTransport's capacity-carrying recruits).
+func (p Program) UsesCarry() bool {
+	for _, st := range p.States {
+		if st.Emit == EmitRecruitTransport {
 			return true
 		}
 	}
@@ -350,14 +479,23 @@ func (p Program) Validate() error {
 		return fmt.Errorf("sim: program %q uses EmitRecruitApproxN with delta %v outside [0, 1)", p.Algorithm, p.Params.NEstDelta)
 	}
 	for i, st := range p.States {
-		if st.Emit > EmitRecruitApproxN {
+		if st.Emit > EmitRecruitTransport {
 			return fmt.Errorf("sim: program %q state %d: unknown emit opcode %d", p.Algorithm, i, st.Emit)
 		}
 		if st.Emit == EmitRecruitBit && st.Arg > 1 {
 			return fmt.Errorf("sim: program %q state %d: recruit bit %d is not 0 or 1", p.Algorithm, i, st.Arg)
 		}
-		if st.Observe > ObserveCountQual {
+		if st.Emit == EmitRecruitTransport && p.Params.QuorumCarry < 1 {
+			return fmt.Errorf("sim: program %q state %d: EmitRecruitTransport with carry %d; want >= 1", p.Algorithm, i, p.Params.QuorumCarry)
+		}
+		if st.Observe > ObserveQuorumTransport {
 			return fmt.Errorf("sim: program %q state %d: unknown observe opcode %d", p.Algorithm, i, st.Observe)
+		}
+		if st.Observe == ObserveDiscoverQuorum && !(p.Params.QuorumMult > 1) {
+			return fmt.Errorf("sim: program %q state %d: ObserveDiscoverQuorum with multiplier %v; want > 1", p.Algorithm, i, p.Params.QuorumMult)
+		}
+		if st.Observe == ObserveQuorumTransport && !(p.Params.QuorumDocility >= 0 && p.Params.QuorumDocility <= 1) {
+			return fmt.Errorf("sim: program %q state %d: ObserveQuorumTransport with docility %v outside [0, 1]", p.Algorithm, i, p.Params.QuorumDocility)
 		}
 		if int(st.Next) >= len(p.States) {
 			return fmt.Errorf("sim: program %q state %d: successor %d out of range", p.Algorithm, i, st.Next)
