@@ -301,6 +301,60 @@ func BenchmarkReplicateSweepBatchNoisy(b *testing.B) {
 	benchReplicateSweep(b, algo.Noisy{Counter: nest.RelativeNoiseCounter{Sigma: 0.1}}, true)
 }
 
+// benchMatcherSweep measures a replicate sweep under a stock ablation matcher
+// (the E16 axis). Since the matcher lowering these run on the batch engine;
+// the scalar variant is the before picture.
+func benchMatcherSweep(b *testing.B, newMatcher func() sim.Matcher, batch bool) {
+	b.Helper()
+	const (
+		n    = 1024
+		k    = 4
+		reps = 32
+	)
+	env, err := sim.Uniform(k, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := core.RunConfig{N: n, Env: env, MaxRounds: 4000, NewMatcher: newMatcher}
+	experiment.SetBatchEngine(batch)
+	defer experiment.SetBatchEngine(true)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pt, err := experiment.MeasureConvergence(algo.Simple{}, cfg, reps, "bench-matcher")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if pt.Solved == 0 {
+			b.Fatal("sweep solved no replicates")
+		}
+	}
+}
+
+// BenchmarkMatcherSweepScalarSimultaneous is the simultaneous-pairing
+// ablation on the scalar agent path.
+func BenchmarkMatcherSweepScalarSimultaneous(b *testing.B) {
+	benchMatcherSweep(b, func() sim.Matcher { return &sim.SimultaneousMatcher{} }, false)
+}
+
+// BenchmarkMatcherSweepBatchSimultaneous is the simultaneous-pairing ablation
+// compiled to the batch engine.
+func BenchmarkMatcherSweepBatchSimultaneous(b *testing.B) {
+	benchMatcherSweep(b, func() sim.Matcher { return &sim.SimultaneousMatcher{} }, true)
+}
+
+// BenchmarkMatcherSweepScalarRendezvous is the rendezvous-pairing ablation on
+// the scalar agent path.
+func BenchmarkMatcherSweepScalarRendezvous(b *testing.B) {
+	benchMatcherSweep(b, func() sim.Matcher { return &sim.RendezvousMatcher{} }, false)
+}
+
+// BenchmarkMatcherSweepBatchRendezvous is the rendezvous-pairing ablation
+// compiled to the batch engine.
+func BenchmarkMatcherSweepBatchRendezvous(b *testing.B) {
+	benchMatcherSweep(b, func() sim.Matcher { return &sim.RendezvousMatcher{} }, true)
+}
+
 // BenchmarkEngineRoundConcurrent measures the goroutine-per-ant mode's round
 // latency (including the two barrier crossings).
 func BenchmarkEngineRoundConcurrent(b *testing.B) {

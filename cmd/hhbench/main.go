@@ -9,6 +9,9 @@
 //	hhbench -engine scalar -exp E9   (force the scalar replicate loop)
 //	hhbench -batchbench              (batch vs scalar throughput comparison)
 //	hhbench -batchbench -json        (machine-readable BENCH records)
+//	hhbench -batchbench -json -out BENCH_pr5.json   (write the artifact)
+//	hhbench -batchbench -json -baseline BENCH_pr5.json   (regression gate)
+//	hhbench -exp E9 -cpuprofile cpu.prof   (profile any run's hot path)
 package main
 
 import (
@@ -17,6 +20,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -44,6 +49,11 @@ func run(args []string, out io.Writer) error {
 		engine     = fs.String("engine", "auto", "replicate engine: auto (batch where eligible) or scalar")
 		batchbench = fs.Bool("batchbench", false, "run the batch vs scalar replicate-sweep throughput comparison and exit")
 		jsonOut    = fs.Bool("json", false, "with -batchbench, write machine-readable BENCH records instead of text")
+		outFile    = fs.String("out", "", "with -batchbench -json, also write the BENCH records to this file (the committed perf artifact)")
+		baseline   = fs.String("baseline", "", "with -batchbench, compare batch ms/sweep against this BENCH records file and fail on regression")
+		tolerance  = fs.Float64("tolerance", 0.30, "with -baseline, the accepted relative ms/sweep regression before failing")
+		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memprofile = fs.String("memprofile", "", "write an allocation profile of the run to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -58,11 +68,46 @@ func run(args []string, out io.Writer) error {
 		return fmt.Errorf("unknown engine %q (want auto or scalar)", *engine)
 	}
 
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return fmt.Errorf("creating cpu profile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("starting cpu profile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			return fmt.Errorf("creating mem profile: %w", err)
+		}
+		defer func() {
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "hhbench: writing mem profile:", err)
+			}
+			f.Close()
+		}()
+	}
+
 	if *jsonOut && !*batchbench {
 		return fmt.Errorf("-json requires -batchbench")
 	}
+	if (*outFile != "" || *baseline != "") && !*batchbench {
+		return fmt.Errorf("-out and -baseline require -batchbench")
+	}
+	if *outFile != "" && !*jsonOut {
+		return fmt.Errorf("-out requires -json")
+	}
 	if *batchbench {
-		return runBatchBench(out, defaultBatchBench(*jsonOut))
+		bb := defaultBatchBench(*jsonOut)
+		bb.out = *outFile
+		bb.baseline = *baseline
+		bb.tolerance = *tolerance
+		return runBatchBench(out, bb)
 	}
 
 	if *list {
@@ -112,6 +157,9 @@ type batchBenchConfig struct {
 	n, k, good, reps, maxRounds int
 	minTime                     time.Duration
 	json                        bool
+	out                         string  // also write the JSON records to this file
+	baseline                    string  // compare against this BENCH records file
+	tolerance                   float64 // accepted relative ms/sweep regression
 }
 
 // defaultBatchBench is the published benchmark point: n=1024, k=4, R=32
@@ -157,7 +205,10 @@ func batchBenchAlgorithms() []core.Algorithm {
 // convergence) on the scalar agent path and on the batch struct-of-arrays
 // engine, for every compiled algorithm, reporting ant-step throughput and the
 // batch/scalar speedup. Both paths execute bit-identical replicates, so the
-// comparison is apples to apples.
+// comparison is apples to apples. With bb.out set the JSON records are also
+// written to a file (the committed perf artifact); with bb.baseline set the
+// run fails if any batch cell's ms/sweep regressed beyond bb.tolerance
+// relative to the baseline records.
 func runBatchBench(out io.Writer, bb batchBenchConfig) error {
 	env, err := workload.Binary(bb.k, bb.good)
 	if err != nil {
@@ -165,6 +216,7 @@ func runBatchBench(out io.Writer, bb batchBenchConfig) error {
 	}
 	cfg := core.RunConfig{N: bb.n, Env: env, MaxRounds: bb.maxRounds}
 	enc := json.NewEncoder(out)
+	var records []benchRecord
 
 	sweep := func(a core.Algorithm) (totalRounds int, err error) {
 		pt, err := experiment.MeasureConvergence(a, cfg, bb.reps, "batchbench")
@@ -199,15 +251,16 @@ func runBatchBench(out io.Writer, bb batchBenchConfig) error {
 		}
 		perSweepMs := (elapsed / time.Duration(iters)).Seconds() * 1e3
 		steps := float64(rounds) * float64(bb.n) / elapsed.Seconds()
+		rec := benchRecord{
+			Type: "BENCH", Engine: engine, Algorithm: a.Name(),
+			N: bb.n, K: bb.k, Reps: bb.reps,
+			MsPerSweep: perSweepMs, AntStepsPerSec: steps,
+		}
+		if speedupOver > 0 {
+			rec.Speedup = steps / speedupOver
+		}
+		records = append(records, rec)
 		if bb.json {
-			rec := benchRecord{
-				Type: "BENCH", Engine: engine, Algorithm: a.Name(),
-				N: bb.n, K: bb.k, Reps: bb.reps,
-				MsPerSweep: perSweepMs, AntStepsPerSec: steps,
-			}
-			if speedupOver > 0 {
-				rec.Speedup = steps / speedupOver
-			}
 			if err := enc.Encode(rec); err != nil {
 				return 0, err
 			}
@@ -235,5 +288,96 @@ func runBatchBench(out io.Writer, bb batchBenchConfig) error {
 			fmt.Fprintf(out, "\n%s speedup: %.2fx\n\n", a.Name(), batch/scalar)
 		}
 	}
+	if bb.out != "" {
+		if err := writeBenchRecords(bb.out, records); err != nil {
+			return err
+		}
+	}
+	if bb.baseline != "" {
+		return compareBenchBaseline(out, bb, records)
+	}
+	return nil
+}
+
+// writeBenchRecords writes the BENCH records as JSON lines to path.
+func writeBenchRecords(path string, records []benchRecord) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("writing BENCH artifact: %w", err)
+	}
+	enc := json.NewEncoder(f)
+	for _, rec := range records {
+		if err := enc.Encode(rec); err != nil {
+			f.Close()
+			return fmt.Errorf("writing BENCH artifact: %w", err)
+		}
+	}
+	return f.Close()
+}
+
+// readBenchRecords parses a JSON-lines BENCH records file.
+func readBenchRecords(path string) ([]benchRecord, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("reading BENCH baseline: %w", err)
+	}
+	defer f.Close()
+	dec := json.NewDecoder(f)
+	var records []benchRecord
+	for dec.More() {
+		var rec benchRecord
+		if err := dec.Decode(&rec); err != nil {
+			return nil, fmt.Errorf("reading BENCH baseline %s: %w", path, err)
+		}
+		records = append(records, rec)
+	}
+	return records, nil
+}
+
+// compareBenchBaseline is the perf regression gate: every batch cell present
+// in both the baseline and the fresh run (matched on algorithm, n, k, reps)
+// must not exceed the baseline ms/sweep by more than the tolerance. Scalar
+// cells are informational — the scalar agent path is not the optimization
+// target — and cells missing from either side are skipped (the inventory may
+// grow), but a baseline whose batch cells ALL vanished is an error.
+func compareBenchBaseline(out io.Writer, bb batchBenchConfig, fresh []benchRecord) error {
+	base, err := readBenchRecords(bb.baseline)
+	if err != nil {
+		return err
+	}
+	key := func(r benchRecord) string {
+		return fmt.Sprintf("%s|%s|%d|%d|%d", r.Engine, r.Algorithm, r.N, r.K, r.Reps)
+	}
+	current := make(map[string]benchRecord, len(fresh))
+	for _, r := range fresh {
+		current[key(r)] = r
+	}
+	compared := 0
+	regressed := 0
+	for _, b := range base {
+		if b.Engine != "batch" {
+			continue
+		}
+		cur, ok := current[key(b)]
+		if !ok {
+			continue
+		}
+		compared++
+		ratio := cur.MsPerSweep / b.MsPerSweep
+		status := "ok"
+		if ratio > 1+bb.tolerance {
+			status = "REGRESSED"
+			regressed++
+		}
+		fmt.Fprintf(out, "baseline %-30s %8.1f -> %8.1f ms/sweep (%+.1f%%) %s\n",
+			b.Algorithm, b.MsPerSweep, cur.MsPerSweep, (ratio-1)*100, status)
+	}
+	if compared == 0 {
+		return fmt.Errorf("baseline %s shares no batch cells with this run", bb.baseline)
+	}
+	if regressed > 0 {
+		return fmt.Errorf("%d batch cell(s) regressed more than %.0f%% vs %s", regressed, bb.tolerance*100, bb.baseline)
+	}
+	fmt.Fprintf(out, "baseline check passed: %d batch cell(s) within %.0f%% of %s\n", compared, bb.tolerance*100, bb.baseline)
 	return nil
 }

@@ -3,6 +3,8 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
@@ -48,6 +50,15 @@ func TestRunRejectsBadFlags(t *testing.T) {
 	}
 	if err := run([]string{"-json"}, &out); err == nil {
 		t.Fatal("-json without -batchbench accepted")
+	}
+	if err := run([]string{"-out", "x.json"}, &out); err == nil {
+		t.Fatal("-out without -batchbench accepted")
+	}
+	if err := run([]string{"-batchbench", "-out", "x.json"}, &out); err == nil {
+		t.Fatal("-out without -json accepted")
+	}
+	if err := run([]string{"-baseline", "x.json"}, &out); err == nil {
+		t.Fatal("-baseline without -batchbench accepted")
 	}
 }
 
@@ -116,5 +127,105 @@ func TestRunEngineScalar(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "SHAPE HOLDS") {
 		t.Fatalf("output missing verdict:\n%s", out.String())
+	}
+}
+
+// TestBatchBenchOutAndBaseline exercises the perf artifact round trip: a
+// shrunken benchmark writes its BENCH records via bb.out; a second run
+// compared against that fresh baseline must pass the gate (same machine,
+// moments apart), and a doctored baseline with impossibly fast batch cells
+// must fail it. A baseline sharing no cells errors too.
+func TestBatchBenchOutAndBaseline(t *testing.T) {
+	dir := t.TempDir()
+	artifact := filepath.Join(dir, "BENCH_test.json")
+	bb := batchBenchConfig{n: 64, k: 4, good: 2, reps: 4, maxRounds: 2000, minTime: time.Millisecond, json: true, out: artifact}
+	var out bytes.Buffer
+	if err := runBatchBench(&out, bb); err != nil {
+		t.Fatal(err)
+	}
+	records, err := readBenchRecords(artifact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) == 0 {
+		t.Fatal("artifact holds no records")
+	}
+	batchCells := 0
+	for _, rec := range records {
+		if rec.Engine == "batch" {
+			batchCells++
+			if rec.MsPerSweep <= 0 {
+				t.Fatalf("batch record without timing: %+v", rec)
+			}
+		}
+	}
+	if batchCells == 0 {
+		t.Fatal("artifact holds no batch cells")
+	}
+
+	// Same-machine re-run against the fresh baseline passes with the default
+	// 30% tolerance relaxed to 3x: the shrunken cells run only milliseconds,
+	// so scheduler noise dominates them in a way the real 1s cells avoid.
+	check := bb
+	check.out = ""
+	check.baseline = artifact
+	check.tolerance = 2.0
+	out.Reset()
+	if err := runBatchBench(&out, check); err != nil {
+		t.Fatalf("fresh baseline comparison failed: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "baseline check passed") {
+		t.Fatalf("comparison output missing pass line:\n%s", out.String())
+	}
+
+	// A doctored baseline claiming the batch cells once ran 1000x faster
+	// must trip the gate.
+	doctored := filepath.Join(dir, "BENCH_doctored.json")
+	for i := range records {
+		if records[i].Engine == "batch" {
+			records[i].MsPerSweep /= 1000
+		}
+	}
+	if err := writeBenchRecords(doctored, records); err != nil {
+		t.Fatal(err)
+	}
+	check.baseline = doctored
+	check.tolerance = 0.30
+	out.Reset()
+	if err := runBatchBench(&out, check); err == nil {
+		t.Fatalf("doctored baseline accepted:\n%s", out.String())
+	} else if !strings.Contains(err.Error(), "regressed") {
+		t.Fatalf("unexpected gate error: %v", err)
+	}
+
+	// A baseline with no overlapping cells is a configuration error.
+	foreign := filepath.Join(dir, "BENCH_foreign.json")
+	if err := writeBenchRecords(foreign, []benchRecord{{Type: "BENCH", Engine: "batch", Algorithm: "nope", N: 1, K: 1, Reps: 1, MsPerSweep: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	check.baseline = foreign
+	if err := runBatchBench(&out, check); err == nil {
+		t.Fatal("disjoint baseline accepted")
+	}
+}
+
+// TestProfileFlags smoke-tests -cpuprofile/-memprofile: a tiny run must
+// produce non-empty profile files.
+func TestProfileFlags(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.prof")
+	mem := filepath.Join(dir, "mem.prof")
+	var out bytes.Buffer
+	if err := run([]string{"-exp", "E1", "-cpuprofile", cpu, "-memprofile", mem}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{cpu, mem} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("profile %s: %v", p, err)
+		}
+		if st.Size() == 0 {
+			t.Fatalf("profile %s is empty", p)
+		}
 	}
 }

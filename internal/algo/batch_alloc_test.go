@@ -1,0 +1,49 @@
+package algo
+
+import (
+	"testing"
+
+	"github.com/gmrl/househunt/internal/core"
+	"github.com/gmrl/househunt/internal/sim"
+)
+
+// TestBatchRunAllocationsRoundIndependent pins the no-per-round-allocation
+// contract at the public API for every real compiled program: a Batch.Run's
+// allocation count is fixed per call (lane setup, result slices) and must not
+// scale with the round budget. Comparing a short run against one ~50× longer
+// on a single worker catches any hot-path allocation the sim-internal
+// per-step assertions might miss (worker fan-out, replicate reset, census).
+func TestBatchRunAllocationsRoundIndependent(t *testing.T) {
+	env := sim.MustEnvironment([]float64{1, 0, 0.7, 0})
+	const n = 96
+	seeds := []uint64{3, 5}
+	for _, a := range compiledInventory() {
+		a := a
+		t.Run(a.Name(), func(t *testing.T) {
+			prog, ok := a.(core.BatchCompilable).CompileBatch(n, env)
+			if !ok {
+				t.Fatalf("%s did not compile", a.Name())
+			}
+			b, err := sim.NewBatch(env, prog, n, sim.WithBatchWorkers(1))
+			if err != nil {
+				t.Fatal(err)
+			}
+			run := func(rounds int) float64 {
+				// The window above the budget forces every replicate to run
+				// the full budget, so the round counts actually differ.
+				return testing.AllocsPerRun(5, func() {
+					if _, err := b.Run(seeds, rounds, rounds+1); err != nil {
+						t.Fatal(err)
+					}
+				})
+			}
+			run(4) // warm-up: one-time lazy growth inside the engine
+			short := run(4)
+			long := run(200)
+			if long > short {
+				t.Errorf("%s: allocations grew with the round budget: %.1f at 4 rounds, %.1f at 200",
+					a.Name(), short, long)
+			}
+		})
+	}
+}

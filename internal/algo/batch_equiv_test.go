@@ -41,6 +41,24 @@ type diffCase struct {
 	env       sim.Environment
 	seeds     []uint64
 	maxRounds int
+	// matcher selects a stock recruitment-pairing model by name
+	// ("simultaneous", "rendezvous", "algorithm1"); empty means the default
+	// Algorithm 1 pairing with no cfg.NewMatcher set. Non-empty cases pin
+	// the compiled matcher ablations against the scalar engine running the
+	// same model.
+	matcher string
+}
+
+// stockMatcher builds a fresh stock matcher instance by name.
+func stockMatcher(name string) sim.Matcher {
+	switch name {
+	case "simultaneous":
+		return &sim.SimultaneousMatcher{}
+	case "rendezvous":
+		return &sim.RendezvousMatcher{}
+	default:
+		return &sim.AlgorithmOneMatcher{}
+	}
 }
 
 // roundRec is one round's end-of-round populations (index 0 = home) and
@@ -104,7 +122,11 @@ func scalarTrace(t *testing.T, c diffCase) [][]roundRec {
 		if err != nil {
 			t.Fatalf("%s seed %d: build: %v", c.name, seed, err)
 		}
-		eng, err := sim.New(c.env, agents, sim.WithSeed(seed))
+		opts := []sim.Option{sim.WithSeed(seed)}
+		if c.matcher != "" {
+			opts = append(opts, sim.WithMatcher(stockMatcher(c.matcher)))
+		}
+		eng, err := sim.New(c.env, agents, opts...)
 		if err != nil {
 			t.Fatalf("%s seed %d: engine: %v", c.name, seed, err)
 		}
@@ -128,7 +150,7 @@ func batchTrace(t *testing.T, c diffCase, prog sim.Program) [][]roundRec {
 	t.Helper()
 	var mu sync.Mutex
 	recs := make([][]roundRec, len(c.seeds))
-	b, err := sim.NewBatch(c.env, prog, c.n, sim.WithBatchProbe(func(rep, round int, counts, committed []int) {
+	opts := []sim.BatchOption{sim.WithBatchProbe(func(rep, round int, counts, committed []int) {
 		rec := roundRec{
 			counts: append([]int(nil), counts...),
 			commit: append([]int(nil), committed...),
@@ -136,7 +158,12 @@ func batchTrace(t *testing.T, c diffCase, prog sim.Program) [][]roundRec {
 		mu.Lock()
 		recs[rep] = append(recs[rep], rec)
 		mu.Unlock()
-	}))
+	})}
+	if c.matcher != "" {
+		name := c.matcher
+		opts = append(opts, sim.WithBatchMatcher(func() sim.Matcher { return stockMatcher(name) }))
+	}
+	b, err := sim.NewBatch(c.env, prog, c.n, opts...)
 	if err != nil {
 		t.Fatalf("%s: batch: %v", c.name, err)
 	}
@@ -178,6 +205,10 @@ func assertTraceEquivalence(t *testing.T, c diffCase) {
 func assertRunnerEquivalence(t *testing.T, c diffCase) {
 	t.Helper()
 	cfg := core.RunConfig{N: c.n, Env: c.env, MaxRounds: 8 * c.maxRounds, StabilityWindow: 2}
+	if c.matcher != "" {
+		name := c.matcher
+		cfg.NewMatcher = func() sim.Matcher { return stockMatcher(name) }
+	}
 	batched, ok, err := core.RunBatch(c.algo, cfg, c.seeds)
 	if err != nil {
 		t.Fatalf("%s: RunBatch: %v", c.name, err)
@@ -294,13 +325,28 @@ func randomDiffCases(metaSeed uint64, count int) []diffCase {
 		if good := src.Intn(k); quals[good] == 0 {
 			quals[good] = sample() // environments need at least one good nest
 		}
+		// A third of the cases run a stock matcher ablation; quorum only
+		// pairs with ablation matchers at carry 1 (they implement no
+		// MatchCarry, mirroring the compile gate).
+		matcher := ""
+		switch src.Intn(6) {
+		case 0:
+			matcher = "simultaneous"
+		case 1:
+			matcher = "rendezvous"
+		}
+		if q, isQuorum := a.(Quorum); isQuorum && matcher != "" {
+			q.Carry = 1
+			a = q
+		}
 		cases = append(cases, diffCase{
-			name:      fmt.Sprintf("case%02d/%s/n%d/k%d", i, a.Name(), n, k),
+			name:      fmt.Sprintf("case%02d/%s%s/n%d/k%d", i, a.Name(), matcher, n, k),
 			algo:      a,
 			n:         n,
 			env:       sim.MustEnvironment(quals),
 			seeds:     []uint64{src.Uint64(), src.Uint64()},
 			maxRounds: 40 + src.Intn(120),
+			matcher:   matcher,
 		})
 	}
 	return cases
@@ -369,6 +415,35 @@ func pinnedDiffCases() []diffCase {
 	add(Noisy{Counter: nest.EncounterRateCounter{Probes: 16, Volume: 4}}, 64, envBinary, 300)
 	add(Noisy{Assessor: nest.FlipAssessor{P: 0.2}}, 64, envSparse, 300)
 	add(Noisy{Counter: nest.RelativeNoiseCounter{Sigma: 0.2}, Assessor: nest.GaussianAssessor{Sigma: 0.15}, Threshold: 0.4}, 64, envGraded, 300)
+	// Matcher ablations (§2's "other natural models", the E16 axis): the
+	// compiled simultaneous and rendezvous pairings must reproduce the
+	// scalar engine running the same model draw for draw, across the
+	// lockstep (simple), general (optimal) and drawn-recruit extension
+	// paths, plus an explicitly-selected algorithm1 (exercising the
+	// cfg.NewMatcher stock-resolution instead of the default). Quorum with
+	// tandem-only carry pins the carry-1 transport program on a carry-less
+	// ablation matcher.
+	addM := func(a core.Algorithm, matcher string, n int, env sim.Environment, maxRounds int) {
+		cases = append(cases, diffCase{
+			name:      fmt.Sprintf("%s+%s/n%d/k%d", a.Name(), matcher, n, env.K()),
+			algo:      a,
+			n:         n,
+			env:       env,
+			seeds:     seeds,
+			maxRounds: maxRounds,
+			matcher:   matcher,
+		})
+	}
+	addM(Simple{}, "simultaneous", 96, envBinary, 300)
+	addM(Simple{}, "rendezvous", 96, envBinary, 200)
+	addM(Simple{}, "algorithm1", 64, envSparse, 200)
+	addM(Optimal{}, "simultaneous", 64, envBinary, 200)
+	addM(Optimal{}, "rendezvous", 64, envBinary, 200)
+	addM(Optimal{Literal: true}, "simultaneous", 32, envSingle, 160)
+	addM(QualityAware{}, "simultaneous", 64, envGraded, 240)
+	addM(Adaptive{}, "rendezvous", 64, envBinary, 200)
+	addM(Quorum{Carry: 1}, "simultaneous", 64, envBinary, 240)
+	addM(Quorum{Carry: 1, Docility: 0.6}, "rendezvous", 64, envBinary, 240)
 	return cases
 }
 
@@ -525,17 +600,23 @@ func TestRunBatchFallsBackForScalarOnlyConfigs(t *testing.T) {
 			c.Wrap = func(a []sim.Agent) ([]sim.Agent, error) { return a, nil }
 			return c
 		}(), "cfg.Wrap"},
-		// The custom-matcher reason must distinguish the scalar-only custom
-		// matcher from the compiled default pairing: quorum's carry-aware
-		// transport matching IS batched, so the reason names what the batch
-		// engine does inline ("carry-aware") rather than implying no batched
-		// matching exists. The assertion loop checks every comma-separated
-		// fragment.
+		// Stock matcher configs compile since the matcher-ablation lowering;
+		// only a genuinely custom implementation forces the scalar path, and
+		// the reason names the type plus the stock models that do batch. The
+		// assertion loop checks every comma-separated fragment.
 		{"matcher", Quorum{}, func() core.RunConfig {
 			c := base
-			c.NewMatcher = func() sim.Matcher { return &sim.AlgorithmOneMatcher{} }
+			c.NewMatcher = func() sim.Matcher { return scalarOnlyMatcher{} }
 			return c
-		}(), "custom matchers are scalar-only,carry-aware"},
+		}(), "custom matcher,scalar-only-test,simultaneous,rendezvous"},
+		// A transporting algorithm cannot batch a carry-less ablation matcher:
+		// the scalar engine rejects the first transport round for it, so the
+		// config stays scalar and the reason names the missing CarryMatcher.
+		{"matcher transport", Quorum{}, func() core.RunConfig {
+			c := base
+			c.NewMatcher = func() sim.Matcher { return &sim.SimultaneousMatcher{} }
+			return c
+		}(), "quorum,carry 3,CarryMatcher"},
 		{"concurrent", Simple{}, func() core.RunConfig {
 			c := base
 			c.Concurrent = true
@@ -564,8 +645,38 @@ func TestRunBatchFallsBackForScalarOnlyConfigs(t *testing.T) {
 			t.Errorf("%s: ok=%v reason=%q, want eligible with empty reason", a.Name(), ok, reason)
 		}
 	}
+	// Stock matcher ablation configs are batch-eligible too (for carry-less
+	// algorithms): the ablation sweep no longer pays scalar speed.
+	for _, stock := range []func() sim.Matcher{
+		func() sim.Matcher { return &sim.AlgorithmOneMatcher{} },
+		func() sim.Matcher { return &sim.SimultaneousMatcher{} },
+		func() sim.Matcher { return &sim.RendezvousMatcher{} },
+	} {
+		cfg := base
+		cfg.NewMatcher = stock
+		name := stock().Name()
+		if _, ok, reason := core.CompileForBatch(Simple{}, cfg); !ok || reason != "" {
+			t.Errorf("simple with stock matcher %s: ok=%v reason=%q, want eligible", name, ok, reason)
+		}
+		if _, ok, reason := core.CompileForBatch(Optimal{}, cfg); !ok || reason != "" {
+			t.Errorf("optimal with stock matcher %s: ok=%v reason=%q, want eligible", name, ok, reason)
+		}
+	}
 	// Non-compilable algorithms fall back without error at the runner level.
 	if _, ok, err := core.RunBatch(Spreader{}, base, []uint64{1}); ok || err != nil {
 		t.Errorf("RunBatch on a non-compilable algorithm: ok=%v err=%v, want fallback", ok, err)
+	}
+}
+
+// scalarOnlyMatcher is a non-stock Matcher: configs supplying it must fall
+// back to the scalar engine with a reason naming the type.
+type scalarOnlyMatcher struct{}
+
+func (scalarOnlyMatcher) Name() string { return "scalar-only-test" }
+
+func (scalarOnlyMatcher) Match(n int, active []bool, src *rng.Source, capturedBy []int32, succeeded []bool) {
+	for t := 0; t < n; t++ {
+		capturedBy[t] = -1
+		succeeded[t] = false
 	}
 }

@@ -12,10 +12,11 @@ import (
 // fuzzDiffCase derives a bounded differential-harness configuration from raw
 // fuzz words: the algorithm (all nine compiled forms, quorum/transport and
 // noisy perception included), colony size, nest count, binary or graded
-// quality vector and the extension parameters are all decoded from the
-// inputs, so the fuzzer explores the same space as randomDiffCases but
-// steered by coverage. The decoding is total — every input maps to a valid
-// case — which keeps the target mutation-friendly.
+// quality vector, the extension parameters and the recruitment matcher
+// (default Algorithm 1 or a stock ablation) are all decoded from the inputs,
+// so the fuzzer explores the same space as randomDiffCases but steered by
+// coverage. The decoding is total — every input maps to a valid case — which
+// keeps the target mutation-friendly.
 func fuzzDiffCase(seed uint64, algoPick, nRaw, kRaw, qualBits, param uint16) diffCase {
 	n := 4 + int(nRaw%60)
 	k := 1 + int(kRaw%5)
@@ -82,13 +83,29 @@ func fuzzDiffCase(seed uint64, algoPick, nRaw, kRaw, qualBits, param uint16) dif
 		}
 		a = no
 	}
+	// The high algorithm-pick bits select the pairing model. The ablation
+	// matchers implement no MatchCarry, so a transporting quorum case is
+	// demoted to tandem-only carry — mirroring core.CompileForBatch's gate,
+	// which routes carry > 1 ablation configs to the scalar engine.
+	matcher := ""
+	switch (algoPick / 9) % 3 {
+	case 1:
+		matcher = "simultaneous"
+	case 2:
+		matcher = "rendezvous"
+	}
+	if q, isQuorum := a.(Quorum); isQuorum && matcher != "" {
+		q.Carry = 1
+		a = q
+	}
 	return diffCase{
-		name:      fmt.Sprintf("fuzz/%s/n%d/k%d", a.Name(), n, k),
+		name:      fmt.Sprintf("fuzz/%s%s/n%d/k%d", a.Name(), matcher, n, k),
 		algo:      a,
 		n:         n,
 		env:       sim.MustEnvironment(quals),
 		seeds:     []uint64{seed},
 		maxRounds: 48,
+		matcher:   matcher,
 	}
 }
 
@@ -110,6 +127,10 @@ func FuzzBatchEquivalence(f *testing.F) {
 	f.Add(uint64(23), uint16(7), uint16(36), uint16(2), uint16(3), uint16(9))   // quorum, carry 2, full docility
 	f.Add(uint64(29), uint16(8), uint16(44), uint16(2), uint16(5), uint16(13))  // noisy, σ = 0.13
 	f.Add(uint64(31), uint16(8), uint16(30), uint16(1), uint16(1), uint16(0))   // noisy, zero noise (exact degenerate)
+	f.Add(uint64(37), uint16(9), uint16(40), uint16(2), uint16(3), uint16(0))   // simple + simultaneous ablation
+	f.Add(uint64(41), uint16(20), uint16(36), uint16(2), uint16(3), uint16(0))  // optimal + rendezvous ablation
+	f.Add(uint64(43), uint16(16), uint16(32), uint16(1), uint16(1), uint16(4))  // quorum (carry demoted to 1) + simultaneous
+	f.Add(uint64(47), uint16(23), uint16(28), uint16(2), uint16(5), uint16(9))  // quality-aware + rendezvous, graded
 	f.Fuzz(func(t *testing.T, seed uint64, algoPick, nRaw, kRaw, qualBits, param uint16) {
 		assertTraceEquivalence(t, fuzzDiffCase(seed, algoPick, nRaw, kRaw, qualBits, param))
 	})

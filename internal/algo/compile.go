@@ -16,11 +16,11 @@ import (
 // fallback for everything else.
 //
 // Batch-coverage matrix (algorithm × configuration → engine). Any scalar-only
-// cfg feature (Wrap, Trace, Metrics, NewMatcher, Concurrent) forces the
-// scalar path regardless of the algorithm; core.CompileForBatch reports which
-// field blocked compilation. Every house-hunting algorithm now has a compiled
-// form — only scalar-only cfg features and the non-house-hunting Spreader
-// fall back.
+// cfg feature (Wrap, Trace, Metrics, a non-stock NewMatcher, Concurrent)
+// forces the scalar path regardless of the algorithm; core.CompileForBatch
+// reports which field blocked compilation. Every house-hunting algorithm now
+// has a compiled form — only scalar-only cfg features and the
+// non-house-hunting Spreader fall back.
 //
 //	algorithm      plain cfg   batch path          notes
 //	Simple         batch       lockstep            Algorithm 3
@@ -34,9 +34,24 @@ import (
 //	                                               threshold in countT, docility draw on capture
 //	Spreader       scalar      —                   not a house-hunting PFSM
 //
+// Matcher coverage (cfg.NewMatcher × algorithm → engine). The batch engine
+// runs the stock pairing models with their scalar draw sequences; only a
+// custom Matcher implementation (per-engine scratch the lanes cannot model)
+// forces the scalar path:
+//
+//	matcher                 coverage   notes
+//	(default) algorithm1    batch      the paper's Algorithm 1, carry-aware
+//	                                   MatchCarry for the transport extension
+//	algorithm1 (explicit)   batch      cfg.NewMatcher resolved to the stock type
+//	simultaneous            batch      §2 ablation; no CarryMatcher, so quorum
+//	                                   configs with carry > 1 stay scalar
+//	rendezvous              batch      §2 ablation; same carry restriction
+//	custom implementations  scalar     reason names the type and the stock models
+//
 // Every compiled row is pinned round-for-round bit-identical to its scalar
-// agents by the randomized cross-engine differential harness in
-// batch_equiv_test.go and the FuzzBatchEquivalence fuzz target.
+// agents — for every stock matcher — by the randomized cross-engine
+// differential harness in batch_equiv_test.go and the FuzzBatchEquivalence
+// fuzz target.
 
 // simpleBatchProgram is Algorithm 3's three-state table: search, then the
 // recruit/assess loop. It is the opcode form of newSimpleSpec — the states

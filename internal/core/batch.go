@@ -15,49 +15,97 @@ type BatchCompilable interface {
 	CompileBatch(n int, env sim.Environment) (sim.Program, bool)
 }
 
+// batchMatcherFactory resolves cfg.NewMatcher for the batch engine. The
+// engine compiles the stock matcher models — the default Algorithm 1 pairing
+// (including its carry-aware transport form) and the §6 ablations
+// (SimultaneousMatcher, RendezvousMatcher) — by probing one instance from the
+// factory and rebuilding fresh instances of the same stock type per worker
+// lane; the user factory is called exactly once per eligibility check (never
+// concurrently), and a factory that (incorrectly) shares one instance still
+// batches safely. A matcher of any other type is an arbitrary implementation
+// with per-engine scratch state the lanes cannot model, so it stays scalar
+// with a reason naming the type. A nil cfg factory selects the batch
+// engine's default pairing (nil factory, nil probe returned).
+func batchMatcherFactory(cfg RunConfig) (factory func() sim.Matcher, probe sim.Matcher, ok bool, reason string) {
+	if cfg.NewMatcher == nil {
+		return nil, nil, true, ""
+	}
+	probe = cfg.NewMatcher()
+	switch probe.(type) {
+	case *sim.AlgorithmOneMatcher:
+		return func() sim.Matcher { return &sim.AlgorithmOneMatcher{} }, probe, true, ""
+	case *sim.SimultaneousMatcher:
+		return func() sim.Matcher { return &sim.SimultaneousMatcher{} }, probe, true, ""
+	case *sim.RendezvousMatcher:
+		return func() sim.Matcher { return &sim.RendezvousMatcher{} }, probe, true, ""
+	case nil:
+		return nil, nil, false, "cfg.NewMatcher returned nil"
+	}
+	return nil, nil, false, fmt.Sprintf(
+		"cfg.NewMatcher supplies custom matcher %q (only the stock models — algorithm1 with its carry-aware transport form, simultaneous, rendezvous — are batch-compiled)",
+		probe.Name())
+}
+
 // CompileForBatch reports whether algo + cfg can run on the batch engine and
 // returns the compiled program if so. Eligibility requires a compilable
 // algorithm and a configuration with none of the scalar-only features: agent
-// wrappers (faults, asynchrony), traces, metrics, custom matchers and the
+// wrappers (faults, asynchrony), traces, metrics, non-stock matchers and the
 // goroutine-per-ant mode all hold per-agent or per-engine state the batch
-// lanes do not model.
+// lanes do not model. Configurations selecting a stock matcher model
+// (Algorithm 1 or the simultaneous/rendezvous ablations) compile: the batch
+// engine runs those models with exactly their scalar draw sequences.
 //
 // When compilation is declined, the returned reason names the cfg field or
 // algorithm that blocked it — one log line answers "why is this sweep on the
 // slow path". The reason is empty exactly when ok is true.
 func CompileForBatch(algo Algorithm, cfg RunConfig) (prog sim.Program, ok bool, reason string) {
+	prog, _, ok, reason = compileForBatch(algo, cfg)
+	return prog, ok, reason
+}
+
+// compileForBatch is CompileForBatch plus the resolved matcher factory, so
+// RunBatch performs the whole eligibility check — cfg.NewMatcher probe
+// included — exactly once.
+func compileForBatch(algo Algorithm, cfg RunConfig) (prog sim.Program, matcher func() sim.Matcher, ok bool, reason string) {
 	switch {
 	case algo == nil:
-		return sim.Program{}, false, "no algorithm"
+		return sim.Program{}, nil, false, "no algorithm"
 	case cfg.N <= 0:
-		return sim.Program{}, false, fmt.Sprintf("colony size %d is not positive", cfg.N)
+		return sim.Program{}, nil, false, fmt.Sprintf("colony size %d is not positive", cfg.N)
 	case cfg.Env.K() == 0:
-		return sim.Program{}, false, "empty environment"
+		return sim.Program{}, nil, false, "empty environment"
 	case cfg.Wrap != nil:
-		return sim.Program{}, false, "cfg.Wrap is set (agent wrappers are scalar-only)"
+		return sim.Program{}, nil, false, "cfg.Wrap is set (agent wrappers are scalar-only)"
 	case cfg.Trace != nil:
-		return sim.Program{}, false, "cfg.Trace is set (per-round traces are scalar-only)"
+		return sim.Program{}, nil, false, "cfg.Trace is set (per-round traces are scalar-only)"
 	case cfg.Metrics != nil:
-		return sim.Program{}, false, "cfg.Metrics is set (engine instrumentation is scalar-only)"
-	case cfg.NewMatcher != nil:
-		// Note the distinction: the batch engine DOES implement the default
-		// Algorithm 1 pairing including its carry-aware transport form (the
-		// compiled quorum strategy uses it), but a cfg-supplied matcher is an
-		// arbitrary implementation with per-engine scratch state, so it stays
-		// scalar.
-		return sim.Program{}, false, "cfg.NewMatcher is set (custom matchers are scalar-only; the batch engine inlines only the default Algorithm 1 pairing and its carry-aware transport form)"
+		return sim.Program{}, nil, false, "cfg.Metrics is set (engine instrumentation is scalar-only)"
 	case cfg.Concurrent:
-		return sim.Program{}, false, "cfg.Concurrent is set (the goroutine-per-ant mode is scalar-only)"
+		return sim.Program{}, nil, false, "cfg.Concurrent is set (the goroutine-per-ant mode is scalar-only)"
+	}
+	factory, probe, matcherOK, reason := batchMatcherFactory(cfg)
+	if !matcherOK {
+		return sim.Program{}, nil, false, reason
 	}
 	bc, isCompilable := algo.(BatchCompilable)
 	if !isCompilable {
-		return sim.Program{}, false, fmt.Sprintf("algorithm %q does not implement core.BatchCompilable", algo.Name())
+		return sim.Program{}, nil, false, fmt.Sprintf("algorithm %q does not implement core.BatchCompilable", algo.Name())
 	}
 	prog, ok = bc.CompileBatch(cfg.N, cfg.Env)
 	if !ok {
-		return sim.Program{}, false, fmt.Sprintf("algorithm %q declined to compile for n=%d, k=%d", algo.Name(), cfg.N, cfg.Env.K())
+		return sim.Program{}, nil, false, fmt.Sprintf("algorithm %q declined to compile for n=%d, k=%d", algo.Name(), cfg.N, cfg.Env.K())
 	}
-	return prog, true, ""
+	if probe != nil && prog.UsesCarry() && prog.Params.QuorumCarry > 1 {
+		if _, carries := probe.(sim.CarryMatcher); !carries {
+			// The scalar engine rejects a transporting round at runtime for
+			// such matchers; declining compilation here routes the config to
+			// the scalar path so the user sees that engine's error.
+			return sim.Program{}, nil, false, fmt.Sprintf(
+				"algorithm %q transports (carry %d > 1) but matcher %q implements no sim.CarryMatcher",
+				algo.Name(), prog.Params.QuorumCarry, probe.Name())
+		}
+	}
+	return prog, factory, true, ""
 }
 
 // RunBatch executes one replicate per seed on the batch engine and returns
@@ -66,14 +114,18 @@ func CompileForBatch(algo Algorithm, cfg RunConfig) (prog sim.Program, ok bool, 
 // reports eligibility: when false, the caller must run the scalar path
 // (cfg cannot run batched); no work has been done in that case.
 func RunBatch(algo Algorithm, cfg RunConfig, seeds []uint64) ([]Result, bool, error) {
-	prog, ok, _ := CompileForBatch(algo, cfg)
+	prog, factory, ok, _ := compileForBatch(algo, cfg)
 	if !ok {
 		return nil, false, nil
 	}
 	if len(seeds) == 0 {
 		return nil, true, fmt.Errorf("core: batch run needs at least one seed")
 	}
-	batch, err := sim.NewBatch(cfg.Env, prog, cfg.N)
+	var opts []sim.BatchOption
+	if factory != nil {
+		opts = append(opts, sim.WithBatchMatcher(factory))
+	}
+	batch, err := sim.NewBatch(cfg.Env, prog, cfg.N, opts...)
 	if err != nil {
 		return nil, true, fmt.Errorf("core: constructing batch engine: %w", err)
 	}

@@ -68,9 +68,14 @@ func TestCompileForBatchReasons(t *testing.T) {
 		}(), "cfg.Metrics"},
 		{"matcher", compilableOracle{}, func() RunConfig {
 			c := base
-			c.NewMatcher = func() sim.Matcher { return &sim.AlgorithmOneMatcher{} }
+			c.NewMatcher = func() sim.Matcher { return customMatcher{} }
 			return c
-		}(), "custom matchers are scalar-only"},
+		}(), "custom matcher"},
+		{"nil matcher", compilableOracle{}, func() RunConfig {
+			c := base
+			c.NewMatcher = func() sim.Matcher { return nil }
+			return c
+		}(), "cfg.NewMatcher returned nil"},
 		{"concurrent", compilableOracle{}, func() RunConfig {
 			c := base
 			c.Concurrent = true
@@ -93,14 +98,98 @@ func TestCompileForBatchReasons(t *testing.T) {
 		t.Errorf("eligible pair: ok=%v reason=%q, want true and empty", ok, reason)
 	}
 
-	// The custom-matcher reason must distinguish "your matcher is scalar-only"
-	// from the compiled default pairing: the batch engine inlines Algorithm 1
-	// including the carry-aware transport form, so the message names it rather
-	// than implying no batched matching exists at all.
+	// Every stock matcher model compiles: the batch engine runs the default
+	// Algorithm 1 pairing (with its carry-aware transport form) and the
+	// simultaneous/rendezvous ablations with their scalar draw sequences, so
+	// cfg.NewMatcher only forces the scalar path for genuinely custom
+	// implementations.
+	for _, stock := range sim.Matchers() {
+		stock := stock
+		name := stock.Name()
+		matcherCfg := base
+		matcherCfg.NewMatcher = func() sim.Matcher { return stock }
+		if _, ok, reason := CompileForBatch(compilableOracle{}, matcherCfg); !ok || reason != "" {
+			t.Errorf("stock matcher %s: ok=%v reason=%q, want batch-eligible with empty reason", name, ok, reason)
+		}
+	}
+
+	// The custom-matcher reason must name the offending type and the stock
+	// models that do compile, so "why is this sweep slow" has a one-line
+	// answer that does not imply batched matching is missing entirely.
 	matcherCfg := base
-	matcherCfg.NewMatcher = func() sim.Matcher { return &sim.SimultaneousMatcher{} }
-	if _, _, reason := CompileForBatch(compilableOracle{}, matcherCfg); !strings.Contains(reason, "Algorithm 1") || !strings.Contains(reason, "carry-aware") {
-		t.Errorf("matcher reason %q does not name the compiled Algorithm 1 carry-aware pairing", reason)
+	matcherCfg.NewMatcher = func() sim.Matcher { return customMatcher{} }
+	if _, _, reason := CompileForBatch(compilableOracle{}, matcherCfg); !strings.Contains(reason, "custom-test") ||
+		!strings.Contains(reason, "algorithm1") || !strings.Contains(reason, "carry-aware") ||
+		!strings.Contains(reason, "simultaneous") || !strings.Contains(reason, "rendezvous") {
+		t.Errorf("matcher reason %q does not name the custom type and the stock batch-compiled models", reason)
+	}
+}
+
+// customMatcher is a non-stock Matcher implementation: configs supplying it
+// must stay on the scalar path.
+type customMatcher struct{}
+
+func (customMatcher) Name() string { return "custom-test" }
+
+func (customMatcher) Match(n int, active []bool, src *rng.Source, capturedBy []int32, succeeded []bool) {
+	for t := 0; t < n; t++ {
+		capturedBy[t] = -1
+		succeeded[t] = false
+	}
+}
+
+// transportProgram is a minimal carry-using program: CompileForBatch must
+// decline it for stock matchers without carry support (simultaneous and
+// rendezvous implement no CarryMatcher), because the scalar engine would
+// reject the transporting round at runtime.
+type transportOracle struct{}
+
+func (transportOracle) Name() string { return "transport-oracle" }
+
+func (transportOracle) Build(n int, env sim.Environment, src *rng.Source) ([]sim.Agent, error) {
+	return nil, nil
+}
+
+func (transportOracle) CompileBatch(n int, env sim.Environment) (sim.Program, bool) {
+	return sim.Program{
+		Algorithm: "transport-oracle",
+		States: []sim.ProgramState{
+			{Emit: sim.EmitRecruitTransport, Observe: sim.ObserveNone, Next: 0},
+		},
+		Params: sim.ProgramParams{QuorumCarry: 3},
+	}, true
+}
+
+// TestCompileForBatchTransportNeedsCarryMatcher pins the carry gating: a
+// transporting program batches with the default pairing but declines for
+// stock matchers lacking MatchCarry, naming the matcher in the reason.
+func TestCompileForBatchTransportNeedsCarryMatcher(t *testing.T) {
+	t.Parallel()
+	env := sim.MustEnvironment([]float64{1, 0})
+	base := RunConfig{N: 16, Env: env}
+	if _, ok, reason := CompileForBatch(transportOracle{}, base); !ok || reason != "" {
+		t.Fatalf("transport program with default pairing: ok=%v reason=%q, want eligible", ok, reason)
+	}
+	withA1 := base
+	withA1.NewMatcher = func() sim.Matcher { return &sim.AlgorithmOneMatcher{} }
+	if _, ok, reason := CompileForBatch(transportOracle{}, withA1); !ok || reason != "" {
+		t.Fatalf("transport program with explicit algorithm1: ok=%v reason=%q, want eligible", ok, reason)
+	}
+	for _, factory := range []func() sim.Matcher{
+		func() sim.Matcher { return &sim.SimultaneousMatcher{} },
+		func() sim.Matcher { return &sim.RendezvousMatcher{} },
+	} {
+		cfg := base
+		cfg.NewMatcher = factory
+		name := factory().Name()
+		_, ok, reason := CompileForBatch(transportOracle{}, cfg)
+		if ok {
+			t.Errorf("%s: transporting program should not batch without carry support", name)
+			continue
+		}
+		if !strings.Contains(reason, name) || !strings.Contains(reason, "CarryMatcher") {
+			t.Errorf("%s: reason %q does not name the matcher and the missing carry support", name, reason)
+		}
 	}
 }
 

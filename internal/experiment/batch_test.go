@@ -74,11 +74,64 @@ func TestMeasureConvergenceBatchMatchesScalar(t *testing.T) {
 	}
 }
 
+// TestMeasureConvergenceMatcherAblationsBatchMatchScalar is the experiment
+// layer of the matcher-ablation lowering: an E16-style measurement with a
+// stock cfg.NewMatcher must take the batch path and aggregate to exactly the
+// scalar replicate loop's ConvergencePoint, for both the lockstep and the
+// general execution paths.
+func TestMeasureConvergenceMatcherAblationsBatchMatchScalar(t *testing.T) {
+	env, err := workload.Binary(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const reps = 12
+	for _, tc := range []struct {
+		name    string
+		algo    core.Algorithm
+		matcher func() sim.Matcher
+	}{
+		{"simple+simultaneous", algo.Simple{}, func() sim.Matcher { return &sim.SimultaneousMatcher{} }},
+		{"simple+rendezvous", algo.Simple{}, func() sim.Matcher { return &sim.RendezvousMatcher{} }},
+		{"optimal+simultaneous", algo.Optimal{}, func() sim.Matcher { return &sim.SimultaneousMatcher{} }},
+		{"optimal+rendezvous", algo.Optimal{}, func() sim.Matcher { return &sim.RendezvousMatcher{} }},
+	} {
+		cfg := core.RunConfig{N: 96, Env: env, MaxRounds: 4000, NewMatcher: tc.matcher}
+		if _, ok, reason := core.CompileForBatch(tc.algo, cfg); !ok {
+			t.Fatalf("%s: expected batch eligibility, got fallback: %s", tc.name, reason)
+		}
+		SetBatchEngine(true)
+		batched, err := MeasureConvergence(tc.algo, cfg, reps, "matcher-equiv")
+		if err != nil {
+			t.Fatal(err)
+		}
+		SetBatchEngine(false)
+		scalar, err := MeasureConvergence(tc.algo, cfg, reps, "matcher-equiv")
+		SetBatchEngine(true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(batched, scalar) {
+			t.Fatalf("%s: batch and scalar ablation measurements diverge:\nbatch  %+v\nscalar %+v",
+				tc.name, batched, scalar)
+		}
+		if batched.Solved == 0 {
+			t.Fatalf("%s: measurement solved no replicates; the check is vacuous", tc.name)
+		}
+	}
+}
+
+// fallbackMatcher is a non-stock matcher (it delegates to Algorithm 1 so
+// measurements still solve): the stock ablation models batch-compile since
+// the matcher lowering, so forcing the scalar path needs a custom type.
+type fallbackMatcher struct{ sim.AlgorithmOneMatcher }
+
+func (fallbackMatcher) Name() string { return "fallback-test" }
+
 // TestMeasureConvergenceScalarFallback exercises the fallback branch. Every
-// house-hunting algorithm now compiles, so the fallback is driven by a
-// scalar-only configuration (a custom matcher) instead of an uncompiled
-// algorithm; the batch switch must not change its results either (it never
-// engages).
+// house-hunting algorithm and every stock matcher now compiles, so the
+// fallback is driven by a scalar-only configuration (a custom matcher type)
+// instead of an uncompiled algorithm; the batch switch must not change its
+// results either (it never engages).
 func TestMeasureConvergenceScalarFallback(t *testing.T) {
 	env, err := workload.Binary(4, 4)
 	if err != nil {
@@ -87,9 +140,9 @@ func TestMeasureConvergenceScalarFallback(t *testing.T) {
 	cfg := core.RunConfig{
 		N:   64,
 		Env: env,
-		// The ablation matcher keeps the measurement solving while forcing
-		// the scalar path.
-		NewMatcher: func() sim.Matcher { return &sim.SimultaneousMatcher{} },
+		// The custom matcher type keeps the measurement solving while
+		// forcing the scalar path.
+		NewMatcher: func() sim.Matcher { return &fallbackMatcher{} },
 	}
 	_, ok, reason := core.CompileForBatch(algo.Simple{}, cfg)
 	if ok {

@@ -36,7 +36,7 @@ func MeasureRecruitSuccess(m sim.Matcher, poolSize int, activeFraction float64, 
 	}
 	src := rng.New(seed)
 	active := make([]bool, poolSize)
-	capturedBy := make([]int, poolSize)
+	capturedBy := make([]int32, poolSize)
 	succeeded := make([]bool, poolSize)
 	successes := 0
 	for trial := 0; trial < trials; trial++ {
@@ -185,7 +185,7 @@ func MeasureNestDelta(m sim.Matcher, nestSizes []int, trials int, seed uint64) (
 	for i := range active {
 		active[i] = true
 	}
-	capturedBy := make([]int, total)
+	capturedBy := make([]int32, total)
 	succeeded := make([]bool, total)
 
 	pt := DeltaPoint{NestSizes: append([]int(nil), nestSizes...), Trials: trials}
@@ -194,7 +194,7 @@ func MeasureNestDelta(m sim.Matcher, nestSizes []int, trials int, seed uint64) (
 		m.Match(total, active, src, capturedBy, succeeded)
 		delta := 0
 		for t, cb := range capturedBy {
-			if cb < 0 || cb == t {
+			if cb < 0 || int(cb) == t {
 				continue
 			}
 			from, to := nestOf[t], nestOf[cb]

@@ -124,6 +124,13 @@ func (s *Source) Intn(n int) int {
 
 // Uint64n returns a uniform integer in [0, n) using Lemire's nearly-divisionless
 // bounded rejection method. It panics if n == 0.
+//
+// The function is split into an inlinable fast path (one multiply, no division)
+// and the rare rejection tail: the permutation and matching loops of the
+// simulator draw bounded integers per ant per round, so keeping the common case
+// call-free is worth the contortion. The draw sequence is identical to the
+// single-body form — the tail consumes additional words only when the first
+// low product falls below n, exactly as before.
 func (s *Source) Uint64n(n uint64) uint64 {
 	if n == 0 {
 		panic("rng: Uint64n called with n = 0")
@@ -131,10 +138,19 @@ func (s *Source) Uint64n(n uint64) uint64 {
 	// Lemire 2019: multiply-shift with rejection on the low word.
 	hi, lo := bits.Mul64(s.Uint64(), n)
 	if lo < n {
-		thresh := -n % n
-		for lo < thresh {
-			hi, lo = bits.Mul64(s.Uint64(), n)
-		}
+		return s.uint64nReject(hi, lo, n)
+	}
+	return hi
+}
+
+// uint64nReject is Uint64n's rejection tail: compute the exact threshold (the
+// one division of the method) and redraw while the low word is biased. The
+// first draw's words are passed in so the accepted value and the stream
+// position are exactly those of the unsplit loop.
+func (s *Source) uint64nReject(hi, lo, n uint64) uint64 {
+	thresh := -n % n
+	for lo < thresh {
+		hi, lo = bits.Mul64(s.Uint64(), n)
 	}
 	return hi
 }
@@ -171,15 +187,64 @@ func (s *Source) Perm(n int) []int {
 // PermInto fills dst (whose length defines n) with a uniformly random
 // permutation of [0, len(dst)), avoiding the allocation of Perm. It returns
 // dst for convenience.
+//
+// The bounded draw is Lemire's method fused inline (the call tree
+// Intn → Uint64n does not inline, and a permutation is one bounded draw per
+// element); the rare rejection tail shares uint64nReject with Uint64n, so
+// the draw sequence is exactly Intn(i+1) per element.
 func (s *Source) PermInto(dst []int) []int {
 	if len(dst) == 0 {
 		return dst
 	}
 	dst[0] = 0
 	for i := 1; i < len(dst); i++ {
-		j := s.Intn(i + 1)
+		bound := uint64(i + 1)
+		hi, lo := bits.Mul64(s.Uint64(), bound)
+		if lo < bound {
+			hi = s.uint64nReject(hi, lo, bound)
+		}
+		j := int(hi)
 		dst[i] = dst[j]
 		dst[j] = i
+	}
+	return dst
+}
+
+// PermAdvance consumes exactly the stream words PermInto would consume for a
+// permutation of size n without materializing it. The batch engine's matcher
+// uses it on rounds whose permutation values are provably unread (no active
+// recruiter): the words drawn — including the data-dependent rejection
+// redraws — must still leave the stream at the identical position.
+func (s *Source) PermAdvance(n int) {
+	for i := 1; i < n; i++ {
+		bound := uint64(i + 1)
+		hi, lo := bits.Mul64(s.Uint64(), bound)
+		if lo < bound {
+			s.uint64nReject(hi, lo, bound)
+		}
+	}
+}
+
+// PermInto32 is PermInto for an int32 destination: it fills dst with a
+// uniformly random permutation of [0, len(dst)) drawn with exactly the same
+// stream consumption as PermInto over a slice of the same length (the draws
+// depend only on the length, not on the element type). The batch engine's
+// matchers use it so a colony-sized permutation occupies half the cache
+// footprint. len(dst) must not exceed MaxInt32+1; slot counts never do.
+func (s *Source) PermInto32(dst []int32) []int32 {
+	if len(dst) == 0 {
+		return dst
+	}
+	dst[0] = 0
+	for i := 1; i < len(dst); i++ {
+		bound := uint64(i + 1)
+		hi, lo := bits.Mul64(s.Uint64(), bound)
+		if lo < bound {
+			hi = s.uint64nReject(hi, lo, bound)
+		}
+		j := int(hi)
+		dst[i] = dst[j]
+		dst[j] = int32(i)
 	}
 	return dst
 }

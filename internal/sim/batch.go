@@ -22,17 +22,34 @@ import (
 // outcome-independent (Program.Lockstep) keep the whole colony in one shared
 // state, so the opcode dispatch happens once per round and the recruit phase
 // needs no recruiter/slot indirection because slot t is ant t. Programs with
-// branching observes (Algorithm 2) run the general path: a per-ant state
-// column drives per-ant dispatch, and recruiting ants are gathered into a
-// slot table so the matcher sees exactly the scalar engine's slot space.
+// branching observes (Algorithm 2) run the general path state-major: each
+// round the per-ant state column is regrouped into per-state buckets, the
+// emit and observe opcodes dispatch once per occupied state, and recruiting
+// ants are assembled into a slot table in ant order so the matcher sees
+// exactly the scalar engine's slot space (see stepGeneral).
+//
+// The recruit draws run on fixed-point kernels where possible: every
+// Bernoulli probability whose numerator is a population count is materialized
+// once into a table of rng.Thresholds (count/n, quality·count/n, the adaptive
+// schedule, the quorum docility), so the per-ant inner loops compare raw
+// integers with zero floating-point operations. The threshold transform is
+// bit-identical to rng.Source.Bernoulli by construction (see rng.Threshold);
+// colonies too large to table fall back to the float draws, which are
+// bit-identical too.
+//
+// The recruitment pairing defaults to the paper's Algorithm 1 and can be
+// swapped for any Matcher via WithBatchMatcher: the engine hands the matcher
+// the recruiting slots in scalar engine order, so the stock ablation models
+// (SimultaneousMatcher, RendezvousMatcher) run batched with exactly their
+// scalar draw sequences.
 //
 // The engine is bit-compatible with the scalar path: replicate r seeded with
 // seeds[r] produces round-for-round identical populations, commitments and
 // final results to an Engine running the same algorithm's scalar agents under
 // the same seed (pinned for every compiled algorithm — Algorithms 2 and 3 and
 // the §6 extensions, including the carry-matched quorum-transport strategy and
-// the hook-driven noisy-perception model — by the randomized cross-engine
-// differential harness in internal/algo).
+// the hook-driven noisy-perception model — and for every stock matcher by the
+// randomized cross-engine differential harness in internal/algo).
 // That holds because the batch engine derives exactly the same RNG streams —
 // envSrc = root.Split(0), matchSrc = root.Split(1), ant i = root.Split(2).
 // Split(i) — and consumes them in the same order as Engine.Step: per-ant
@@ -43,11 +60,12 @@ import (
 // A Batch is reusable and safe for concurrent Run calls; all mutable state
 // lives in per-worker lanes.
 type Batch struct {
-	env     Environment
-	prog    Program
-	n       int
-	workers int
-	probe   func(rep, round int, counts, committed []int)
+	env        Environment
+	prog       Program
+	n          int
+	workers    int
+	probe      func(rep, round int, counts, committed []int)
+	newMatcher func() Matcher
 
 	// Program traits, computed once at construction.
 	lockstep  bool
@@ -56,8 +74,20 @@ type Batch struct {
 	needI     bool
 	needF     bool
 	usesCarry bool
-	isFinal   []bool
+
+	// Shared read-only fixed-point draw tables (see newLane for the
+	// per-lane mutable ones). Nil when the program does not use the opcode
+	// or the colony is too large to table.
+	popT  []rng.Threshold // Bernoulli(count/n) by count, EmitRecruitPop
+	qualT []rng.Threshold // Bernoulli(q_j·count/n), row-major (k+1)×(n+1), EmitRecruitQual
+	docT  rng.Threshold   // Bernoulli(QuorumDocility), ObserveQuorumTransport
+	ada   bool            // lanes maintain the EmitRecruitAdaptive decay table
 }
+
+// batchTableMaxN caps the colony size for which the per-count threshold
+// tables are materialized: above it the tables would dominate lane memory, so
+// the draws fall back to the (equally bit-exact) float kernels.
+const batchTableMaxN = 1 << 16
 
 // BatchResult reports one replicate of a Batch run, mirroring the fields the
 // scalar runner derives for core.Result.
@@ -98,6 +128,16 @@ func WithBatchProbe(probe func(rep, round int, counts, committed []int)) BatchOp
 	return func(b *Batch) { b.probe = probe }
 }
 
+// WithBatchMatcher replaces the recruitment pairing model (default: the
+// paper's Algorithm 1). Matchers carry per-engine scratch state, so the
+// option takes a factory; every worker lane constructs its own instance, and
+// the factory must return a fresh matcher on each call (lanes are built
+// concurrently). A nil factory keeps the default. Programs that transport
+// (carry > 1) require the factory's matchers to implement CarryMatcher.
+func WithBatchMatcher(newMatcher func() Matcher) BatchOption {
+	return func(b *Batch) { b.newMatcher = newMatcher }
+}
+
 // NewBatch builds a batch engine for n-ant colonies of prog in env.
 func NewBatch(env Environment, prog Program, n int, opts ...BatchOption) (*Batch, error) {
 	if env.K() == 0 {
@@ -119,15 +159,81 @@ func NewBatch(env Environment, prog Program, n int, opts ...BatchOption) (*Batch
 		needI:     prog.NeedsIntParam(),
 		needF:     prog.NeedsFloatParam(),
 		usesCarry: prog.UsesCarry(),
-		isFinal:   make([]bool, len(prog.States)),
-	}
-	for i, st := range prog.States {
-		b.isFinal[i] = st.Final
 	}
 	for _, o := range opts {
 		o(b)
 	}
+	if b.newMatcher == nil {
+		b.newMatcher = func() Matcher { return &AlgorithmOneMatcher{} }
+	}
+	probe := b.newMatcher()
+	if probe == nil {
+		return nil, fmt.Errorf("sim: batch matcher factory returned nil")
+	}
+	if _, carryOK := probe.(CarryMatcher); b.usesCarry && prog.Params.QuorumCarry > 1 && !carryOK {
+		return nil, fmt.Errorf("sim: program %q transports (carry %d > 1) but matcher %q implements no CarryMatcher",
+			prog.Algorithm, prog.Params.QuorumCarry, probe.Name())
+	}
+	b.buildTables()
 	return b, nil
+}
+
+// buildTables materializes the shared fixed-point draw tables for the opcodes
+// the program actually uses. Each table entry is the exact threshold of the
+// exact float probability the scalar agents feed to Bernoulli, so table draws
+// and float draws are interchangeable bit for bit.
+func (b *Batch) buildTables() {
+	var hasPop, hasQual, hasDoc, qualSafe bool
+	qualSafe = true
+	for _, st := range b.prog.States {
+		switch st.Emit {
+		case EmitRecruitPop:
+			hasPop = true
+		case EmitRecruitQual:
+			hasQual = true
+		case EmitRecruitAdaptive:
+			b.ada = true
+		}
+		switch st.Observe {
+		case ObserveQuorumTransport:
+			hasDoc = true
+		case ObserveAdopt, ObserveDiscoverNoisy:
+			// These write quality values that are not environment qualities
+			// (1, or a thresholded classification), so the quality-register
+			// provenance column cannot index the quality table.
+			qualSafe = false
+		}
+	}
+	if hasDoc {
+		b.docT = rng.NewThreshold(b.prog.Params.QuorumDocility)
+	}
+	n := b.n
+	if n > batchTableMaxN {
+		b.ada = false
+		return
+	}
+	nF := float64(n)
+	if hasPop {
+		b.popT = make([]rng.Threshold, n+1)
+		for c := 0; c <= n; c++ {
+			b.popT[c] = rng.NewThreshold(float64(c) / nF)
+		}
+	}
+	// The quality table is keyed by the provenance column qidx, which only
+	// the lockstep path maintains (the general path keeps the float draw,
+	// which is bit-identical anyway); it additionally needs every quality
+	// write to be an environment quality or zero, and a nest id that fits
+	// the uint8 column.
+	if hasQual && qualSafe && b.lockstep && b.env.K() <= 255 {
+		qs := b.env.Qualities()
+		b.qualT = make([]rng.Threshold, len(qs)*(n+1))
+		for j, q := range qs {
+			row := j * (n + 1)
+			for c := 0; c <= n; c++ {
+				b.qualT[row+c] = rng.NewThreshold(q * float64(c) / nF)
+			}
+		}
+	}
 }
 
 // N returns the colony size per replicate.
@@ -209,7 +315,6 @@ type lane struct {
 	lockstep bool
 	decides  bool
 	antRNG   bool
-	isFinal  []bool
 
 	envSrc, matchSrc rng.Source
 	antSrc           []rng.Source // one stream per ant, stored by value
@@ -219,7 +324,9 @@ type lane struct {
 	// and countT are Algorithm 2's cross-round scratch registers. paramI and
 	// paramF are the §6 extension parameter columns — AdaptiveAnt's phase
 	// clock and ApproxNAnt's private ñ estimate — materialized only when the
-	// program's opcodes read them.
+	// program's opcodes read them. qidx tracks which nest's quality the
+	// quality register holds (the provenance index into the qualT table);
+	// it exists only for lockstep quality-weighted programs.
 	state   []uint8
 	nest    []NestID
 	count   []int32
@@ -228,19 +335,60 @@ type lane struct {
 	countT  []int32
 	paramI  []int32
 	paramF  []float64
+	qidx    []uint8
 
 	// Per-round scratch.
 	actNest    []NestID // the nest advertised by this round's search/go/recruit
 	counts     []int    // end-of-round population per nest
 	commit     []int    // commitment census, maintained incrementally
-	recruiters []int    // slot -> ant index (general path)
-	slotOf     []int    // ant index -> recruiter slot this round (-1 otherwise)
+	recruiters []int32  // slot -> ant index (general path)
+	slotOf     []int32  // ant index -> recruiter slot this round (-1 otherwise)
 	active     []bool   // recruit(1, ·) per slot (per ant on the lockstep path)
 	carries    []int    // carry capacity per slot; nil unless the program transports
-	capturedBy []int
+	capturedBy []int32
 	succeeded  []bool
 	finals     int // ants currently in Final states (deciding programs)
-	matcher    AlgorithmOneMatcher
+
+	// State-bucket scratch of the general path (nil on the lockstep path):
+	// each round the colony is regrouped by PFSM state so the emit and
+	// observe opcodes dispatch once per occupied state instead of once per
+	// ant — the per-ant jump tables were the dominant stall of heterogeneous
+	// colonies. bktAnts holds the ant indices grouped by state (ascending
+	// within a group, because the scatter pass scans ants in order); isRecr
+	// and actBit carry each recruiter's classification from the emit phase
+	// to the ant-order slot-assembly pass.
+	bktCount []int32 // 4 interleaved banks, summed into bktOff (see stepGeneral)
+	bktOff   []int32
+	bktCur   []int32
+	bktAnts  []int32
+	iota32   []int32 // the identity permutation 0..n-1, immutable after construction
+	isRecr   []uint8 // 0 = not recruiting, 1 = recruit, 2 = transport
+	actBit   []uint8
+	preState []uint8  // per recruited ant: the state it emitted from, for the capture pass
+	capScrat []int32  // capture-list scratch for matchers without CaptureLister
+	slotNest []NestID // per-slot resolved outcome nest (capturer's advertised nest)
+
+	matcher   Matcher
+	carryM    CarryMatcher  // matcher's carry form; nil when unimplemented
+	capLister CaptureLister // matcher's capture list; nil when unimplemented
+
+	// Fixed-point draw tables. popT/qualT/docT are shared from the Batch;
+	// adaT is per-lane because the adaptive decay steps down over a
+	// replicate and the table is rebuilt for each new decay value.
+	popT     []rng.Threshold
+	qualT    []rng.Threshold
+	docT     rng.Threshold
+	ada      bool
+	adaT     []rng.Threshold
+	adaDecay float64
+
+	// The dense state table and Final flags, padded to the full uint8 index
+	// range so per-ant dispatch indexes with no bounds checks. searches
+	// marks the states whose emit is EmitSearch, for the scatter pass's
+	// in-ant-order environment draws.
+	states   [256]ProgramState
+	final    [256]uint8
+	searches [256]uint8
 }
 
 func newLane(b *Batch) *lane {
@@ -255,7 +403,6 @@ func newLane(b *Batch) *lane {
 		lockstep:   b.lockstep,
 		decides:    b.decides,
 		antRNG:     b.antRNG,
-		isFinal:    b.isFinal,
 		state:      make([]uint8, n),
 		nest:       make([]NestID, n),
 		count:      make([]int32, n),
@@ -265,11 +412,46 @@ func newLane(b *Batch) *lane {
 		actNest:    make([]NestID, n),
 		counts:     make([]int, k+1),
 		commit:     make([]int, k+1),
-		recruiters: make([]int, 0, n),
-		slotOf:     make([]int, n),
+		recruiters: make([]int32, 0, n),
+		slotOf:     make([]int32, n),
 		active:     make([]bool, n),
-		capturedBy: make([]int, n),
+		capturedBy: make([]int32, n),
 		succeeded:  make([]bool, n),
+		popT:       b.popT,
+		qualT:      b.qualT,
+		docT:       b.docT,
+		ada:        b.ada,
+	}
+	copy(ln.states[:], b.prog.States)
+	for i, st := range b.prog.States {
+		if st.Final {
+			ln.final[i] = 1
+		}
+		if st.Emit == EmitSearch {
+			ln.searches[i] = 1
+		}
+	}
+	if !b.lockstep {
+		numStates := len(b.prog.States)
+		ln.bktCount = make([]int32, 4*numStates)
+		ln.bktOff = make([]int32, numStates+1)
+		ln.bktCur = make([]int32, numStates)
+		ln.bktAnts = make([]int32, n)
+		ln.iota32 = make([]int32, n)
+		for i := range ln.iota32 {
+			ln.iota32[i] = int32(i)
+		}
+		ln.isRecr = make([]uint8, n)
+		ln.actBit = make([]uint8, n)
+		ln.preState = make([]uint8, n)
+		ln.capScrat = make([]int32, 0, n)
+		ln.slotNest = make([]NestID, n)
+	}
+	ln.matcher = b.newMatcher()
+	ln.carryM, _ = ln.matcher.(CarryMatcher)
+	ln.capLister, _ = ln.matcher.(CaptureLister)
+	if sized, ok := ln.matcher.(sizedMatcher); ok {
+		sized.Reserve(n) // recruiting sets reach colony size; never grow mid-run
 	}
 	if b.antRNG {
 		ln.antSrc = make([]rng.Source, n)
@@ -282,6 +464,13 @@ func newLane(b *Batch) *lane {
 	}
 	if b.usesCarry {
 		ln.carries = make([]int, n)
+	}
+	if ln.qualT != nil {
+		ln.qidx = make([]uint8, n)
+	}
+	if ln.ada {
+		ln.adaT = make([]rng.Threshold, n+1)
+		ln.adaDecay = -1 // no decay value tabled yet
 	}
 	return ln
 }
@@ -319,6 +508,9 @@ func (ln *lane) reset(seed uint64) {
 			}
 		}
 	}
+	for i := range ln.qidx {
+		ln.qidx[i] = 0
+	}
 	for i := 0; i < ln.n; i++ {
 		ln.state[i] = ln.prog.Init
 		ln.nest[i] = Home
@@ -332,7 +524,7 @@ func (ln *lane) reset(seed uint64) {
 	}
 	ln.commit[Home] = ln.n
 	ln.finals = 0
-	if ln.isFinal[ln.prog.Init] {
+	if ln.final[ln.prog.Init] != 0 {
 		ln.finals = ln.n
 	}
 }
@@ -352,7 +544,7 @@ func (ln *lane) runReplicate(rep int, seed uint64, maxRounds, window int, probe 
 			phase = next
 			if ln.decides {
 				ln.finals = 0
-				if ln.isFinal[phase] {
+				if ln.final[phase] != 0 {
 					ln.finals = ln.n
 				}
 			}
@@ -401,21 +593,27 @@ func (ln *lane) runReplicate(rep int, seed uint64, maxRounds, window int, probe 
 // shared PFSM state; the returned value is next round's phase.
 func (ln *lane) stepLockstep(phase uint8) (uint8, error) {
 	n, k := ln.n, ln.k
-	st := ln.prog.States[phase]
+	st := ln.states[phase]
 	nest := ln.nest
 	actNest := ln.actNest
 	counts := ln.counts
 
-	for i := range counts {
-		counts[i] = 0
-	}
-
 	// Emit and move, accumulating end-of-round populations as we go. Per-ant
 	// Bernoulli draws and envSrc search draws touch disjoint streams, so
 	// fusing the scalar engine's act/move phases preserves both sequences.
+	//
+	// act is the outcome-nest column the observe loops read: the freshly
+	// filled actNest for search and recruit rounds, and the nest register
+	// itself for go rounds — a go round's outcome nest IS the committed
+	// nest, so aliasing spares the copy (and the observe folds never write
+	// nest[i] on a go round, because outcome and register always coincide).
+	act := actNest
 	recruited := false
 	switch st.Emit {
 	case EmitSearch:
+		for i := range counts {
+			counts[i] = 0
+		}
 		envSrc := &ln.envSrc
 		for i := range actNest {
 			dest := NestID(envSrc.Intn(k) + 1)
@@ -423,112 +621,172 @@ func (ln *lane) stepLockstep(phase uint8) (uint8, error) {
 			counts[dest]++
 		}
 	case EmitGotoNest:
-		for i := range nest {
-			dest := nest[i]
-			if dest < 1 || int(dest) > k {
-				return 0, fmt.Errorf("ant %d: go(%d): nest out of range 1..%d", i, dest, k)
+		// Every ant moves to its committed nest, so the end-of-round
+		// populations are exactly the commitment census the lane already
+		// maintains — O(k) instead of a colony scan. A committed Home nest
+		// means some ant would emit go(0), which the scalar engine rejects;
+		// surface the identical error for the first such ant.
+		commit := ln.commit
+		if commit[Home] != 0 {
+			for i := range nest {
+				if dest := nest[i]; dest < 1 || int(dest) > k {
+					return 0, fmt.Errorf("ant %d: go(%d): nest out of range 1..%d", i, dest, k)
+				}
 			}
-			counts[dest]++
 		}
+		copy(counts, commit)
+		act = nest
 	case EmitRecruitPop, EmitRecruitQual, EmitRecruitAdaptive, EmitRecruitApproxN:
 		recruited = true
 		ln.drawActiveBits(st.Emit)
+		// actNest snapshots the advertised nests (each recruiter advertises
+		// its commitment). The observe folds below resolve a captured ant's
+		// outcome nest from this snapshot on the fly — there is no rewrite
+		// pass over the capture table, and the snapshot (rather than nest
+		// itself) is read because a simultaneous-model capturer can itself
+		// be captured and adopt mid-fold.
 		copy(actNest, nest)
+		for i := range counts {
+			counts[i] = 0
+		}
 		counts[Home] = n
 
-		// Recruitment matching: the paper's Algorithm 1, via the same
-		// matcher implementation (and thus the same draw sequence) as the
-		// scalar engine. Every ant recruits, so slot t is ant t and no
-		// recruiter indirection exists; one concrete call per round costs
-		// nothing against the per-ant loops.
+		// Recruitment matching: every ant recruits, so slot t is ant t and
+		// no recruiter indirection exists; one dynamic call per round costs
+		// nothing against the per-ant loops. The default matcher is the
+		// paper's Algorithm 1 via the same implementation (and thus the
+		// same draw sequence) as the scalar engine.
 		ln.matcher.Match(n, ln.active, &ln.matchSrc, ln.capturedBy, ln.succeeded)
-	}
-
-	// Resolve outcome nests in place in actNest: a search outcome is the
-	// drawn destination (already there), a go outcome the committed nest,
-	// and a recruit outcome the capturer's advertised nest for captured
-	// ants. The in-place rewrite is safe because a capturer is never itself
-	// captured by another slot (Algorithm 1 blocks both directions), so its
-	// entry still holds its own advertised nest when read.
-	switch st.Emit {
-	case EmitGotoNest:
-		copy(actNest, nest)
-	case EmitRecruitPop, EmitRecruitQual, EmitRecruitAdaptive, EmitRecruitApproxN:
-		capturedBy := ln.capturedBy
-		for i := range actNest {
-			if cb := capturedBy[i]; cb >= 0 && cb != i {
-				actNest[i] = actNest[cb]
-			}
-		}
 	}
 
 	// Observe: fold outcomes into the registers. Recruit outcomes carry no
 	// quality and report the home population (= n, everyone recruited); the
 	// commitment census updates incrementally on the rare nest-register
 	// writes instead of a full per-round recount.
+	//
+	// On recruit rounds a captured ant's outcome nest is its capturer's
+	// advertised nest, resolved on the fly from the actNest snapshot (see
+	// the emit phase) instead of via a rewrite pass over the capture table:
+	// capturedBy streams through each fold exactly once.
 	commit := ln.commit
+	capturedBy := ln.capturedBy
 	switch st.Observe {
 	case ObserveDiscovery:
 		count := ln.count
 		quality := ln.quality
-		for i := range nest {
-			outNest := actNest[i]
-			if outNest != nest[i] {
+		qidx := ln.qidx
+		if recruited {
+			ln.foldCaptureAdopts(func(i int, outNest NestID) {
 				commit[nest[i]]--
 				commit[outNest]++
 				nest[i] = outNest
-			}
-			if recruited {
+			})
+			for i := range count {
 				count[i] = int32(n)
 				quality[i] = 0
-			} else {
+			}
+			if qidx != nil {
+				for i := range qidx {
+					qidx[i] = 0
+				}
+			}
+		} else {
+			qual := ln.qual
+			for i := range nest {
+				outNest := act[i]
+				if outNest != nest[i] {
+					commit[nest[i]]--
+					commit[outNest]++
+					nest[i] = outNest
+				}
 				count[i] = int32(counts[outNest])
-				quality[i] = ln.qual[outNest]
+				quality[i] = qual[outNest]
+				if qidx != nil {
+					qidx[i] = uint8(outNest)
+				}
 			}
 		}
 	case ObserveAdopt:
 		quality := ln.quality
-		for i := range nest {
-			if outNest := actNest[i]; outNest != nest[i] {
+		if recruited {
+			ln.foldCaptureAdopts(func(i int, outNest NestID) {
 				commit[nest[i]]--
 				commit[outNest]++
 				nest[i] = outNest
 				quality[i] = 1
+			})
+		} else {
+			for i := range nest {
+				if outNest := act[i]; outNest != nest[i] {
+					commit[nest[i]]--
+					commit[outNest]++
+					nest[i] = outNest
+					quality[i] = 1
+				}
 			}
 		}
 	case ObserveCount:
 		count := ln.count
 		if recruited {
+			// Recruit outcomes carry the home population n and no nest
+			// change; the capture table is irrelevant to the fold.
 			for i := range count {
 				count[i] = int32(n)
 			}
 		} else {
 			for i := range count {
-				count[i] = int32(counts[actNest[i]])
+				count[i] = int32(counts[act[i]])
 			}
 		}
 	case ObserveAdoptZero:
 		quality := ln.quality
-		for i := range nest {
-			if outNest := actNest[i]; outNest != nest[i] {
+		qidx := ln.qidx
+		if recruited {
+			ln.foldCaptureAdopts(func(i int, outNest NestID) {
 				commit[nest[i]]--
 				commit[outNest]++
 				nest[i] = outNest
 				quality[i] = 0
+				if qidx != nil {
+					qidx[i] = 0
+				}
+			})
+		} else {
+			for i := range nest {
+				if outNest := act[i]; outNest != nest[i] {
+					commit[nest[i]]--
+					commit[outNest]++
+					nest[i] = outNest
+					quality[i] = 0
+					if qidx != nil {
+						qidx[i] = 0
+					}
+				}
 			}
 		}
 	case ObserveCountQual:
 		count := ln.count
 		quality := ln.quality
+		qidx := ln.qidx
 		if recruited {
 			for i := range count {
 				count[i] = int32(n)
 				quality[i] = 0
 			}
+			if qidx != nil {
+				for i := range qidx {
+					qidx[i] = 0
+				}
+			}
 		} else {
+			qual := ln.qual
 			for i := range count {
-				count[i] = int32(counts[actNest[i]])
-				quality[i] = ln.qual[actNest[i]]
+				outNest := act[i]
+				count[i] = int32(counts[outNest])
+				quality[i] = qual[outNest]
+				if qidx != nil {
+					qidx[i] = uint8(outNest)
+				}
 			}
 		}
 	case ObserveDiscoverNoisy:
@@ -537,15 +795,25 @@ func (ln *lane) stepLockstep(phase uint8) (uint8, error) {
 		countHook, assessHook := ln.prog.Params.Count, ln.prog.Params.Assess
 		threshold := ln.prog.Params.Threshold
 		for i := range nest {
-			outNest := actNest[i]
-			if outNest != nest[i] {
-				commit[nest[i]]--
-				commit[outNest]++
-				nest[i] = outNest
-			}
-			c, q := counts[outNest], ln.qual[outNest]
+			var c int
+			var q float64
 			if recruited {
+				if cb := int(capturedBy[i]); cb >= 0 && cb != i {
+					if outNest := actNest[cb]; outNest != nest[i] {
+						commit[nest[i]]--
+						commit[outNest]++
+						nest[i] = outNest
+					}
+				}
 				c, q = n, 0
+			} else {
+				outNest := act[i]
+				if outNest != nest[i] {
+					commit[nest[i]]--
+					commit[outNest]++
+					nest[i] = outNest
+				}
+				c, q = counts[outNest], ln.qual[outNest]
 			}
 			// Perception order matches NoisyAnt's observe: the count estimate
 			// draws first, then the quality assessment, both from the ant's
@@ -567,7 +835,7 @@ func (ln *lane) stepLockstep(phase uint8) (uint8, error) {
 		count := ln.count
 		countHook := ln.prog.Params.Count
 		for i := range count {
-			c := counts[actNest[i]]
+			c := counts[act[i]]
 			if recruited {
 				c = n
 			}
@@ -587,43 +855,123 @@ func (ln *lane) stepLockstep(phase uint8) (uint8, error) {
 // while Quality draws unconditionally — its probability is 0 whenever the
 // scalar ant would be passive, and rng.Source's Bernoulli consumes nothing at
 // p <= 0 or p >= 1, so both formulations touch the streams identically.
+//
+// Where a threshold table exists the draw is the fixed-point kernel — one
+// integer compare against the tabled bound, zero float operations — guarded
+// by a count-range check because the noisy estimators can report counts
+// outside [0, n]; out-of-range counts resolve draw-free exactly like
+// Bernoulli at p outside (0, 1).
 func (ln *lane) drawActiveBits(op EmitOp) {
 	n := ln.n
 	nF := float64(n)
 	quality := ln.quality
 	count := ln.count
 	active := ln.active
+	antSrc := ln.antSrc
 	switch op {
 	case EmitRecruitPop:
-		for i := 0; i < n; i++ {
-			b := false
-			if quality[i] > 0 {
-				b = ln.antSrc[i].Bernoulli(float64(count[i]) / nF)
+		if popT := ln.popT; popT != nil {
+			for i := 0; i < n; i++ {
+				b := false
+				if quality[i] > 0 {
+					if c := int(count[i]); uint(c) <= uint(n) {
+						// The wraparound compare picks out the thresholds
+						// that consume one word; the sentinels (0 and n,
+						// plus any zero-probability row) resolve via the
+						// draw-free Draw call. Fused inline because Draw
+						// itself is beyond the inlining budget.
+						if t := popT[c]; t-1 < rng.ThresholdAlways-1 {
+							b = antSrc[i].Uint64()>>11 < uint64(t)
+						} else {
+							b = t.Draw(&antSrc[i])
+						}
+					} else {
+						b = c > 0 // p outside (0, 1): accept or reject draw-free
+					}
+				}
+				active[i] = b
 			}
-			active[i] = b
+		} else {
+			for i := 0; i < n; i++ {
+				b := false
+				if quality[i] > 0 {
+					b = antSrc[i].Bernoulli(float64(count[i]) / nF)
+				}
+				active[i] = b
+			}
 		}
 	case EmitRecruitQual:
-		for i := 0; i < n; i++ {
-			active[i] = ln.antSrc[i].Bernoulli(quality[i] * float64(count[i]) / nF)
+		if qualT := ln.qualT; qualT != nil {
+			qidx := ln.qidx
+			stride := n + 1
+			for i := 0; i < n; i++ {
+				b := false
+				if c := int(count[i]); uint(c) <= uint(n) {
+					if t := qualT[int(qidx[i])*stride+c]; t-1 < rng.ThresholdAlways-1 {
+						b = antSrc[i].Uint64()>>11 < uint64(t)
+					} else {
+						b = t.Draw(&antSrc[i])
+					}
+				} else {
+					b = antSrc[i].Bernoulli(quality[i] * float64(c) / nF)
+				}
+				active[i] = b
+			}
+		} else {
+			for i := 0; i < n; i++ {
+				active[i] = antSrc[i].Bernoulli(quality[i] * float64(count[i]) / nF)
+			}
 		}
 	case EmitRecruitAdaptive:
 		// The phase clock is colony-uniform here — lockstep programs march
 		// every ant through the same emits — so the schedule's decay term is
 		// hoisted out of the loop; only count varies per ant, and
-		// c/(c+decay) is float-identical to AdaptiveRecruitProbability.
+		// c/(c+decay) is float-identical to AdaptiveRecruitProbability. The
+		// decay steps down a handful of times per replicate, so the
+		// threshold table is rebuilt only on those steps.
 		tau, floorDiv := ln.prog.Params.Tau, ln.prog.Params.FloorDiv
 		paramI := ln.paramI
 		decay := adaptiveDecay(n, int(paramI[0]), tau, floorDiv)
-		for i := 0; i < n; i++ {
-			b := false
-			if quality[i] > 0 {
-				c := float64(count[i])
-				b = ln.antSrc[i].Bernoulli(c / (c + decay))
+		if ln.adaT != nil {
+			if decay != ln.adaDecay {
+				for c := 0; c <= n; c++ {
+					cF := float64(c)
+					ln.adaT[c] = rng.NewThreshold(cF / (cF + decay))
+				}
+				ln.adaDecay = decay
 			}
-			paramI[i]++
-			active[i] = b
+			adaT := ln.adaT
+			for i := 0; i < n; i++ {
+				b := false
+				if quality[i] > 0 {
+					if c := int(count[i]); uint(c) <= uint(n) {
+						if t := adaT[c]; t-1 < rng.ThresholdAlways-1 {
+							b = antSrc[i].Uint64()>>11 < uint64(t)
+						} else {
+							b = t.Draw(&antSrc[i])
+						}
+					} else {
+						cF := float64(c)
+						b = antSrc[i].Bernoulli(cF / (cF + decay))
+					}
+				}
+				paramI[i]++
+				active[i] = b
+			}
+		} else {
+			for i := 0; i < n; i++ {
+				b := false
+				if quality[i] > 0 {
+					c := float64(count[i])
+					b = antSrc[i].Bernoulli(c / (c + decay))
+				}
+				paramI[i]++
+				active[i] = b
+			}
 		}
 	case EmitRecruitApproxN:
+		// Per-ant ñ estimates defeat tabling (the table would be per ant);
+		// the float draw is bit-identical regardless.
 		paramF := ln.paramF
 		for i := 0; i < n; i++ {
 			b := false
@@ -632,7 +980,7 @@ func (ln *lane) drawActiveBits(op EmitOp) {
 				if p > 1 {
 					p = 1
 				}
-				b = ln.antSrc[i].Bernoulli(p)
+				b = antSrc[i].Bernoulli(p)
 			}
 			active[i] = b
 		}
@@ -640,356 +988,880 @@ func (ln *lane) drawActiveBits(op EmitOp) {
 }
 
 // stepGeneral resolves one synchronous round for a colony with a per-ant
-// state column: per-ant emit + move with the recruiter/slot indirection,
-// recruitment matching over the recruiting set, end-of-round counts, per-ant
-// observe with outcome-dependent successor selection. The loop structure
-// mirrors Engine.Step/resolve exactly: envSrc search draws happen in ant
-// order, recruiting ants enter the slot table in ant order, and the matcher
-// runs only when the recruiting set is non-empty — so every RNG stream is
-// consumed in the scalar engine's order.
+// state column. The round runs state-major: a count/scatter pass regroups the
+// colony into per-state buckets, the emit and observe opcodes then dispatch
+// once per occupied state (the per-ant jump tables they replace were the
+// dominant pipeline stall of heterogeneous colonies), and a branch-free
+// ant-order pass assembles the recruiting slot table between the two.
+//
+// Randomness is consumed exactly as Engine.Step/resolve consumes it:
+// environment draws are folded into the scatter pass, which scans ants in
+// ascending order, so searching ants draw from envSrc in ant order no matter
+// how states interleave; per-ant stream draws are stream-disjoint across ants,
+// so bucket-order draws are identical to ant-order draws; recruiting ants
+// enter the slot table in ant order via the assembly pass; and the matcher
+// runs only when the recruiting set is non-empty. Observe folds touch only
+// the observing ant's registers, its own stream, and the order-free
+// commitment tallies, so bucket-order folding is bit-identical too.
 func (ln *lane) stepGeneral() error {
 	n, k := ln.n, ln.k
-	states := ln.prog.States
+	states := &ln.states
 	state := ln.state
 	nest := ln.nest
 	actNest := ln.actNest
 	counts := ln.counts
-	slotOf := ln.slotOf
-	recruiters := ln.recruiters[:0]
+	numStates := len(ln.prog.States)
+
+	// Regroup the colony by state: count, prefix, scatter (+ ant-order
+	// environment draws for searching ants). The count histogram runs over
+	// four interleaved banks because consecutive ants usually share a state,
+	// and a single-bank cnt[s]++ then serializes on store-to-load forwarding.
+	cnt := ln.bktCount[:4*numStates]
+	for s := range cnt {
+		cnt[s] = 0
+	}
+	{
+		i := 0
+		for ; i+4 <= n; i += 4 {
+			cnt[int(state[i])]++
+			cnt[numStates+int(state[i+1])]++
+			cnt[2*numStates+int(state[i+2])]++
+			cnt[3*numStates+int(state[i+3])]++
+		}
+		for ; i < n; i++ {
+			cnt[int(state[i])]++
+		}
+	}
+	off := ln.bktOff[:numStates+1]
+	cur := ln.bktCur[:numStates]
+	running := int32(0)
+	sole := -1
+	for s := 0; s < numStates; s++ {
+		off[s] = running
+		cur[s] = running
+		c := cnt[s] + cnt[numStates+s] + cnt[2*numStates+s] + cnt[3*numStates+s]
+		if int(c) == n {
+			sole = s
+		}
+		running += c
+	}
+	off[numStates] = running
+	bkt := ln.bktAnts[:n]
+	searches := &ln.searches
+	envSrc := &ln.envSrc
+	if sole >= 0 {
+		// The whole colony occupies one state (common in the converged tail,
+		// where every ant sits in an absorbing recruit state): the bucket IS
+		// the identity permutation, so the scatter — and, below, most of the
+		// slot-assembly work — collapses to reusing precomputed identities.
+		bkt = ln.iota32
+		if searches[sole] != 0 {
+			for i := 0; i < n; i++ {
+				actNest[i] = NestID(envSrc.Intn(k) + 1)
+			}
+		}
+	} else {
+		for i := 0; i < n; i++ {
+			s := state[i]
+			bkt[cur[s]] = int32(i)
+			cur[s]++
+			if searches[s] != 0 {
+				actNest[i] = NestID(envSrc.Intn(k) + 1)
+			}
+		}
+	}
 
 	for i := range counts {
 		counts[i] = 0
 	}
 
-	// Emit and move. actNest holds each ant's advertised nest: the drawn
-	// destination for searchers, the target for goers, the recruited-for
-	// nest for recruiters.
-	for i := 0; i < n; i++ {
-		st := &states[state[i]]
+	// Emit per occupied state. actNest receives each ant's advertised nest;
+	// recruiters are classified into isRecr/actBit and assembled into the
+	// ant-order slot table afterwards. Every ant belongs to exactly one
+	// bucket, so every isRecr entry is rewritten each round.
+	isRecr := ln.isRecr
+	actBit := ln.actBit
+	preState := ln.preState
+	quality := ln.quality
+	count := ln.count
+	antSrc := ln.antSrc
+	sawTransport := false
+	nRecr := 0
+	for s := 0; s < numStates; s++ {
+		members := bkt[off[s]:off[s+1]]
+		if len(members) == 0 {
+			continue
+		}
+		st := &states[s]
+		if recruitEmit(st.Emit) {
+			nRecr += len(members)
+		}
 		switch st.Emit {
 		case EmitSearch:
-			dest := NestID(ln.envSrc.Intn(k) + 1)
-			actNest[i] = dest
-			counts[dest]++
-			slotOf[i] = -1
+			// Destinations were already drawn, in ant order, by the scatter
+			// pass.
+			for _, i32 := range members {
+				i := int(i32)
+				counts[actNest[i]]++
+				isRecr[i] = 0
+			}
 		case EmitGotoNest:
-			dest := nest[i]
-			if dest < 1 || int(dest) > k {
-				return fmt.Errorf("ant %d: go(%d): nest out of range 1..%d", i, dest, k)
+			for _, i32 := range members {
+				i := int(i32)
+				dest := nest[i]
+				if uint(dest)-1 >= uint(k) { // dest < 1 || dest > k, one compare
+					return fmt.Errorf("ant %d: go(%d): nest out of range 1..%d", i, dest, k)
+				}
+				actNest[i] = dest
+				counts[dest]++
+				isRecr[i] = 0
 			}
-			actNest[i] = dest
-			counts[dest]++
-			slotOf[i] = -1
 		case EmitGotoScratch:
-			dest := ln.nestT[i]
-			if dest < 1 || int(dest) > k {
-				return fmt.Errorf("ant %d: go(%d): scratch nest out of range 1..%d", i, dest, k)
+			nestT := ln.nestT
+			for _, i32 := range members {
+				i := int(i32)
+				dest := nestT[i]
+				if uint(dest)-1 >= uint(k) {
+					return fmt.Errorf("ant %d: go(%d): scratch nest out of range 1..%d", i, dest, k)
+				}
+				actNest[i] = dest
+				counts[dest]++
+				isRecr[i] = 0
 			}
-			actNest[i] = dest
-			counts[dest]++
-			slotOf[i] = -1
 		case EmitRecruitBit:
-			adv := nest[i]
-			if adv < 0 || int(adv) > k {
-				return fmt.Errorf("ant %d: recruit(%d,%d): nest out of range 0..%d", i, st.Arg, adv, k)
+			// The fixed bit is state-uniform, so the Home-forbidden check of
+			// active recruits folds into the range compare per sub-loop.
+			if st.Arg == 1 {
+				for _, i32 := range members {
+					i := int(i32)
+					adv := nest[i]
+					if uint(adv)-1 >= uint(k) { // adv < 1 || adv > k
+						if adv == Home {
+							return fmt.Errorf("ant %d: recruit(1,0): cannot actively recruit for the home nest", i)
+						}
+						return fmt.Errorf("ant %d: recruit(%d,%d): nest out of range 0..%d", i, st.Arg, adv, k)
+					}
+					actNest[i] = adv
+					isRecr[i] = 1
+					actBit[i] = 1
+					preState[i] = uint8(s)
+				}
+			} else {
+				for _, i32 := range members {
+					i := int(i32)
+					adv := nest[i]
+					if uint(adv) > uint(k) { // Home is allowed for passive recruits
+						return fmt.Errorf("ant %d: recruit(%d,%d): nest out of range 0..%d", i, st.Arg, adv, k)
+					}
+					actNest[i] = adv
+					isRecr[i] = 1
+					actBit[i] = 0
+					preState[i] = uint8(s)
+				}
 			}
-			if st.Arg == 1 && adv == Home {
-				return fmt.Errorf("ant %d: recruit(1,0): cannot actively recruit for the home nest", i)
-			}
-			slot := len(recruiters)
-			slotOf[i] = slot
-			recruiters = append(recruiters, i)
-			ln.active[slot] = st.Arg == 1
-			if ln.carries != nil {
-				ln.carries[slot] = 1
-			}
-			actNest[i] = adv
-			counts[Home]++
 		case EmitRecruitTransport:
-			adv := nest[i]
-			if adv < 1 || int(adv) > k {
-				return fmt.Errorf("ant %d: transport(%d): nest out of range 1..%d", i, adv, k)
+			sawTransport = true
+			for _, i32 := range members {
+				i := int(i32)
+				adv := nest[i]
+				if uint(adv)-1 >= uint(k) {
+					return fmt.Errorf("ant %d: transport(%d): nest out of range 1..%d", i, adv, k)
+				}
+				actNest[i] = adv
+				isRecr[i] = 2
+				actBit[i] = 1
+				preState[i] = uint8(s)
 			}
-			slot := len(recruiters)
-			slotOf[i] = slot
-			recruiters = append(recruiters, i)
-			ln.active[slot] = true
-			ln.carries[slot] = ln.prog.Params.QuorumCarry
-			actNest[i] = adv
-			counts[Home]++
-		case EmitRecruitPop, EmitRecruitQual, EmitRecruitAdaptive, EmitRecruitApproxN:
-			adv := nest[i]
-			var b bool
-			switch st.Emit {
-			case EmitRecruitPop:
-				if ln.quality[i] > 0 {
-					b = ln.antSrc[i].Bernoulli(float64(ln.count[i]) / float64(n))
+		case EmitRecruitPop:
+			popT := ln.popT
+			for _, i32 := range members {
+				i := int(i32)
+				b := false
+				if quality[i] > 0 {
+					if c := int(count[i]); popT != nil && uint(c) <= uint(n) {
+						if t := popT[c]; t-1 < rng.ThresholdAlways-1 {
+							b = antSrc[i].Uint64()>>11 < uint64(t)
+						} else {
+							b = t.Draw(&antSrc[i])
+						}
+					} else {
+						b = antSrc[i].Bernoulli(float64(c) / float64(n))
+					}
 				}
-			case EmitRecruitQual:
-				b = ln.antSrc[i].Bernoulli(ln.quality[i] * float64(ln.count[i]) / float64(n))
-			case EmitRecruitAdaptive:
-				if ln.quality[i] > 0 {
-					b = ln.antSrc[i].Bernoulli(AdaptiveRecruitProbability(
-						n, int(ln.count[i]), int(ln.paramI[i]), ln.prog.Params.Tau, ln.prog.Params.FloorDiv))
+				adv := nest[i]
+				if b && adv == Home {
+					return fmt.Errorf("ant %d: recruit(1,0): cannot actively recruit for the home nest", i)
 				}
-				ln.paramI[i]++
-			case EmitRecruitApproxN:
-				if ln.quality[i] > 0 {
-					p := float64(ln.count[i]) / ln.paramF[i]
+				actNest[i] = adv
+				isRecr[i] = 1
+				if b {
+					actBit[i] = 1
+				} else {
+					actBit[i] = 0
+				}
+				preState[i] = uint8(s)
+			}
+		case EmitRecruitQual:
+			nF := float64(n)
+			for _, i32 := range members {
+				i := int(i32)
+				b := antSrc[i].Bernoulli(quality[i] * float64(count[i]) / nF)
+				adv := nest[i]
+				if b && adv == Home {
+					return fmt.Errorf("ant %d: recruit(1,0): cannot actively recruit for the home nest", i)
+				}
+				actNest[i] = adv
+				isRecr[i] = 1
+				if b {
+					actBit[i] = 1
+				} else {
+					actBit[i] = 0
+				}
+				preState[i] = uint8(s)
+			}
+		case EmitRecruitAdaptive:
+			tau, floorDiv := ln.prog.Params.Tau, ln.prog.Params.FloorDiv
+			paramI := ln.paramI
+			for _, i32 := range members {
+				i := int(i32)
+				b := false
+				if quality[i] > 0 {
+					b = antSrc[i].Bernoulli(AdaptiveRecruitProbability(
+						n, int(count[i]), int(paramI[i]), tau, floorDiv))
+				}
+				paramI[i]++
+				adv := nest[i]
+				if b && adv == Home {
+					return fmt.Errorf("ant %d: recruit(1,0): cannot actively recruit for the home nest", i)
+				}
+				actNest[i] = adv
+				isRecr[i] = 1
+				if b {
+					actBit[i] = 1
+				} else {
+					actBit[i] = 0
+				}
+				preState[i] = uint8(s)
+			}
+		case EmitRecruitApproxN:
+			paramF := ln.paramF
+			for _, i32 := range members {
+				i := int(i32)
+				b := false
+				if quality[i] > 0 {
+					p := float64(count[i]) / paramF[i]
 					if p > 1 {
 						p = 1
 					}
-					b = ln.antSrc[i].Bernoulli(p)
+					b = antSrc[i].Bernoulli(p)
 				}
+				adv := nest[i]
+				if b && adv == Home {
+					return fmt.Errorf("ant %d: recruit(1,0): cannot actively recruit for the home nest", i)
+				}
+				actNest[i] = adv
+				isRecr[i] = 1
+				if b {
+					actBit[i] = 1
+				} else {
+					actBit[i] = 0
+				}
+				preState[i] = uint8(s)
 			}
-			if b && adv == Home {
-				return fmt.Errorf("ant %d: recruit(1,0): cannot actively recruit for the home nest", i)
-			}
-			slot := len(recruiters)
-			slotOf[i] = slot
-			recruiters = append(recruiters, i)
-			ln.active[slot] = b
-			if ln.carries != nil {
-				ln.carries[slot] = 1
-			}
-			actNest[i] = adv
-			counts[Home]++
 		}
 	}
-	ln.recruiters = recruiters
+
+	// Assemble the recruiting slot table in ant order — the matcher's slot
+	// space must list recruiters exactly as the scalar engine's action loop
+	// encounters them. The pass is branch-free: the write cursor advances by
+	// the recruiter flag, and the slot id selection compiles to a
+	// conditional move. A sole-state round degenerates to identities: slot t
+	// is ant t (or there are no recruiters at all), so the table is the
+	// precomputed identity permutation and two column copies.
+	rec := ln.recruiters[:n]
+	slotOf := ln.slotOf
+	active := ln.active
+	carries := ln.carries
+	slotNest := ln.slotNest
+	w := 0
+	if carries == nil && nRecr == n {
+		// Every ant recruits (absorbing recruit states, canvass rounds):
+		// slot t is ant t, so the table is the identity permutation and two
+		// column copies.
+		rec = ln.iota32
+		copy(slotOf, ln.iota32)
+		for i := 0; i < n; i++ {
+			active[i] = actBit[i] != 0
+		}
+		copy(slotNest, actNest)
+		w = n
+	} else if nRecr == 0 {
+		for i := range slotOf {
+			slotOf[i] = -1
+		}
+	} else if carries == nil {
+		for i := 0; i < n; i++ {
+			r := isRecr[i]
+			rec[w] = int32(i)
+			active[w] = actBit[i] != 0
+			slotNest[w] = actNest[i]
+			sl := int32(w)
+			if r == 0 {
+				sl = -1
+			}
+			slotOf[i] = sl
+			w += int(r)
+		}
+	} else {
+		qc := ln.prog.Params.QuorumCarry
+		for i := 0; i < n; i++ {
+			r := isRecr[i]
+			rec[w] = int32(i)
+			active[w] = actBit[i] != 0
+			slotNest[w] = actNest[i]
+			c := 1
+			if r == 2 {
+				c = qc
+			}
+			carries[w] = c
+			sl := int32(w)
+			if r == 0 {
+				sl = -1
+			}
+			slotOf[i] = sl
+			w += int(r & 1)
+			w += int(r >> 1)
+		}
+	}
+	nR := w
+	counts[Home] = nR
 
 	// Recruitment matching over the recruiting set, in slot space. The
-	// scalar engine skips the matcher entirely for an empty set; matching
-	// that exactly keeps matchSrc in sync on all-goto rounds. Transporting
-	// programs route through the carry-aware form; on rounds where every
-	// carry is 1 (no transporter recruited) MatchCarry's draw sequence is
-	// exactly Match's, so the scalar engine's anyCarry dispatch needs no
-	// mirroring.
-	nR := len(recruiters)
+	// scalar engine skips the matcher entirely for an empty set and selects
+	// the carry-aware form only when some slot carries more than one ant;
+	// mirroring both keeps matchSrc in sync on all-goto rounds and keeps
+	// arbitrary matchers on exactly the scalar call sequence. (For the
+	// default Algorithm 1 pairing the dispatch is immaterial: MatchCarry
+	// with all-ones carries draws exactly like Match, a pinned property.)
 	if nR > 0 {
-		if ln.carries != nil {
-			ln.matcher.MatchCarry(nR, ln.active, ln.carries, &ln.matchSrc, ln.capturedBy, ln.succeeded)
+		if anyCarry := sawTransport && ln.prog.Params.QuorumCarry > 1; anyCarry {
+			if ln.carryM == nil {
+				return fmt.Errorf("transport (carry > 1) unsupported by matcher %q", ln.matcher.Name())
+			}
+			ln.carryM.MatchCarry(nR, active, carries, &ln.matchSrc, ln.capturedBy, ln.succeeded)
 		} else {
-			ln.matcher.Match(nR, ln.active, &ln.matchSrc, ln.capturedBy, ln.succeeded)
+			ln.matcher.Match(nR, active, &ln.matchSrc, ln.capturedBy, ln.succeeded)
 		}
-		// Resolve captured recruiters' outcome nests: a captured slot reads
-		// its capturer's advertised nest. The in-place rewrite is safe
-		// because Algorithm 1 never captures a capturer, so the capturer's
-		// actNest entry still holds its own advertised nest when read.
-		for t := 0; t < nR; t++ {
-			if cb := ln.capturedBy[t]; cb >= 0 && cb != t {
-				actNest[recruiters[t]] = actNest[recruiters[cb]]
+	}
+
+	// Resolve each slot's outcome nest: the assembly pass preloaded every
+	// slot with its own advertised nest, so only captured slots need a
+	// rewrite — their capturer's advertised entry, always read from the
+	// pristine actNest column (a simultaneous-model capturer can itself be
+	// captured, so chaining through slotNest could read a rewritten value).
+	// Captures are sparse, so a capture-listing matcher turns this into a
+	// handful of writes; other matchers pay one branch-free pass over the
+	// slots. The observe folds then reach a recruiter's outcome through
+	// slotOf → slotNest, two loads instead of a four-deep capture walk.
+	if nR > 0 {
+		capt := ln.capturedBy
+		if ln.capLister != nil {
+			for _, t32 := range ln.capLister.Captures() {
+				t := int(t32)
+				if cb := int(capt[t]); cb != t {
+					slotNest[t] = actNest[rec[cb]]
+				}
+			}
+		} else {
+			for t := 0; t < nR; t++ {
+				cb := int(capt[t])
+				if cb < 0 {
+					cb = t
+				}
+				slotNest[t] = actNest[rec[cb]]
 			}
 		}
 	}
 
-	// Observe: fold outcomes into the registers and select successors. The
-	// outcome count is the end-of-round population of the outcome nest for
-	// searchers and goers, and the home population for recruiters (everyone
-	// recruiting stands at the home nest), exactly as Engine.resolve fills
-	// Outcome.Count. The commitment census updates incrementally on the
-	// rare nest-register writes.
+	// Observe per occupied state: fold outcomes into the registers and
+	// select successors, one opcode dispatch per bucket. The outcome count
+	// is the end-of-round population of the outcome nest for searchers and
+	// goers, and the home population for recruiters, exactly as
+	// Engine.resolve fills Outcome.Count; whether a bucket recruited is a
+	// property of its emit opcode, so the distinction is loop-invariant. A
+	// captured recruiter's outcome nest is its capturer's advertised nest,
+	// resolved from the actNest column (which observe folds never write, so
+	// it stays the pristine advertised set); the uncaptured and self-paired
+	// cases resolve to the ant's own slot through a conditional move — the
+	// capture pattern is noise a branch would mispredict on. The commitment
+	// census updates incrementally on the rare nest-register writes.
 	commit := ln.commit
-	countHome := int32(counts[Home])
+	qual := ln.qual
+	nestT := ln.nestT
+	countT := ln.countT
+	isFinal := &ln.final
+	countHome := int32(nR)
 	finals := 0
-	for i := 0; i < n; i++ {
-		st := &states[state[i]]
-		outNest := actNest[i]
-		outCount := countHome
-		if slotOf[i] < 0 {
-			outCount = int32(counts[outNest])
+	for s := 0; s < numStates; s++ {
+		members := bkt[off[s]:off[s+1]]
+		if len(members) == 0 {
+			continue
 		}
-		next := st.Next
+		st := &states[s]
+		recruited := recruitEmit(st.Emit)
+		next0 := st.Next
 		switch st.Observe {
 		case ObserveNone:
-			// Padding call; outcome discarded.
+			// Padding call; outcome discarded. Successors are uniform.
+			for _, i32 := range members {
+				state[i32] = next0
+			}
+			finals += int(isFinal[next0]) * len(members)
 		case ObserveDiscovery:
-			if outNest != nest[i] {
-				commit[nest[i]]--
-				commit[outNest]++
-				nest[i] = outNest
-			}
-			ln.count[i] = outCount
-			if slotOf[i] < 0 {
-				ln.quality[i] = ln.qual[outNest]
+			if recruited {
+				// Capture adoptions land in the capture pass below; the
+				// uniform recruit outcome (home population, no quality)
+				// folds here.
+				for _, i32 := range members {
+					i := int(i32)
+					count[i] = countHome
+					quality[i] = 0
+					state[i] = next0
+				}
 			} else {
-				ln.quality[i] = 0
-			}
-		case ObserveAdopt:
-			if outNest != nest[i] {
-				commit[nest[i]]--
-				commit[outNest]++
-				nest[i] = outNest
-				ln.quality[i] = 1
-			}
-		case ObserveCount:
-			ln.count[i] = outCount
-		case ObserveAdoptZero:
-			if outNest != nest[i] {
-				commit[nest[i]]--
-				commit[outNest]++
-				nest[i] = outNest
-				ln.quality[i] = 0
-			}
-		case ObserveCountQual:
-			ln.count[i] = outCount
-			if slotOf[i] < 0 {
-				ln.quality[i] = ln.qual[outNest]
-			} else {
-				ln.quality[i] = 0
-			}
-		case ObserveDiscoverBranch:
-			if outNest != nest[i] {
-				commit[nest[i]]--
-				commit[outNest]++
-				nest[i] = outNest
-			}
-			ln.count[i] = outCount
-			ln.quality[i] = ln.qual[outNest]
-			if ln.quality[i] == 0 {
-				next = st.NextB
-			}
-		case ObserveRecruitNest:
-			ln.nestT[i] = outNest
-		case ObserveCompareR2:
-			ln.countT[i] = outCount
-			switch {
-			case ln.nestT[i] == nest[i] && ln.countT[i] >= ln.count[i]:
-				ln.count[i] = ln.countT[i] // Case 1: re-baseline
-			case ln.nestT[i] == nest[i]:
-				next = st.NextB // Case 2: population dropped
-			default:
-				// Case 3: recruited to another nest.
-				commit[nest[i]]--
-				commit[ln.nestT[i]]++
-				nest[i] = ln.nestT[i]
-				next = st.NextC
-			}
-		case ObserveRecountRebase:
-			if outCount < ln.countT[i] {
-				next = st.NextB
-			} else {
-				ln.count[i] = outCount
-			}
-		case ObserveRecountLiteral:
-			if outCount < ln.countT[i] {
-				next = st.NextB
-			}
-		case ObserveFinalEq:
-			if outCount == ln.count[i] {
-				next = st.NextB
-			}
-		case ObserveAdoptPend:
-			if outNest != nest[i] {
-				commit[nest[i]]--
-				commit[outNest]++
-				nest[i] = outNest
-				next = st.NextB
-			}
-		case ObserveNestLatch:
-			if outNest != nest[i] {
-				commit[nest[i]]--
-				commit[outNest]++
-				nest[i] = outNest
-			}
-		case ObserveDiscoverNoisy:
-			if outNest != nest[i] {
-				commit[nest[i]]--
-				commit[outNest]++
-				nest[i] = outNest
-			}
-			c := int(outCount)
-			if hook := ln.prog.Params.Count; hook != nil {
-				c = hook(c, n, &ln.antSrc[i])
-			}
-			ln.count[i] = int32(c)
-			q := 0.0
-			if slotOf[i] < 0 {
-				q = ln.qual[outNest]
-			}
-			if hook := ln.prog.Params.Assess; hook != nil {
-				q = hook(q, &ln.antSrc[i])
-			}
-			if q > ln.prog.Params.Threshold {
-				ln.quality[i] = 1
-			} else {
-				ln.quality[i] = 0
-			}
-		case ObserveCountNoisy:
-			c := int(outCount)
-			if hook := ln.prog.Params.Count; hook != nil {
-				c = hook(c, n, &ln.antSrc[i])
-			}
-			ln.count[i] = int32(c)
-		case ObserveDiscoverQuorum:
-			if outNest != nest[i] {
-				commit[nest[i]]--
-				commit[outNest]++
-				nest[i] = outNest
-			}
-			ln.count[i] = outCount
-			q := 0.0
-			if slotOf[i] < 0 {
-				q = ln.qual[outNest]
-			}
-			if hook := ln.prog.Params.Assess; hook != nil {
-				q = hook(q, &ln.antSrc[i])
-			}
-			if q > 0.5 {
-				ln.quality[i] = 1
-			} else {
-				ln.quality[i] = 0
-			}
-			// Self-calibrate the quorum threshold into the countT scratch
-			// register: QuorumAnt's T = max(⌊mult·count⌋, count+2).
-			thr := int32(ln.prog.Params.QuorumMult * float64(outCount))
-			if thr < outCount+2 {
-				thr = outCount + 2
-			}
-			ln.countT[i] = thr
-		case ObserveQuorumAdopt:
-			// Capture — not a nest change — is what wakes a quorum ant: a
-			// carried ant knows it was picked up even when the capturer
-			// advertises the ant's own nest. Self-pairs are not captures.
-			if s := slotOf[i]; s >= 0 {
-				if cb := ln.capturedBy[s]; cb >= 0 && cb != s {
+				for _, i32 := range members {
+					i := int(i32)
+					outNest := actNest[i]
 					if outNest != nest[i] {
 						commit[nest[i]]--
 						commit[outNest]++
 						nest[i] = outNest
 					}
-					ln.quality[i] = 1
+					count[i] = int32(counts[outNest])
+					quality[i] = qual[outNest]
+					state[i] = next0
 				}
 			}
-		case ObserveQuorumCheck:
-			ln.count[i] = outCount
-			if ln.quality[i] > 0 && ln.countT[i] > 0 && outCount >= ln.countT[i] {
-				next = st.NextB // quorum reached: promote to transport
-			}
-		case ObserveQuorumTransport:
-			if s := slotOf[i]; s >= 0 {
-				if cb := ln.capturedBy[s]; cb >= 0 && cb != s {
-					// The docility draw consumes the CAPTURED ant's stream,
-					// exactly like QuorumAnt's submit check.
-					if ln.antSrc[i].Bernoulli(ln.prog.Params.QuorumDocility) {
-						if outNest != nest[i] {
-							commit[nest[i]]--
-							commit[outNest]++
-							nest[i] = outNest
-							next = st.NextB // demote to canvasser of the new nest
-						}
-						ln.quality[i] = 1
+			finals += int(isFinal[next0]) * len(members)
+		case ObserveAdopt:
+			if recruited {
+				// Adoption requires capture: the capture pass folds it.
+				if next0 != uint8(s) {
+					for _, i32 := range members {
+						state[i32] = next0
 					}
 				}
+			} else {
+				for _, i32 := range members {
+					i := int(i32)
+					if outNest := actNest[i]; outNest != nest[i] {
+						commit[nest[i]]--
+						commit[outNest]++
+						nest[i] = outNest
+						quality[i] = 1
+					}
+					state[i] = next0
+				}
 			}
+			finals += int(isFinal[next0]) * len(members)
+		case ObserveCount:
+			if recruited {
+				for _, i32 := range members {
+					count[i32] = countHome
+					state[i32] = next0
+				}
+			} else {
+				for _, i32 := range members {
+					i := int(i32)
+					count[i] = int32(counts[actNest[i]])
+					state[i] = next0
+				}
+			}
+			finals += int(isFinal[next0]) * len(members)
+		case ObserveAdoptZero:
+			if recruited {
+				if next0 != uint8(s) {
+					for _, i32 := range members {
+						state[i32] = next0
+					}
+				}
+			} else {
+				for _, i32 := range members {
+					i := int(i32)
+					if outNest := actNest[i]; outNest != nest[i] {
+						commit[nest[i]]--
+						commit[outNest]++
+						nest[i] = outNest
+						quality[i] = 0
+					}
+					state[i] = next0
+				}
+			}
+			finals += int(isFinal[next0]) * len(members)
+		case ObserveCountQual:
+			for _, i32 := range members {
+				i := int(i32)
+				outNest, outCount := ln.outcome(i, recruited, countHome)
+				count[i] = outCount
+				if recruited {
+					quality[i] = 0
+				} else {
+					quality[i] = qual[outNest]
+				}
+				state[i] = next0
+			}
+			finals += int(isFinal[next0]) * len(members)
+		case ObserveDiscoverBranch:
+			for _, i32 := range members {
+				i := int(i32)
+				outNest, outCount := ln.outcome(i, recruited, countHome)
+				if outNest != nest[i] {
+					commit[nest[i]]--
+					commit[outNest]++
+					nest[i] = outNest
+				}
+				count[i] = outCount
+				q := qual[outNest]
+				quality[i] = q
+				next := next0
+				if q == 0 {
+					next = st.NextB
+				}
+				state[i] = next
+				finals += int(isFinal[next])
+			}
+		case ObserveRecruitNest:
+			// Uncaptured ants (and non-recruit emits) learn their own
+			// advertised nest; the capture pass rewrites captured ants.
+			for _, i32 := range members {
+				i := int(i32)
+				nestT[i] = actNest[i]
+				state[i] = next0
+			}
+			finals += int(isFinal[next0]) * len(members)
+		case ObserveCompareR2:
+			for _, i32 := range members {
+				i := int(i32)
+				_, outCount := ln.outcome(i, recruited, countHome)
+				countT[i] = outCount
+				next := next0
+				switch {
+				case nestT[i] == nest[i] && countT[i] >= count[i]:
+					count[i] = countT[i] // Case 1: re-baseline
+				case nestT[i] == nest[i]:
+					next = st.NextB // Case 2: population dropped
+				default:
+					// Case 3: recruited to another nest.
+					commit[nest[i]]--
+					commit[nestT[i]]++
+					nest[i] = nestT[i]
+					next = st.NextC
+				}
+				state[i] = next
+				finals += int(isFinal[next])
+			}
+		case ObserveRecountRebase:
+			for _, i32 := range members {
+				i := int(i32)
+				_, outCount := ln.outcome(i, recruited, countHome)
+				next := next0
+				if outCount < countT[i] {
+					next = st.NextB
+				} else {
+					count[i] = outCount
+				}
+				state[i] = next
+				finals += int(isFinal[next])
+			}
+		case ObserveRecountLiteral:
+			for _, i32 := range members {
+				i := int(i32)
+				_, outCount := ln.outcome(i, recruited, countHome)
+				next := next0
+				if outCount < countT[i] {
+					next = st.NextB
+				}
+				state[i] = next
+				finals += int(isFinal[next])
+			}
+		case ObserveFinalEq:
+			for _, i32 := range members {
+				i := int(i32)
+				_, outCount := ln.outcome(i, recruited, countHome)
+				next := next0
+				if outCount == count[i] {
+					next = st.NextB
+				}
+				state[i] = next
+				finals += int(isFinal[next])
+			}
+		case ObserveAdoptPend:
+			if recruited {
+				// Adoption requires capture; the capture pass redirects
+				// adopted ants to NextB and adjusts the finals tally.
+				for _, i32 := range members {
+					state[i32] = next0
+				}
+				finals += int(isFinal[next0]) * len(members)
+			} else {
+				for _, i32 := range members {
+					i := int(i32)
+					next := next0
+					if outNest := actNest[i]; outNest != nest[i] {
+						commit[nest[i]]--
+						commit[outNest]++
+						nest[i] = outNest
+						next = st.NextB
+					}
+					state[i] = next
+					finals += int(isFinal[next])
+				}
+			}
+		case ObserveNestLatch:
+			if recruited {
+				// Only captured ants latch a new nest (the capture pass);
+				// with a self-looping state the whole bucket is a no-op —
+				// Algorithm 2's absorbing final state costs nothing here.
+				if next0 != uint8(s) {
+					for _, i32 := range members {
+						state[i32] = next0
+					}
+				}
+			} else {
+				for _, i32 := range members {
+					i := int(i32)
+					if outNest := actNest[i]; outNest != nest[i] {
+						commit[nest[i]]--
+						commit[outNest]++
+						nest[i] = outNest
+					}
+					state[i] = next0
+				}
+			}
+			finals += int(isFinal[next0]) * len(members)
+		case ObserveDiscoverNoisy:
+			countHook, assessHook := ln.prog.Params.Count, ln.prog.Params.Assess
+			threshold := ln.prog.Params.Threshold
+			for _, i32 := range members {
+				i := int(i32)
+				outNest, outCount := ln.outcome(i, recruited, countHome)
+				if outNest != nest[i] {
+					commit[nest[i]]--
+					commit[outNest]++
+					nest[i] = outNest
+				}
+				c := int(outCount)
+				if countHook != nil {
+					c = countHook(c, n, &antSrc[i])
+				}
+				count[i] = int32(c)
+				q := 0.0
+				if !recruited {
+					q = qual[outNest]
+				}
+				if assessHook != nil {
+					q = assessHook(q, &antSrc[i])
+				}
+				if q > threshold {
+					quality[i] = 1
+				} else {
+					quality[i] = 0
+				}
+				state[i] = next0
+			}
+			finals += int(isFinal[next0]) * len(members)
+		case ObserveCountNoisy:
+			countHook := ln.prog.Params.Count
+			for _, i32 := range members {
+				i := int(i32)
+				_, outCount := ln.outcome(i, recruited, countHome)
+				c := int(outCount)
+				if countHook != nil {
+					c = countHook(c, n, &antSrc[i])
+				}
+				count[i] = int32(c)
+				state[i] = next0
+			}
+			finals += int(isFinal[next0]) * len(members)
+		case ObserveDiscoverQuorum:
+			assessHook := ln.prog.Params.Assess
+			mult := ln.prog.Params.QuorumMult
+			for _, i32 := range members {
+				i := int(i32)
+				outNest, outCount := ln.outcome(i, recruited, countHome)
+				if outNest != nest[i] {
+					commit[nest[i]]--
+					commit[outNest]++
+					nest[i] = outNest
+				}
+				count[i] = outCount
+				q := 0.0
+				if !recruited {
+					q = qual[outNest]
+				}
+				if assessHook != nil {
+					q = assessHook(q, &antSrc[i])
+				}
+				if q > 0.5 {
+					quality[i] = 1
+				} else {
+					quality[i] = 0
+				}
+				// Self-calibrate the quorum threshold into the countT scratch
+				// register: QuorumAnt's T = max(⌊mult·count⌋, count+2).
+				thr := int32(mult * float64(outCount))
+				if thr < outCount+2 {
+					thr = outCount + 2
+				}
+				countT[i] = thr
+				state[i] = next0
+			}
+			finals += int(isFinal[next0]) * len(members)
+		case ObserveQuorumAdopt:
+			// Capture — not a nest change — is what wakes a quorum ant; the
+			// capture pass folds it. Self-pairs are not captures.
+			if next0 != uint8(s) {
+				for _, i32 := range members {
+					state[i32] = next0
+				}
+			}
+			finals += int(isFinal[next0]) * len(members)
+		case ObserveQuorumCheck:
+			for _, i32 := range members {
+				i := int(i32)
+				_, outCount := ln.outcome(i, recruited, countHome)
+				count[i] = outCount
+				next := next0
+				if quality[i] > 0 && countT[i] > 0 && outCount >= countT[i] {
+					next = st.NextB // quorum reached: promote to transport
+				}
+				state[i] = next
+				finals += int(isFinal[next])
+			}
+		case ObserveQuorumTransport:
+			// Docility and demotion act on captured transporters only; the
+			// capture pass folds them and adjusts the finals tally.
+			for _, i32 := range members {
+				state[i32] = next0
+			}
+			finals += int(isFinal[next0]) * len(members)
 		}
-		state[i] = next
-		if ln.isFinal[next] {
-			finals++
+	}
+
+	// Capture pass: the adoption-family folds (adopt, latch, pend, the
+	// recruit-nest learn, the quorum wake and the transport submit) act only
+	// on captured ants, whose buckets above therefore folded nothing but
+	// successors. Captures are sparse, so dispatching per captured slot on
+	// the state the ant emitted from (recorded in preState — the state
+	// column already holds next round's values) touches a fraction of the
+	// colony. Fold order across captured ants is immaterial: each fold
+	// writes only its own ant's registers (commit tallies are order-free)
+	// and the docility draws come from the captured ant's own stream.
+	if nR > 0 {
+		caps := ln.capScrat[:0]
+		if ln.capLister != nil {
+			caps = ln.capLister.Captures()
+		} else {
+			capt := ln.capturedBy
+			for t := 0; t < nR; t++ {
+				if capt[t] >= 0 {
+					caps = append(caps, int32(t))
+				}
+			}
+			ln.capScrat = caps[:0]
+		}
+		capt := ln.capturedBy
+		for _, t32 := range caps {
+			t := int(t32)
+			cb := int(capt[t])
+			if cb == t {
+				continue // self-pairs adopt nothing
+			}
+			i := int(rec[t])
+			outNest := actNest[rec[cb]]
+			st := &states[preState[i]]
+			switch st.Observe {
+			case ObserveDiscovery, ObserveNestLatch:
+				if outNest != nest[i] {
+					commit[nest[i]]--
+					commit[outNest]++
+					nest[i] = outNest
+				}
+			case ObserveAdopt:
+				if outNest != nest[i] {
+					commit[nest[i]]--
+					commit[outNest]++
+					nest[i] = outNest
+					quality[i] = 1
+				}
+			case ObserveAdoptZero:
+				if outNest != nest[i] {
+					commit[nest[i]]--
+					commit[outNest]++
+					nest[i] = outNest
+					quality[i] = 0
+				}
+			case ObserveAdoptPend:
+				if outNest != nest[i] {
+					commit[nest[i]]--
+					commit[outNest]++
+					nest[i] = outNest
+					state[i] = st.NextB // enter the pending chain
+					finals += int(isFinal[st.NextB]) - int(isFinal[st.Next])
+				}
+			case ObserveRecruitNest:
+				nestT[i] = outNest
+			case ObserveQuorumAdopt:
+				if outNest != nest[i] {
+					commit[nest[i]]--
+					commit[outNest]++
+					nest[i] = outNest
+				}
+				quality[i] = 1
+			case ObserveQuorumTransport:
+				// The docility draw consumes the CAPTURED ant's stream,
+				// exactly like QuorumAnt's submit check, on the precompiled
+				// fixed-point threshold.
+				if ln.docT.Draw(&antSrc[i]) {
+					if outNest != nest[i] {
+						commit[nest[i]]--
+						commit[outNest]++
+						nest[i] = outNest
+						state[i] = st.NextB // demote to canvasser of the new nest
+						finals += int(isFinal[st.NextB]) - int(isFinal[st.Next])
+					}
+					quality[i] = 1
+				}
+			}
 		}
 	}
 	ln.finals = finals
 	return nil
+}
+
+// outcome resolves ant i's outcome nest and count for the observe folds:
+// searchers and goers read the end-of-round population of their advertised
+// nest, recruiters read the home population and their slot's precomputed
+// outcome nest (their capturer's advertised nest when captured). recruited is
+// loop-invariant per bucket (it is a property of the state's emit opcode), so
+// the branch predicts perfectly.
+func (ln *lane) outcome(i int, recruited bool, countHome int32) (NestID, int32) {
+	if !recruited {
+		outNest := ln.actNest[i]
+		return outNest, int32(ln.counts[outNest])
+	}
+	return ln.slotNest[ln.slotOf[i]], countHome
+}
+
+// recruitEmit reports whether op sends the ant to the home-nest pairing (its
+// outcome is then the home population and possibly a capturer's nest).
+func recruitEmit(op EmitOp) bool {
+	switch op {
+	case EmitRecruitBit, EmitRecruitTransport,
+		EmitRecruitPop, EmitRecruitQual, EmitRecruitAdaptive, EmitRecruitApproxN:
+		return true
+	}
+	return false
 }
 
 // census reports unanimous commitment to a good nest from the incrementally
@@ -1007,4 +1879,35 @@ func (ln *lane) census() (NestID, bool) {
 		}
 	}
 	return Home, false
+}
+
+// foldCaptureAdopts invokes adopt(i, capturerNest) for every lockstep-round
+// ant whose capturer advertises a nest different from the ant's own — the
+// common core of the recruit-round adoption folds. With a capture-listing
+// matcher only the actual captures are visited (they are sparse); otherwise
+// the whole capture table is scanned. Reading the capturer's nest from the
+// actNest snapshot keeps the fold order-independent even for matchers whose
+// capturers can themselves be captured.
+func (ln *lane) foldCaptureAdopts(adopt func(i int, outNest NestID)) {
+	nest := ln.nest
+	actNest := ln.actNest
+	capturedBy := ln.capturedBy
+	if ln.capLister != nil {
+		for _, t32 := range ln.capLister.Captures() {
+			i := int(t32) // slot t is ant t on the lockstep path
+			if cb := int(capturedBy[i]); cb != i {
+				if outNest := actNest[cb]; outNest != nest[i] {
+					adopt(i, outNest)
+				}
+			}
+		}
+		return
+	}
+	for i := range nest {
+		if cb := int(capturedBy[i]); cb >= 0 && cb != i {
+			if outNest := actNest[cb]; outNest != nest[i] {
+				adopt(i, outNest)
+			}
+		}
+	}
 }

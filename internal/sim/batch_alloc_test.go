@@ -1,0 +1,206 @@
+package sim
+
+import (
+	"testing"
+
+	"github.com/gmrl/househunt/internal/rng"
+)
+
+// This file pins the zero-allocation contract of the batch hot path: once a
+// lane exists, stepping rounds must never touch the heap — for any compiled
+// program shape and any stock matcher. The program tables below mirror the
+// nine compiled algorithm forms of internal/algo (sim cannot import algo, so
+// the tables are restated; the shapes matter, not the exact parameters).
+
+// allocTestPrograms returns program tables covering every opcode family the
+// compiled inventory emits: the Algorithm 3 cycle (simple & PFSM), both
+// Algorithm 2 variants, the three recruit-draw extensions, the
+// quorum-transport strategy and the noisy-perception model.
+func allocTestPrograms() map[string]Program {
+	simple := Program{
+		Algorithm: "simple",
+		States: []ProgramState{
+			{Emit: EmitSearch, Observe: ObserveDiscovery, Next: 1},
+			{Emit: EmitRecruitPop, Observe: ObserveAdopt, Next: 2},
+			{Emit: EmitGotoNest, Observe: ObserveCount, Next: 1},
+		},
+	}
+	optimal := func(literal bool) Program {
+		recount := ObserveRecountRebase
+		if literal {
+			recount = ObserveRecountLiteral
+		}
+		return Program{
+			Algorithm: "optimal",
+			States: []ProgramState{
+				{Emit: EmitSearch, Observe: ObserveDiscoverBranch, Next: 1, NextB: 10},
+				{Emit: EmitRecruitBit, Arg: 1, Observe: ObserveRecruitNest, Next: 2},
+				{Emit: EmitGotoScratch, Observe: ObserveCompareR2, Next: 3, NextB: 5, NextC: 7},
+				{Emit: EmitGotoNest, Observe: ObserveNone, Next: 4},
+				{Emit: EmitRecruitBit, Arg: 0, Observe: ObserveFinalEq, Next: 1, NextB: 16},
+				{Emit: EmitRecruitBit, Arg: 0, Observe: ObserveNone, Next: 6},
+				{Emit: EmitGotoNest, Observe: ObserveNone, Next: 10},
+				{Emit: EmitGotoNest, Observe: recount, Next: 8, NextB: 9},
+				{Emit: EmitGotoNest, Observe: ObserveNone, Next: 1},
+				{Emit: EmitGotoNest, Observe: ObserveNone, Next: 10},
+				{Emit: EmitGotoNest, Observe: ObserveNone, Next: 11},
+				{Emit: EmitRecruitBit, Arg: 0, Observe: ObserveAdoptPend, Next: 12, NextB: 14},
+				{Emit: EmitGotoNest, Observe: ObserveNone, Next: 13},
+				{Emit: EmitGotoNest, Observe: ObserveNone, Next: 10},
+				{Emit: EmitGotoNest, Observe: ObserveNone, Next: 15},
+				{Emit: EmitGotoNest, Observe: ObserveNone, Next: 16},
+				{Emit: EmitRecruitBit, Arg: 1, Observe: ObserveNestLatch, Next: 16, Final: true},
+			},
+		}
+	}
+	adaptive := Program{
+		Algorithm: "adaptive",
+		States: []ProgramState{
+			{Emit: EmitSearch, Observe: ObserveDiscovery, Next: 1},
+			{Emit: EmitRecruitAdaptive, Observe: ObserveAdopt, Next: 2},
+			{Emit: EmitGotoNest, Observe: ObserveCount, Next: 1},
+		},
+		Params: ProgramParams{Tau: 2, FloorDiv: 4},
+	}
+	quality := Program{
+		Algorithm: "quality",
+		States: []ProgramState{
+			{Emit: EmitSearch, Observe: ObserveDiscovery, Next: 1},
+			{Emit: EmitRecruitQual, Observe: ObserveAdoptZero, Next: 2},
+			{Emit: EmitGotoNest, Observe: ObserveCountQual, Next: 1},
+		},
+	}
+	approxn := Program{
+		Algorithm: "approxn",
+		States: []ProgramState{
+			{Emit: EmitSearch, Observe: ObserveDiscovery, Next: 1},
+			{Emit: EmitRecruitApproxN, Observe: ObserveAdopt, Next: 2},
+			{Emit: EmitGotoNest, Observe: ObserveCount, Next: 1},
+		},
+		Params: ProgramParams{NEstDelta: 0.3},
+	}
+	quorum := Program{
+		Algorithm: "quorum",
+		States: []ProgramState{
+			{Emit: EmitSearch, Observe: ObserveDiscoverQuorum, Next: 1},
+			{Emit: EmitRecruitPop, Observe: ObserveQuorumAdopt, Next: 2},
+			{Emit: EmitGotoNest, Observe: ObserveQuorumCheck, Next: 1, NextB: 3},
+			{Emit: EmitRecruitTransport, Observe: ObserveQuorumTransport, Next: 4, NextB: 2, Final: true},
+			{Emit: EmitGotoNest, Observe: ObserveCount, Next: 3, Final: true},
+		},
+		Params: ProgramParams{QuorumMult: 1.5, QuorumCarry: 3, QuorumDocility: 0.25},
+	}
+	noisy := Program{
+		Algorithm: "noisy",
+		States: []ProgramState{
+			{Emit: EmitSearch, Observe: ObserveDiscoverNoisy, Next: 1},
+			{Emit: EmitRecruitPop, Observe: ObserveAdopt, Next: 2},
+			{Emit: EmitGotoNest, Observe: ObserveCountNoisy, Next: 1},
+		},
+		Params: ProgramParams{
+			Threshold: 0.5,
+			Count: func(c, n int, src *rng.Source) int {
+				// A drawing hook (the noisy shape's whole point) that must
+				// not allocate either.
+				return c + int(src.Uint64n(3)) - 1
+			},
+		},
+	}
+	return map[string]Program{
+		"simple":          simple,
+		"simplePFSM":      simple, // the PFSM form compiles to the identical table
+		"optimal":         optimal(false),
+		"optimal-literal": optimal(true),
+		"adaptive":        adaptive,
+		"quality":         quality,
+		"approxn":         approxn,
+		"quorum":          quorum,
+		"noisy":           noisy,
+	}
+}
+
+// TestBatchStepAllocationFree asserts testing.AllocsPerRun == 0 over the lane
+// step functions — stepLockstep for lockstep programs, stepGeneral otherwise —
+// for every compiled program shape, after one warm-up replicate has sized the
+// scratch (threshold tables and matcher buffers grow on first use).
+func TestBatchStepAllocationFree(t *testing.T) {
+	env := MustEnvironment([]float64{1, 0, 0.6, 0})
+	const n = 192
+	for name, prog := range allocTestPrograms() {
+		name, prog := name, prog
+		t.Run(name, func(t *testing.T) {
+			b, err := NewBatch(env, prog, n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ln := newLane(b)
+			if _, err := ln.runReplicate(0, 7, 300, 1, nil); err != nil {
+				t.Fatalf("warm-up replicate: %v", err)
+			}
+			ln.reset(11)
+			phase := prog.Init
+			allocs := testing.AllocsPerRun(200, func() {
+				var err error
+				if ln.lockstep {
+					phase, err = ln.stepLockstep(phase)
+				} else {
+					err = ln.stepGeneral()
+				}
+				if err != nil {
+					t.Fatal(err)
+				}
+			})
+			if allocs != 0 {
+				t.Errorf("%s: %v allocs per round on the %s path, want 0",
+					name, allocs, map[bool]string{true: "lockstep", false: "general"}[ln.lockstep])
+			}
+		})
+	}
+}
+
+// TestBatchStepAllocationFreeStockMatchers repeats the assertion with the
+// ablation matchers driving the pairing (they reuse scratch too — the
+// simultaneous model's reservoir counters once allocated per call).
+func TestBatchStepAllocationFreeStockMatchers(t *testing.T) {
+	env := MustEnvironment([]float64{1, 0})
+	const n = 128
+	progs := allocTestPrograms()
+	for _, matcher := range []string{"simultaneous", "rendezvous"} {
+		matcher := matcher
+		for _, name := range []string{"simple", "optimal"} {
+			prog := progs[name]
+			t.Run(matcher+"/"+name, func(t *testing.T) {
+				factory := func() Matcher {
+					if matcher == "simultaneous" {
+						return &SimultaneousMatcher{}
+					}
+					return &RendezvousMatcher{}
+				}
+				b, err := NewBatch(env, prog, n, WithBatchMatcher(factory))
+				if err != nil {
+					t.Fatal(err)
+				}
+				ln := newLane(b)
+				if _, err := ln.runReplicate(0, 7, 300, 1, nil); err != nil {
+					t.Fatalf("warm-up replicate: %v", err)
+				}
+				ln.reset(11)
+				phase := prog.Init
+				allocs := testing.AllocsPerRun(200, func() {
+					var err error
+					if ln.lockstep {
+						phase, err = ln.stepLockstep(phase)
+					} else {
+						err = ln.stepGeneral()
+					}
+					if err != nil {
+						t.Fatal(err)
+					}
+				})
+				if allocs != 0 {
+					t.Errorf("%v allocs per round, want 0", allocs)
+				}
+			})
+		}
+	}
+}

@@ -39,7 +39,7 @@ type Engine struct {
 	active     []bool
 	carries    []int
 	anyCarry   bool
-	capturedBy []int
+	capturedBy []int32
 	succeeded  []bool
 	captures   []int
 
@@ -140,7 +140,7 @@ func New(env Environment, agents []Agent, opts ...Option) (*Engine, error) {
 		slotOf:     make([]int, n),
 		active:     make([]bool, 0, n),
 		carries:    make([]int, 0, n),
-		capturedBy: make([]int, 0, n),
+		capturedBy: make([]int32, 0, n),
 		succeeded:  make([]bool, 0, n),
 		captures:   make([]int, 0, n),
 		strict:     cfg.strict,
@@ -148,6 +148,9 @@ func New(env Environment, agents []Agent, opts ...Option) (*Engine, error) {
 		reg:        cfg.reg,
 	}
 	e.counts[Home] = n // everyone starts at the home nest
+	if sized, ok := e.matcher.(sizedMatcher); ok {
+		sized.Reserve(n) // recruiting sets reach colony size; never grow mid-run
+	}
 	e.cRounds = e.reg.Counter("engine.rounds")
 	e.cSearch = e.reg.Counter("engine.actions.search")
 	e.cGo = e.reg.Counter("engine.actions.go")
@@ -356,7 +359,7 @@ func (e *Engine) resolve() error {
 		case ActionRecruit:
 			slot := e.slotOf[i]
 			out := Outcome{Nest: e.actions[i].Nest, Count: e.counts[Home], Captures: e.captures[slot]}
-			if cb := e.capturedBy[slot]; cb >= 0 {
+			if cb := int(e.capturedBy[slot]); cb >= 0 {
 				if cb == slot {
 					out.SelfPaired = true
 					out.Succeeded = true
@@ -372,7 +375,7 @@ func (e *Engine) resolve() error {
 					e.visited[i*(k+1)+int(out.Nest)] = true
 				}
 			}
-			if e.succeeded[slot] && e.capturedBy[slot] != slot {
+			if e.succeeded[slot] && int(e.capturedBy[slot]) != slot {
 				out.Succeeded = true
 				e.cSuccess.Inc()
 			}
@@ -388,7 +391,7 @@ func (e *Engine) resolve() error {
 		}
 		if e.tracer.EventsEnabled() {
 			for t := 0; t < nR; t++ {
-				cb := e.capturedBy[t]
+				cb := int(e.capturedBy[t])
 				if cb < 0 {
 					continue
 				}

@@ -19,7 +19,7 @@ import (
 // use scratch space owned by the matcher; the engine never calls Match
 // concurrently on one matcher instance.
 type Matcher interface {
-	Match(n int, active []bool, src *rng.Source, capturedBy []int, succeeded []bool)
+	Match(n int, active []bool, src *rng.Source, capturedBy []int32, succeeded []bool)
 	// Name identifies the matcher in benchmarks and ablation tables.
 	Name() string
 }
@@ -30,8 +30,41 @@ type Matcher interface {
 // must be identical to Match (including its randomness).
 type CarryMatcher interface {
 	Matcher
-	MatchCarry(n int, active []bool, carry []int, src *rng.Source, capturedBy []int, succeeded []bool)
+	MatchCarry(n int, active []bool, carry []int, src *rng.Source, capturedBy []int32, succeeded []bool)
 }
+
+// sizedMatcher is implemented by the stock matchers: Reserve pre-sizes the
+// internal scratch for pools of up to n slots, so a freshly built engine or
+// batch lane never grows matcher buffers mid-run (the recruiting set widens
+// over an execution, and lazy growth would re-allocate at each new maximum).
+type sizedMatcher interface {
+	Reserve(n int)
+}
+
+// CaptureLister is implemented by matchers that additionally record which
+// slots were captured. Captures returns the slots captured by the most
+// recent Match/MatchCarry call (self-pairs included), in capture order; the
+// slice is matcher-owned scratch, valid until the next call. Captures are
+// sparse — a consumer folding only captured slots touches a fraction of the
+// colony instead of scanning the whole capture table, which is why the batch
+// engine prefers this interface when the matcher offers it.
+type CaptureLister interface {
+	Matcher
+	Captures() []int32
+}
+
+// Per-slot scratch bits of AlgorithmOneMatcher's packed status column. One
+// byte per slot keeps the three flags the inner loops test on the same cache
+// line, where the separate bool/int columns they summarize span ten times the
+// footprint: the permutation scan and the target-blocking check are the
+// matching hot path, and both resolve with a single byte load here.
+// slotActive must stay at bit 0: the candidate-compaction pass advances its
+// write cursor by `status & slotActive` to stay branch-free.
+const (
+	slotActive    uint8 = 1 << iota // slot called recruit(1, ·)
+	slotCaptured                    // capturedBy[slot] >= 0
+	slotSucceeded                   // succeeded[slot]
+)
 
 // AlgorithmOneMatcher is the paper's Algorithm 1, reproduced exactly:
 //
@@ -52,19 +85,36 @@ type CarryMatcher interface {
 // The zero value is ready to use; the matcher grows internal scratch buffers
 // as needed and is not safe for concurrent use.
 type AlgorithmOneMatcher struct {
-	perm []int
+	perm     []int32
+	cand     []int32
+	status   []uint8
+	captures []int32
 }
 
 var (
-	_ Matcher      = (*AlgorithmOneMatcher)(nil)
-	_ CarryMatcher = (*AlgorithmOneMatcher)(nil)
+	_ Matcher       = (*AlgorithmOneMatcher)(nil)
+	_ CarryMatcher  = (*AlgorithmOneMatcher)(nil)
+	_ CaptureLister = (*AlgorithmOneMatcher)(nil)
 )
+
+// Captures implements CaptureLister.
+func (m *AlgorithmOneMatcher) Captures() []int32 { return m.captures }
+
+// Reserve pre-sizes the scratch for pools of up to n slots.
+func (m *AlgorithmOneMatcher) Reserve(n int) {
+	if cap(m.perm) < n {
+		m.perm = make([]int32, n)
+		m.cand = make([]int32, n)
+		m.status = make([]uint8, n)
+		m.captures = make([]int32, 0, n)
+	}
+}
 
 // Name implements Matcher.
 func (m *AlgorithmOneMatcher) Name() string { return "algorithm1" }
 
 // Match implements Matcher with the paper's sequential pairing process.
-func (m *AlgorithmOneMatcher) Match(n int, active []bool, src *rng.Source, capturedBy []int, succeeded []bool) {
+func (m *AlgorithmOneMatcher) Match(n int, active []bool, src *rng.Source, capturedBy []int32, succeeded []bool) {
 	m.MatchCarry(n, active, nil, src, capturedBy, succeeded)
 }
 
@@ -72,34 +122,104 @@ func (m *AlgorithmOneMatcher) Match(n int, active []bool, src *rng.Source, captu
 // a draws up to carry[a] targets (each draw independent and lost if blocked,
 // exactly like the single draw of Algorithm 1). With carry nil or all-ones
 // the process — including its random draw sequence — is exactly Algorithm 1.
-func (m *AlgorithmOneMatcher) MatchCarry(n int, active []bool, carry []int, src *rng.Source, capturedBy []int, succeeded []bool) {
-	for t := 0; t < n; t++ {
-		capturedBy[t] = -1
-		succeeded[t] = false
-	}
+func (m *AlgorithmOneMatcher) MatchCarry(n int, active []bool, carry []int, src *rng.Source, capturedBy []int32, succeeded []bool) {
+	m.captures = m.captures[:0]
 	if n == 0 {
 		return
 	}
-	if cap(m.perm) < n {
-		m.perm = make([]int, n)
+	capturedBy = capturedBy[:n]
+	succeeded = succeeded[:n]
+	active = active[:n]
+	for t := range capturedBy {
+		capturedBy[t] = -1
+	}
+	for t := range succeeded {
+		succeeded[t] = false
+	}
+	m.Reserve(n)
+	anyActive := false
+	for _, a := range active {
+		if a {
+			anyActive = true
+			break
+		}
+	}
+	if !anyActive {
+		// Only active slots draw targets, so an all-passive round consumes
+		// nothing beyond the permutation and assigns nobody: advancing the
+		// stream by the permutation's draws — values unread — is
+		// draw-for-draw identical. (Algorithm 2 colonies recruit
+		// all-passively in three of their four block rounds until finals
+		// appear, so this is a common case on that path.)
+		src.PermAdvance(n)
+		return
 	}
 	perm := m.perm[:n]
-	src.PermInto(perm)
+	status := m.status[:n]
+	for t, a := range active {
+		s := uint8(0)
+		if a {
+			s = slotActive
+		}
+		status[t] = s
+	}
+	src.PermInto32(perm)
 
-	for _, a := range perm {
-		if !active[a] || capturedBy[a] >= 0 {
+	// Compact the active slots out of the permutation before scanning. The
+	// activity pattern is data-dependent noise, so testing it inside the
+	// scan mispredicts constantly; the compaction pass is branch-free (the
+	// cursor advances by the active bit) and the scan then visits only
+	// candidates, whose captured-test is rarely taken. Activity is fixed
+	// for the round, so compacting up front is order-identical to testing
+	// lazily.
+	cand := m.cand[:n]
+	w := 0
+	for _, a32 := range perm {
+		cand[w] = a32
+		w += int(status[a32] & slotActive)
+	}
+
+	// The target draw is Intn(n) spelled as the one-level Uint64n call: the
+	// two-level Intn → Uint64n tree costs a second dynamic call per draw on
+	// the hottest loop of the engine, and n is already validated positive.
+	un := uint64(n)
+	if carry == nil {
+		// Capacity-1 fast path: the capacity lookup is loop-invariant.
+		for _, a32 := range cand[:w] {
+			a := int(a32)
+			if status[a]&slotCaptured != 0 {
+				continue
+			}
+			target := int(src.Uint64n(un))
+			if status[target]&(slotCaptured|slotSucceeded) != 0 {
+				continue
+			}
+			status[target] |= slotCaptured
+			capturedBy[target] = int32(a)
+			m.captures = append(m.captures, int32(target))
+			status[a] |= slotSucceeded
+			succeeded[a] = true
+		}
+		return
+	}
+	for _, a32 := range cand[:w] {
+		a := int(a32)
+		if status[a]&slotCaptured != 0 {
 			continue
 		}
 		draws := 1
-		if carry != nil && carry[a] > 1 {
+		if carry[a] > 1 {
 			draws = carry[a]
 		}
 		for d := 0; d < draws; d++ {
-			target := src.Intn(n)
-			if succeeded[target] || capturedBy[target] >= 0 {
+			target := int(src.Uint64n(un))
+			if status[target]&(slotCaptured|slotSucceeded) != 0 {
 				continue
 			}
-			capturedBy[target] = a
+			status[target] |= slotCaptured
+			capturedBy[target] = int32(a)
+			m.captures = append(m.captures, int32(target))
+			status[a] |= slotSucceeded
 			succeeded[a] = true
 			if target == a {
 				// A self-pair consumes the recruiter itself; it cannot keep
@@ -116,44 +236,79 @@ func (m *AlgorithmOneMatcher) MatchCarry(n int, active []bool, carry []int, src 
 // uniformly at random. Unlike Algorithm 1, a recruiter can simultaneously be
 // captured and succeed, and no permutation priority exists.
 type SimultaneousMatcher struct {
-	picks []int
+	picks    []int32
+	seen     []int32
+	captures []int32
 }
 
-var _ Matcher = (*SimultaneousMatcher)(nil)
+var (
+	_ Matcher       = (*SimultaneousMatcher)(nil)
+	_ CaptureLister = (*SimultaneousMatcher)(nil)
+)
+
+// Captures implements CaptureLister.
+func (m *SimultaneousMatcher) Captures() []int32 { return m.captures }
+
+// Reserve pre-sizes the scratch for pools of up to n slots.
+func (m *SimultaneousMatcher) Reserve(n int) {
+	if cap(m.picks) < n {
+		m.picks = make([]int32, n)
+		m.seen = make([]int32, n)
+		m.captures = make([]int32, 0, n)
+	}
+}
 
 // Name implements Matcher.
 func (m *SimultaneousMatcher) Name() string { return "simultaneous" }
 
 // Match implements Matcher.
-func (m *SimultaneousMatcher) Match(n int, active []bool, src *rng.Source, capturedBy []int, succeeded []bool) {
-	for t := 0; t < n; t++ {
-		capturedBy[t] = -1
-		succeeded[t] = false
-	}
+func (m *SimultaneousMatcher) Match(n int, active []bool, src *rng.Source, capturedBy []int32, succeeded []bool) {
+	m.captures = m.captures[:0]
 	if n == 0 {
 		return
 	}
-	if cap(m.picks) < n {
-		m.picks = make([]int, n)
+	capturedBy = capturedBy[:n]
+	succeeded = succeeded[:n]
+	active = active[:n]
+	for t := range capturedBy {
+		capturedBy[t] = -1
 	}
+	for t := range succeeded {
+		succeeded[t] = false
+	}
+	m.Reserve(n)
 	picks := m.picks[:n]
+	un := uint64(n)
+	anyActive := false
 	for t := 0; t < n; t++ {
 		picks[t] = -1
 		if active[t] {
-			picks[t] = src.Intn(n)
+			picks[t] = int32(src.Uint64n(un)) // Intn(n), one call level
+			anyActive = true
 		}
 	}
+	if !anyActive {
+		return // nobody picked: no reservoir draws, no captures
+	}
 	// Reservoir-sample one capturer per target among its pickers, so each
-	// contender wins with equal probability without extra allocations.
-	seen := make([]int, n) // seen[target] = number of pickers observed so far
+	// contender wins with equal probability. seen[target] counts the pickers
+	// observed so far; the buffer is matcher-owned scratch reused across
+	// rounds (allocating it per call once dominated the matching cost).
+	seen := m.seen[:n]
+	for t := range seen {
+		seen[t] = 0
+	}
 	for s := 0; s < n; s++ {
 		target := picks[s]
 		if target < 0 {
 			continue
 		}
 		seen[target]++
-		if seen[target] == 1 || src.Intn(seen[target]) == 0 {
-			capturedBy[target] = s
+		if seen[target] == 1 {
+			m.captures = append(m.captures, target)
+			capturedBy[target] = int32(s)
+		} else if src.Uint64n(uint64(seen[target])) == 0 {
+			capturedBy[target] = int32(s)
 		}
 	}
 	for t := 0; t < n; t++ {
@@ -170,41 +325,79 @@ func (m *SimultaneousMatcher) Match(n int, active []bool, src *rng.Source, captu
 // permutation, and produces near-perfect matchings — an upper bound on how
 // efficient pairing could plausibly be.
 type RendezvousMatcher struct {
-	perm []int
+	perm     []int32
+	blocked  []bool // blocked[t] = captured or succeeded, the scan's skip test
+	captures []int32
 }
 
-var _ Matcher = (*RendezvousMatcher)(nil)
+var (
+	_ Matcher       = (*RendezvousMatcher)(nil)
+	_ CaptureLister = (*RendezvousMatcher)(nil)
+)
+
+// Captures implements CaptureLister.
+func (m *RendezvousMatcher) Captures() []int32 { return m.captures }
+
+// Reserve pre-sizes the scratch for pools of up to n slots.
+func (m *RendezvousMatcher) Reserve(n int) {
+	if cap(m.perm) < n {
+		m.perm = make([]int32, n)
+		m.blocked = make([]bool, n)
+		m.captures = make([]int32, 0, n)
+	}
+}
 
 // Name implements Matcher.
 func (m *RendezvousMatcher) Name() string { return "rendezvous" }
 
 // Match implements Matcher.
-func (m *RendezvousMatcher) Match(n int, active []bool, src *rng.Source, capturedBy []int, succeeded []bool) {
-	for t := 0; t < n; t++ {
-		capturedBy[t] = -1
-		succeeded[t] = false
-	}
+func (m *RendezvousMatcher) Match(n int, active []bool, src *rng.Source, capturedBy []int32, succeeded []bool) {
+	m.captures = m.captures[:0]
 	if n == 0 {
 		return
 	}
-	if cap(m.perm) < n {
-		m.perm = make([]int, n)
+	capturedBy = capturedBy[:n]
+	succeeded = succeeded[:n]
+	active = active[:n]
+	for t := range capturedBy {
+		capturedBy[t] = -1
 	}
+	for t := range succeeded {
+		succeeded[t] = false
+	}
+	m.Reserve(n)
 	perm := m.perm[:n]
-	src.PermInto(perm)
+	src.PermInto32(perm)
+	anyActive := false
+	for t := 0; t < n; t++ {
+		if active[t] {
+			anyActive = true
+			break
+		}
+	}
+	if !anyActive {
+		return // the scan draws nothing, so skipping it changes nothing
+	}
+	blocked := m.blocked[:n]
+	for t := range blocked {
+		blocked[t] = false
+	}
 
 	for i := 0; i < n; i++ {
-		a := perm[i]
-		if !active[a] || capturedBy[a] >= 0 || succeeded[a] {
+		a := int(perm[i])
+		if !active[a] || blocked[a] {
 			continue
 		}
 		for j := 1; j < n; j++ {
-			b := perm[(i+j)%n]
-			if capturedBy[b] >= 0 || succeeded[b] {
+			b := int(perm[(i+j)%n])
+			if blocked[b] {
 				continue
 			}
-			capturedBy[b] = a
+			capturedBy[b] = int32(a)
+			m.captures = append(m.captures, int32(b))
+			blocked[b] = true
 			succeeded[a] = true
+			blocked[a] = true
 			break
 		}
 	}

@@ -9,8 +9,8 @@ import (
 
 // runMatch executes one matching round of m over n slots with the given
 // active pattern and returns the filled assignment slices.
-func runMatch(m Matcher, n int, active []bool, src *rng.Source) (capturedBy []int, succeeded []bool) {
-	capturedBy = make([]int, n)
+func runMatch(m Matcher, n int, active []bool, src *rng.Source) (capturedBy []int32, succeeded []bool) {
+	capturedBy = make([]int32, n)
 	succeeded = make([]bool, n)
 	m.Match(n, active, src, capturedBy, succeeded)
 	return capturedBy, succeeded
@@ -19,10 +19,10 @@ func runMatch(m Matcher, n int, active []bool, src *rng.Source) (capturedBy []in
 // checkMatchingInvariants verifies the structural properties shared by every
 // matcher model: capturers are active and marked succeeded; capturedBy values
 // are valid slots; passive slots never succeed.
-func checkMatchingInvariants(t *testing.T, name string, n int, active []bool, capturedBy []int, succeeded []bool) {
+func checkMatchingInvariants(t *testing.T, name string, n int, active []bool, capturedBy []int32, succeeded []bool) {
 	t.Helper()
 	for slot := 0; slot < n; slot++ {
-		cb := capturedBy[slot]
+		cb := int(capturedBy[slot])
 		if cb < -1 || cb >= n {
 			t.Fatalf("%s: capturedBy[%d] = %d out of range", name, slot, cb)
 		}
@@ -39,14 +39,14 @@ func checkMatchingInvariants(t *testing.T, name string, n int, active []bool, ca
 		}
 	}
 	// Every succeeded slot must actually appear as a capturer.
-	captures := make(map[int]int, n)
+	captures := make(map[int32]int, n)
 	for slot := 0; slot < n; slot++ {
 		if capturedBy[slot] >= 0 {
 			captures[capturedBy[slot]]++
 		}
 	}
 	for slot := 0; slot < n; slot++ {
-		if succeeded[slot] && captures[slot] == 0 {
+		if succeeded[slot] && captures[int32(slot)] == 0 {
 			t.Fatalf("%s: slot %d succeeded but captured nobody", name, slot)
 		}
 	}
@@ -55,22 +55,22 @@ func checkMatchingInvariants(t *testing.T, name string, n int, active []bool, ca
 // checkOneToOne verifies the stricter Algorithm-1 matching property: the pairs
 // form a partial matching (each ant appears in at most one pair, as either
 // element), which the paper's process guarantees.
-func checkOneToOne(t *testing.T, name string, n int, capturedBy []int, succeeded []bool) {
+func checkOneToOne(t *testing.T, name string, n int, capturedBy []int32, succeeded []bool) {
 	t.Helper()
 	for slot := 0; slot < n; slot++ {
-		if capturedBy[slot] >= 0 && capturedBy[slot] != slot {
+		if capturedBy[slot] >= 0 && int(capturedBy[slot]) != slot {
 			if succeeded[slot] {
 				t.Fatalf("%s: slot %d both captured and succeeded", name, slot)
 			}
 		}
 	}
-	seen := make(map[int]bool, n)
+	seen := make(map[int32]bool, n)
 	for slot := 0; slot < n; slot++ {
 		cb := capturedBy[slot]
 		if cb < 0 {
 			continue
 		}
-		if cb != slot && seen[cb] {
+		if int(cb) != slot && seen[cb] {
 			t.Fatalf("%s: capturer %d captured two ants", name, cb)
 		}
 		seen[cb] = true
@@ -279,7 +279,7 @@ func BenchmarkAlgorithmOneMatch1024(b *testing.B) {
 	for i := range active {
 		active[i] = i%2 == 0
 	}
-	capturedBy := make([]int, n)
+	capturedBy := make([]int32, n)
 	succeeded := make([]bool, n)
 	b.ReportAllocs()
 	b.ResetTimer()
@@ -306,7 +306,7 @@ func TestMatchCarrySaturation(t *testing.T) {
 		carries[i] = 1
 	}
 	carries[0] = carry
-	capturedBy := make([]int, n)
+	capturedBy := make([]int32, n)
 	succeeded := make([]bool, n)
 	maxCaptures := 0
 	for seed := uint64(1); seed <= 200; seed++ {
@@ -361,7 +361,7 @@ func TestMatchCarryAllOnesMatchesMatch(t *testing.T) {
 		viaMatch, succMatch := runMatch(plain, n, active, rng.New(seed+1000))
 		withCarry := &AlgorithmOneMatcher{}
 		srcCarry := rng.New(seed + 1000)
-		viaCarry := make([]int, n)
+		viaCarry := make([]int32, n)
 		succCarry := make([]bool, n)
 		withCarry.MatchCarry(n, active, ones, srcCarry, viaCarry, succCarry)
 		for slot := 0; slot < n; slot++ {
@@ -373,12 +373,93 @@ func TestMatchCarryAllOnesMatchesMatch(t *testing.T) {
 		// The draw identity must extend to the stream position: both calls
 		// leave the source in the same state.
 		ref := rng.New(seed + 1000)
-		refCaptured := make([]int, n)
+		refCaptured := make([]int32, n)
 		refSucceeded := make([]bool, n)
 		plain2 := &AlgorithmOneMatcher{}
 		plain2.Match(n, active, ref, refCaptured, refSucceeded)
 		if srcCarry.State() != ref.State() {
 			t.Fatalf("seed %d: MatchCarry ones left the stream at a different position than Match", seed)
 		}
+	}
+}
+
+// TestMatchersAllocationFree is the scratch-reuse regression test: after a
+// warm-up call has sized the internal buffers, Match must not allocate — the
+// simultaneous model once allocated its reservoir counters on every call,
+// which dominated ablation sweeps.
+func TestMatchersAllocationFree(t *testing.T) {
+	const n = 256
+	for _, m := range Matchers() {
+		m := m
+		t.Run(m.Name(), func(t *testing.T) {
+			src := rng.New(3)
+			active := make([]bool, n)
+			for i := range active {
+				active[i] = i%3 != 0
+			}
+			capturedBy := make([]int32, n)
+			succeeded := make([]bool, n)
+			m.Match(n, active, src, capturedBy, succeeded) // warm-up sizes scratch
+			allocs := testing.AllocsPerRun(100, func() {
+				m.Match(n, active, src, capturedBy, succeeded)
+			})
+			if allocs != 0 {
+				t.Errorf("%s: %v allocs per Match, want 0", m.Name(), allocs)
+			}
+			if cm, ok := m.(CarryMatcher); ok {
+				carries := make([]int, n)
+				for i := range carries {
+					carries[i] = 1 + i%3
+				}
+				allocs := testing.AllocsPerRun(100, func() {
+					cm.MatchCarry(n, active, carries, src, capturedBy, succeeded)
+				})
+				if allocs != 0 {
+					t.Errorf("%s: %v allocs per MatchCarry, want 0", m.Name(), allocs)
+				}
+			}
+		})
+	}
+}
+
+// TestCaptureListMatchesCaptureTable pins the CaptureLister contract on every
+// stock matcher: the returned slots are exactly those with capturedBy >= 0,
+// without duplicates, across activity patterns including all-passive (empty
+// list) and fully active rounds.
+func TestCaptureListMatchesCaptureTable(t *testing.T) {
+	t.Parallel()
+	const n = 64
+	for _, m := range Matchers() {
+		m := m
+		t.Run(m.Name(), func(t *testing.T) {
+			lister, ok := m.(CaptureLister)
+			if !ok {
+				t.Fatalf("%s implements no CaptureLister", m.Name())
+			}
+			src := rng.New(17)
+			for trial := 0; trial < 200; trial++ {
+				active := make([]bool, n)
+				for i := range active {
+					active[i] = src.Bernoulli(float64(trial%5) / 4)
+				}
+				capturedBy := make([]int32, n)
+				succeeded := make([]bool, n)
+				m.Match(n, active, src, capturedBy, succeeded)
+				listed := map[int32]int{}
+				for _, t32 := range lister.Captures() {
+					listed[t32]++
+				}
+				for slot := 0; slot < n; slot++ {
+					want := 0
+					if capturedBy[slot] >= 0 {
+						want = 1
+					}
+					if listed[int32(slot)] != want {
+						t.Fatalf("trial %d slot %d: capture list count %d, capturedBy %d",
+							trial, slot, listed[int32(slot)], capturedBy[slot])
+					}
+				}
+			}
+		})
 	}
 }
