@@ -1,7 +1,7 @@
 package househunt
 
 // This file is the benchmark harness mandated by DESIGN.md §5: one benchmark
-// per experiment (E1-E21), each regenerating its EXPERIMENTS.md table at
+// per experiment (E1-E24), each regenerating its EXPERIMENTS.md table at
 // small scale and failing if the paper's claimed shape does not hold, plus
 // engine micro-benchmarks (round latency and allocation behaviour at several
 // colony sizes).
@@ -16,6 +16,7 @@ import (
 	"github.com/gmrl/househunt/internal/algo"
 	"github.com/gmrl/househunt/internal/core"
 	"github.com/gmrl/househunt/internal/experiment"
+	"github.com/gmrl/househunt/internal/faults"
 	"github.com/gmrl/househunt/internal/nest"
 	"github.com/gmrl/househunt/internal/rng"
 	"github.com/gmrl/househunt/internal/sim"
@@ -115,6 +116,18 @@ func BenchmarkE20FailureDecay(b *testing.B) { benchExperiment(b, "E20") }
 // BenchmarkE21CompetingDecay regenerates E21 (geometric decay of competing
 // nests, the mechanism of Theorem 4.3).
 func BenchmarkE21CompetingDecay(b *testing.B) { benchExperiment(b, "E21") }
+
+// BenchmarkE22CrashFraction regenerates E22 (§6 crash fraction vs convergence
+// time, measured on the batch engine's fault lanes).
+func BenchmarkE22CrashFraction(b *testing.B) { benchExperiment(b, "E22") }
+
+// BenchmarkE23CorruptMinority regenerates E23 (§6 Byzantine lurers vs
+// best-of-k accuracy, with the lure-saturation transition).
+func BenchmarkE23CorruptMinority(b *testing.B) { benchExperiment(b, "E23") }
+
+// BenchmarkE24IdlePool regenerates E24 (the sleeping-reserve emigration:
+// sleepers are counted, so solved runs wait out the wake window).
+func BenchmarkE24IdlePool(b *testing.B) { benchExperiment(b, "E24") }
 
 // --- engine micro-benchmarks -------------------------------------------------
 
@@ -299,6 +312,78 @@ func BenchmarkReplicateSweepScalarNoisy(b *testing.B) {
 // (lockstep with per-ant estimator hooks) at σ = 0.1.
 func BenchmarkReplicateSweepBatchNoisy(b *testing.B) {
 	benchReplicateSweep(b, algo.Noisy{Counter: nest.RelativeNoiseCounter{Sigma: 0.1}}, true)
+}
+
+// benchFaultedSweep measures a replicate sweep under a declarative fault spec
+// (the adversary axis). On the batch engine the spec compiles to crash-round,
+// Byzantine and sleep lanes on the general path; the scalar variant wraps
+// agents in the same plan, so each pair is a before/after comparison of the
+// fault lowering on bit-identical replicates.
+func benchFaultedSweep(b *testing.B, a core.Algorithm, spec faults.Spec, good int, batch bool) {
+	b.Helper()
+	const (
+		n    = 1024
+		k    = 4
+		reps = 32
+	)
+	env, err := sim.Uniform(k, good)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := core.RunConfig{N: n, Env: env, MaxRounds: 4000, Wrap: spec}
+	experiment.SetBatchEngine(batch)
+	defer experiment.SetBatchEngine(true)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pt, err := experiment.MeasureConvergence(a, cfg, reps, "bench-faulted")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if pt.Solved == 0 {
+			b.Fatal("faulted sweep solved no replicates")
+		}
+	}
+}
+
+// benchCrashSpec is the CI-gated faulted cell: 10% crash faults in a 64-round
+// window.
+var benchCrashSpec = faults.Spec{CrashFraction: 0.1, CrashWindow: 64, Salt: 6001}
+
+// benchMixedSpec exercises the crash and sleep lanes together. Byzantine
+// lurers are left out: they sustain a standing bad-nest population that
+// defeats MeasureConvergence's unanimity gate at this scale (the E23
+// saturation), and an unsolvable sweep measures nothing — the Byzantine
+// lane's per-round cost is identical in kind and its lowering is pinned by
+// the differential tests.
+var benchMixedSpec = faults.Spec{CrashFraction: 0.08, CrashWindow: 32, SleepFraction: 0.1, SleepWindow: 32, Salt: 6002}
+
+// BenchmarkFaultedSweepScalarCrash is the wrapped scalar baseline for the 10%
+// crash cell.
+func BenchmarkFaultedSweepScalarCrash(b *testing.B) {
+	benchFaultedSweep(b, algo.Simple{}, benchCrashSpec, 2, false)
+}
+
+// BenchmarkFaultedSweepBatchCrash is the 10% crash cell on the batch engine's
+// crash-round lanes.
+func BenchmarkFaultedSweepBatchCrash(b *testing.B) {
+	benchFaultedSweep(b, algo.Simple{}, benchCrashSpec, 2, true)
+}
+
+// The mixed cells run on a single good nest: late-waking sleepers can freeze
+// a split between two equally good sites (the E24 finding), and a stalled
+// sweep measures nothing.
+
+// BenchmarkFaultedSweepScalarMixed is the wrapped scalar baseline with crash
+// and sleep faults together.
+func BenchmarkFaultedSweepScalarMixed(b *testing.B) {
+	benchFaultedSweep(b, algo.Simple{}, benchMixedSpec, 1, false)
+}
+
+// BenchmarkFaultedSweepBatchMixed runs the crash and sleep lanes on the batch
+// engine at once.
+func BenchmarkFaultedSweepBatchMixed(b *testing.B) {
+	benchFaultedSweep(b, algo.Simple{}, benchMixedSpec, 1, true)
 }
 
 // benchMatcherSweep measures a replicate sweep under a stock ablation matcher

@@ -1,5 +1,5 @@
 // Command hhbench regenerates the experiment tables of EXPERIMENTS.md: one
-// experiment per lemma/theorem/extension claim of the paper (E1-E21).
+// experiment per lemma/theorem/extension claim of the paper (E1-E24).
 //
 // Examples:
 //
@@ -28,6 +28,7 @@ import (
 	"github.com/gmrl/househunt/internal/algo"
 	"github.com/gmrl/househunt/internal/core"
 	"github.com/gmrl/househunt/internal/experiment"
+	"github.com/gmrl/househunt/internal/faults"
 	"github.com/gmrl/househunt/internal/nest"
 	"github.com/gmrl/househunt/internal/workload"
 )
@@ -43,7 +44,7 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("hhbench", flag.ContinueOnError)
 	var (
-		exp        = fs.String("exp", "all", "experiment id (E1..E21) or 'all'")
+		exp        = fs.String("exp", "all", "experiment id (E1..E24) or 'all'")
 		scale      = fs.String("scale", "small", "experiment sizing: small or full")
 		list       = fs.Bool("list", false, "list experiment ids and exit")
 		engine     = fs.String("engine", "auto", "replicate engine: auto (batch where eligible) or scalar")
@@ -183,21 +184,36 @@ type benchRecord struct {
 	Speedup        float64 `json:"speedup,omitempty"`
 }
 
-// batchBenchAlgorithms is the benchmarked inventory: every compiled
-// algorithm — Algorithm 3 (simple, lockstep path), Algorithm 2 (optimal,
-// per-ant state column path), the §6 recruit-draw extensions (adaptive,
-// quality, approxn; lockstep with parameter columns), the quorum-transport
-// strategy (general path with carry-aware matching) and the noisy-perception
-// model (lockstep with estimator hooks).
-func batchBenchAlgorithms() []core.Algorithm {
-	return []core.Algorithm{
-		algo.Simple{},
-		algo.Optimal{},
-		algo.Adaptive{},
-		algo.QualityAware{},
-		algo.ApproxN{Delta: 0.2},
-		algo.Quorum{},
-		algo.Noisy{Counter: nest.RelativeNoiseCounter{Sigma: 0.1}},
+// batchBenchCell is one benchmarked (algorithm, adversary) configuration; the
+// tag distinguishes faulted cells in the BENCH records, and wrap (a
+// faults.Spec) routes both engines through the same adversary.
+type batchBenchCell struct {
+	algo core.Algorithm
+	tag  string
+	wrap core.AgentWrapper
+}
+
+// name is the record/reporting label of the cell.
+func (c batchBenchCell) name() string { return c.algo.Name() + c.tag }
+
+// batchBenchCells is the benchmarked inventory: every compiled algorithm —
+// Algorithm 3 (simple, lockstep path), Algorithm 2 (optimal, per-ant state
+// column path), the §6 recruit-draw extensions (adaptive, quality, approxn;
+// lockstep with parameter columns), the quorum-transport strategy (general
+// path with carry-aware matching) and the noisy-perception model (lockstep
+// with estimator hooks) — plus a faulted cell timing the crash lanes (the
+// scalar side runs the wrapped agents, the batch side the same spec compiled
+// into the program).
+func batchBenchCells() []batchBenchCell {
+	return []batchBenchCell{
+		{algo: algo.Simple{}},
+		{algo: algo.Optimal{}},
+		{algo: algo.Adaptive{}},
+		{algo: algo.QualityAware{}},
+		{algo: algo.ApproxN{Delta: 0.2}},
+		{algo: algo.Quorum{}},
+		{algo: algo.Noisy{Counter: nest.RelativeNoiseCounter{Sigma: 0.1}}},
+		{algo: algo.Simple{}, tag: "+crash10", wrap: faults.Spec{CrashFraction: 0.1, CrashWindow: 64, Salt: 6001}},
 	}
 }
 
@@ -214,12 +230,12 @@ func runBatchBench(out io.Writer, bb batchBenchConfig) error {
 	if err != nil {
 		return err
 	}
-	cfg := core.RunConfig{N: bb.n, Env: env, MaxRounds: bb.maxRounds}
 	enc := json.NewEncoder(out)
 	var records []benchRecord
 
-	sweep := func(a core.Algorithm) (totalRounds int, err error) {
-		pt, err := experiment.MeasureConvergence(a, cfg, bb.reps, "batchbench")
+	sweep := func(c batchBenchCell) (totalRounds int, err error) {
+		cfg := core.RunConfig{N: bb.n, Env: env, MaxRounds: bb.maxRounds, Wrap: c.wrap}
+		pt, err := experiment.MeasureConvergence(c.algo, cfg, bb.reps, "batchbench")
 		if err != nil {
 			return 0, err
 		}
@@ -229,9 +245,9 @@ func runBatchBench(out io.Writer, bb batchBenchConfig) error {
 		return solvedRounds + (bb.reps-pt.Solved)*bb.maxRounds, nil
 	}
 
-	measure := func(a core.Algorithm, engine string, batch bool, speedupOver float64) (float64, error) {
+	measure := func(c batchBenchCell, engine string, batch bool, speedupOver float64) (float64, error) {
 		experiment.SetBatchEngine(batch)
-		if _, err := sweep(a); err != nil { // warm-up
+		if _, err := sweep(c); err != nil { // warm-up
 			return 0, err
 		}
 		var (
@@ -241,7 +257,7 @@ func runBatchBench(out io.Writer, bb batchBenchConfig) error {
 		)
 		for elapsed < bb.minTime || iters == 0 {
 			start := time.Now()
-			r, err := sweep(a)
+			r, err := sweep(c)
 			if err != nil {
 				return 0, err
 			}
@@ -252,7 +268,7 @@ func runBatchBench(out io.Writer, bb batchBenchConfig) error {
 		perSweepMs := (elapsed / time.Duration(iters)).Seconds() * 1e3
 		steps := float64(rounds) * float64(bb.n) / elapsed.Seconds()
 		rec := benchRecord{
-			Type: "BENCH", Engine: engine, Algorithm: a.Name(),
+			Type: "BENCH", Engine: engine, Algorithm: c.name(),
 			N: bb.n, K: bb.k, Reps: bb.reps,
 			MsPerSweep: perSweepMs, AntStepsPerSec: steps,
 		}
@@ -265,8 +281,8 @@ func runBatchBench(out io.Writer, bb batchBenchConfig) error {
 				return 0, err
 			}
 		} else {
-			fmt.Fprintf(out, "%-8s %-7s %3d sweep(s) of %d x n=%d k=%d: %8.1f ms/sweep, %11.0f ant-steps/s\n",
-				a.Name(), engine, iters, bb.reps, bb.n, bb.k, perSweepMs, steps)
+			fmt.Fprintf(out, "%-16s %-7s %3d sweep(s) of %d x n=%d k=%d: %8.1f ms/sweep, %11.0f ant-steps/s\n",
+				c.name(), engine, iters, bb.reps, bb.n, bb.k, perSweepMs, steps)
 		}
 		return steps, nil
 	}
@@ -275,17 +291,17 @@ func runBatchBench(out io.Writer, bb batchBenchConfig) error {
 		fmt.Fprintf(out, "replicate-sweep throughput, scalar agents vs batch engine\n\n")
 	}
 	defer experiment.SetBatchEngine(true)
-	for _, a := range batchBenchAlgorithms() {
-		scalar, err := measure(a, "scalar", false, 0)
+	for _, c := range batchBenchCells() {
+		scalar, err := measure(c, "scalar", false, 0)
 		if err != nil {
 			return err
 		}
-		batch, err := measure(a, "batch", true, scalar)
+		batch, err := measure(c, "batch", true, scalar)
 		if err != nil {
 			return err
 		}
 		if !bb.json {
-			fmt.Fprintf(out, "\n%s speedup: %.2fx\n\n", a.Name(), batch/scalar)
+			fmt.Fprintf(out, "\n%s speedup: %.2fx\n\n", c.name(), batch/scalar)
 		}
 	}
 	if bb.out != "" {

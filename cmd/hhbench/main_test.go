@@ -16,7 +16,7 @@ func TestRunList(t *testing.T) {
 		t.Fatal(err)
 	}
 	ids := strings.Fields(out.String())
-	if len(ids) != 21 || ids[0] != "E1" {
+	if len(ids) != 24 || ids[0] != "E1" {
 		t.Fatalf("listed ids = %v", ids)
 	}
 }
@@ -81,8 +81,8 @@ func TestBatchBenchJSONRecords(t *testing.T) {
 		}
 		recs = append(recs, rec)
 	}
-	if len(recs) != 14 {
-		t.Fatalf("got %d BENCH records, want 14:\n%+v", len(recs), recs)
+	if len(recs) != 16 {
+		t.Fatalf("got %d BENCH records, want 16:\n%+v", len(recs), recs)
 	}
 	wantCells := []struct{ algorithm, engine string }{
 		{"simple", "scalar"}, {"simple", "batch"},
@@ -92,6 +92,7 @@ func TestBatchBenchJSONRecords(t *testing.T) {
 		{"approxn(δ=0.2)", "scalar"}, {"approxn(δ=0.2)", "batch"},
 		{"quorum(M=1.5)", "scalar"}, {"quorum(M=1.5)", "batch"},
 		{"noisy[relative(σ=0.1),exact]", "scalar"}, {"noisy[relative(σ=0.1),exact]", "batch"},
+		{"simple+crash10", "scalar"}, {"simple+crash10", "batch"},
 	}
 	for i, rec := range recs {
 		if rec.Type != "BENCH" {

@@ -44,6 +44,7 @@ func run(args []string, out io.Writer) error {
 		flipP      = fs.Float64("flip", 0, "assessment flip probability (forces simple)")
 		crash      = fs.Float64("crash", 0, "fraction of ants that crash")
 		byz        = fs.Float64("byz", 0, "fraction of Byzantine ants")
+		sleep      = fs.Float64("sleep", 0, "fraction of ants starting as an idle reserve")
 		jitter     = fs.Float64("jitter", 0, "per-round hold probability (asynchrony)")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -82,6 +83,9 @@ func run(args []string, out io.Writer) error {
 	}
 	if *byz > 0 {
 		opts = append(opts, househunt.WithByzantineAnts(*byz))
+	}
+	if *sleep > 0 {
+		opts = append(opts, househunt.WithIdleAnts(*sleep, 64))
 	}
 	if *jitter > 0 {
 		opts = append(opts, househunt.WithJitter(*jitter, 2))

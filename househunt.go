@@ -92,6 +92,8 @@ type Config struct {
 	crashFrac     float64
 	crashWindow   int
 	byzantineFrac float64
+	sleepFrac     float64
+	sleepWindow   int
 	jitterP       float64
 	maxDelay      int
 
@@ -268,6 +270,21 @@ func WithByzantineAnts(fraction float64) Option {
 	}
 }
 
+// WithIdleAnts starts the given fraction of the colony as a sleeping reserve
+// that joins the emigration at uniformly random rounds within the window (the
+// idle-pool scenario; see EXPERIMENTS.md E24). Sleeping ants are counted by
+// the census, so the colony cannot converge before the reserve wakes.
+func WithIdleAnts(fraction float64, window int) Option {
+	return func(c *Config) error {
+		if fraction < 0 || fraction > 1 {
+			return fmt.Errorf("househunt: idle fraction %v outside [0,1]", fraction)
+		}
+		c.sleepFrac = fraction
+		c.sleepWindow = window
+		return nil
+	}
+}
+
 // WithJitter holds each ant independently with probability p per round and
 // staggers wake-up by up to maxDelay rounds (§6 asynchrony).
 func WithJitter(p float64, maxDelay int) Option {
@@ -439,30 +456,39 @@ func (c *Colony) Run() (*Result, error) {
 		Concurrent:      c.cfg.concurrent,
 	}
 
-	wrappers := make([]func([]sim.Agent) ([]sim.Agent, error), 0, 2)
-	if c.cfg.crashFrac > 0 || c.cfg.byzantineFrac > 0 {
-		plan := faults.Plan{
+	// The fault knobs lower to a declarative faults.Spec (draw-identical to
+	// the legacy faults.Plan wrapper at the same salt); a spec that is the
+	// sole wrapper rides on cfg.Wrap directly, keeping the config eligible
+	// for the batch engine's fault lanes. Asynchrony remains scalar-only.
+	var spec faults.Spec
+	if c.cfg.crashFrac > 0 || c.cfg.byzantineFrac > 0 || c.cfg.sleepFrac > 0 {
+		spec = faults.Spec{
 			CrashFraction:     c.cfg.crashFrac,
 			CrashWindow:       c.cfg.crashWindow,
 			ByzantineFraction: c.cfg.byzantineFrac,
+			SleepFraction:     c.cfg.sleepFrac,
+			SleepWindow:       c.cfg.sleepWindow,
+			Salt:              1001,
 		}
-		wrappers = append(wrappers, plan.Apply(rng.New(c.cfg.seed).Split(1001)))
 	}
+	var asyncWrap core.WrapFunc
 	if c.cfg.jitterP > 0 || c.cfg.maxDelay > 0 {
 		plan := async.Plan{HoldP: c.cfg.jitterP, MaxDelay: c.cfg.maxDelay}
-		wrappers = append(wrappers, plan.Apply(rng.New(c.cfg.seed).Split(1002)))
+		asyncWrap = core.WrapFunc(plan.Apply(rng.New(c.cfg.seed).Split(1002)))
 	}
-	if len(wrappers) > 0 {
-		runCfg.Wrap = func(agents []sim.Agent) ([]sim.Agent, error) {
-			var err error
-			for _, w := range wrappers {
-				agents, err = w(agents)
-				if err != nil {
-					return nil, err
-				}
+	switch {
+	case spec.Enabled() && asyncWrap != nil:
+		runCfg.Wrap = core.WrapFunc(func(agents []sim.Agent) ([]sim.Agent, error) {
+			agents, err := spec.WrapAgents(c.cfg.seed, agents)
+			if err != nil {
+				return nil, err
 			}
-			return agents, nil
-		}
+			return asyncWrap(agents)
+		})
+	case spec.Enabled():
+		runCfg.Wrap = spec
+	case asyncWrap != nil:
+		runCfg.Wrap = asyncWrap
 	}
 
 	var (

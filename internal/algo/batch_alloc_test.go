@@ -8,42 +8,62 @@ import (
 )
 
 // TestBatchRunAllocationsRoundIndependent pins the no-per-round-allocation
-// contract at the public API for every real compiled program: a Batch.Run's
-// allocation count is fixed per call (lane setup, result slices) and must not
-// scale with the round budget. Comparing a short run against one ~50× longer
-// on a single worker catches any hot-path allocation the sim-internal
-// per-step assertions might miss (worker fan-out, replicate reset, census).
+// contract at the public API for every real compiled program, with and
+// without fault lanes: a Batch.Run's allocation count is fixed per call (lane
+// setup, result slices) and must not scale with the round budget. Comparing a
+// short run against one ~50× longer on a single worker catches any hot-path
+// allocation the sim-internal per-step assertions might miss (worker fan-out,
+// replicate reset, fault-column reset, census).
 func TestBatchRunAllocationsRoundIndependent(t *testing.T) {
 	env := sim.MustEnvironment([]float64{1, 0, 0.7, 0})
+	envLone := sim.MustEnvironment([]float64{1, 0, 0, 0})
 	const n = 96
 	seeds := []uint64{3, 5}
+	specs := []struct {
+		tag  string
+		spec sim.FaultSpec
+	}{
+		{"", sim.FaultSpec{}},
+		{"+faults", sim.FaultSpec{CrashFraction: 0.1, CrashWindow: 24, ByzantineFraction: 0.05, SleepFraction: 0.1, SleepWindow: 24, Salt: 9}},
+	}
 	for _, a := range compiledInventory() {
-		a := a
-		t.Run(a.Name(), func(t *testing.T) {
-			prog, ok := a.(core.BatchCompilable).CompileBatch(n, env)
-			if !ok {
-				t.Fatalf("%s did not compile", a.Name())
-			}
-			b, err := sim.NewBatch(env, prog, n, sim.WithBatchWorkers(1))
-			if err != nil {
-				t.Fatal(err)
-			}
-			run := func(rounds int) float64 {
-				// The window above the budget forces every replicate to run
-				// the full budget, so the round counts actually differ.
-				return testing.AllocsPerRun(5, func() {
-					if _, err := b.Run(seeds, rounds, rounds+1); err != nil {
-						t.Fatal(err)
-					}
-				})
-			}
-			run(4) // warm-up: one-time lazy growth inside the engine
-			short := run(4)
-			long := run(200)
-			if long > short {
-				t.Errorf("%s: allocations grew with the round budget: %.1f at 4 rounds, %.1f at 200",
-					a.Name(), short, long)
-			}
-		})
+		for _, fs := range specs {
+			a, fs := a, fs
+			t.Run(a.Name()+fs.tag, func(t *testing.T) {
+				aEnv := env
+				if _, isSpreader := a.(Spreader); isSpreader {
+					aEnv = envLone // the spreading process needs a single good nest
+				}
+				prog, ok := a.(core.BatchCompilable).CompileBatch(n, aEnv)
+				if !ok {
+					t.Fatalf("%s did not compile", a.Name())
+				}
+				prog.Params.Faults = fs.spec
+				b, err := sim.NewBatch(aEnv, prog, n, sim.WithBatchWorkers(1))
+				if err != nil {
+					t.Fatal(err)
+				}
+				run := func(rounds int) float64 {
+					// The window above the budget forces every replicate to run
+					// the full budget, so the round counts actually differ.
+					return testing.AllocsPerRun(5, func() {
+						if _, err := b.Run(seeds, rounds, rounds+1); err != nil {
+							t.Fatal(err)
+						}
+					})
+				}
+				run(200) // warm-up: one-time lazy growth inside the engine, at the largest budget
+				short := run(4)
+				long := run(200)
+				// A genuine per-round allocation would add ~196 allocs between
+				// the two budgets; the +2 tolerance absorbs runtime jitter (GC
+				// bookkeeping under full-suite heap pressure) without letting
+				// any hot-path leak through.
+				if long > short+2 {
+					t.Errorf("%s%s: allocations grew with the round budget: %.1f at 4 rounds, %.1f at 200",
+						a.Name(), fs.tag, short, long)
+				}
+			})
+		}
 	}
 }

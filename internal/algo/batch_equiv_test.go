@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"github.com/gmrl/househunt/internal/core"
+	"github.com/gmrl/househunt/internal/faults"
 	"github.com/gmrl/househunt/internal/nest"
 	"github.com/gmrl/househunt/internal/rng"
 	"github.com/gmrl/househunt/internal/sim"
@@ -15,10 +16,13 @@ import (
 
 // This file is the cross-engine differential harness: one shared set of
 // generators and layer assertions through which every compiled algorithm —
-// Simple/SimplePFSM (Algorithm 3), both Optimal variants (Algorithm 2) and
-// the §6 extensions (Adaptive, QualityAware, ApproxN, Quorum, Noisy) — is
-// pinned round-for-round bit-identical between the scalar agent engine and
-// the batch struct-of-arrays engine. Three layers are asserted per case:
+// Simple/SimplePFSM (Algorithm 3), both Optimal variants (Algorithm 2), the
+// §6 extensions (Adaptive, QualityAware, ApproxN, Quorum, Noisy) and the §3
+// lower-bound Spreader process — is pinned round-for-round bit-identical
+// between the scalar agent engine and the batch struct-of-arrays engine,
+// with and without an adversary (the faults.Spec axis: scalar fault wrappers
+// against the batch engine's fault lanes). Three layers are asserted per
+// case:
 //
 //	algo layer: CompileBatch yields a structurally valid program carrying the
 //	            algorithm's name (compileCase);
@@ -47,6 +51,11 @@ type diffCase struct {
 	// the compiled matcher ablations against the scalar engine running the
 	// same model.
 	matcher string
+	// faults, when enabled, injects the same declarative adversary into both
+	// engines: the scalar trace wraps the built agents via Spec.WrapAgents
+	// and the batch trace attaches the lowered spec to the program's
+	// parameters — the two lowerings the spec pins bit-identical.
+	faults faults.Spec
 }
 
 // stockMatcher builds a fresh stock matcher instance by name.
@@ -87,6 +96,9 @@ func compiledInventory() []core.Algorithm {
 		Quorum{Assessor: nest.FlipAssessor{P: 0.15}},
 		Noisy{},
 		Noisy{Counter: nest.RelativeNoiseCounter{Sigma: 0.2}, Assessor: nest.GaussianAssessor{Sigma: 0.1}},
+		Spreader{},
+		Spreader{Seeds: 8},
+		Spreader{SearchAll: true},
 	}
 }
 
@@ -122,6 +134,11 @@ func scalarTrace(t *testing.T, c diffCase) [][]roundRec {
 		if err != nil {
 			t.Fatalf("%s seed %d: build: %v", c.name, seed, err)
 		}
+		if c.faults.Enabled() {
+			if agents, err = c.faults.WrapAgents(seed, agents); err != nil {
+				t.Fatalf("%s seed %d: wrap: %v", c.name, seed, err)
+			}
+		}
 		opts := []sim.Option{sim.WithSeed(seed)}
 		if c.matcher != "" {
 			opts = append(opts, sim.WithMatcher(stockMatcher(c.matcher)))
@@ -148,6 +165,9 @@ func scalarTrace(t *testing.T, c diffCase) [][]roundRec {
 // maxRounds rounds so traces line up with scalarTrace.
 func batchTrace(t *testing.T, c diffCase, prog sim.Program) [][]roundRec {
 	t.Helper()
+	if fs, on := c.faults.BatchFaults(); on {
+		prog.Params.Faults = fs
+	}
 	var mu sync.Mutex
 	recs := make([][]roundRec, len(c.seeds))
 	opts := []sim.BatchOption{sim.WithBatchProbe(func(rep, round int, counts, committed []int) {
@@ -209,6 +229,12 @@ func assertRunnerEquivalence(t *testing.T, c diffCase) {
 		name := c.matcher
 		cfg.NewMatcher = func() sim.Matcher { return stockMatcher(name) }
 	}
+	if c.faults.Enabled() {
+		// The spec rides on cfg.Wrap for BOTH runners: core.Run applies the
+		// scalar wrappers, core.RunBatch recognizes the BatchFaultWrapper and
+		// compiles the fault lanes — the end-to-end routing this layer pins.
+		cfg.Wrap = c.faults
+	}
 	batched, ok, err := core.RunBatch(c.algo, cfg, c.seeds)
 	if err != nil {
 		t.Fatalf("%s: RunBatch: %v", c.name, err)
@@ -231,7 +257,8 @@ func assertRunnerEquivalence(t *testing.T, c diffCase) {
 		}
 		if !reflect.DeepEqual(got.FinalCensus.Committed, want.FinalCensus.Committed) ||
 			got.FinalCensus.Total != want.FinalCensus.Total ||
-			got.FinalCensus.Decided != want.FinalCensus.Decided {
+			got.FinalCensus.Decided != want.FinalCensus.Decided ||
+			got.FinalCensus.Faulty != want.FinalCensus.Faulty {
 			t.Fatalf("%s seed %d: census diverged: batch %+v != scalar %+v",
 				c.name, seed, got.FinalCensus, want.FinalCensus)
 		}
@@ -248,15 +275,16 @@ func assertDiffCase(t *testing.T, c diffCase) {
 // randomDiffCases samples configurations from the full space the harness
 // covers: every compiled algorithm (with randomized δ and schedule
 // parameters), colony sizes, nest counts, binary and non-binary quality
-// vectors, random seeds and round budgets. The sampling is deterministic in
-// metaSeed, so failures reproduce; bump the count or vary the seed locally
-// for a deeper soak.
+// vectors, random seeds, round budgets and random fault plans (each lane's
+// fraction, window and salt drawn independently on a third of the cases).
+// The sampling is deterministic in metaSeed, so failures reproduce; bump the
+// count or vary the seed locally for a deeper soak.
 func randomDiffCases(metaSeed uint64, count int) []diffCase {
 	src := rng.New(metaSeed)
 	cases := make([]diffCase, 0, count)
 	for i := 0; i < count; i++ {
 		var a core.Algorithm
-		switch src.Intn(9) {
+		switch src.Intn(10) {
 		case 0:
 			a = Simple{}
 		case 1:
@@ -306,6 +334,15 @@ func randomDiffCases(metaSeed uint64, count int) []diffCase {
 				no.Threshold = 0.2 + 0.6*src.Float64()
 			}
 			a = no
+		case 9:
+			sp := Spreader{}
+			switch src.Intn(3) {
+			case 1:
+				sp.Seeds = 1 + src.Intn(16)
+			case 2:
+				sp.SearchAll = true
+			}
+			a = sp
 		}
 		n := 8 + src.Intn(120)
 		k := 1 + src.Intn(5)
@@ -325,6 +362,14 @@ func randomDiffCases(metaSeed uint64, count int) []diffCase {
 		if good := src.Intn(k); quals[good] == 0 {
 			quals[good] = sample() // environments need at least one good nest
 		}
+		if _, isSpreader := a.(Spreader); isSpreader {
+			// The spreading process compiles only against a single good nest.
+			lone := src.Intn(k)
+			for j := range quals {
+				quals[j] = 0
+			}
+			quals[lone] = sample()
+		}
 		// A third of the cases run a stock matcher ablation; quorum only
 		// pairs with ablation matchers at carry 1 (they implement no
 		// MatchCarry, mirroring the compile gate).
@@ -339,6 +384,21 @@ func randomDiffCases(metaSeed uint64, count int) []diffCase {
 			q.Carry = 1
 			a = q
 		}
+		// A third of the cases draw a random fault plan: each lane's fraction
+		// is drawn independently (scaled so the three sum below 1), windows
+		// and the stream salt vary, and zero-fraction draws disable lanes so
+		// single-lane and disabled plans appear too.
+		var spec faults.Spec
+		if src.Bernoulli(0.33) {
+			spec = faults.Spec{
+				CrashFraction:     0.3 * src.Float64() * float64(src.Intn(2)),
+				CrashWindow:       5 + src.Intn(60),
+				ByzantineFraction: 0.15 * src.Float64() * float64(src.Intn(2)),
+				SleepFraction:     0.3 * src.Float64() * float64(src.Intn(2)),
+				SleepWindow:       5 + src.Intn(60),
+				Salt:              src.Uint64(),
+			}
+		}
 		cases = append(cases, diffCase{
 			name:      fmt.Sprintf("case%02d/%s%s/n%d/k%d", i, a.Name(), matcher, n, k),
 			algo:      a,
@@ -347,6 +407,7 @@ func randomDiffCases(metaSeed uint64, count int) []diffCase {
 			seeds:     []uint64{src.Uint64(), src.Uint64()},
 			maxRounds: 40 + src.Intn(120),
 			matcher:   matcher,
+			faults:    spec,
 		})
 	}
 	return cases
@@ -434,6 +495,16 @@ func pinnedDiffCases() []diffCase {
 			matcher:   matcher,
 		})
 	}
+	// The §3 lower-bound spreading process: the first split-init program
+	// (seed searchers vs waiters), the all-searchers best case, and a seed
+	// count exceeding the colony (clamps to all searchers). The process
+	// requires exactly one good nest, so only envSingle-like environments
+	// appear; envLone adds bad-nest padding around a graded target.
+	envLone := sim.MustEnvironment([]float64{0, 0.6, 0})
+	add(Spreader{}, 64, envSingle, 200)
+	add(Spreader{Seeds: 8}, 96, envLone, 200)
+	add(Spreader{SearchAll: true}, 64, envSingle, 120)
+	add(Spreader{Seeds: 500}, 48, envSingle, 120)
 	addM(Simple{}, "simultaneous", 96, envBinary, 300)
 	addM(Simple{}, "rendezvous", 96, envBinary, 200)
 	addM(Simple{}, "algorithm1", 64, envSparse, 200)
@@ -444,6 +515,53 @@ func pinnedDiffCases() []diffCase {
 	addM(Adaptive{}, "rendezvous", 64, envBinary, 200)
 	addM(Quorum{Carry: 1}, "simultaneous", 64, envBinary, 240)
 	addM(Quorum{Carry: 1, Docility: 0.6}, "rendezvous", 64, envBinary, 240)
+	// Adversary cells: each fault lane alone and mixed, across the compiled
+	// inventory — the scalar crash/Byzantine/sleep wrappers against the batch
+	// engine's synthetic fault states. The window values keep every lane's
+	// events (crash fires, wake-ups) inside the traced budget, and the salts
+	// vary so the fault stream's position relative to the other streams is
+	// exercised too.
+	crash := faults.Spec{CrashFraction: 0.15, CrashWindow: 30, Salt: 11}
+	byz := faults.Spec{ByzantineFraction: 0.1, Salt: 12}
+	sleep := faults.Spec{SleepFraction: 0.25, SleepWindow: 40, Salt: 13}
+	mixed := faults.Spec{
+		CrashFraction: 0.1, CrashWindow: 20,
+		ByzantineFraction: 0.05,
+		SleepFraction:     0.1, SleepWindow: 30,
+		Salt: 14,
+	}
+	addF := func(a core.Algorithm, tag string, spec faults.Spec, n int, env sim.Environment, maxRounds int) {
+		cases = append(cases, diffCase{
+			name:      fmt.Sprintf("%s+%s/n%d/k%d", a.Name(), tag, n, env.K()),
+			algo:      a,
+			n:         n,
+			env:       env,
+			seeds:     seeds,
+			maxRounds: maxRounds,
+			faults:    spec,
+		})
+	}
+	for _, a := range []core.Algorithm{Simple{}, SimplePFSM{}, Optimal{}, Optimal{Literal: true},
+		Adaptive{}, QualityAware{}, ApproxN{Delta: 0.3}, Quorum{}, Noisy{Counter: nest.RelativeNoiseCounter{Sigma: 0.2}}} {
+		addF(a, "crash", crash, 64, envBinary, 200)
+		addF(a, "byz", byz, 64, envBinary, 200)
+		addF(a, "sleep", sleep, 64, envBinary, 200)
+		addF(a, "mixed", mixed, 96, envSparse, 240)
+	}
+	// Graded qualities under faults (the quality-weighted draw must survive
+	// the fault lanes' scatter reordering), the spreading process under every
+	// lane, and a faulted matcher ablation (fault lanes compose with the
+	// compiled stock models).
+	addF(QualityAware{}, "mixed", mixed, 64, envGraded, 240)
+	addF(Spreader{}, "crash", crash, 64, envSingle, 200)
+	addF(Spreader{Seeds: 8}, "byz", byz, 64, envSingle, 200)
+	addF(Spreader{SearchAll: true}, "sleep", sleep, 64, envSingle, 200)
+	addF(Spreader{Seeds: 4}, "mixed", mixed, 96, envLone, 240)
+	cases = append(cases, diffCase{
+		name: "simple+simultaneous+crash/n64", algo: Simple{}, n: 64, env: envBinary,
+		seeds: seeds, maxRounds: 200, matcher: "simultaneous",
+		faults: crash,
+	})
 	return cases
 }
 
@@ -543,11 +661,13 @@ func TestExtensionGeneralPathEquivalence(t *testing.T) {
 
 // TestCompiledInventoryPrograms pins the path classification of every
 // compiled algorithm: the Algorithm 3 family and the recruit-draw/perception
-// extensions stay on the lockstep fast path, Algorithm 2 and the
-// quorum-transport strategy require the general path (branching observes),
-// only the extensions that need parameter columns request them, only the
-// quorum programs carry transport capacity, and only quorum decides (its
-// transport states are Final, mirroring QuorumAnt.Decided).
+// extensions stay on the lockstep fast path, Algorithm 2, the
+// quorum-transport strategy and the Spreader process require the general path
+// (branching observes; Spreader additionally splits its initial state), only
+// the extensions that need parameter columns request them, only the quorum
+// programs carry transport capacity, and only quorum and optimal decide.
+// Spreader is the one program with no per-ant randomness at all — neither
+// form of the process ever draws from an ant stream.
 func TestCompiledInventoryPrograms(t *testing.T) {
 	t.Parallel()
 	env := sim.MustEnvironment([]float64{1, 0})
@@ -558,8 +678,12 @@ func TestCompiledInventoryPrograms(t *testing.T) {
 		}
 		_, isOptimal := a.(Optimal)
 		_, isQuorum := a.(Quorum)
-		if got := prog.Lockstep(); got == (isOptimal || isQuorum) {
-			t.Errorf("%s: Lockstep() = %v, want %v", a.Name(), got, !(isOptimal || isQuorum))
+		spr, isSpreader := a.(Spreader)
+		if got := prog.Lockstep(); got == (isOptimal || isQuorum || isSpreader) {
+			t.Errorf("%s: Lockstep() = %v, want %v", a.Name(), got, !(isOptimal || isQuorum || isSpreader))
+		}
+		if wantSplit := isSpreader && !spr.SearchAll; (prog.InitSplit > 0) != wantSplit {
+			t.Errorf("%s: InitSplit = %d, want split %v", a.Name(), prog.InitSplit, wantSplit)
 		}
 		_, isAdaptive := a.(Adaptive)
 		if prog.NeedsIntParam() != isAdaptive {
@@ -575,8 +699,8 @@ func TestCompiledInventoryPrograms(t *testing.T) {
 		if wantDecides := isQuorum || isOptimal; prog.Decides() != wantDecides {
 			t.Errorf("%s: Decides() = %v, want %v", a.Name(), prog.Decides(), wantDecides)
 		}
-		if !isOptimal && !prog.NeedsAntRNG() {
-			t.Errorf("%s: NeedsAntRNG() = false; every drawn-recruit program draws", a.Name())
+		if prog.NeedsAntRNG() == (isOptimal || isSpreader) {
+			t.Errorf("%s: NeedsAntRNG() = %v; only optimal and spreader never draw per-ant", a.Name(), prog.NeedsAntRNG())
 		}
 	}
 }
@@ -595,11 +719,22 @@ func TestRunBatchFallsBackForScalarOnlyConfigs(t *testing.T) {
 		cfg        core.RunConfig
 		wantReason string
 	}{
+		// A plain function wrapper is an arbitrary agent transformation: it
+		// must decline with the exact named constant (fault specs are the one
+		// wrapper family that compiles — asserted below).
 		{"wrap", Simple{}, func() core.RunConfig {
 			c := base
-			c.Wrap = func(a []sim.Agent) ([]sim.Agent, error) { return a, nil }
+			c.Wrap = core.WrapFunc(func(a []sim.Agent) ([]sim.Agent, error) { return a, nil })
 			return c
-		}(), "cfg.Wrap"},
+		}(), core.ReasonWrapperScalarOnly},
+		// An invalid fault spec declines with the validation error rather
+		// than compiling garbage lanes or falling through to the scalar path
+		// silently.
+		{"wrap invalid spec", Simple{}, func() core.RunConfig {
+			c := base
+			c.Wrap = faults.Spec{CrashFraction: 0.9, ByzantineFraction: 0.9}
+			return c
+		}(), "fault spec is invalid"},
 		// Stock matcher configs compile since the matcher-ablation lowering;
 		// only a genuinely custom implementation forces the scalar path, and
 		// the reason names the type plus the stock models that do batch. The
@@ -621,11 +756,18 @@ func TestRunBatchFallsBackForScalarOnlyConfigs(t *testing.T) {
 			c := base
 			c.Concurrent = true
 			return c
-		}(), "cfg.Concurrent"},
-		{"not compilable", Spreader{}, base, "does not implement core.BatchCompilable"},
+		}(), core.ReasonConcurrentScalarOnly},
+		{"not compilable", scalarOnlyAlgorithm{}, base, "does not implement core.BatchCompilable"},
 		{"declined", ApproxN{Delta: 1.5}, base, "declined to compile"},
 		{"declined quorum", Quorum{Multiplier: 0.5}, base, "declined to compile"},
 		{"declined quorum docility", Quorum{Docility: 1.5}, base, "declined to compile"},
+		// Spreader compiles now — except against environments violating its
+		// single-good-nest requirement.
+		{"declined spreader", Spreader{}, func() core.RunConfig {
+			c := base
+			c.Env = sim.MustEnvironment([]float64{1, 1})
+			return c
+		}(), "declined to compile"},
 	}
 	for _, tc := range ineligible {
 		if _, ok, reason := core.CompileForBatch(tc.algo, tc.cfg); ok {
@@ -638,12 +780,34 @@ func TestRunBatchFallsBackForScalarOnlyConfigs(t *testing.T) {
 			}
 		}
 	}
-	// The full house-hunting inventory — quorum and noisy included — is now
-	// batch-eligible on a plain configuration.
+	// The full compiled inventory — quorum, noisy and the spreader included —
+	// is batch-eligible on a plain configuration.
 	for _, a := range compiledInventory() {
 		if _, ok, reason := core.CompileForBatch(a, base); !ok || reason != "" {
 			t.Errorf("%s: ok=%v reason=%q, want eligible with empty reason", a.Name(), ok, reason)
 		}
+	}
+	// Fault specs are the one wrapper family that compiles: an enabled spec
+	// lands in the program's parameters, and a disabled (zero) spec wraps as
+	// the identity and compiles fault-free.
+	for _, a := range compiledInventory() {
+		cfg := base
+		cfg.Wrap = faults.Spec{CrashFraction: 0.1, ByzantineFraction: 0.05, Salt: 7}
+		prog, ok, reason := core.CompileForBatch(a, cfg)
+		if !ok || reason != "" {
+			t.Errorf("%s+faults: ok=%v reason=%q, want eligible with empty reason", a.Name(), ok, reason)
+			continue
+		}
+		if !prog.Params.Faults.Enabled() || prog.Params.Faults.CrashFraction != 0.1 {
+			t.Errorf("%s+faults: compiled program carries faults %+v, want the cfg.Wrap spec", a.Name(), prog.Params.Faults)
+		}
+	}
+	disabled := base
+	disabled.Wrap = faults.Spec{}
+	if prog, ok, reason := core.CompileForBatch(Simple{}, disabled); !ok || reason != "" {
+		t.Errorf("disabled spec: ok=%v reason=%q, want eligible", ok, reason)
+	} else if prog.Params.Faults.Enabled() {
+		t.Errorf("disabled spec: compiled program carries enabled faults %+v", prog.Params.Faults)
 	}
 	// Stock matcher ablation configs are batch-eligible too (for carry-less
 	// algorithms): the ablation sweep no longer pays scalar speed.
@@ -663,9 +827,20 @@ func TestRunBatchFallsBackForScalarOnlyConfigs(t *testing.T) {
 		}
 	}
 	// Non-compilable algorithms fall back without error at the runner level.
-	if _, ok, err := core.RunBatch(Spreader{}, base, []uint64{1}); ok || err != nil {
+	if _, ok, err := core.RunBatch(scalarOnlyAlgorithm{}, base, []uint64{1}); ok || err != nil {
 		t.Errorf("RunBatch on a non-compilable algorithm: ok=%v err=%v, want fallback", ok, err)
 	}
+}
+
+// scalarOnlyAlgorithm is an Algorithm with no compiled form: since the
+// Spreader gap closed, the entire shipped inventory compiles, so the
+// fallback-for-uncompilable path needs a synthetic representative.
+type scalarOnlyAlgorithm struct{}
+
+func (scalarOnlyAlgorithm) Name() string { return "scalar-only-algo" }
+
+func (scalarOnlyAlgorithm) Build(n int, env sim.Environment, src *rng.Source) ([]sim.Agent, error) {
+	return Simple{}.Build(n, env, src)
 }
 
 // scalarOnlyMatcher is a non-stock Matcher: configs supplying it must fall

@@ -5,14 +5,15 @@ import (
 	"testing"
 
 	"github.com/gmrl/househunt/internal/core"
+	"github.com/gmrl/househunt/internal/faults"
 	"github.com/gmrl/househunt/internal/nest"
 	"github.com/gmrl/househunt/internal/sim"
 )
 
 // fuzzDiffCase derives a bounded differential-harness configuration from raw
-// fuzz words: the algorithm (all nine compiled forms, quorum/transport and
-// noisy perception included), colony size, nest count, binary or graded
-// quality vector, the extension parameters and the recruitment matcher
+// fuzz words: the algorithm (all ten compiled forms — quorum/transport, noisy
+// perception and the spreader included), colony size, nest count, binary or
+// graded quality vector, the extension parameters and the recruitment matcher
 // (default Algorithm 1 or a stock ablation) are all decoded from the inputs,
 // so the fuzzer explores the same space as randomDiffCases but steered by
 // coverage. The decoding is total — every input maps to a valid case — which
@@ -42,7 +43,7 @@ func fuzzDiffCase(seed uint64, algoPick, nRaw, kRaw, qualBits, param uint16) dif
 		}
 	}
 	var a core.Algorithm
-	switch algoPick % 9 {
+	switch algoPick % 10 {
 	case 0:
 		a = Simple{}
 	case 1:
@@ -82,13 +83,32 @@ func fuzzDiffCase(seed uint64, algoPick, nRaw, kRaw, qualBits, param uint16) dif
 			no.Assessor = nest.FlipAssessor{P: float64(param%20) / 100}
 		}
 		a = no
+	case 9:
+		// Spreader: 1..16 seed searchers, or the everyone-searches variant on
+		// a fifth of the inputs. The spreading process compiles only for
+		// environments with exactly one good nest, so the quality vector is
+		// thinned to its first good entry (the decode stays total).
+		if param%5 == 4 {
+			a = Spreader{SearchAll: true}
+		} else {
+			a = Spreader{Seeds: 1 + int(param%16)}
+		}
+		seen := false
+		for j := range quals {
+			if quals[j] > 0 {
+				if seen {
+					quals[j] = 0
+				}
+				seen = true
+			}
+		}
 	}
 	// The high algorithm-pick bits select the pairing model. The ablation
 	// matchers implement no MatchCarry, so a transporting quorum case is
 	// demoted to tandem-only carry — mirroring core.CompileForBatch's gate,
 	// which routes carry > 1 ablation configs to the scalar engine.
 	matcher := ""
-	switch (algoPick / 9) % 3 {
+	switch (algoPick / 10) % 3 {
 	case 1:
 		matcher = "simultaneous"
 	case 2:
@@ -127,11 +147,57 @@ func FuzzBatchEquivalence(f *testing.F) {
 	f.Add(uint64(23), uint16(7), uint16(36), uint16(2), uint16(3), uint16(9))   // quorum, carry 2, full docility
 	f.Add(uint64(29), uint16(8), uint16(44), uint16(2), uint16(5), uint16(13))  // noisy, σ = 0.13
 	f.Add(uint64(31), uint16(8), uint16(30), uint16(1), uint16(1), uint16(0))   // noisy, zero noise (exact degenerate)
-	f.Add(uint64(37), uint16(9), uint16(40), uint16(2), uint16(3), uint16(0))   // simple + simultaneous ablation
-	f.Add(uint64(41), uint16(20), uint16(36), uint16(2), uint16(3), uint16(0))  // optimal + rendezvous ablation
-	f.Add(uint64(43), uint16(16), uint16(32), uint16(1), uint16(1), uint16(4))  // quorum (carry demoted to 1) + simultaneous
-	f.Add(uint64(47), uint16(23), uint16(28), uint16(2), uint16(5), uint16(9))  // quality-aware + rendezvous, graded
+	f.Add(uint64(37), uint16(10), uint16(40), uint16(2), uint16(3), uint16(0))  // simple + simultaneous ablation
+	f.Add(uint64(41), uint16(22), uint16(36), uint16(2), uint16(3), uint16(0))  // optimal + rendezvous ablation
+	f.Add(uint64(43), uint16(17), uint16(32), uint16(1), uint16(1), uint16(4))  // quorum (carry demoted to 1) + simultaneous
+	f.Add(uint64(47), uint16(25), uint16(28), uint16(2), uint16(5), uint16(9))  // quality-aware + rendezvous, graded
+	f.Add(uint64(53), uint16(9), uint16(40), uint16(2), uint16(0), uint16(3))   // spreader, 4 seed searchers
+	f.Add(uint64(59), uint16(9), uint16(28), uint16(1), uint16(1), uint16(9))   // spreader, everyone searches
 	f.Fuzz(func(t *testing.T, seed uint64, algoPick, nRaw, kRaw, qualBits, param uint16) {
 		assertTraceEquivalence(t, fuzzDiffCase(seed, algoPick, nRaw, kRaw, qualBits, param))
+	})
+}
+
+// fuzzFaultSpec decodes an always-enabled fault plan from a raw fuzz word:
+// two-bit intensity fields for the crash, Byzantine and sleep fractions (an
+// all-zero decode falls back to a 10% crash plan so every input actually
+// exercises the fault lanes), window bits for the scheduling horizons, and a
+// small salt family. Total, like fuzzDiffCase.
+func fuzzFaultSpec(faultRaw uint16) faults.Spec {
+	spec := faults.Spec{
+		CrashFraction:     float64(faultRaw%4) * 0.08,
+		CrashWindow:       5 + int((faultRaw/64)%40),
+		ByzantineFraction: float64((faultRaw/4)%4) * 0.05,
+		SleepFraction:     float64((faultRaw/16)%4) * 0.08,
+		SleepWindow:       5 + int((faultRaw/128)%40),
+		Salt:              uint64(faultRaw%7) + 11,
+	}
+	if !spec.Enabled() {
+		spec.CrashFraction = 0.1
+	}
+	return spec
+}
+
+// FuzzBatchFaultEquivalence fuzzes the fault lanes against the scalar fault
+// wrappers: the decoded case runs with a crash/Byzantine/sleep adversary
+// injected on BOTH sides (faults.Spec wrapping the scalar colony, the same
+// spec compiled into the batch program), and any divergence in per-round
+// populations, commitments or the faulty census is a bug. The corpus seeds
+// cover each fault class alone and mixed plans over representative
+// algorithms, the spreader and an ablation matcher.
+func FuzzBatchFaultEquivalence(f *testing.F) {
+	f.Add(uint64(3), uint16(0), uint16(40), uint16(1), uint16(1), uint16(0), uint16(2))    // simple + 16% crash
+	f.Add(uint64(5), uint16(2), uint16(48), uint16(3), uint16(5), uint16(0), uint16(8))    // optimal + 10% byzantine
+	f.Add(uint64(7), uint16(4), uint16(36), uint16(2), uint16(3), uint16(13), uint16(32))  // adaptive + 16% sleep, graded
+	f.Add(uint64(11), uint16(7), uint16(40), uint16(1), uint16(3), uint16(4), uint16(149)) // quorum + mixed crash/byzantine
+	f.Add(uint64(13), uint16(8), uint16(44), uint16(2), uint16(5), uint16(13), uint16(54)) // noisy + mixed byzantine/sleep
+	f.Add(uint64(17), uint16(9), uint16(40), uint16(2), uint16(0), uint16(3), uint16(18))  // spreader + sleep
+	f.Add(uint64(19), uint16(10), uint16(36), uint16(2), uint16(3), uint16(0), uint16(1))  // simple + simultaneous + crash
+	f.Add(uint64(23), uint16(5), uint16(50), uint16(3), uint16(9), uint16(7), uint16(214)) // quality-aware + all three classes
+	f.Fuzz(func(t *testing.T, seed uint64, algoPick, nRaw, kRaw, qualBits, param, faultRaw uint16) {
+		c := fuzzDiffCase(seed, algoPick, nRaw, kRaw, qualBits, param)
+		c.faults = fuzzFaultSpec(faultRaw)
+		c.name += "+faults"
+		assertTraceEquivalence(t, c)
 	})
 }

@@ -16,11 +16,11 @@ import (
 // fallback for everything else.
 //
 // Batch-coverage matrix (algorithm × configuration → engine). Any scalar-only
-// cfg feature (Wrap, Trace, Metrics, a non-stock NewMatcher, Concurrent)
-// forces the scalar path regardless of the algorithm; core.CompileForBatch
-// reports which field blocked compilation. Every house-hunting algorithm now
-// has a compiled form — only scalar-only cfg features and the
-// non-house-hunting Spreader fall back.
+// cfg feature (Trace, Metrics, a non-stock NewMatcher, Concurrent, an agent
+// wrapper other than a fault spec) forces the scalar path regardless of the
+// algorithm; core.CompileForBatch reports which field blocked compilation via
+// the core.Reason* constants. Every algorithm in the package now has a
+// compiled form — only scalar-only cfg features fall back.
 //
 //	algorithm      plain cfg   batch path          notes
 //	Simple         batch       lockstep            Algorithm 3
@@ -32,7 +32,22 @@ import (
 //	Noisy          batch       lockstep            §6 noisy perception; estimator/assessor hooks
 //	Quorum         batch       general (per-ant)   §6 quorum/transport; carry-aware matching,
 //	                                               threshold in countT, docility draw on capture
-//	Spreader       scalar      —                   not a house-hunting PFSM
+//	Spreader       batch       general (split)     information spreading; seed-searcher/waiter
+//	                                               split via InitSplit, ObserveInform branching;
+//	                                               needs exactly one good nest (else scalar)
+//
+// Fault-lane coverage (cfg.Wrap × algorithm → engine). A faults.Spec wrapper
+// is the one agent wrapper the batch engine can execute: core.CompileForBatch
+// recognizes it through the core.BatchFaultWrapper hook and lowers it to
+// sim.ProgramParams.Faults, which routes crashed/Byzantine/sleeping ants
+// through engine-owned synthetic states. Any other wrapper value stays
+// scalar (core.ReasonWrapperScalarOnly):
+//
+//	cfg.Wrap                 coverage   notes
+//	(nil)                    batch      no adversary
+//	faults.Spec              batch      crash/Byzantine/sleep lanes; forces the
+//	                                    general path; program capped at 252 states
+//	core.WrapFunc / custom   scalar     reason: core.ReasonWrapperScalarOnly
 //
 // Matcher coverage (cfg.NewMatcher × algorithm → engine). The batch engine
 // runs the stock pairing models with their scalar draw sequences; only a
@@ -49,9 +64,9 @@ import (
 //	custom implementations  scalar     reason names the type and the stock models
 //
 // Every compiled row is pinned round-for-round bit-identical to its scalar
-// agents — for every stock matcher — by the randomized cross-engine
-// differential harness in batch_equiv_test.go and the FuzzBatchEquivalence
-// fuzz target.
+// agents — for every stock matcher, with and without a fault spec — by the
+// randomized cross-engine differential harness in batch_equiv_test.go and the
+// FuzzBatchEquivalence / FuzzBatchFaultEquivalence fuzz targets.
 
 // simpleBatchProgram is Algorithm 3's three-state table: search, then the
 // recruit/assess loop. It is the opcode form of newSimpleSpec — the states
@@ -245,6 +260,57 @@ func (a ApproxN) CompileBatch(n int, env sim.Environment) (sim.Program, bool) {
 		},
 		Params: sim.ProgramParams{NEstDelta: a.Delta},
 	}, true
+}
+
+// State indices of the compiled lower-bound spreading process. The scalar
+// SpreaderAnt's informed flag is membership in sprDone; its searcher flag is
+// the sprSearch/sprWait choice, fixed at init via the program's InitSplit
+// partition (ants below the split search, the rest wait) — the first compiled
+// program whose ants do not all start in one state.
+const (
+	sprSearch = iota // ignorant searcher: search until the good nest turns up
+	sprWait          // ignorant waiter: rest at home, capturable by recruiters
+	sprDone          // informed: recruit for the target forever
+)
+
+// CompileBatch implements core.BatchCompilable: the §3 lower-bound spreading
+// process lowered to three states around the branching ObserveInform opcode,
+// which latches the target on any good-nest outcome (search arrival or
+// capture — the bound's two information channels). The opcode keys on nest
+// quality, so the compile declines unless the environment has exactly one
+// good nest — the same restriction Build enforces, and what makes "reached a
+// good nest" and "reached the target" the same event. Spreader ants never
+// draw from their per-ant streams in either form, so equivalence needs no
+// draw alignment at all: searchers consume the engine's environment stream in
+// ant order exactly like scalar searchers.
+func (s Spreader) CompileBatch(n int, env sim.Environment) (sim.Program, bool) {
+	if n <= 0 || env.K() == 0 {
+		return sim.Program{}, false
+	}
+	if len(env.GoodNests()) != 1 {
+		return sim.Program{}, false
+	}
+	seeds := s.Seeds
+	if seeds <= 0 {
+		seeds = 1
+	}
+	if seeds > n {
+		seeds = n
+	}
+	prog := sim.Program{
+		Algorithm: s.Name(),
+		Init:      sprSearch,
+		States: []sim.ProgramState{
+			sprSearch: {Emit: sim.EmitSearch, Observe: sim.ObserveInform, Next: sprDone, NextB: sprSearch},
+			sprWait:   {Emit: sim.EmitRecruitBit, Arg: 0, Observe: sim.ObserveInform, Next: sprDone, NextB: sprWait},
+			sprDone:   {Emit: sim.EmitRecruitBit, Arg: 1, Observe: sim.ObserveNone, Next: sprDone},
+		},
+	}
+	if !s.SearchAll && seeds < n {
+		prog.InitSplit = seeds
+		prog.InitRest = sprWait
+	}
+	return prog, true
 }
 
 // assessHook lowers a nest.Assessor to the batch engine's perception hook.

@@ -119,7 +119,7 @@ func TestSimpleConvergesUnderJitter(t *testing.T) {
 	for seed := uint64(1); seed <= reps; seed++ {
 		res, err := core.Run(algo.Simple{}, core.RunConfig{
 			N: 200, Env: env, Seed: seed, MaxRounds: 4000,
-			Wrap: plan.Apply(rng.New(seed).Split(101)),
+			Wrap: core.WrapFunc(plan.Apply(rng.New(seed).Split(101))),
 		})
 		if err != nil {
 			t.Fatalf("seed %d: %v", seed, err)
@@ -146,7 +146,7 @@ func TestOptimalDegradesUnderJitter(t *testing.T) {
 	for seed := uint64(1); seed <= reps; seed++ {
 		resO, err := core.Run(algo.Optimal{}, core.RunConfig{
 			N: 128, Env: env, Seed: seed, MaxRounds: 3000,
-			Wrap: plan.Apply(rng.New(seed).Split(103)),
+			Wrap: core.WrapFunc(plan.Apply(rng.New(seed).Split(103))),
 		})
 		if err != nil {
 			t.Fatalf("optimal seed %d: %v", seed, err)
@@ -156,7 +156,7 @@ func TestOptimalDegradesUnderJitter(t *testing.T) {
 		}
 		resS, err := core.Run(algo.Simple{}, core.RunConfig{
 			N: 128, Env: env, Seed: seed, MaxRounds: 3000,
-			Wrap: plan.Apply(rng.New(seed).Split(104)),
+			Wrap: core.WrapFunc(plan.Apply(rng.New(seed).Split(104))),
 		})
 		if err != nil {
 			t.Fatalf("simple seed %d: %v", seed, err)

@@ -15,6 +15,34 @@ type BatchCompilable interface {
 	CompileBatch(n int, env sim.Environment) (sim.Program, bool)
 }
 
+// BatchFaultWrapper is an AgentWrapper whose effect the batch engine can
+// reproduce natively: a declarative fault spec (faults.Spec) that lowers to
+// sim.FaultSpec fault lanes. CompileForBatch recognizes the interface and
+// compiles such configs instead of declining cfg.Wrap; any other wrapper is
+// an arbitrary per-agent transformation and stays scalar. The boolean mirrors
+// Enabled(): a disabled spec wraps as the identity and batches as a plain
+// (fault-free) program.
+type BatchFaultWrapper interface {
+	AgentWrapper
+	BatchFaults() (sim.FaultSpec, bool)
+}
+
+// Decline reasons returned by CompileForBatch for configurations with
+// scalar-only features. Exported as constants so the harness layers (algo and
+// experiment tests, CLI logs) can assert the exact routing cause instead of
+// matching ad-hoc substrings.
+const (
+	// ReasonWrapperScalarOnly: cfg.Wrap holds a custom wrapper (not a
+	// BatchFaultWrapper), e.g. async plans or hand-rolled agent decoration.
+	ReasonWrapperScalarOnly = "cfg.Wrap is set (agent wrappers other than fault specs are scalar-only)"
+	// ReasonTraceScalarOnly: per-round traces require the scalar engine.
+	ReasonTraceScalarOnly = "cfg.Trace is set (per-round traces are scalar-only)"
+	// ReasonMetricsScalarOnly: engine instrumentation requires the scalar engine.
+	ReasonMetricsScalarOnly = "cfg.Metrics is set (engine instrumentation is scalar-only)"
+	// ReasonConcurrentScalarOnly: the goroutine-per-ant mode is scalar by definition.
+	ReasonConcurrentScalarOnly = "cfg.Concurrent is set (the goroutine-per-ant mode is scalar-only)"
+)
+
 // batchMatcherFactory resolves cfg.NewMatcher for the batch engine. The
 // engine compiles the stock matcher models — the default Algorithm 1 pairing
 // (including its carry-aware transport form) and the §6 ablations
@@ -48,12 +76,15 @@ func batchMatcherFactory(cfg RunConfig) (factory func() sim.Matcher, probe sim.M
 
 // CompileForBatch reports whether algo + cfg can run on the batch engine and
 // returns the compiled program if so. Eligibility requires a compilable
-// algorithm and a configuration with none of the scalar-only features: agent
-// wrappers (faults, asynchrony), traces, metrics, non-stock matchers and the
-// goroutine-per-ant mode all hold per-agent or per-engine state the batch
-// lanes do not model. Configurations selecting a stock matcher model
-// (Algorithm 1 or the simultaneous/rendezvous ablations) compile: the batch
-// engine runs those models with exactly their scalar draw sequences.
+// algorithm and a configuration with none of the scalar-only features:
+// traces, metrics, non-stock matchers and the goroutine-per-ant mode all hold
+// per-agent or per-engine state the batch lanes do not model. Agent wrappers
+// are scalar-only too, with one exception: a cfg.Wrap implementing
+// BatchFaultWrapper (faults.Spec) lowers to the batch engine's native fault
+// lanes and compiles, its sim.FaultSpec attached to the program's parameters.
+// Configurations selecting a stock matcher model (Algorithm 1 or the
+// simultaneous/rendezvous ablations) compile: the batch engine runs those
+// models with exactly their scalar draw sequences.
 //
 // When compilation is declined, the returned reason names the cfg field or
 // algorithm that blocked it — one log line answers "why is this sweep on the
@@ -74,14 +105,27 @@ func compileForBatch(algo Algorithm, cfg RunConfig) (prog sim.Program, matcher f
 		return sim.Program{}, nil, false, fmt.Sprintf("colony size %d is not positive", cfg.N)
 	case cfg.Env.K() == 0:
 		return sim.Program{}, nil, false, "empty environment"
-	case cfg.Wrap != nil:
-		return sim.Program{}, nil, false, "cfg.Wrap is set (agent wrappers are scalar-only)"
 	case cfg.Trace != nil:
-		return sim.Program{}, nil, false, "cfg.Trace is set (per-round traces are scalar-only)"
+		return sim.Program{}, nil, false, ReasonTraceScalarOnly
 	case cfg.Metrics != nil:
-		return sim.Program{}, nil, false, "cfg.Metrics is set (engine instrumentation is scalar-only)"
+		return sim.Program{}, nil, false, ReasonMetricsScalarOnly
 	case cfg.Concurrent:
-		return sim.Program{}, nil, false, "cfg.Concurrent is set (the goroutine-per-ant mode is scalar-only)"
+		return sim.Program{}, nil, false, ReasonConcurrentScalarOnly
+	}
+	var faultSpec sim.FaultSpec
+	if cfg.Wrap != nil {
+		fw, isFaults := cfg.Wrap.(BatchFaultWrapper)
+		if !isFaults {
+			return sim.Program{}, nil, false, ReasonWrapperScalarOnly
+		}
+		spec, enabled := fw.BatchFaults()
+		if err := spec.Validate(); err != nil {
+			return sim.Program{}, nil, false, fmt.Sprintf("cfg.Wrap fault spec is invalid: %v", err)
+		}
+		if enabled {
+			faultSpec = spec
+		}
+		// A disabled spec wraps as the identity: compile fault-free.
 	}
 	factory, probe, matcherOK, reason := batchMatcherFactory(cfg)
 	if !matcherOK {
@@ -94,6 +138,16 @@ func compileForBatch(algo Algorithm, cfg RunConfig) (prog sim.Program, matcher f
 	prog, ok = bc.CompileBatch(cfg.N, cfg.Env)
 	if !ok {
 		return sim.Program{}, nil, false, fmt.Sprintf("algorithm %q declined to compile for n=%d, k=%d", algo.Name(), cfg.N, cfg.Env.K())
+	}
+	if faultSpec.Enabled() {
+		// The batch engine appends four synthetic fault states to the
+		// program's table; a program that leaves no room stays scalar.
+		if len(prog.States) > 252 {
+			return sim.Program{}, nil, false, fmt.Sprintf(
+				"algorithm %q compiles to %d states, too many for the fault lanes (max 252)",
+				algo.Name(), len(prog.States))
+		}
+		prog.Params.Faults = faultSpec
 	}
 	if probe != nil && prog.UsesCarry() && prog.Params.QuorumCarry > 1 {
 		if _, carries := probe.(sim.CarryMatcher); !carries {
@@ -154,7 +208,10 @@ func RunBatch(algo Algorithm, cfg RunConfig, seeds []uint64) ([]Result, bool, er
 				// report the decided count like TakeCensus would; others
 				// expose commitment only (-1).
 				Decided: r.Decided,
-				Total:   cfg.N,
+				// Faulty ants (Byzantine plus fired crashes) are excluded
+				// from Total, mirroring TakeCensus over wrapped agents.
+				Faulty: r.Faulty,
+				Total:  cfg.N - r.Faulty,
 			},
 			Algorithm: algo.Name(),
 		}

@@ -53,7 +53,7 @@ func TestCompileForBatchReasons(t *testing.T) {
 		{"empty environment", compilableOracle{}, RunConfig{N: 8}, "empty environment"},
 		{"wrap", compilableOracle{}, func() RunConfig {
 			c := base
-			c.Wrap = func(a []sim.Agent) ([]sim.Agent, error) { return a, nil }
+			c.Wrap = WrapFunc(func(a []sim.Agent) ([]sim.Agent, error) { return a, nil })
 			return c
 		}(), "cfg.Wrap"},
 		{"trace", compilableOracle{}, func() RunConfig {

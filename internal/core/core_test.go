@@ -272,12 +272,12 @@ func TestRunConcurrentMode(t *testing.T) {
 func TestRunWithFaultyExclusion(t *testing.T) {
 	t.Parallel()
 	env := sim.MustEnvironment([]float64{1})
-	wrap := func(agents []sim.Agent) ([]sim.Agent, error) {
+	wrap := WrapFunc(func(agents []sim.Agent) ([]sim.Agent, error) {
 		// Replace the last ant with a permanently faulty stub: it never
 		// commits, but being faulty it must not block convergence.
 		agents[len(agents)-1] = &stubCommitter{faulty: true}
 		return agents, nil
-	}
+	})
 	res, err := Run(oracleAlgorithm{}, RunConfig{N: 10, Env: env, Seed: 3, Wrap: wrap})
 	if err != nil {
 		t.Fatal(err)
@@ -293,11 +293,11 @@ func TestRunWithFaultyExclusion(t *testing.T) {
 func TestRunWrapErrors(t *testing.T) {
 	t.Parallel()
 	env := sim.MustEnvironment([]float64{1})
-	boom := func([]sim.Agent) ([]sim.Agent, error) { return nil, errors.New("boom") }
+	boom := WrapFunc(func([]sim.Agent) ([]sim.Agent, error) { return nil, errors.New("boom") })
 	if _, err := Run(oracleAlgorithm{}, RunConfig{N: 4, Env: env, Wrap: boom}); err == nil {
 		t.Fatal("wrapper error swallowed")
 	}
-	shrink := func(a []sim.Agent) ([]sim.Agent, error) { return a[:1], nil }
+	shrink := WrapFunc(func(a []sim.Agent) ([]sim.Agent, error) { return a[:1], nil })
 	if _, err := Run(oracleAlgorithm{}, RunConfig{N: 4, Env: env, Wrap: shrink}); err == nil {
 		t.Fatal("colony-size change accepted")
 	}
@@ -421,13 +421,13 @@ func TestRunTracedValidationAndWrap(t *testing.T) {
 	if _, err := RunTraced(oracleAlgorithm{}, RunConfig{N: 0, Env: env, Trace: tr}); err == nil {
 		t.Fatal("zero colony accepted")
 	}
-	boom := func([]sim.Agent) ([]sim.Agent, error) { return nil, errors.New("boom") }
+	boom := WrapFunc(func([]sim.Agent) ([]sim.Agent, error) { return nil, errors.New("boom") })
 	if _, err := RunTraced(oracleAlgorithm{}, RunConfig{N: 4, Env: env, Trace: tr, Wrap: boom}); err == nil {
 		t.Fatal("wrap error swallowed in RunTraced")
 	}
 	// A successful wrapped, matcher-overridden traced run.
 	tr2 := trace.New(1)
-	passthrough := func(a []sim.Agent) ([]sim.Agent, error) { return a, nil }
+	passthrough := WrapFunc(func(a []sim.Agent) ([]sim.Agent, error) { return a, nil })
 	res, err := RunTraced(oracleAlgorithm{}, RunConfig{
 		N: 10, Env: env, Trace: tr2, Seed: 4, Wrap: passthrough,
 		NewMatcher: func() sim.Matcher { return &sim.SimultaneousMatcher{} },

@@ -42,8 +42,30 @@ type RunConfig struct {
 	// Strict toggles §2 protocol validation (default on).
 	Strict *bool
 	// Wrap post-processes the built agents (fault injection, asynchrony);
-	// it must preserve slice length.
-	Wrap func([]sim.Agent) ([]sim.Agent, error)
+	// it must preserve slice length. Wrappers are scalar-only in general —
+	// RunBatch declines wrapped configs — EXCEPT fault specs implementing
+	// BatchFaultWrapper (faults.Spec), which compile to the batch engine's
+	// fault lanes. Plain functions adapt via WrapFunc.
+	Wrap AgentWrapper
+}
+
+// AgentWrapper post-processes a built colony — fault injection, asynchrony —
+// before the engine runs it. The seed is the run's root seed, from which a
+// wrapper derives its private victim stream (by convention
+// rng.New(seed).Split(salt) for a wrapper-chosen salt), so a colony wraps
+// identically however the wrapper is invoked.
+type AgentWrapper interface {
+	WrapAgents(seed uint64, agents []sim.Agent) ([]sim.Agent, error)
+}
+
+// WrapFunc adapts a bare wrapper function (one that owns its randomness, like
+// the faults.Plan and async.Plan builders) to the AgentWrapper interface,
+// ignoring the seed.
+type WrapFunc func([]sim.Agent) ([]sim.Agent, error)
+
+// WrapAgents implements AgentWrapper.
+func (f WrapFunc) WrapAgents(_ uint64, agents []sim.Agent) ([]sim.Agent, error) {
+	return f(agents)
 }
 
 // Result reports one execution.
@@ -97,7 +119,7 @@ func buildColony(algo Algorithm, cfg RunConfig) ([]sim.Agent, error) {
 		return nil, fmt.Errorf("core: %s built %d agents for n=%d", algo.Name(), len(agents), cfg.N)
 	}
 	if cfg.Wrap != nil {
-		agents, err = cfg.Wrap(agents)
+		agents, err = cfg.Wrap.WrapAgents(cfg.Seed, agents)
 		if err != nil {
 			return nil, fmt.Errorf("core: wrapping agents: %w", err)
 		}

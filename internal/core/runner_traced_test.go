@@ -36,7 +36,7 @@ func (trespasserAlgorithm) Build(n int, _ sim.Environment, _ *rng.Source) ([]sim
 func TestRunTracedRejectsSizeChangingWrapper(t *testing.T) {
 	t.Parallel()
 	env := sim.MustEnvironment([]float64{1})
-	shrink := func(a []sim.Agent) ([]sim.Agent, error) { return a[:len(a)-1], nil }
+	shrink := WrapFunc(func(a []sim.Agent) ([]sim.Agent, error) { return a[:len(a)-1], nil })
 
 	tr := trace.New(1)
 	_, err := RunTraced(oracleAlgorithm{}, RunConfig{N: 8, Env: env, Trace: tr, Wrap: shrink})

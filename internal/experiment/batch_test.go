@@ -6,6 +6,7 @@ import (
 
 	"github.com/gmrl/househunt/internal/algo"
 	"github.com/gmrl/househunt/internal/core"
+	"github.com/gmrl/househunt/internal/faults"
 	"github.com/gmrl/househunt/internal/nest"
 	"github.com/gmrl/househunt/internal/sim"
 	"github.com/gmrl/househunt/internal/workload"
@@ -120,6 +121,64 @@ func TestMeasureConvergenceMatcherAblationsBatchMatchScalar(t *testing.T) {
 	}
 }
 
+// TestMeasureConvergenceFaultedBatchMatchesScalar extends the experiment-layer
+// differential check along the adversary axis: a measurement under a
+// faults.Spec wrapper must take the batch path (the spec compiles to fault
+// lanes) and aggregate to exactly the scalar wrapped colony's
+// ConvergencePoint.
+func TestMeasureConvergenceFaultedBatchMatchesScalar(t *testing.T) {
+	env, err := workload.Binary(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	single, err := workload.Binary(4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const reps = 16
+	for _, tc := range []struct {
+		name string
+		algo core.Algorithm
+		env  sim.Environment
+		spec faults.Spec
+	}{
+		// Byzantine lures make full unanimity flicker for count-keyed
+		// algorithms (Optimal's decision gate can starve forever), so the
+		// Byzantine cell rides on the unanimity-by-commitment Simple family;
+		// optimal+byzantine equivalence is still pinned per-round by the
+		// algo-level differential grid.
+		{"simple+crash", algo.Simple{}, env, faults.Spec{CrashFraction: 0.1, CrashWindow: 30, Salt: 11}},
+		{"simplepfsm+byzantine", algo.SimplePFSM{}, env, faults.Spec{ByzantineFraction: 0.03, Salt: 12}},
+		{"optimal+sleep", algo.Optimal{}, env, faults.Spec{SleepFraction: 0.15, SleepWindow: 30, Salt: 16}},
+		{"adaptive+sleep", algo.Adaptive{}, env, faults.Spec{SleepFraction: 0.2, SleepWindow: 40, Salt: 13}},
+		{"quorum+mixed", algo.Quorum{}, env, faults.Spec{CrashFraction: 0.08, CrashWindow: 24, ByzantineFraction: 0.04, SleepFraction: 0.08, SleepWindow: 24, Salt: 14}},
+		{"spreader+crash", algo.Spreader{Seeds: 4}, single, faults.Spec{CrashFraction: 0.1, CrashWindow: 20, Salt: 15}},
+	} {
+		cfg := core.RunConfig{N: 96, Env: tc.env, MaxRounds: 4000, Wrap: tc.spec}
+		if _, ok, reason := core.CompileForBatch(tc.algo, cfg); !ok {
+			t.Fatalf("%s: expected batch eligibility under a fault spec, got fallback: %s", tc.name, reason)
+		}
+		SetBatchEngine(true)
+		batched, err := MeasureConvergence(tc.algo, cfg, reps, "fault-equiv")
+		if err != nil {
+			t.Fatal(err)
+		}
+		SetBatchEngine(false)
+		scalar, err := MeasureConvergence(tc.algo, cfg, reps, "fault-equiv")
+		SetBatchEngine(true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(batched, scalar) {
+			t.Fatalf("%s: faulted batch and scalar measurements diverge:\nbatch  %+v\nscalar %+v",
+				tc.name, batched, scalar)
+		}
+		if batched.Solved == 0 {
+			t.Fatalf("%s: measurement solved no replicates; the check is vacuous", tc.name)
+		}
+	}
+}
+
 // fallbackMatcher is a non-stock matcher (it delegates to Algorithm 1 so
 // measurements still solve): the stock ablation models batch-compile since
 // the matcher lowering, so forcing the scalar path needs a custom type.
@@ -159,13 +218,21 @@ func TestMeasureConvergenceScalarFallback(t *testing.T) {
 		t.Fatalf("fallback measurement implausible: %+v", pt)
 	}
 
-	// The Spreader process is the one remaining algorithm without a compiled
-	// form; it must decline with the core.BatchCompilable reason.
+	// The Spreader process compiles exactly when the environment has a single
+	// good nest (its informed-spread branching equates "good outcome" with
+	// "the target"): one good nest takes the batch path, several decline.
 	single, err := workload.Binary(4, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, ok, reason := core.CompileForBatch(algo.Spreader{}, core.RunConfig{N: 64, Env: single}); ok || reason == "" {
-		t.Fatalf("Spreader: ok=%v reason=%q, want scalar fallback with a reason", ok, reason)
+	if _, ok, reason := core.CompileForBatch(algo.Spreader{}, core.RunConfig{N: 64, Env: single}); !ok {
+		t.Fatalf("Spreader with one good nest declined the batch path: %q", reason)
+	}
+	multi, err := workload.Binary(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, reason := core.CompileForBatch(algo.Spreader{}, core.RunConfig{N: 64, Env: multi}); ok || reason == "" {
+		t.Fatalf("Spreader with two good nests: ok=%v reason=%q, want scalar fallback with a reason", ok, reason)
 	}
 }

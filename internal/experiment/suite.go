@@ -72,7 +72,7 @@ var suite = []struct {
 	{"E9", runE9}, {"E10", runE10}, {"E11", runE11}, {"E12", runE12},
 	{"E13", runE13}, {"E14", runE14}, {"E15", runE15}, {"E16", runE16},
 	{"E17", runE17}, {"E18", runE18}, {"E19", runE19}, {"E20", runE20},
-	{"E21", runE21},
+	{"E21", runE21}, {"E22", runE22}, {"E23", runE23}, {"E24", runE24},
 }
 
 // IDs returns the experiment identifiers in canonical order.
@@ -567,7 +567,7 @@ func measureFaultCell(n int, env sim.Environment, crash, byz float64, reps int) 
 		plan := faults.Plan{CrashFraction: crash, ByzantineFraction: byz, CrashWindow: 50}
 		res, err := core.Run(algo.Simple{}, core.RunConfig{
 			N: n, Env: env, Seed: seed, MaxRounds: 4000,
-			Wrap: plan.Apply(rng.New(seed).Split(3001)),
+			Wrap: core.WrapFunc(plan.Apply(rng.New(seed).Split(3001))),
 		})
 		if err != nil {
 			return 0, 0, err
@@ -648,7 +648,7 @@ func measureJitterCell(a core.Algorithm, n int, env sim.Environment, p float64, 
 		seed := workload.SeedFor(tag, int(p*100), n, rep+1)
 		cfg := core.RunConfig{N: n, Env: env, Seed: seed, MaxRounds: 6000}
 		if p > 0 {
-			cfg.Wrap = (async.Plan{HoldP: p, MaxDelay: 2}).Apply(rng.New(seed).Split(4001))
+			cfg.Wrap = core.WrapFunc((async.Plan{HoldP: p, MaxDelay: 2}).Apply(rng.New(seed).Split(4001)))
 		}
 		res, err := core.Run(a, cfg)
 		if err != nil {
@@ -1033,5 +1033,134 @@ func runE21(scale Scale) (Report, error) {
 	rep.Tables = append(rep.Tables, tb.String())
 	rep.Findings = append(rep.Findings,
 		"measured per-phase survival is far below the paper's conservative 65/66 bound")
+	return rep, nil
+}
+
+// --- E22: adversary series — crash fraction vs convergence time -------------------
+
+func runE22(scale Scale) (Report, error) {
+	n := pick(scale, 256, 1024)
+	reps := pick(scale, 8, 24)
+	rep := Report{
+		ID:    "E22",
+		Title: "Crash fraction vs convergence time (fault lanes)",
+		Claim: "§6: crash faults \"should not affect the overall populations of recruiting ants and the algorithm's performance\" — convergence survives and degrades gracefully as the crash fraction grows",
+		Pass:  true,
+	}
+	env, err := workload.Binary(4, 2)
+	if err != nil {
+		return Report{}, err
+	}
+	tb := stats.NewTable("", "crashFrac", "successRate", "meanRounds", "p95Rounds")
+	baseline := 0.0
+	for _, crash := range []float64{0, 0.05, 0.1, 0.2, 0.3} {
+		cfg := core.RunConfig{N: n, Env: env, MaxRounds: 4000}
+		if crash > 0 {
+			cfg.Wrap = faults.Spec{CrashFraction: crash, CrashWindow: 50, Salt: 5001}
+		}
+		pt, err := MeasureConvergence(algo.Simple{}, cfg, reps, fmt.Sprintf("E22-%.2f", crash))
+		if err != nil {
+			return Report{}, err
+		}
+		if crash == 0 {
+			baseline = pt.Rounds.Mean
+		}
+		if crash <= 0.15 && pt.SuccessRate < 0.75 {
+			rep.Pass = false
+		}
+		tb.AddRow(fmt.Sprintf("%.2f", crash), fmt.Sprintf("%.3f", pt.SuccessRate),
+			fmt.Sprintf("%.1f", pt.Rounds.Mean), fmt.Sprintf("%.1f", pt.Rounds.P95))
+	}
+	rep.Tables = append(rep.Tables, tb.String())
+	rep.Findings = append(rep.Findings,
+		fmt.Sprintf("fault-free baseline %.1f mean rounds; every faulted cell runs on the batch engine's crash lanes", baseline))
+	return rep, nil
+}
+
+// --- E23: adversary series — corrupt minority vs best-of-k accuracy ---------------
+
+func runE23(scale Scale) (Report, error) {
+	n := pick(scale, 256, 1024)
+	reps := pick(scale, 8, 24)
+	rep := Report{
+		ID:    "E23",
+		Title: "Corrupt minority vs best-of-k accuracy",
+		Claim: "§6: a small malicious minority luring toward a bad nest should not stop the colony from selecting the best candidate",
+		Pass:  true,
+	}
+	// Graded qualities with a zero-quality nest for the adversary to latch:
+	// the honest colony should still pick the 0.9 site.
+	env := sim.MustEnvironment([]float64{0.2, 0.9, 0.4, 0})
+	best := 0.9
+	tb := stats.NewTable("", "byzFrac", "successRate", "meanWinnerQ", "minWinnerQ")
+	for _, byz := range []float64{0, 0.01, 0.02, 0.05, 0.1} {
+		cfg := core.RunConfig{N: n, Env: env, MaxRounds: 4000}
+		if byz > 0 {
+			cfg.Wrap = faults.Spec{ByzantineFraction: byz, Salt: 5002}
+		}
+		pt, err := MeasureConvergence(algo.QualityAware{}, cfg, reps, fmt.Sprintf("E23-%.2f", byz))
+		if err != nil {
+			return Report{}, err
+		}
+		// Accuracy survives a small minority (≤2%); past that the lurers
+		// sustain a standing bad-nest population that defeats unanimity — a
+		// measured saturation transition, not a pass/fail concern.
+		if byz <= 0.02 && (pt.SuccessRate < 0.75 || pt.WinnerQuality.Mean < 0.9*best) {
+			rep.Pass = false
+		}
+		tb.AddRow(fmt.Sprintf("%.2f", byz), fmt.Sprintf("%.3f", pt.SuccessRate),
+			fmt.Sprintf("%.3f", pt.WinnerQuality.Mean), fmt.Sprintf("%.3f", pt.WinnerQuality.Min))
+	}
+	rep.Tables = append(rep.Tables, tb.String())
+	rep.Findings = append(rep.Findings,
+		"Byzantine lurers are census-excluded; accuracy is the committed colony's winner quality",
+		"lure saturation: between 2% and 5% lurers the standing bad-nest population stops dropping to zero, so full unanimity stalls even though the honest majority sits on the best site")
+	return rep, nil
+}
+
+// --- E24: adversary series — idle-pool emigration ----------------------------------
+
+func runE24(scale Scale) (Report, error) {
+	n := pick(scale, 256, 1024)
+	reps := pick(scale, 8, 24)
+	const window = 60
+	rep := Report{
+		ID:    "E24",
+		Title: "Idle-pool emigration (sleeping reserve)",
+		Claim: "idle-pool scenario (Afek–Gordon–Sulamy): sleeping ants are counted, not faulty — the colony cannot finish before the reserve wakes, and still converges once it joins",
+		Pass:  true,
+	}
+	// A single good nest isolates the idle-pool effect: with two equally good
+	// sites, late wakers commit to the minority site and can freeze a split
+	// that unanimity never resolves — a symmetry trap, not a reserve effect.
+	env, err := workload.Binary(4, 1)
+	if err != nil {
+		return Report{}, err
+	}
+	tb := stats.NewTable("", "sleepFrac", "successRate", "meanRounds", "minRounds")
+	for _, sleep := range []float64{0, 0.25, 0.5, 0.75} {
+		cfg := core.RunConfig{N: n, Env: env, MaxRounds: 4000}
+		if sleep > 0 {
+			cfg.Wrap = faults.Spec{SleepFraction: sleep, SleepWindow: window, Salt: 5003}
+		}
+		pt, err := MeasureConvergence(algo.Simple{}, cfg, reps, fmt.Sprintf("E24-%.2f", sleep))
+		if err != nil {
+			return Report{}, err
+		}
+		if pt.SuccessRate < 0.75 {
+			rep.Pass = false
+		}
+		// With hundreds of sleepers, the last wake round lands at ~window+1
+		// w.h.p., and unanimity needs every woken ant: solved runs cannot
+		// terminate much before the window closes.
+		if sleep >= 0.25 && pt.Solved > 0 && pt.Rounds.Min < float64(window)*0.9 {
+			rep.Pass = false
+		}
+		tb.AddRow(fmt.Sprintf("%.2f", sleep), fmt.Sprintf("%.3f", pt.SuccessRate),
+			fmt.Sprintf("%.1f", pt.Rounds.Mean), fmt.Sprintf("%.1f", pt.Rounds.Min))
+	}
+	rep.Tables = append(rep.Tables, tb.String())
+	rep.Findings = append(rep.Findings,
+		fmt.Sprintf("wake window %d rounds: solved faulted runs never finish before ~%d rounds, the reserve's last wake", window, window))
 	return rep, nil
 }

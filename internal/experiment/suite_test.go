@@ -8,10 +8,10 @@ import (
 func TestIDsComplete(t *testing.T) {
 	t.Parallel()
 	ids := IDs()
-	if len(ids) != 21 {
-		t.Fatalf("suite has %d experiments, want 21", len(ids))
+	if len(ids) != 24 {
+		t.Fatalf("suite has %d experiments, want 24", len(ids))
 	}
-	if ids[0] != "E1" || ids[20] != "E21" {
+	if ids[0] != "E1" || ids[23] != "E24" {
 		t.Fatalf("ids = %v", ids)
 	}
 }

@@ -29,6 +29,15 @@ type committer interface {
 	Committed() (sim.NestID, bool)
 }
 
+// decider mirrors core.Decided without importing core. Fault wrappers forward
+// the inner agent's verdict only when the inner agent implements the
+// interface: unconditionally implementing it would turn every wrapped colony
+// into a "deciding" one and stall core.Census.Converged for algorithms that
+// never decide.
+type decider interface {
+	Decided() bool
+}
+
 // CrashAnt wraps an agent and kills it at a scheduled round. Before the
 // crash it is transparent. After the crash it repeatedly walks to the last
 // candidate nest it knew (or waits passively at home if it never learned
@@ -99,10 +108,51 @@ func (c *CrashAnt) Committed() (sim.NestID, bool) {
 	return sim.Home, false
 }
 
+// crashDecider is a CrashAnt over a deciding inner agent: it forwards the
+// inner verdict so a not-yet-crashed ant still counts as a decider in
+// core.TakeCensus. Without the forwarding, wrapping ANY ant of a deciding
+// algorithm (e.g. Algorithm 2) made convergence unreachable: the wrapped ant
+// counted toward Total but could never count as decided, so the
+// Decided == Total gate never closed. The wrap helpers select this subtype
+// exactly when the inner agent decides.
+type crashDecider struct{ *CrashAnt }
+
+// Decided forwards the inner agent's verdict until the crash; afterwards the
+// ant is Faulty and the census never consults it.
+func (c crashDecider) Decided() bool {
+	if c.crashed {
+		return false
+	}
+	return c.inner.(decider).Decided()
+}
+
+// wrapCrash wraps inner to crash at crashRound, preserving the inner agent's
+// decider contract when it has one.
+func wrapCrash(inner sim.Agent, crashRound int) (sim.Agent, error) {
+	crashed, err := NewCrashAnt(inner, crashRound)
+	if err != nil {
+		return nil, err
+	}
+	if _, ok := inner.(decider); ok {
+		return crashDecider{crashed}, nil
+	}
+	return crashed, nil
+}
+
 // ByzantineAnt actively works against the colony: it searches until it finds
 // a bad nest, then recruits for that nest every round, kidnapping correct
 // ants into a site the colony must not choose. If the environment has no bad
 // nest it searches forever, which merely removes it from the workforce.
+//
+// Stream-consumption contract: a ByzantineAnt NEVER draws from its source.
+// Its whole policy — search, latch the first bad nest, lure forever — is
+// deterministic given its outcomes (the search destinations come from the
+// ENGINE's environment stream, like every searcher's). The source parameter
+// exists so each adversary owns a private stream should a future strategy
+// randomize, but today it stays untouched, and the batch engine's fault lane
+// relies on that: it materializes no per-ant stream for Byzantine ants at
+// all, which is bit-identical precisely because this contract holds (pinned
+// by TestByzantineAntDrawsNothing).
 type ByzantineAnt struct {
 	src     *rng.Source
 	badNest sim.NestID
@@ -177,7 +227,7 @@ func (p Plan) Apply(src *rng.Source) func([]sim.Agent) ([]sim.Agent, error) {
 		idx := 0
 		for ; idx < nCrash; idx++ {
 			victim := perm[idx]
-			crashed, err := NewCrashAnt(agents[victim], 1+src.Intn(window))
+			crashed, err := wrapCrash(agents[victim], 1+src.Intn(window))
 			if err != nil {
 				return nil, err
 			}

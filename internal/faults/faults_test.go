@@ -114,7 +114,7 @@ func TestSimpleSurvivesCrashFaults(t *testing.T) {
 	for seed := uint64(1); seed <= reps; seed++ {
 		res, err := core.Run(algo.Simple{}, core.RunConfig{
 			N: 200, Env: env, Seed: seed,
-			Wrap: plan.Apply(rng.New(seed).Split(77)),
+			Wrap: core.WrapFunc(plan.Apply(rng.New(seed).Split(77))),
 		})
 		if err != nil {
 			t.Fatalf("seed %d: %v", seed, err)
@@ -142,7 +142,7 @@ func TestSimpleSurvivesFewByzantine(t *testing.T) {
 		plan := Plan{ByzantineFraction: 0.05}
 		res, err := core.Run(algo.Simple{}, core.RunConfig{
 			N: n, Env: env, Seed: seed, MaxRounds: 1200,
-			Wrap: plan.Apply(rng.New(seed).Split(78)),
+			Wrap: core.WrapFunc(plan.Apply(rng.New(seed).Split(78))),
 		})
 		if err != nil {
 			t.Fatalf("seed %d: %v", seed, err)

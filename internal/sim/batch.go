@@ -74,6 +74,7 @@ type Batch struct {
 	needI     bool
 	needF     bool
 	usesCarry bool
+	faulted   bool
 
 	// Shared read-only fixed-point draw tables (see newLane for the
 	// per-lane mutable ones). Nil when the program does not use the opcode
@@ -109,6 +110,10 @@ type BatchResult struct {
 	// the program does not distinguish terminal states — the same convention
 	// as core.Census.Decided.
 	Decided int
+	// Faulty counts the ants that were faulty at termination (Byzantine ants
+	// plus crashes that fired), mirroring core.Census.Faulty; sleeping ants
+	// are healthy and never counted. Zero without a fault spec.
+	Faulty int
 }
 
 // BatchOption configures a Batch.
@@ -159,6 +164,7 @@ func NewBatch(env Environment, prog Program, n int, opts ...BatchOption) (*Batch
 		needI:     prog.NeedsIntParam(),
 		needF:     prog.NeedsFloatParam(),
 		usesCarry: prog.UsesCarry(),
+		faulted:   prog.Params.Faults.Enabled(),
 	}
 	for _, o := range opts {
 		o(b)
@@ -368,6 +374,34 @@ type lane struct {
 	capScrat []int32  // capture-list scratch for matchers without CaptureLister
 	slotNest []NestID // per-slot resolved outcome nest (capturer's advertised nest)
 
+	// Fault lanes (nil/zero unless prog.Params.Faults is enabled). The four
+	// synthetic states live after the program's own in the padded tables:
+	// numExec = len(prog.States) + batchSyntheticStates, and sleepSt..crashSt
+	// name them. round counts this replicate's rounds for the pre-round fault
+	// pass; alive is the census total (n minus Byzantine ants minus fired
+	// crashes); lastNest tracks each crash-fated ant's last known candidate
+	// nest — maintained every round, before and after the crash, exactly like
+	// the scalar CrashAnt's Observe. crashAnts/crashAt and sleepAnts/wakeAt
+	// are the compact victim lists the per-round passes scan; the full
+	// crashRound/wakeRound/byz/permScrat columns are Assign scratch.
+	faulted    bool
+	numExec    int
+	sleepSt    uint8
+	byzSrchSt  uint8
+	byzRecrSt  uint8
+	crashSt    uint8
+	round      int
+	alive      int
+	lastNest   []NestID
+	crashAnts  []int32
+	crashAt    []int32
+	sleepAnts  []int32
+	wakeAt     []int32
+	crashRound []int32
+	wakeRound  []int32
+	byz        []uint8
+	permScrat  []int32
+
 	matcher   Matcher
 	carryM    CarryMatcher  // matcher's carry form; nil when unimplemented
 	capLister CaptureLister // matcher's capture list; nil when unimplemented
@@ -431,11 +465,48 @@ func newLane(b *Batch) *lane {
 			ln.searches[i] = 1
 		}
 	}
+	ln.numExec = len(b.prog.States)
+	if b.faulted {
+		// Append the engine-owned synthetic fault states after the program's.
+		// Three of the four reuse the generic emit loops verbatim: a sleeping
+		// ant recruits passively at home (its nest register stays Home while
+		// it sleeps), a searching Byzantine ant draws search destinations in
+		// ant order via the searches flag, and a luring Byzantine ant actively
+		// recruits for the bad nest latched in its nest register. Only the
+		// crashed state's emit (goto last known nest / idle at home) and the
+		// Byzantine search fold (latch the first BAD nest, without touching
+		// the commitment census) need intercepts in stepGeneral. All four
+		// observe as ObserveNone — a self-loop that folds nothing, which also
+		// makes the capture pass skip them (a captured sleeper or corpse
+		// ignores being dragged; the sparse lastNest pass handles the corpse's
+		// location drift separately).
+		ln.faulted = true
+		base := uint8(ln.numExec)
+		ln.sleepSt = base
+		ln.byzSrchSt = base + 1
+		ln.byzRecrSt = base + 2
+		ln.crashSt = base + 3
+		ln.states[ln.sleepSt] = ProgramState{Emit: EmitRecruitBit, Arg: 0, Observe: ObserveNone, Next: ln.sleepSt}
+		ln.states[ln.byzSrchSt] = ProgramState{Emit: EmitSearch, Observe: ObserveNone, Next: ln.byzSrchSt}
+		ln.states[ln.byzRecrSt] = ProgramState{Emit: EmitRecruitBit, Arg: 1, Observe: ObserveNone, Next: ln.byzRecrSt}
+		ln.states[ln.crashSt] = ProgramState{Emit: EmitRecruitBit, Arg: 0, Observe: ObserveNone, Next: ln.crashSt}
+		ln.searches[ln.byzSrchSt] = 1
+		ln.numExec += batchSyntheticStates
+		ln.lastNest = make([]NestID, n)
+		ln.crashAnts = make([]int32, 0, n)
+		ln.crashAt = make([]int32, 0, n)
+		ln.sleepAnts = make([]int32, 0, n)
+		ln.wakeAt = make([]int32, 0, n)
+		ln.crashRound = make([]int32, n)
+		ln.wakeRound = make([]int32, n)
+		ln.byz = make([]uint8, n)
+		ln.permScrat = make([]int32, n)
+	}
 	if !b.lockstep {
-		numStates := len(b.prog.States)
-		ln.bktCount = make([]int32, 4*numStates)
-		ln.bktOff = make([]int32, numStates+1)
-		ln.bktCur = make([]int32, numStates)
+		numExec := ln.numExec
+		ln.bktCount = make([]int32, 4*numExec)
+		ln.bktOff = make([]int32, numExec+1)
+		ln.bktCur = make([]int32, numExec)
 		ln.bktAnts = make([]int32, n)
 		ln.iota32 = make([]int32, n)
 		for i := range ln.iota32 {
@@ -511,21 +582,66 @@ func (ln *lane) reset(seed uint64) {
 	for i := range ln.qidx {
 		ln.qidx[i] = 0
 	}
+	split := ln.prog.InitSplit
 	for i := 0; i < ln.n; i++ {
-		ln.state[i] = ln.prog.Init
+		st := ln.prog.Init
+		if split > 0 && i >= split {
+			st = ln.prog.InitRest
+		}
+		ln.state[i] = st
 		ln.nest[i] = Home
 		ln.count[i] = 0
 		ln.quality[i] = 0
 		ln.nestT[i] = Home
 		ln.countT[i] = 0
 	}
+	ln.alive = ln.n
+	if ln.faulted {
+		// The victim assignment draws from root.Split(Salt) — the same stream,
+		// consumed identically, as the scalar faults.Spec wrapper builder
+		// (both delegate to FaultSpec.Assign). The overrides run AFTER the
+		// register and parameter-column init above because the scalar stack
+		// builds the whole colony (including ApproxN's ñ draws) before the
+		// wrapper replaces victims.
+		var faultSrc rng.Source
+		root.SplitInto(ln.prog.Params.Faults.Salt, &faultSrc)
+		ln.prog.Params.Faults.Assign(ln.n, &faultSrc, ln.crashRound, ln.wakeRound, ln.byz, ln.permScrat)
+		ln.round = 0
+		ln.crashAnts = ln.crashAnts[:0]
+		ln.crashAt = ln.crashAt[:0]
+		ln.sleepAnts = ln.sleepAnts[:0]
+		ln.wakeAt = ln.wakeAt[:0]
+		for i := 0; i < ln.n; i++ {
+			ln.lastNest[i] = Home
+			switch {
+			case ln.crashRound[i] > 0:
+				ln.crashAnts = append(ln.crashAnts, int32(i))
+				ln.crashAt = append(ln.crashAt, ln.crashRound[i])
+			case ln.byz[i] != 0:
+				ln.state[i] = ln.byzSrchSt
+				ln.alive--
+			case ln.wakeRound[i] > 0:
+				ln.sleepAnts = append(ln.sleepAnts, int32(i))
+				ln.wakeAt = append(ln.wakeAt, ln.wakeRound[i])
+				ln.state[i] = ln.sleepSt
+			}
+		}
+	}
 	for i := range ln.commit {
 		ln.commit[i] = 0
 	}
-	ln.commit[Home] = ln.n
+	ln.commit[Home] = ln.alive
 	ln.finals = 0
-	if ln.final[ln.prog.Init] != 0 {
-		ln.finals = ln.n
+	if ln.decides {
+		if !ln.faulted && split == 0 {
+			if ln.final[ln.prog.Init] != 0 {
+				ln.finals = ln.n
+			}
+		} else {
+			for i := 0; i < ln.n; i++ {
+				ln.finals += int(ln.final[ln.state[i]])
+			}
+		}
 	}
 }
 
@@ -577,6 +693,9 @@ func (ln *lane) runReplicate(rep int, seed uint64, maxRounds, window int, probe 
 	res.Committed = append([]int(nil), ln.commit...)
 	if ln.decides {
 		res.Decided = ln.finals
+	}
+	if ln.faulted {
+		res.Faulty = ln.n - ln.alive
 	}
 	if streak >= window {
 		res.Solved = true
@@ -1010,7 +1129,38 @@ func (ln *lane) stepGeneral() error {
 	nest := ln.nest
 	actNest := ln.actNest
 	counts := ln.counts
-	numStates := len(ln.prog.States)
+	numStates := ln.numExec
+
+	// Pre-round fault pass: wake the sleepers and fire the crashes scheduled
+	// for this round, before the colony is regrouped — the transitions must be
+	// visible to this round's emit, exactly as the scalar wrappers decide in
+	// Act. Waking restores the ant's initial program state (registers were
+	// never touched while it slept, so it starts fresh like the scalar
+	// wrapper's never-invoked inner agent); crashing removes the ant from the
+	// census (commitment tally and alive count) and parks it in the crashed
+	// synthetic state. Both lists are small — O(victims), not O(n).
+	if ln.faulted {
+		ln.round++
+		r := int32(ln.round)
+		for idx, i32 := range ln.sleepAnts {
+			if ln.wakeAt[idx] == r {
+				i := int(i32)
+				st := ln.prog.Init
+				if split := ln.prog.InitSplit; split > 0 && i >= split {
+					st = ln.prog.InitRest
+				}
+				state[i] = st
+			}
+		}
+		for idx, i32 := range ln.crashAnts {
+			if ln.crashAt[idx] == r {
+				i := int(i32)
+				ln.commit[nest[i]]--
+				ln.alive--
+				state[i] = ln.crashSt
+			}
+		}
+	}
 
 	// Regroup the colony by state: count, prefix, scatter (+ ant-order
 	// environment draws for searching ants). The count histogram runs over
@@ -1090,6 +1240,29 @@ func (ln *lane) stepGeneral() error {
 	for s := 0; s < numStates; s++ {
 		members := bkt[off[s]:off[s+1]]
 		if len(members) == 0 {
+			continue
+		}
+		if ln.faulted && uint8(s) == ln.crashSt {
+			// A crashed ant walks to the last candidate nest it knew, or —
+			// if it never learned one, or its corpse was dragged back home —
+			// waits passively in the home-nest pairing, exactly like the
+			// scalar CrashAnt. The bucket mixes both behaviours, so it cannot
+			// reuse a generic emit loop.
+			lastNest := ln.lastNest
+			for _, i32 := range members {
+				i := int(i32)
+				if dest := lastNest[i]; dest != Home {
+					actNest[i] = dest
+					counts[dest]++
+					isRecr[i] = 0
+				} else {
+					actNest[i] = Home
+					isRecr[i] = 1
+					actBit[i] = 0
+					preState[i] = uint8(s)
+					nRecr++
+				}
+			}
 			continue
 		}
 		st := &states[s]
@@ -1405,6 +1578,23 @@ func (ln *lane) stepGeneral() error {
 	for s := 0; s < numStates; s++ {
 		members := bkt[off[s]:off[s+1]]
 		if len(members) == 0 {
+			continue
+		}
+		if ln.faulted && uint8(s) == ln.byzSrchSt {
+			// The Byzantine search fold: latch the first BAD nest discovered
+			// as the lure target (in the nest register, which the luring
+			// state's recruit emit advertises) — without touching the
+			// commitment census, because Byzantine ants are excluded from it
+			// from round one. In an all-good environment nothing ever
+			// latches, and the adversary searches forever, exactly like the
+			// scalar ByzantineAnt.
+			for _, i32 := range members {
+				i := int(i32)
+				if outNest := actNest[i]; qual[outNest] == 0 {
+					nest[i] = outNest
+					state[i] = ln.byzRecrSt
+				}
+			}
 			continue
 		}
 		st := &states[s]
@@ -1745,6 +1935,25 @@ func (ln *lane) stepGeneral() error {
 				state[i32] = next0
 			}
 			finals += int(isFinal[next0]) * len(members)
+		case ObserveInform:
+			// The rumor-spreading fold: a good outcome nest informs the ant
+			// (capture resolves through the slot table, so a captured waiter
+			// learns its capturer's nest — the second information channel).
+			// Informed ants commit; the capture pass skips this opcode
+			// because the fold already resolved the capture here.
+			for _, i32 := range members {
+				i := int(i32)
+				outNest, _ := ln.outcome(i, recruited, countHome)
+				next := st.NextB
+				if qual[outNest] > 0 {
+					commit[nest[i]]--
+					commit[outNest]++
+					nest[i] = outNest
+					next = next0
+				}
+				state[i] = next
+				finals += int(isFinal[next])
+			}
 		}
 	}
 
@@ -1835,6 +2044,26 @@ func (ln *lane) stepGeneral() error {
 			}
 		}
 	}
+
+	// Track every crash-fated ant's last known candidate nest from this
+	// round's outcome — before AND after the crash fires, mirroring the
+	// scalar CrashAnt.Observe: a live wrapper records where its inner agent
+	// went, and a dead one records where recruiters dragged the corpse. The
+	// pass is O(crash victims) and reads only resolved columns (actNest for
+	// searchers/goers, the slot table for recruiters).
+	if ln.faulted {
+		lastNest := ln.lastNest
+		for _, i32 := range ln.crashAnts {
+			i := int(i32)
+			outNest := actNest[i]
+			if isRecr[i] != 0 {
+				outNest = slotNest[slotOf[i]]
+			}
+			if outNest != Home {
+				lastNest[i] = outNest
+			}
+		}
+	}
 	ln.finals = finals
 	return nil
 }
@@ -1865,16 +2094,26 @@ func recruitEmit(op EmitOp) bool {
 }
 
 // census reports unanimous commitment to a good nest from the incrementally
-// maintained tally, mirroring core.TakeCensus + Census.Converged: compiled
-// programs model no faults, and a deciding program (one with Final states)
-// additionally requires every ant to have reached a Final state, exactly as
-// the scalar runner gates on the core.Decided contract.
+// maintained tally, mirroring core.TakeCensus + Census.Converged: faulty ants
+// (Byzantine from round one, crashed once their crash fires) are excluded
+// from the census total, while sleeping ants count — the colony cannot
+// converge before its idle reserve wakes and joins. A deciding program (one
+// with Final states) additionally requires every census ant to have reached a
+// Final state, exactly as the scalar runner gates on the core.Decided
+// contract.
 func (ln *lane) census() (NestID, bool) {
-	if ln.decides && ln.finals != ln.n {
+	alive := ln.n
+	if ln.faulted {
+		alive = ln.alive
+		if alive == 0 {
+			return Home, false
+		}
+	}
+	if ln.decides && ln.finals != alive {
 		return Home, false
 	}
 	for i := 1; i <= ln.k; i++ {
-		if ln.commit[i] == ln.n && ln.qual[i] > 0 {
+		if ln.commit[i] == alive && ln.qual[i] > 0 {
 			return NestID(i), true
 		}
 	}

@@ -126,35 +126,50 @@ func allocTestPrograms() map[string]Program {
 func TestBatchStepAllocationFree(t *testing.T) {
 	env := MustEnvironment([]float64{1, 0, 0.6, 0})
 	const n = 192
-	for name, prog := range allocTestPrograms() {
-		name, prog := name, prog
-		t.Run(name, func(t *testing.T) {
-			b, err := NewBatch(env, prog, n)
-			if err != nil {
-				t.Fatal(err)
-			}
-			ln := newLane(b)
-			if _, err := ln.runReplicate(0, 7, 300, 1, nil); err != nil {
-				t.Fatalf("warm-up replicate: %v", err)
-			}
-			ln.reset(11)
-			phase := prog.Init
-			allocs := testing.AllocsPerRun(200, func() {
-				var err error
-				if ln.lockstep {
-					phase, err = ln.stepLockstep(phase)
-				} else {
-					err = ln.stepGeneral()
-				}
+	specs := []struct {
+		tag  string
+		spec FaultSpec
+	}{
+		{"", FaultSpec{}},
+		// The fault lanes force the general path and route faulted ants
+		// through the synthetic states — none of which may touch the heap.
+		{"+faults", FaultSpec{CrashFraction: 0.1, CrashWindow: 40, ByzantineFraction: 0.05, SleepFraction: 0.1, SleepWindow: 40, Salt: 9}},
+	}
+	for name, base := range allocTestPrograms() {
+		for _, fs := range specs {
+			name, prog, fs := name, base, fs
+			prog.Params.Faults = fs.spec
+			t.Run(name+fs.tag, func(t *testing.T) {
+				b, err := NewBatch(env, prog, n)
 				if err != nil {
 					t.Fatal(err)
 				}
+				ln := newLane(b)
+				if _, err := ln.runReplicate(0, 7, 300, 1, nil); err != nil {
+					t.Fatalf("warm-up replicate: %v", err)
+				}
+				ln.reset(11)
+				phase := prog.Init
+				allocs := testing.AllocsPerRun(200, func() {
+					var err error
+					if ln.lockstep {
+						phase, err = ln.stepLockstep(phase)
+					} else {
+						err = ln.stepGeneral()
+					}
+					if err != nil {
+						t.Fatal(err)
+					}
+				})
+				if allocs != 0 {
+					t.Errorf("%s: %v allocs per round on the %s path, want 0",
+						name, allocs, map[bool]string{true: "lockstep", false: "general"}[ln.lockstep])
+				}
+				if fs.spec.Enabled() && ln.lockstep {
+					t.Errorf("%s: fault lanes must force the general path", name)
+				}
 			})
-			if allocs != 0 {
-				t.Errorf("%s: %v allocs per round on the %s path, want 0",
-					name, allocs, map[bool]string{true: "lockstep", false: "general"}[ln.lockstep])
-			}
-		})
+		}
 	}
 }
 

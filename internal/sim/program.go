@@ -48,7 +48,11 @@ import (
 // recruit emit plus capture-sensitive observes: its threshold register lives
 // in the countT scratch column (disjoint from Algorithm 2's use) and its
 // transport flag is encoded in the state chain, so no new register columns are
-// needed. Batched faults and batched matcher ablations remain ROADMAP items.
+// needed. The stock matcher ablations run batched through WithBatchMatcher,
+// and fault injection runs batched through the Params.Faults knobs: the lane
+// materializes per-ant crash-round/Byzantine/sleep columns and routes faulted
+// ants through engine-owned synthetic states (see FaultSpec), which forces the
+// general path and caps faulted programs at 252 states.
 // An algorithm advertises its compiled form by implementing the core package's
 // BatchCompilable interface.
 type Program struct {
@@ -58,6 +62,15 @@ type Program struct {
 	Init uint8
 	// States is the dense state table; successor indices refer into it.
 	States []ProgramState
+	// InitSplit, when positive, splits the colony's initial state by ant
+	// index: ants i < InitSplit start in Init and ants i >= InitSplit start
+	// in InitRest. The compiled Spreader process uses this for its
+	// seed-searcher/waiter split; a split colony is heterogeneous from round
+	// one, so Lockstep reports false.
+	InitSplit int
+	// InitRest is the initial state of ants i >= InitSplit; meaningful only
+	// when InitSplit > 0.
+	InitRest uint8
 	// Params parameterizes the extension emit opcodes; zero unless the
 	// program uses one of them (see ProgramParams).
 	Params ProgramParams
@@ -110,6 +123,12 @@ type ProgramParams struct {
 	// being carried away (ObserveQuorumTransport), drawn from the captured
 	// ant's stream. Must lie in [0, 1] when that opcode appears.
 	QuorumDocility float64
+
+	// Faults injects crash/Byzantine/sleep adversaries into every replicate
+	// (see FaultSpec). A disabled (zero) spec costs nothing; an enabled one
+	// forces the general execution path and caps the program at 252 states
+	// (the engine appends its synthetic fault states after the program's).
+	Faults FaultSpec
 }
 
 // ProgramState is one compiled PFSM state.
@@ -319,6 +338,15 @@ const (
 	// carried for its own nest, a resisting one, or an uncaptured one stays in
 	// transport — Next.
 	ObserveQuorumTransport
+	// ObserveInform is the rumor-spreading fold of the §3 lower-bound process:
+	// when the outcome nest is good the ant learns the rumor — it commits to
+	// that nest and enters Next (the informed state); otherwise it folds
+	// nothing and enters NextB. The recruit outcome of a captured waiter
+	// resolves to its capturer's advertised nest, so capture and discovery are
+	// the same two information channels as the scalar SpreaderAnt's. The
+	// Spreader compiler requires exactly one good nest, making "good outcome
+	// nest" and "outcome nest = target" the same predicate.
+	ObserveInform
 )
 
 // staticObserve reports whether op always enters Next.
@@ -369,8 +397,13 @@ func recruitDrawEmit(op EmitOp) bool {
 // Lockstep reports whether every transition is outcome-independent and every
 // emit is colony-uniform, i.e. all ants of a colony are always in the same
 // state. The batch engine runs such programs on a specialized shared-phase
-// path with no per-ant state column or recruiter indirection.
+// path with no per-ant state column or recruiter indirection. A split initial
+// state (InitSplit) or an enabled fault spec makes the colony heterogeneous
+// regardless of the opcodes, so either forces the general path.
 func (p Program) Lockstep() bool {
+	if p.InitSplit > 0 || p.Params.Faults.Enabled() {
+		return false
+	}
 	for _, st := range p.States {
 		if !lockstepObserve(st.Observe) || !lockstepEmit(st.Emit) {
 			return false
@@ -467,6 +500,21 @@ func (p Program) Validate() error {
 	if int(p.Init) >= len(p.States) {
 		return fmt.Errorf("sim: program %q initial state %d out of range", p.Algorithm, p.Init)
 	}
+	if p.InitSplit < 0 {
+		return fmt.Errorf("sim: program %q has negative InitSplit %d", p.Algorithm, p.InitSplit)
+	}
+	if p.InitSplit > 0 && int(p.InitRest) >= len(p.States) {
+		return fmt.Errorf("sim: program %q rest initial state %d out of range", p.Algorithm, p.InitRest)
+	}
+	if p.Params.Faults.Enabled() {
+		if err := p.Params.Faults.Validate(); err != nil {
+			return err
+		}
+		if len(p.States) > 256-batchSyntheticStates {
+			return fmt.Errorf("sim: program %q has %d states; faulted programs are capped at %d (the engine appends %d synthetic fault states)",
+				p.Algorithm, len(p.States), 256-batchSyntheticStates, batchSyntheticStates)
+		}
+	}
 	if p.NeedsIntParam() {
 		if p.Params.Tau < 1 {
 			return fmt.Errorf("sim: program %q uses EmitRecruitAdaptive with tau %d; want >= 1", p.Algorithm, p.Params.Tau)
@@ -488,7 +536,7 @@ func (p Program) Validate() error {
 		if st.Emit == EmitRecruitTransport && p.Params.QuorumCarry < 1 {
 			return fmt.Errorf("sim: program %q state %d: EmitRecruitTransport with carry %d; want >= 1", p.Algorithm, i, p.Params.QuorumCarry)
 		}
-		if st.Observe > ObserveQuorumTransport {
+		if st.Observe > ObserveInform {
 			return fmt.Errorf("sim: program %q state %d: unknown observe opcode %d", p.Algorithm, i, st.Observe)
 		}
 		if st.Observe == ObserveDiscoverQuorum && !(p.Params.QuorumMult > 1) {
