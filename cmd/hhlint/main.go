@@ -1,0 +1,73 @@
+// Command hhlint runs the in-tree static-analysis suite that enforces
+// the batch engine's invariants: RNG stream discipline, zero-allocation
+// hot paths, fixed-point purity, and replicate determinism.
+//
+// Usage:
+//
+//	go run ./cmd/hhlint ./...
+//	go run ./cmd/hhlint -run streamdiscipline,determinism ./internal/sim/...
+//
+// hhlint exits nonzero if any analyzer reports a diagnostic. See
+// README.md for the //hh: annotation contracts the analyzers check.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/gmrl/househunt/internal/lint"
+	"github.com/gmrl/househunt/internal/lint/analysis"
+)
+
+func main() {
+	runFlag := flag.String("run", "", "comma-separated analyzer names to run (default: all)")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: hhlint [-run analyzers] [packages]\n\nanalyzers:\n")
+		for _, a := range lint.Analyzers() {
+			fmt.Fprintf(os.Stderr, "  %-18s %s\n", a.Name, a.Doc)
+		}
+	}
+	flag.Parse()
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	analyzers, err := selectAnalyzers(*runFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hhlint:", err)
+		os.Exit(2)
+	}
+
+	n, err := lint.Run(".", patterns, analyzers, os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hhlint:", err)
+		os.Exit(2)
+	}
+	if n > 0 {
+		fmt.Fprintf(os.Stderr, "hhlint: %d diagnostic(s)\n", n)
+		os.Exit(1)
+	}
+}
+
+func selectAnalyzers(names string) ([]*analysis.Analyzer, error) {
+	all := lint.Analyzers()
+	if names == "" {
+		return all, nil
+	}
+	byName := make(map[string]*analysis.Analyzer, len(all))
+	for _, a := range all {
+		byName[a.Name] = a
+	}
+	var out []*analysis.Analyzer
+	for _, name := range strings.Split(names, ",") {
+		a, ok := byName[strings.TrimSpace(name)]
+		if !ok {
+			return nil, fmt.Errorf("unknown analyzer %q", name)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}

@@ -1,0 +1,73 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/gmrl/househunt/internal/lint"
+)
+
+// TestBadModule runs the full suite over the known-bad fixture module and
+// pins every diagnostic the multichecker must report: one violation per
+// analyzer plus the extra determinism findings.
+func TestBadModule(t *testing.T) {
+	var out bytes.Buffer
+	n, err := lint.Run("testdata/badmod", []string{"./..."}, lint.Analyzers(), &out)
+	if err != nil {
+		t.Fatalf("lint.Run: %v", err)
+	}
+	got := out.String()
+	expected := []string{
+		"hot root stepLockstep must be annotated //hh:hotpath",
+		"draw guarded by undocumented condition",
+		"make allocates in //hh:hotpath function",
+		"float conversion (int → float64)",
+		"map range iteration order is nondeterministic",
+		"time.Now reads the wall clock",
+		"import of math/rand",
+	}
+	for _, want := range expected {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q\nfull output:\n%s", want, got)
+		}
+	}
+	if n != len(expected) {
+		t.Errorf("diagnostic count = %d, want %d\nfull output:\n%s", n, len(expected), got)
+	}
+	for _, a := range []string{"streamdiscipline", "hotpathalloc", "fixedpoint", "determinism"} {
+		if !strings.Contains(got, "["+a+"]") {
+			t.Errorf("no diagnostic attributed to analyzer %s", a)
+		}
+	}
+}
+
+// TestBadModuleSingleAnalyzer pins the -run selection path: only the
+// selected analyzer's findings appear.
+func TestBadModuleSingleAnalyzer(t *testing.T) {
+	analyzers, err := selectAnalyzers("determinism")
+	if err != nil {
+		t.Fatalf("selectAnalyzers: %v", err)
+	}
+	var out bytes.Buffer
+	n, err := lint.Run("testdata/badmod", []string{"./..."}, analyzers, &out)
+	if err != nil {
+		t.Fatalf("lint.Run: %v", err)
+	}
+	if n != 3 {
+		t.Errorf("determinism-only count = %d, want 3\nfull output:\n%s", n, out.String())
+	}
+	if strings.Contains(out.String(), "[hotpathalloc]") {
+		t.Errorf("unselected analyzer ran:\n%s", out.String())
+	}
+}
+
+func TestSelectAnalyzersUnknown(t *testing.T) {
+	if _, err := selectAnalyzers("nosuch"); err == nil {
+		t.Fatal("selectAnalyzers(\"nosuch\") did not error")
+	}
+	all, err := selectAnalyzers("")
+	if err != nil || len(all) != len(lint.Analyzers()) {
+		t.Fatalf("selectAnalyzers(\"\") = %d analyzers, err %v", len(all), err)
+	}
+}

@@ -1,0 +1,3 @@
+module badfix
+
+go 1.24

@@ -1,0 +1,7 @@
+// Package rng is a fixture stand-in for the real internal/rng; the
+// analyzers identify draws by package name, type name and method name.
+package rng
+
+type Source struct{ s uint64 }
+
+func (s *Source) Uint64() uint64 { s.s += 0x9e3779b97f4a7c15; return s.s }

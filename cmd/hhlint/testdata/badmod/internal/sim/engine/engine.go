@@ -1,0 +1,46 @@
+// Package engine is a known-bad fixture: it compiles cleanly but holds
+// exactly one violation of each hhlint analyzer (plus one extra
+// determinism finding), so the end-to-end test can pin the multichecker's
+// full output.
+package engine
+
+import (
+	"math/rand"
+	"time"
+
+	"badfix/internal/rng"
+)
+
+type lane struct{ scratch []int }
+
+// stepLockstep is a hot root missing its //hh:hotpath annotation.
+func stepLockstep(ln *lane) { ln.scratch = ln.scratch[:0] }
+
+//hh:hotpath
+//hh:draws one word per ready round
+func drawGuarded(src *rng.Source, ready bool) uint64 {
+	if ready {
+		return src.Uint64() // streamdiscipline: undocumented guard
+	}
+	return 0
+}
+
+//hh:hotpath
+func alloc(n int) []int {
+	return make([]int, n) // hotpathalloc: make on the hot path
+}
+
+//hh:hotpath
+func toFloat(n int) float64 {
+	return float64(n) // fixedpoint: non-constant float conversion
+}
+
+func wallclock(m map[int]int) int64 {
+	total := int64(0)
+	for k := range m { // determinism: map iteration order
+		total += int64(k)
+	}
+	return total + time.Now().Unix() + int64(rand.Int()) // determinism: wall clock
+}
+
+var _ = []any{stepLockstep, drawGuarded, alloc, toFloat, wallclock}

@@ -15,6 +15,11 @@ import (
 // on the struct-of-arrays fast path, with the scalar agent path as the
 // fallback for everything else.
 //
+// The compiled programs are subject to the invariant contracts in the
+// top-level README.md ("Invariants", "Annotation contracts"): the batch
+// engine executing them must match the scalar agents draw for draw, which
+// cmd/hhlint enforces statically over internal/sim and this package.
+//
 // Batch-coverage matrix (algorithm × configuration → engine). Any scalar-only
 // cfg feature (Trace, Metrics, a non-stock NewMatcher, Concurrent, an agent
 // wrapper other than a fault spec) forces the scalar path regardless of the

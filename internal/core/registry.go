@@ -66,6 +66,7 @@ func (r *Registry) Names() []string {
 
 func (r *Registry) namesLocked() []string {
 	names := make([]string, 0, len(r.algos))
+	//hh:sorted collection order is discarded: names are sorted before returning
 	for n := range r.algos {
 		names = append(names, n)
 	}

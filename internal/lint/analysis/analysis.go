@@ -1,0 +1,53 @@
+// Package analysis is a minimal, dependency-free mirror of the
+// golang.org/x/tools/go/analysis API surface that the hhlint analyzers
+// need. The module deliberately has no external dependencies, so instead
+// of importing x/tools this package re-declares the small Analyzer /
+// Pass / Diagnostic vocabulary with identical field names and semantics.
+// Swapping to the real framework later is a mechanical import change.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one static check. Run inspects a single type-checked
+// package via the Pass and reports diagnostics through pass.Report.
+type Analyzer struct {
+	// Name is a short lowercase identifier used in diagnostics and
+	// test expectations.
+	Name string
+
+	// Doc is the help text: first line is a one-line summary.
+	Doc string
+
+	// Run applies the check to one package.
+	Run func(*Pass) error
+}
+
+// Pass provides one analyzer with the syntax, type information, and
+// reporting hook for a single package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Report delivers one diagnostic. The driver sets it.
+	Report func(Diagnostic)
+}
+
+// Diagnostic is one finding at a position.
+type Diagnostic struct {
+	Pos      token.Pos
+	Category string
+	Message  string
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}

@@ -1,0 +1,110 @@
+// Package analysistest runs an analyzer over a fixture package and checks
+// its diagnostics against // want "regexp" expectations embedded in the
+// fixture source — the same golden-comment convention as
+// golang.org/x/tools/go/analysis/analysistest, reimplemented on the
+// in-tree loader so the suite works without network access.
+//
+// Fixtures live under testdata/src/<pkgpath> relative to the calling
+// test's package directory; fixture imports resolve against sibling
+// directories under testdata/src first and compiler export data for the
+// standard library second.
+package analysistest
+
+import (
+	"fmt"
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"github.com/gmrl/househunt/internal/lint/analysis"
+	"github.com/gmrl/househunt/internal/lint/load"
+)
+
+var wantRe = regexp.MustCompile(`want((?:\s+"(?:[^"\\]|\\.)*")+)`)
+var quotedRe = regexp.MustCompile(`"(?:[^"\\]|\\.)*"`)
+
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	used bool
+}
+
+// Run applies a to the fixture package at testdata/src/<pkgPath> and
+// reports any mismatch between emitted diagnostics and // want comments.
+func Run(t *testing.T, a *analysis.Analyzer, pkgPath string) {
+	t.Helper()
+	srcRoot := filepath.Join("testdata", "src")
+	pkg, err := load.LoadFixture(srcRoot, pkgPath)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", pkgPath, err)
+	}
+
+	var wants []*expectation
+	for _, f := range pkg.Syntax {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, q := range quotedRe.FindAllString(m[1], -1) {
+					lit, err := strconv.Unquote(q)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want literal %s: %v", pos.Filename, pos.Line, q, err)
+					}
+					re, err := regexp.Compile(lit)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, lit, err)
+					}
+					wants = append(wants, &expectation{file: filepath.Base(pos.Filename), line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+
+	var diags []analysis.Diagnostic
+	pass := &analysis.Pass{
+		Analyzer:  a,
+		Fset:      pkg.Fset,
+		Files:     pkg.Syntax,
+		Pkg:       pkg.Types,
+		TypesInfo: pkg.Info,
+		Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
+	}
+	if err := a.Run(pass); err != nil {
+		t.Fatalf("analyzer %s: %v", a.Name, err)
+	}
+
+	for _, d := range diags {
+		pos := pkg.Fset.Position(d.Pos)
+		if !match(wants, pos, d.Message) {
+			t.Errorf("%s: unexpected diagnostic: %s", position(pos), d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.used {
+			t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.re)
+		}
+	}
+}
+
+func match(wants []*expectation, pos token.Position, msg string) bool {
+	for _, w := range wants {
+		if !w.used && w.file == filepath.Base(pos.Filename) && w.line == pos.Line && w.re.MatchString(msg) {
+			w.used = true
+			return true
+		}
+	}
+	return false
+}
+
+func position(pos token.Position) string {
+	parts := strings.Split(filepath.ToSlash(pos.Filename), "/")
+	short := parts[len(parts)-1]
+	return fmt.Sprintf("%s:%d:%d", short, pos.Line, pos.Column)
+}

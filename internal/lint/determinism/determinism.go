@@ -1,0 +1,110 @@
+// Package determinism defines an analyzer that enforces replicate
+// determinism in the engine packages: identical (spec, seed) inputs must
+// produce identical results, so nothing in scope may iterate a map in
+// observable order, read the wall clock, or draw from the global
+// math/rand stream.
+//
+// Exemptions are explicit and carry a justification:
+//
+//	//hh:sorted <why>    — map range whose results are sorted (or otherwise
+//	                       order-insensitive) before use
+//	//hh:wallclock <why> — deliberate wall-clock read (e.g. benchmarking
+//	                       code that never feeds simulation state)
+package determinism
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+	"strings"
+
+	"github.com/gmrl/househunt/internal/lint/analysis"
+	"github.com/gmrl/househunt/internal/lint/hhannot"
+)
+
+// Scope limits the analyzer to packages whose import path contains one of
+// these substrings. An empty slice checks every package.
+var Scope = []string{"internal/sim", "internal/core", "internal/algo", "internal/faults"}
+
+// bannedImports are sources of nondeterminism that must never be linked
+// into engine packages; all randomness flows through seeded rng.Source.
+var bannedImports = []string{"math/rand", "math/rand/v2"}
+
+var Analyzer = &analysis.Analyzer{
+	Name: "determinism",
+	Doc:  "forbid map iteration order, wall-clock reads, and global math/rand in engine packages",
+	Run:  run,
+}
+
+func inScope(path string) bool {
+	if len(Scope) == 0 {
+		return true
+	}
+	for _, s := range Scope {
+		if strings.Contains(path, s) {
+			return true
+		}
+	}
+	return false
+}
+
+func run(pass *analysis.Pass) error {
+	if !inScope(pass.Pkg.Path()) {
+		return nil
+	}
+	annots := hhannot.NewMap(pass.Fset, pass.Files)
+	for _, f := range pass.Files {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			for _, banned := range bannedImports {
+				if path == banned {
+					pass.Reportf(imp.Pos(), "import of %s: engine packages must draw only from seeded rng.Source streams", path)
+				}
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.RangeStmt:
+				t := pass.TypesInfo.TypeOf(n.X)
+				if t == nil {
+					return true
+				}
+				if _, ok := t.Underlying().(*types.Map); ok && !annots.Has(n, "sorted") {
+					pass.Reportf(n.Pos(), "map range iteration order is nondeterministic (sort first and annotate //hh:sorted <why>)")
+				}
+			case *ast.CallExpr:
+				if name, ok := pkgFuncName(pass, n, "time"); ok {
+					switch name {
+					case "Now", "Since", "Until":
+						if !annots.Has(n, "wallclock") {
+							pass.Reportf(n.Pos(), "time.%s reads the wall clock; replicate results must depend only on (spec, seed) (annotate //hh:wallclock <why> if deliberate)", name)
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// pkgFuncName reports the function name if call invokes a package-level
+// function of the package imported under pkgName's path.
+func pkgFuncName(pass *analysis.Pass, call *ast.CallExpr, pkgPath string) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	pn, ok := pass.TypesInfo.Uses[id].(*types.PkgName)
+	if !ok || pn.Imported().Path() != pkgPath {
+		return "", false
+	}
+	return sel.Sel.Name, true
+}

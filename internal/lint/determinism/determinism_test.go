@@ -1,0 +1,16 @@
+package determinism_test
+
+import (
+	"testing"
+
+	"github.com/gmrl/househunt/internal/lint/analysistest"
+	"github.com/gmrl/househunt/internal/lint/determinism"
+)
+
+func TestDeterminismInScope(t *testing.T) {
+	analysistest.Run(t, determinism.Analyzer, "internal/sim/detfix")
+}
+
+func TestDeterminismOutOfScope(t *testing.T) {
+	analysistest.Run(t, determinism.Analyzer, "outscope")
+}

@@ -1,0 +1,40 @@
+// Package detfix sits on an import path inside the analyzer's default
+// scope (internal/sim) and exercises every determinism rule: banned
+// randomness imports, map iteration order, and wall-clock reads, each
+// with a flagged and an exempted form.
+package detfix
+
+import (
+	"math/rand" // want "import of math/rand: engine packages must draw only"
+	"sort"
+	"time"
+)
+
+func mapOrder(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m { // want "map range iteration order is nondeterministic"
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
+	//hh:sorted collection order is discarded: keys are sorted before use
+	for k := range m {
+		_ = k
+	}
+
+	for _, k := range keys { // slice range: deterministic, allowed
+		_ = k
+	}
+	return keys
+}
+
+func clock() int64 {
+	t := time.Now() // want "time.Now reads the wall clock"
+
+	//hh:wallclock benchmark plumbing only; never feeds simulation state
+	t2 := time.Now()
+
+	d := time.Duration(0)
+	_ = d
+	return t.Unix() + t2.Unix() + int64(rand.Int())
+}

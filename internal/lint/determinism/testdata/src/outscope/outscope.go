@@ -1,0 +1,14 @@
+// Package outscope lives outside the engine import paths: the analyzer
+// must stay silent even on patterns it would flag in scope. The fixture
+// has no want comments, so any diagnostic fails the test.
+package outscope
+
+import "time"
+
+func clock(m map[int]int) int64 {
+	total := int64(0)
+	for k := range m {
+		total += int64(k)
+	}
+	return total + time.Now().Unix()
+}

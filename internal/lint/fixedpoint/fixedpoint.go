@@ -1,0 +1,110 @@
+// Package fixedpoint defines an analyzer that keeps //hh:hotpath code
+// free of floating-point arithmetic. The batch engine's recruit/emit
+// loops run on fixed-point rng.Threshold kernels precisely so that the
+// per-round path executes zero float operations below batchTableMaxN;
+// this analyzer is the static twin of that design decision.
+//
+// Flagged inside //hh:hotpath functions: binary + - * / with a float32 or
+// float64 operand, the compound assignments += -= *= /=, and non-constant
+// conversions to or from a float type. Comparisons, plain assignments,
+// and constant-folded conversions are allowed.
+//
+// The named fallback paths (float draws above the table ceiling, the
+// float→fixed threshold compiler) are exempted with //hh:floatok <why>
+// on the function or on the enclosing statement/case clause.
+package fixedpoint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"github.com/gmrl/househunt/internal/lint/analysis"
+	"github.com/gmrl/househunt/internal/lint/hhannot"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "fixedpoint",
+	Doc:  "forbid float arithmetic and conversions in //hh:hotpath code outside //hh:floatok fallbacks",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	annots := hhannot.NewMap(pass.Fset, pass.Files)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if !hhannot.DocHas(fd.Doc, "hotpath") || hhannot.DocHas(fd.Doc, "floatok") {
+				continue
+			}
+			checkBody(pass, annots, fd.Body)
+		}
+	}
+	return nil
+}
+
+func checkBody(pass *analysis.Pass, annots *hhannot.Map, body ast.Node) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n.(type) {
+		case ast.Stmt, *ast.CaseClause:
+			if annots.Has(n, "floatok") {
+				return false
+			}
+		}
+		switch n := n.(type) {
+		case *ast.BinaryExpr:
+			switch n.Op {
+			case token.ADD, token.SUB, token.MUL, token.QUO:
+				if isFloat(pass, n.X) || isFloat(pass, n.Y) {
+					pass.Reportf(n.OpPos, "float arithmetic (%s) in //hh:hotpath code; use fixed-point rng.Threshold or annotate //hh:floatok <why>", n.Op)
+				}
+			}
+		case *ast.AssignStmt:
+			switch n.Tok {
+			case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+				if len(n.Lhs) == 1 && isFloat(pass, n.Lhs[0]) {
+					pass.Reportf(n.TokPos, "float arithmetic (%s) in //hh:hotpath code; use fixed-point rng.Threshold or annotate //hh:floatok <why>", n.Tok)
+				}
+			}
+		case *ast.CallExpr:
+			if conv, from, to := floatConversion(pass, n); conv {
+				pass.Reportf(n.Pos(), "float conversion (%s → %s) in //hh:hotpath code; annotate //hh:floatok <why> if this is a named fallback", from, to)
+			}
+		}
+		return true
+	})
+}
+
+func isFloat(pass *analysis.Pass, e ast.Expr) bool {
+	return isFloatType(pass.TypesInfo.TypeOf(e))
+}
+
+func isFloatType(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// floatConversion reports a non-constant conversion where the source or
+// destination is a float type. Constant conversions fold at compile time
+// and cost nothing at run time.
+func floatConversion(pass *analysis.Pass, call *ast.CallExpr) (bool, string, string) {
+	if len(call.Args) != 1 {
+		return false, "", ""
+	}
+	tv, ok := pass.TypesInfo.Types[call.Fun]
+	if !ok || !tv.IsType() {
+		return false, "", ""
+	}
+	if rv, ok := pass.TypesInfo.Types[ast.Expr(call)]; ok && rv.Value != nil {
+		return false, "", ""
+	}
+	src := pass.TypesInfo.TypeOf(call.Args[0])
+	dst := tv.Type
+	if src == nil || (!isFloatType(src) && !isFloatType(dst)) {
+		return false, "", ""
+	}
+	return true, src.String(), dst.String()
+}

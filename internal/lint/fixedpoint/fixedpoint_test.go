@@ -1,0 +1,12 @@
+package fixedpoint_test
+
+import (
+	"testing"
+
+	"github.com/gmrl/househunt/internal/lint/analysistest"
+	"github.com/gmrl/househunt/internal/lint/fixedpoint"
+)
+
+func TestFixedPoint(t *testing.T) {
+	analysistest.Run(t, fixedpoint.Analyzer, "fpfix")
+}

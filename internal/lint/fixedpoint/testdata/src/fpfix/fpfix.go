@@ -1,0 +1,55 @@
+// Package fpfix exercises the fixedpoint rules: float arithmetic,
+// compound assignment and non-constant conversions are flagged inside
+// //hh:hotpath functions, while comparisons, constant conversions,
+// //hh:floatok exemptions (function, statement, and case granularity)
+// and cold code are allowed.
+package fpfix
+
+//hh:hotpath
+func hotBad(a, b float64, n int) float64 {
+	c := a * b      // want "float arithmetic"
+	c += a          // want "float arithmetic"
+	d := float64(n) // want "float conversion"
+	if a < b {      // comparison: allowed
+		return c + d // want "float arithmetic"
+	}
+	return 0
+}
+
+//hh:hotpath
+func hotAllowed(a float64, n int) int {
+	k := float64(8) // constant conversion folds at compile time: allowed
+	if a > k {
+		return n
+	}
+	return int(a) // want "float conversion"
+}
+
+//hh:hotpath
+func hotAnnotated(a float64, n int) float64 {
+	x := float64(n) //hh:floatok mirrors the scalar formula above the table ceiling
+
+	//hh:floatok fallback block above batchTableMaxN
+	if n > 0 {
+		x = x * a
+	}
+	switch n {
+	//hh:floatok the float→fixed compile path
+	case 1:
+		x = x / a
+	case 2:
+		x = x - a // want "float arithmetic"
+	}
+	return x
+}
+
+// hotFloatOk is exempt wholesale: the named float→fixed compiler.
+//
+//hh:hotpath
+//hh:floatok this function IS the float fallback
+func hotFloatOk(a float64) float64 { return a * a }
+
+// coldFloat is not hotpath: fixedpoint does not police cold code.
+func coldFloat(a float64) float64 { return a * 2 }
+
+var _ = []any{hotBad, hotAllowed, hotAnnotated, hotFloatOk, coldFloat}

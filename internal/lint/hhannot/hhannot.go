@@ -1,0 +1,141 @@
+// Package hhannot parses the //hh: comment directives that document the
+// batch engine's invariant contracts. The grammar is one directive per
+// comment line:
+//
+//	//hh:hotpath                     — per-round hot function: checked by
+//	                                   hotpathalloc, fixedpoint, streamdiscipline
+//	//hh:coldpath <reason>           — same-package callee of a hot function
+//	                                   deliberately off the hot path
+//	//hh:draws <spec> [scalar=<name>] — RNG draw contract (opcode consts,
+//	                                   hot functions, guarded draw sites)
+//	//hh:floatok <reason>            — fixedpoint exemption (named fallback)
+//	//hh:allocok <reason>            — hotpathalloc statement exemption
+//	//hh:antorder <reason>           — streamdiscipline bucket-loop exemption
+//	//hh:sorted <reason>             — determinism map-range exemption
+//	//hh:wallclock <reason>          — determinism time-call exemption
+//
+// A directive attaches to a function through its doc comment, and to a
+// statement or declaration through a trailing comment on the same line or
+// a comment on the immediately preceding line.
+package hhannot
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Annot is one parsed //hh: directive.
+type Annot struct {
+	Key  string // e.g. "hotpath", "draws"
+	Args string // remainder of the line, trimmed
+}
+
+// parse extracts directives from a single comment's text.
+func parse(text string) (Annot, bool) {
+	s := strings.TrimPrefix(text, "//")
+	s = strings.TrimSpace(s)
+	if !strings.HasPrefix(s, "hh:") {
+		return Annot{}, false
+	}
+	s = strings.TrimPrefix(s, "hh:")
+	key, args, _ := strings.Cut(s, " ")
+	return Annot{Key: key, Args: strings.TrimSpace(args)}, key != ""
+}
+
+// FromDoc returns the directives anywhere in a doc comment group.
+func FromDoc(doc *ast.CommentGroup) []Annot {
+	if doc == nil {
+		return nil
+	}
+	var out []Annot
+	for _, c := range doc.List {
+		if a, ok := parse(c.Text); ok {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// DocHas reports whether a doc comment group carries the given directive.
+func DocHas(doc *ast.CommentGroup, key string) bool {
+	for _, a := range FromDoc(doc) {
+		if a.Key == key {
+			return true
+		}
+	}
+	return false
+}
+
+// DocGet returns the first directive with the given key in a doc group.
+func DocGet(doc *ast.CommentGroup, key string) (Annot, bool) {
+	for _, a := range FromDoc(doc) {
+		if a.Key == key {
+			return a, true
+		}
+	}
+	return Annot{}, false
+}
+
+// Map indexes every //hh: directive in a set of files by file and line, so
+// analyzers can ask whether a statement is annotated without relying on
+// go/ast comment attachment (which only covers declarations).
+type Map struct {
+	fset   *token.FileSet
+	byLine map[string]map[int][]Annot
+}
+
+// NewMap scans all comments in files.
+func NewMap(fset *token.FileSet, files []*ast.File) *Map {
+	m := &Map{fset: fset, byLine: make(map[string]map[int][]Annot)}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				a, ok := parse(c.Text)
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				lines := m.byLine[pos.Filename]
+				if lines == nil {
+					lines = make(map[int][]Annot)
+					m.byLine[pos.Filename] = lines
+				}
+				lines[pos.Line] = append(lines[pos.Line], a)
+			}
+		}
+	}
+	return m
+}
+
+// At returns the directives attached to node: those written on the line
+// where the node starts, or on the line immediately above it.
+func (m *Map) At(node ast.Node) []Annot {
+	pos := m.fset.Position(node.Pos())
+	lines := m.byLine[pos.Filename]
+	if lines == nil {
+		return nil
+	}
+	out := append([]Annot(nil), lines[pos.Line-1]...)
+	return append(out, lines[pos.Line]...)
+}
+
+// Has reports whether node carries the given directive.
+func (m *Map) Has(node ast.Node, key string) bool {
+	for _, a := range m.At(node) {
+		if a.Key == key {
+			return true
+		}
+	}
+	return false
+}
+
+// Get returns the first directive with the given key attached to node.
+func (m *Map) Get(node ast.Node, key string) (Annot, bool) {
+	for _, a := range m.At(node) {
+		if a.Key == key {
+			return a, true
+		}
+	}
+	return Annot{}, false
+}

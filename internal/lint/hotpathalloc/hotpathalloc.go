@@ -1,0 +1,298 @@
+// Package hotpathalloc defines an analyzer that keeps //hh:hotpath
+// functions allocation-free — the static twin of the AllocsPerRun tests
+// that pin the batch engine's per-round path at zero allocations.
+//
+// Inside a //hh:hotpath function the analyzer flags:
+//
+//   - make, new, and map/func literals (direct allocations)
+//   - append (only provably safe within reserved capacity; annotate the
+//     statement //hh:allocok <why> when the capacity argument is proven)
+//   - calls into package fmt (allocate and pull in reflection)
+//   - implicit interface conversions in calls, assignments, variable
+//     declarations, and returns (box the concrete value)
+//
+// Abort paths are cold by construction: a return statement that builds an
+// error via fmt.Errorf / errors.New is exempt, as is any statement
+// annotated //hh:allocok <why>.
+//
+// The analyzer also enforces the annotation topology: the known hot roots
+// (stepLockstep, stepGeneral, Match, MatchCarry) must be annotated, and
+// every same-package function a hot function calls must itself be either
+// //hh:hotpath or //hh:coldpath <why>, so the annotation frontier is
+// always explicit.
+package hotpathalloc
+
+import (
+	"go/ast"
+	"go/types"
+
+	"github.com/gmrl/househunt/internal/lint/analysis"
+	"github.com/gmrl/househunt/internal/lint/hhannot"
+)
+
+// Roots are function/method names that anchor the hot path; declaring one
+// without //hh:hotpath is an error so the annotation set cannot silently
+// rot as code moves.
+var Roots = map[string]bool{
+	"stepLockstep": true,
+	"stepGeneral":  true,
+	"Match":        true,
+	"MatchCarry":   true,
+}
+
+var Analyzer = &analysis.Analyzer{
+	Name: "hotpathalloc",
+	Doc:  "forbid allocations, fmt, closures, and interface boxing in //hh:hotpath functions",
+	Run:  run,
+}
+
+// funcInfo records one declared function's annotation state for the
+// callee-propagation rule.
+type funcInfo struct {
+	decl    *ast.FuncDecl
+	hot     bool
+	cold    bool
+	hasBody bool
+}
+
+type funcInfoLookup = map[types.Object]*funcInfo
+
+func run(pass *analysis.Pass) error {
+	annots := hhannot.NewMap(pass.Fset, pass.Files)
+
+	// Map every declared function object to its annotation state so the
+	// callee-propagation rule can resolve same-package static calls.
+	byObj := make(funcInfoLookup)
+	var hotDecls []*ast.FuncDecl
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			obj := pass.TypesInfo.Defs[fd.Name]
+			fi := &funcInfo{
+				decl:    fd,
+				hot:     hhannot.DocHas(fd.Doc, "hotpath"),
+				cold:    hhannot.DocHas(fd.Doc, "coldpath"),
+				hasBody: fd.Body != nil,
+			}
+			if obj != nil {
+				byObj[obj] = fi
+			}
+			if Roots[fd.Name.Name] && !fi.hot {
+				pass.Reportf(fd.Name.Pos(), "hot root %s must be annotated //hh:hotpath", fd.Name.Name)
+			}
+			if fi.hot && fi.hasBody {
+				hotDecls = append(hotDecls, fd)
+			}
+		}
+	}
+
+	for _, fd := range hotDecls {
+		checkBody(pass, annots, byObj, fd)
+	}
+	return nil
+}
+
+func checkBody(pass *analysis.Pass, annots *hhannot.Map, byObj funcInfoLookup, fd *ast.FuncDecl) {
+	results := fd.Type.Results
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n.(type) {
+		case ast.Stmt, *ast.CaseClause:
+			if annots.Has(n, "allocok") {
+				return false
+			}
+		}
+		switch n := n.(type) {
+		case *ast.ReturnStmt:
+			if isColdErrorReturn(pass, n) {
+				return false
+			}
+			checkReturnBoxing(pass, results, n)
+		case *ast.FuncLit:
+			pass.Reportf(n.Pos(), "closure in //hh:hotpath function: captured variables may escape to the heap")
+			return false
+		case *ast.CompositeLit:
+			if t := pass.TypesInfo.TypeOf(n); t != nil {
+				if _, ok := t.Underlying().(*types.Map); ok {
+					pass.Reportf(n.Pos(), "map literal allocates in //hh:hotpath function")
+				}
+			}
+		case *ast.CallExpr:
+			checkCall(pass, annots, byObj, n)
+		case *ast.AssignStmt:
+			checkAssignBoxing(pass, n)
+		case *ast.ValueSpec:
+			checkSpecBoxing(pass, n)
+		}
+		return true
+	})
+}
+
+func checkCall(pass *analysis.Pass, annots *hhannot.Map, byObj funcInfoLookup, call *ast.CallExpr) {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		if b, ok := pass.TypesInfo.Uses[fun].(*types.Builtin); ok {
+			switch b.Name() {
+			case "make", "new":
+				pass.Reportf(call.Pos(), "%s allocates in //hh:hotpath function (preallocate in lane setup)", b.Name())
+			case "append":
+				pass.Reportf(call.Pos(), "append in //hh:hotpath function may grow beyond capacity (annotate //hh:allocok <why> if within reserved capacity)")
+			}
+			return
+		}
+	}
+
+	callee := calleeObject(pass, call)
+	if callee != nil {
+		if pkg := callee.Pkg(); pkg != nil && pkg.Path() == "fmt" {
+			pass.Reportf(call.Pos(), "fmt.%s in //hh:hotpath function allocates and reflects; move to a cold error return or drop it", callee.Name())
+			return
+		}
+		if fi, ok := byObj[callee]; ok && !fi.hot && !fi.cold {
+			pass.Reportf(call.Pos(), "//hh:hotpath function calls %s, which is neither //hh:hotpath nor //hh:coldpath", callee.Name())
+		}
+	}
+
+	// Implicit interface boxing of arguments. Conversions expressed as
+	// T(x) are handled by TypesInfo.Types[call.Fun].IsType() below.
+	if tv, ok := pass.TypesInfo.Types[call.Fun]; ok && tv.IsType() {
+		if types.IsInterface(tv.Type) {
+			if src := pass.TypesInfo.TypeOf(call.Args[0]); src != nil && !types.IsInterface(src) && !isNil(src) {
+				pass.Reportf(call.Pos(), "conversion to interface %s boxes the value in //hh:hotpath function", tv.Type.String())
+			}
+		}
+		return
+	}
+	sig, ok := pass.TypesInfo.TypeOf(call.Fun).(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		if sig.Variadic() && i >= params.Len()-1 {
+			if s, ok := params.At(params.Len() - 1).Type().(*types.Slice); ok {
+				pt = s.Elem()
+			}
+		} else if i < params.Len() {
+			pt = params.At(i).Type()
+		}
+		if pt == nil || !types.IsInterface(pt) {
+			continue
+		}
+		at := pass.TypesInfo.TypeOf(arg)
+		if at != nil && !types.IsInterface(at) && !isNil(at) {
+			pass.Reportf(arg.Pos(), "argument boxes %s into interface %s in //hh:hotpath function", at.String(), pt.String())
+		}
+	}
+}
+
+func checkAssignBoxing(pass *analysis.Pass, n *ast.AssignStmt) {
+	if len(n.Lhs) != len(n.Rhs) {
+		return
+	}
+	for i := range n.Lhs {
+		lt := pass.TypesInfo.TypeOf(n.Lhs[i])
+		rt := pass.TypesInfo.TypeOf(n.Rhs[i])
+		if lt != nil && rt != nil && types.IsInterface(lt) && !types.IsInterface(rt) && !isNil(rt) {
+			pass.Reportf(n.Rhs[i].Pos(), "assignment boxes %s into interface %s in //hh:hotpath function", rt.String(), lt.String())
+		}
+	}
+}
+
+func checkSpecBoxing(pass *analysis.Pass, n *ast.ValueSpec) {
+	if n.Type == nil {
+		return
+	}
+	lt := pass.TypesInfo.TypeOf(n.Type)
+	if lt == nil || !types.IsInterface(lt) {
+		return
+	}
+	for _, v := range n.Values {
+		if rt := pass.TypesInfo.TypeOf(v); rt != nil && !types.IsInterface(rt) && !isNil(rt) {
+			pass.Reportf(v.Pos(), "declaration boxes %s into interface %s in //hh:hotpath function", rt.String(), lt.String())
+		}
+	}
+}
+
+func checkReturnBoxing(pass *analysis.Pass, results *ast.FieldList, n *ast.ReturnStmt) {
+	if results == nil || len(n.Results) == 0 {
+		return
+	}
+	var resTypes []types.Type
+	for _, f := range results.List {
+		t := pass.TypesInfo.TypeOf(f.Type)
+		k := len(f.Names)
+		if k == 0 {
+			k = 1
+		}
+		for j := 0; j < k; j++ {
+			resTypes = append(resTypes, t)
+		}
+	}
+	if len(resTypes) != len(n.Results) {
+		return
+	}
+	for i, r := range n.Results {
+		rt := pass.TypesInfo.TypeOf(r)
+		if resTypes[i] != nil && rt != nil && types.IsInterface(resTypes[i]) && !types.IsInterface(rt) && !isNil(rt) {
+			pass.Reportf(r.Pos(), "return boxes %s into interface %s in //hh:hotpath function", rt.String(), resTypes[i].String())
+		}
+	}
+}
+
+// isColdErrorReturn reports whether ret constructs an error via
+// fmt.Errorf or errors.New — the abort-path idiom that is cold by
+// construction and therefore exempt from allocation checks.
+func isColdErrorReturn(pass *analysis.Pass, ret *ast.ReturnStmt) bool {
+	cold := false
+	ast.Inspect(ret, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if obj := calleeObject(pass, call); obj != nil && obj.Pkg() != nil {
+			switch {
+			case obj.Pkg().Path() == "fmt" && obj.Name() == "Errorf",
+				obj.Pkg().Path() == "errors" && obj.Name() == "New":
+				cold = true
+				return false
+			}
+		}
+		return true
+	})
+	return cold
+}
+
+// calleeObject resolves the static callee of a call, or nil for func
+// values, interface methods without a static target, and builtins.
+func calleeObject(pass *analysis.Pass, call *ast.CallExpr) types.Object {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		if f, ok := pass.TypesInfo.Uses[fun].(*types.Func); ok {
+			return f
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := pass.TypesInfo.Selections[fun]; ok {
+			if f, ok := sel.Obj().(*types.Func); ok {
+				// Skip methods reached through an interface: no static body.
+				if types.IsInterface(sel.Recv()) {
+					return nil
+				}
+				return f
+			}
+			return nil
+		}
+		if f, ok := pass.TypesInfo.Uses[fun.Sel].(*types.Func); ok {
+			return f
+		}
+	}
+	return nil
+}
+
+func isNil(t types.Type) bool {
+	b, ok := t.(*types.Basic)
+	return ok && b.Kind() == types.UntypedNil
+}

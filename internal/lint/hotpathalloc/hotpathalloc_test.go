@@ -1,0 +1,12 @@
+package hotpathalloc_test
+
+import (
+	"testing"
+
+	"github.com/gmrl/househunt/internal/lint/analysistest"
+	"github.com/gmrl/househunt/internal/lint/hotpathalloc"
+)
+
+func TestHotPathAlloc(t *testing.T) {
+	analysistest.Run(t, hotpathalloc.Analyzer, "hafix")
+}

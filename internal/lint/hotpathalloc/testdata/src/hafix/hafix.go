@@ -1,0 +1,87 @@
+// Package hafix exercises every hotpathalloc rule: unannotated roots,
+// direct allocations, append discipline, fmt calls, closures, callee
+// propagation, interface boxing in calls, assignments, declarations and
+// returns, and the cold-error-return exemption.
+package hafix
+
+import (
+	"errors"
+	"fmt"
+)
+
+type sink interface{ put(int) }
+
+type impl struct{ n int }
+
+func (impl) put(int) {}
+
+// Match is a hot root left unannotated.
+func Match(n int) {} // want "hot root Match must be annotated //hh:hotpath"
+
+// MatchCarry is the annotated root; calling another hot function is fine.
+//
+//hh:hotpath
+func MatchCarry(n int) int { return helperHot(n) }
+
+//hh:hotpath
+func helperHot(n int) int { return n + 1 }
+
+//hh:coldpath reserve-time setup only
+func helperCold() {}
+
+func unmarked() {}
+
+//hh:hotpath
+func badAllocs(buf []int) {
+	x := make([]int, 4)  // want "make allocates"
+	p := new(int)        // want "new allocates"
+	buf = append(buf, 1) // want "append in //hh:hotpath function may grow"
+	buf = append(buf, 2) //hh:allocok within the capacity Reserve established
+
+	m := map[int]int{} // want "map literal allocates"
+	f := func() {}     // want "closure in //hh:hotpath function"
+	fmt.Println(x, m)  // want "fmt.Println in //hh:hotpath function"
+	helperCold()
+	unmarked() // want "calls unmarked, which is neither"
+	f()
+	_ = p
+	_ = buf
+}
+
+//hh:coldpath diagnostics helper, never on the per-round path
+func consume(v any) { _ = v }
+
+//hh:hotpath
+func boxing(n int, c impl, s sink) {
+	consume(n)  // want "argument boxes int into interface"
+	_ = sink(c) // want "conversion to interface"
+	var s2 sink
+	s2 = c          // want "assignment boxes"
+	var s3 sink = c // want "declaration boxes"
+	_, _ = s2, s3
+	s.put(n) // interface dispatch: no static callee, nothing to propagate
+}
+
+//hh:hotpath
+func retBox(c impl) sink {
+	return c // want "return boxes"
+}
+
+// coldAbort exercises the exemption: error-constructing returns are the
+// cold abort idiom and never execute on the steady-state path.
+//
+//hh:hotpath
+func coldAbort(bad bool) error {
+	if bad {
+		return fmt.Errorf("bad input %d", 1)
+	}
+	if !bad {
+		return errors.New("also cold")
+	}
+	return nil
+}
+
+// coldAlloc is not hotpath: allocation rules do not apply.
+func coldAlloc() []int { return make([]int, 8) }
+
+var _ = []any{Match, MatchCarry, badAllocs, boxing, retBox, coldAbort, coldAlloc}

@@ -1,0 +1,82 @@
+// Package lint assembles the hhlint analyzer suite and the driver that
+// runs it over Go package patterns. The suite statically enforces the
+// batch engine's invariants: RNG stream discipline (streamdiscipline),
+// zero-allocation hot paths (hotpathalloc), fixed-point purity
+// (fixedpoint), and replicate determinism (determinism). See README.md
+// for the annotation contracts the analyzers check.
+package lint
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"github.com/gmrl/househunt/internal/lint/analysis"
+	"github.com/gmrl/househunt/internal/lint/determinism"
+	"github.com/gmrl/househunt/internal/lint/fixedpoint"
+	"github.com/gmrl/househunt/internal/lint/hotpathalloc"
+	"github.com/gmrl/househunt/internal/lint/load"
+	"github.com/gmrl/househunt/internal/lint/streamdiscipline"
+)
+
+// Analyzers returns the full hhlint suite in reporting order.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		streamdiscipline.Analyzer,
+		hotpathalloc.Analyzer,
+		fixedpoint.Analyzer,
+		determinism.Analyzer,
+	}
+}
+
+// Run loads patterns relative to dir, applies every analyzer to every
+// matched package, and writes file:line:col: message [analyzer] lines to
+// out in a stable order. It returns the number of diagnostics.
+func Run(dir string, patterns []string, analyzers []*analysis.Analyzer, out io.Writer) (int, error) {
+	pkgs, err := load.Load(dir, patterns...)
+	if err != nil {
+		return 0, err
+	}
+	type line struct {
+		file     string
+		row, col int
+		analyzer string
+		message  string
+	}
+	var lines []line
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			pass := &analysis.Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Syntax,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.Info,
+			}
+			pass.Report = func(d analysis.Diagnostic) {
+				pos := pkg.Fset.Position(d.Pos)
+				lines = append(lines, line{pos.Filename, pos.Line, pos.Column, a.Name, d.Message})
+			}
+			if err := a.Run(pass); err != nil {
+				return 0, fmt.Errorf("lint: %s on %s: %v", a.Name, pkg.PkgPath, err)
+			}
+		}
+	}
+	sort.Slice(lines, func(i, j int) bool {
+		a, b := lines[i], lines[j]
+		if a.file != b.file {
+			return a.file < b.file
+		}
+		if a.row != b.row {
+			return a.row < b.row
+		}
+		if a.col != b.col {
+			return a.col < b.col
+		}
+		return a.analyzer < b.analyzer
+	})
+	for _, l := range lines {
+		fmt.Fprintf(out, "%s:%d:%d: %s [%s]\n", l.file, l.row, l.col, l.message, l.analyzer)
+	}
+	return len(lines), nil
+}

@@ -1,0 +1,232 @@
+// Package load turns Go package patterns into type-checked syntax trees
+// without any dependency outside the standard library. It shells out to
+// `go list -export -json -deps` for package metadata and compiled export
+// data, parses the target packages' sources with go/parser, and resolves
+// imports through the gc export-data importer — so the hhlint analyzers
+// see exactly what the compiler built, fully offline.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package bundles everything an analyzer pass needs for one package.
+type Package struct {
+	PkgPath string
+	Fset    *token.FileSet
+	Syntax  []*ast.File
+	Types   *types.Package
+	Info    *types.Info
+}
+
+// listedPkg mirrors the subset of `go list -json` output we consume.
+type listedPkg struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	GoFiles    []string
+	Export     string
+	DepOnly    bool
+	Standard   bool
+	Incomplete bool
+	Error      *struct{ Err string }
+}
+
+// Load lists patterns in dir (a directory inside a Go module), parses the
+// matched packages, and type-checks them against the compiler's export
+// data for every dependency. Target packages are returned in a stable
+// import-path order; dependencies are only used for type resolution.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	args := append([]string{"list", "-export", "-json", "-deps", "--"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("load: go %s: %v\n%s", strings.Join(args, " "), err, stderr.String())
+	}
+
+	exports := make(map[string]string)
+	var targets []*listedPkg
+	dec := json.NewDecoder(&stdout)
+	for {
+		var p listedPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("load: decoding go list output: %v", err)
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("load: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly {
+			q := p
+			targets = append(targets, &q)
+		}
+	}
+	sort.Slice(targets, func(i, j int) bool { return targets[i].ImportPath < targets[j].ImportPath })
+
+	fset := token.NewFileSet()
+	imp := newExportImporter(fset, exports)
+	var out []*Package
+	for _, t := range targets {
+		pkg, err := check(fset, t.ImportPath, t.Dir, t.GoFiles, imp)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+// check parses files and type-checks one package.
+func check(fset *token.FileSet, path, dir string, files []string, imp types.Importer) (*Package, error) {
+	var syntax []*ast.File
+	for _, name := range files {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("load: %v", err)
+		}
+		syntax = append(syntax, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(path, fset, syntax, info)
+	if err != nil {
+		return nil, fmt.Errorf("load: type-checking %s: %v", path, err)
+	}
+	return &Package{PkgPath: path, Fset: fset, Syntax: syntax, Types: tpkg, Info: info}, nil
+}
+
+// exportImporter resolves imports from a pre-listed map of export files,
+// falling back to a fresh `go list -export` query for paths (typically
+// transitive std dependencies) the initial listing did not cover. A single
+// gc importer instance is shared across all imports so that every package
+// sees one canonical *types.Package per import path — type identity in
+// go/types is pointer identity.
+type exportImporter struct {
+	exports map[string]string
+	gc      types.Importer
+}
+
+func newExportImporter(fset *token.FileSet, exports map[string]string) *exportImporter {
+	im := &exportImporter{exports: exports}
+	im.gc = importer.ForCompiler(fset, "gc", func(p string) (io.ReadCloser, error) {
+		f, ok := im.exports[p]
+		if !ok {
+			var err error
+			if f, err = exportFile(p); err != nil {
+				return nil, err
+			}
+			im.exports[p] = f
+		}
+		return os.Open(f)
+	})
+	return im
+}
+
+func (im *exportImporter) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	return im.gc.Import(path)
+}
+
+// exportFile asks the go tool for the compiled export data of one package.
+func exportFile(path string) (string, error) {
+	cmd := exec.Command("go", "list", "-export", "-f", "{{.Export}}", "--", path)
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return "", fmt.Errorf("load: go list -export %s: %v\n%s", path, err, stderr.String())
+	}
+	f := strings.TrimSpace(stdout.String())
+	if f == "" {
+		return "", fmt.Errorf("load: no export data for %q", path)
+	}
+	return f, nil
+}
+
+// LoadFixture type-checks the package in srcRoot/pkgPath, resolving
+// non-standard imports from sibling directories under srcRoot (the
+// analysistest GOPATH-style layout) and standard-library imports from
+// compiler export data. Only the named package's files are returned.
+func LoadFixture(srcRoot, pkgPath string) (*Package, error) {
+	fset := token.NewFileSet()
+	im := &fixtureImporter{
+		srcRoot: srcRoot,
+		fset:    fset,
+		std:     newExportImporter(fset, make(map[string]string)),
+		pkgs:    make(map[string]*Package),
+	}
+	return im.load(pkgPath)
+}
+
+type fixtureImporter struct {
+	srcRoot string
+	fset    *token.FileSet
+	std     *exportImporter
+	pkgs    map[string]*Package
+}
+
+func (im *fixtureImporter) load(pkgPath string) (*Package, error) {
+	if p, ok := im.pkgs[pkgPath]; ok {
+		return p, nil
+	}
+	dir := filepath.Join(im.srcRoot, filepath.FromSlash(pkgPath))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("load: fixture %s: %v", pkgPath, err)
+	}
+	var files []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") && !strings.HasSuffix(e.Name(), "_test.go") {
+			files = append(files, e.Name())
+		}
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("load: fixture %s: no Go files in %s", pkgPath, dir)
+	}
+	pkg, err := check(im.fset, pkgPath, dir, files, im)
+	if err != nil {
+		return nil, err
+	}
+	im.pkgs[pkgPath] = pkg
+	return pkg, nil
+}
+
+func (im *fixtureImporter) Import(path string) (*types.Package, error) {
+	if st, err := os.Stat(filepath.Join(im.srcRoot, filepath.FromSlash(path))); err == nil && st.IsDir() {
+		pkg, err := im.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return im.std.Import(path)
+}

@@ -1,0 +1,12 @@
+package streamdiscipline_test
+
+import (
+	"testing"
+
+	"github.com/gmrl/househunt/internal/lint/analysistest"
+	"github.com/gmrl/househunt/internal/lint/streamdiscipline"
+)
+
+func TestStreamDiscipline(t *testing.T) {
+	analysistest.Run(t, streamdiscipline.Analyzer, "sdfix")
+}

@@ -16,7 +16,6 @@ package rng
 
 import (
 	"errors"
-	"fmt"
 	"math/bits"
 )
 
@@ -32,6 +31,8 @@ type Source struct {
 // splitmix64 advances x by the splitmix64 increment and returns the mixed
 // output. It is used only for seeding: it guarantees a well-distributed,
 // never-all-zero xoshiro state from any 64-bit seed.
+//
+//hh:hotpath
 func splitmix64(x *uint64) uint64 {
 	*x += 0x9e3779b97f4a7c15
 	z := *x
@@ -50,6 +51,8 @@ func New(seed uint64) *Source {
 
 // Reseed resets the source to the stream defined by seed, as if it had just
 // been constructed with New(seed).
+//
+//hh:hotpath
 func (s *Source) Reseed(seed uint64) {
 	sm := seed
 	s.s0 = splitmix64(&sm)
@@ -73,6 +76,8 @@ func (s *Source) State() [4]uint64 {
 }
 
 // Uint64 returns the next 64 bits of the stream.
+//
+//hh:hotpath
 func (s *Source) Uint64() uint64 {
 	result := bits.RotateLeft64(s.s1*5, 7) * 9
 
@@ -100,6 +105,8 @@ func (s *Source) Split(index uint64) *Source {
 // SplitInto derives the same child stream as Split directly into dst,
 // avoiding the allocation; the batch engine uses it to re-seed thousands of
 // per-ant streams per replicate without garbage.
+//
+//hh:hotpath
 func (s *Source) SplitInto(index uint64, dst *Source) {
 	// Mix the parent state with the index through splitmix64 so that children
 	// with adjacent indices are decorrelated.
@@ -115,9 +122,11 @@ func (s *Source) Int63() int64 {
 // Intn returns a uniform integer in [0, n). It panics if n <= 0, matching the
 // contract of math/rand.Intn; callers control n so this is a programmer error,
 // not a runtime condition.
+//
+//hh:hotpath
 func (s *Source) Intn(n int) int {
 	if n <= 0 {
-		panic(fmt.Sprintf("rng: Intn called with non-positive n = %d", n))
+		panic("rng: Intn called with non-positive n")
 	}
 	return int(s.Uint64n(uint64(n)))
 }
@@ -131,6 +140,8 @@ func (s *Source) Intn(n int) int {
 // call-free is worth the contortion. The draw sequence is identical to the
 // single-body form — the tail consumes additional words only when the first
 // low product falls below n, exactly as before.
+//
+//hh:hotpath
 func (s *Source) Uint64n(n uint64) uint64 {
 	if n == 0 {
 		panic("rng: Uint64n called with n = 0")
@@ -147,6 +158,8 @@ func (s *Source) Uint64n(n uint64) uint64 {
 // one division of the method) and redraw while the low word is biased. The
 // first draw's words are passed in so the accepted value and the stream
 // position are exactly those of the unsplit loop.
+//
+//hh:hotpath
 func (s *Source) uint64nReject(hi, lo, n uint64) uint64 {
 	thresh := -n % n
 	for lo < thresh {
@@ -156,12 +169,18 @@ func (s *Source) uint64nReject(hi, lo, n uint64) uint64 {
 }
 
 // Float64 returns a uniform float64 in [0, 1) with 53 bits of precision.
+//
+//hh:hotpath
+//hh:floatok Float64 is the float fallback primitive itself; fixed-point callers use Threshold
 func (s *Source) Float64() float64 {
 	return float64(s.Uint64()>>11) * (1.0 / (1 << 53))
 }
 
 // Bernoulli returns true with probability p. Values of p <= 0 always return
 // false and values >= 1 always return true.
+//
+//hh:hotpath
+//hh:floatok float fallback path above batchTableMaxN; fixed-point callers use Threshold.Draw
 func (s *Source) Bernoulli(p float64) bool {
 	if p <= 0 {
 		return false
@@ -192,6 +211,8 @@ func (s *Source) Perm(n int) []int {
 // Intn → Uint64n does not inline, and a permutation is one bounded draw per
 // element); the rare rejection tail shares uint64nReject with Uint64n, so
 // the draw sequence is exactly Intn(i+1) per element.
+//
+//hh:hotpath
 func (s *Source) PermInto(dst []int) []int {
 	if len(dst) == 0 {
 		return dst
@@ -215,6 +236,8 @@ func (s *Source) PermInto(dst []int) []int {
 // uses it on rounds whose permutation values are provably unread (no active
 // recruiter): the words drawn — including the data-dependent rejection
 // redraws — must still leave the stream at the identical position.
+//
+//hh:hotpath
 func (s *Source) PermAdvance(n int) {
 	for i := 1; i < n; i++ {
 		bound := uint64(i + 1)
@@ -231,6 +254,8 @@ func (s *Source) PermAdvance(n int) {
 // depend only on the length, not on the element type). The batch engine's
 // matchers use it so a colony-sized permutation occupies half the cache
 // footprint. len(dst) must not exceed MaxInt32+1; slot counts never do.
+//
+//hh:hotpath
 func (s *Source) PermInto32(dst []int32) []int32 {
 	if len(dst) == 0 {
 		return dst

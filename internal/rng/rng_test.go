@@ -119,12 +119,23 @@ func TestIntnRange(t *testing.T) {
 
 func TestIntnPanicsOnNonPositive(t *testing.T) {
 	t.Parallel()
-	defer func() {
-		if recover() == nil {
-			t.Fatal("Intn(0) did not panic")
-		}
-	}()
-	New(1).Intn(0)
+	for _, n := range []int{0, -1} {
+		func() {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatalf("Intn(%d) did not panic", n)
+				}
+				// The message is a constant string: formatting it with fmt
+				// would put an fmt.Sprintf call (and fmt's allocations) on
+				// the draw hot path, which hhlint's hotpathalloc forbids.
+				if msg, ok := r.(string); !ok || msg != "rng: Intn called with non-positive n" {
+					t.Fatalf("Intn(%d) panic = %#v, want the constant hot-path message", n, r)
+				}
+			}()
+			New(1).Intn(n)
+		}()
+	}
 }
 
 func TestUint64nUniformity(t *testing.T) {

@@ -47,6 +47,9 @@ const (
 // NewThreshold compiles probability p into its fixed-point acceptance bound.
 // Every float64 p — including ±0, values outside [0, 1], subnormals and NaN —
 // maps to a Threshold whose Draw is bit-identical to Source.Bernoulli(p).
+//
+//hh:hotpath
+//hh:floatok the float→fixed compiler: the one place p crosses from float to Threshold
 func NewThreshold(p float64) Threshold {
 	switch {
 	case p != p:
@@ -67,6 +70,8 @@ func NewThreshold(p float64) Threshold {
 // Draw samples the encoded Bernoulli from src: true with the compiled
 // probability, consuming exactly the words Source.Bernoulli would consume
 // (one for p strictly inside (0, 1) or NaN, none otherwise).
+//
+//hh:hotpath
 func (t Threshold) Draw(src *Source) bool {
 	if t == ThresholdNever {
 		return false

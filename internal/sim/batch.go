@@ -710,6 +710,9 @@ func (ln *lane) runReplicate(rep int, seed uint64, maxRounds, window int, probe 
 // observe, all in per-opcode specialized loops. It is the batch counterpart
 // of Engine.Step/resolve with the same randomness. phase is the colony's
 // shared PFSM state; the returned value is next round's phase.
+//
+//hh:hotpath
+//hh:draws per opcode contract on EmitOp/ObserveOp consts: envSrc search draws in ant order, drawActiveBits per-ant draws, matchSrc via Match, perception hooks from the observing ant's stream
 func (ln *lane) stepLockstep(phase uint8) (uint8, error) {
 	n, k := ln.n, ln.k
 	st := ln.states[phase]
@@ -795,11 +798,7 @@ func (ln *lane) stepLockstep(phase uint8) (uint8, error) {
 		quality := ln.quality
 		qidx := ln.qidx
 		if recruited {
-			ln.foldCaptureAdopts(func(i int, outNest NestID) {
-				commit[nest[i]]--
-				commit[outNest]++
-				nest[i] = outNest
-			})
+			ln.foldCaptureAdopts(adoptPlain)
 			for i := range count {
 				count[i] = int32(n)
 				quality[i] = 0
@@ -828,12 +827,7 @@ func (ln *lane) stepLockstep(phase uint8) (uint8, error) {
 	case ObserveAdopt:
 		quality := ln.quality
 		if recruited {
-			ln.foldCaptureAdopts(func(i int, outNest NestID) {
-				commit[nest[i]]--
-				commit[outNest]++
-				nest[i] = outNest
-				quality[i] = 1
-			})
+			ln.foldCaptureAdopts(adoptQualOne)
 		} else {
 			for i := range nest {
 				if outNest := act[i]; outNest != nest[i] {
@@ -861,15 +855,7 @@ func (ln *lane) stepLockstep(phase uint8) (uint8, error) {
 		quality := ln.quality
 		qidx := ln.qidx
 		if recruited {
-			ln.foldCaptureAdopts(func(i int, outNest NestID) {
-				commit[nest[i]]--
-				commit[outNest]++
-				nest[i] = outNest
-				quality[i] = 0
-				if qidx != nil {
-					qidx[i] = 0
-				}
-			})
+			ln.foldCaptureAdopts(adoptQualZero)
 		} else {
 			for i := range nest {
 				if outNest := act[i]; outNest != nest[i] {
@@ -980,9 +966,12 @@ func (ln *lane) stepLockstep(phase uint8) (uint8, error) {
 // by a count-range check because the noisy estimators can report counts
 // outside [0, n]; out-of-range counts resolve draw-free exactly like
 // Bernoulli at p outside (0, 1).
+//
+//hh:hotpath
+//hh:draws at most one word per ant from its own stream, in ant order; draw-free for sentinel thresholds and out-of-range counts
 func (ln *lane) drawActiveBits(op EmitOp) {
 	n := ln.n
-	nF := float64(n)
+	nF := float64(n) //hh:floatok loop-invariant divisor for the float fallback branches
 	quality := ln.quality
 	count := ln.count
 	active := ln.active
@@ -993,6 +982,7 @@ func (ln *lane) drawActiveBits(op EmitOp) {
 			for i := 0; i < n; i++ {
 				b := false
 				if quality[i] > 0 {
+					//hh:draws out-of-range counts resolve draw-free, exactly like Bernoulli at p outside (0, 1)
 					if c := int(count[i]); uint(c) <= uint(n) {
 						// The wraparound compare picks out the thresholds
 						// that consume one word; the sentinels (0 and n,
@@ -1014,7 +1004,7 @@ func (ln *lane) drawActiveBits(op EmitOp) {
 			for i := 0; i < n; i++ {
 				b := false
 				if quality[i] > 0 {
-					b = antSrc[i].Bernoulli(float64(count[i]) / nF)
+					b = antSrc[i].Bernoulli(float64(count[i]) / nF) //hh:floatok fallback above batchTableMaxN; bit-identical to the tabled kernel
 				}
 				active[i] = b
 			}
@@ -1025,6 +1015,7 @@ func (ln *lane) drawActiveBits(op EmitOp) {
 			stride := n + 1
 			for i := 0; i < n; i++ {
 				b := false
+				//hh:draws out-of-range counts resolve draw-free, exactly like Bernoulli at p outside (0, 1)
 				if c := int(count[i]); uint(c) <= uint(n) {
 					if t := qualT[int(qidx[i])*stride+c]; t-1 < rng.ThresholdAlways-1 {
 						b = antSrc[i].Uint64()>>11 < uint64(t)
@@ -1032,13 +1023,13 @@ func (ln *lane) drawActiveBits(op EmitOp) {
 						b = t.Draw(&antSrc[i])
 					}
 				} else {
-					b = antSrc[i].Bernoulli(quality[i] * float64(c) / nF)
+					b = antSrc[i].Bernoulli(quality[i] * float64(c) / nF) //hh:floatok out-of-range noisy count: scalar QualityAnt computes the same float probability
 				}
 				active[i] = b
 			}
 		} else {
 			for i := 0; i < n; i++ {
-				active[i] = antSrc[i].Bernoulli(quality[i] * float64(count[i]) / nF)
+				active[i] = antSrc[i].Bernoulli(quality[i] * float64(count[i]) / nF) //hh:floatok fallback above batchTableMaxN; bit-identical to the tabled kernel
 			}
 		}
 	case EmitRecruitAdaptive:
@@ -1053,6 +1044,7 @@ func (ln *lane) drawActiveBits(op EmitOp) {
 		decay := adaptiveDecay(n, int(paramI[0]), tau, floorDiv)
 		if ln.adaT != nil {
 			if decay != ln.adaDecay {
+				//hh:floatok table rebuild on decay steps: the float→fixed compile happens a handful of times per replicate
 				for c := 0; c <= n; c++ {
 					cF := float64(c)
 					ln.adaT[c] = rng.NewThreshold(cF / (cF + decay))
@@ -1063,6 +1055,7 @@ func (ln *lane) drawActiveBits(op EmitOp) {
 			for i := 0; i < n; i++ {
 				b := false
 				if quality[i] > 0 {
+					//hh:draws out-of-range counts resolve draw-free, exactly like Bernoulli at p outside (0, 1)
 					if c := int(count[i]); uint(c) <= uint(n) {
 						if t := adaT[c]; t-1 < rng.ThresholdAlways-1 {
 							b = antSrc[i].Uint64()>>11 < uint64(t)
@@ -1070,8 +1063,8 @@ func (ln *lane) drawActiveBits(op EmitOp) {
 							b = t.Draw(&antSrc[i])
 						}
 					} else {
-						cF := float64(c)
-						b = antSrc[i].Bernoulli(cF / (cF + decay))
+						cF := float64(c)                           //hh:floatok out-of-range noisy count falls back to the float formula
+						b = antSrc[i].Bernoulli(cF / (cF + decay)) //hh:floatok same float expression as AdaptiveRecruitProbability
 					}
 				}
 				paramI[i]++
@@ -1081,8 +1074,8 @@ func (ln *lane) drawActiveBits(op EmitOp) {
 			for i := 0; i < n; i++ {
 				b := false
 				if quality[i] > 0 {
-					c := float64(count[i])
-					b = antSrc[i].Bernoulli(c / (c + decay))
+					c := float64(count[i])                   //hh:floatok fallback above batchTableMaxN
+					b = antSrc[i].Bernoulli(c / (c + decay)) //hh:floatok same float expression as AdaptiveRecruitProbability
 				}
 				paramI[i]++
 				active[i] = b
@@ -1095,7 +1088,7 @@ func (ln *lane) drawActiveBits(op EmitOp) {
 		for i := 0; i < n; i++ {
 			b := false
 			if quality[i] > 0 {
-				p := float64(count[i]) / paramF[i]
+				p := float64(count[i]) / paramF[i] //hh:floatok per-ant ñ defeats tabling; float draw is bit-identical to ApproxNAnt
 				if p > 1 {
 					p = 1
 				}
@@ -1122,6 +1115,9 @@ func (ln *lane) drawActiveBits(op EmitOp) {
 // runs only when the recruiting set is non-empty. Observe folds touch only
 // the observing ant's registers, its own stream, and the order-free
 // commitment tallies, so bucket-order folding is bit-identical too.
+//
+//hh:hotpath
+//hh:draws per opcode contract on EmitOp/ObserveOp consts: envSrc in ant order via the scatter pass, per-ant streams in bucket order (stream-disjoint), matchSrc only when recruiters exist
 func (ln *lane) stepGeneral() error {
 	n, k := ln.n, ln.k
 	states := &ln.states
@@ -1199,12 +1195,14 @@ func (ln *lane) stepGeneral() error {
 	bkt := ln.bktAnts[:n]
 	searches := &ln.searches
 	envSrc := &ln.envSrc
+	//hh:draws shape dispatch only: both arms draw one envSrc destination per searching ant, in ant order, exactly like the scalar per-ant emit
 	if sole >= 0 {
 		// The whole colony occupies one state (common in the converged tail,
 		// where every ant sits in an absorbing recruit state): the bucket IS
 		// the identity permutation, so the scatter — and, below, most of the
 		// slot-assembly work — collapses to reusing precomputed identities.
 		bkt = ln.iota32
+		//hh:draws a state's search bit decides whether its ants draw a destination; the scalar emit gates on the same compiled bit
 		if searches[sole] != 0 {
 			for i := 0; i < n; i++ {
 				actNest[i] = NestID(envSrc.Intn(k) + 1)
@@ -1215,6 +1213,7 @@ func (ln *lane) stepGeneral() error {
 			s := state[i]
 			bkt[cur[s]] = int32(i)
 			cur[s]++
+			//hh:draws a state's search bit decides whether its ants draw a destination; the scalar emit gates on the same compiled bit
 			if searches[s] != 0 {
 				actNest[i] = NestID(envSrc.Intn(k) + 1)
 			}
@@ -1358,7 +1357,7 @@ func (ln *lane) stepGeneral() error {
 							b = t.Draw(&antSrc[i])
 						}
 					} else {
-						b = antSrc[i].Bernoulli(float64(c) / float64(n))
+						b = antSrc[i].Bernoulli(float64(c) / float64(n)) //hh:floatok fallback above batchTableMaxN; bit-identical to the tabled kernel
 					}
 				}
 				adv := nest[i]
@@ -1375,10 +1374,10 @@ func (ln *lane) stepGeneral() error {
 				preState[i] = uint8(s)
 			}
 		case EmitRecruitQual:
-			nF := float64(n)
+			nF := float64(n) //hh:floatok the general engine reuses the scalar float formula verbatim; bit-identical by construction
 			for _, i32 := range members {
 				i := int(i32)
-				b := antSrc[i].Bernoulli(quality[i] * float64(count[i]) / nF)
+				b := antSrc[i].Bernoulli(quality[i] * float64(count[i]) / nF) //hh:floatok the general engine reuses the scalar float formula verbatim; bit-identical by construction
 				adv := nest[i]
 				if b && adv == Home {
 					return fmt.Errorf("ant %d: recruit(1,0): cannot actively recruit for the home nest", i)
@@ -1422,7 +1421,7 @@ func (ln *lane) stepGeneral() error {
 				i := int(i32)
 				b := false
 				if quality[i] > 0 {
-					p := float64(count[i]) / paramF[i]
+					p := float64(count[i]) / paramF[i] //hh:floatok the general engine reuses the scalar float formula verbatim; bit-identical by construction
 					if p > 1 {
 						p = 1
 					}
@@ -1517,6 +1516,7 @@ func (ln *lane) stepGeneral() error {
 	// default Algorithm 1 pairing the dispatch is immaterial: MatchCarry
 	// with all-ones carries draws exactly like Match, a pinned property.)
 	if nR > 0 {
+		//hh:draws matcher dispatch mirrors the scalar call sequence; MatchCarry with all-ones carries draws exactly like Match (a pinned property)
 		if anyCarry := sawTransport && ln.prog.Params.QuorumCarry > 1; anyCarry {
 			if ln.carryM == nil {
 				return fmt.Errorf("transport (carry > 1) unsupported by matcher %q", ln.matcher.Name())
@@ -1899,7 +1899,7 @@ func (ln *lane) stepGeneral() error {
 				}
 				// Self-calibrate the quorum threshold into the countT scratch
 				// register: QuorumAnt's T = max(⌊mult·count⌋, count+2).
-				thr := int32(mult * float64(outCount))
+				thr := int32(mult * float64(outCount)) //hh:floatok quorum self-calibration mirrors QuorumAnt's float threshold formula, T = max(⌊mult·count⌋, count+2)
 				if thr < outCount+2 {
 					thr = outCount + 2
 				}
@@ -1974,7 +1974,7 @@ func (ln *lane) stepGeneral() error {
 			capt := ln.capturedBy
 			for t := 0; t < nR; t++ {
 				if capt[t] >= 0 {
-					caps = append(caps, int32(t))
+					caps = append(caps, int32(t)) //hh:allocok grows only to a new maximum capture count; steady-state rounds reuse capScrat's capacity
 				}
 			}
 			ln.capScrat = caps[:0]
@@ -2074,6 +2074,8 @@ func (ln *lane) stepGeneral() error {
 // outcome nest (their capturer's advertised nest when captured). recruited is
 // loop-invariant per bucket (it is a property of the state's emit opcode), so
 // the branch predicts perfectly.
+//
+//hh:hotpath
 func (ln *lane) outcome(i int, recruited bool, countHome int32) (NestID, int32) {
 	if !recruited {
 		outNest := ln.actNest[i]
@@ -2084,6 +2086,8 @@ func (ln *lane) outcome(i int, recruited bool, countHome int32) (NestID, int32) 
 
 // recruitEmit reports whether op sends the ant to the home-nest pairing (its
 // outcome is then the home population and possibly a capturer's nest).
+//
+//hh:hotpath
 func recruitEmit(op EmitOp) bool {
 	switch op {
 	case EmitRecruitBit, EmitRecruitTransport,
@@ -2101,6 +2105,8 @@ func recruitEmit(op EmitOp) bool {
 // with Final states) additionally requires every census ant to have reached a
 // Final state, exactly as the scalar runner gates on the core.Decided
 // contract.
+//
+//hh:hotpath
 func (ln *lane) census() (NestID, bool) {
 	alive := ln.n
 	if ln.faulted {
@@ -2120,14 +2126,27 @@ func (ln *lane) census() (NestID, bool) {
 	return Home, false
 }
 
-// foldCaptureAdopts invokes adopt(i, capturerNest) for every lockstep-round
-// ant whose capturer advertises a nest different from the ant's own — the
-// common core of the recruit-round adoption folds. With a capture-listing
-// matcher only the actual captures are visited (they are sparse); otherwise
-// the whole capture table is scanned. Reading the capturer's nest from the
-// actNest snapshot keeps the fold order-independent even for matchers whose
+// Adoption fold modes for foldCaptureAdopts: what a captured ant's registers
+// record beyond the nest move. Encoding the variants as a mode instead of a
+// closure keeps the per-capture work a direct, predictable branch — the
+// closure form captured loop state and relied on escape analysis to stay off
+// the heap (hhlint/hotpathalloc flags it).
+const (
+	adoptPlain    uint8 = iota // nest move only (ObserveDiscovery)
+	adoptQualOne               // nest move, quality := 1 (ObserveAdopt)
+	adoptQualZero              // nest move, quality and qidx zeroed (ObserveAdoptZero)
+)
+
+// foldCaptureAdopts applies one adoption per lockstep-round ant whose
+// capturer advertises a nest different from the ant's own — the common core
+// of the recruit-round adoption folds. With a capture-listing matcher only
+// the actual captures are visited (they are sparse); otherwise the whole
+// capture table is scanned. Reading the capturer's nest from the actNest
+// snapshot keeps the fold order-independent even for matchers whose
 // capturers can themselves be captured.
-func (ln *lane) foldCaptureAdopts(adopt func(i int, outNest NestID)) {
+//
+//hh:hotpath
+func (ln *lane) foldCaptureAdopts(mode uint8) {
 	nest := ln.nest
 	actNest := ln.actNest
 	capturedBy := ln.capturedBy
@@ -2136,7 +2155,7 @@ func (ln *lane) foldCaptureAdopts(adopt func(i int, outNest NestID)) {
 			i := int(t32) // slot t is ant t on the lockstep path
 			if cb := int(capturedBy[i]); cb != i {
 				if outNest := actNest[cb]; outNest != nest[i] {
-					adopt(i, outNest)
+					ln.adoptCapture(i, outNest, mode)
 				}
 			}
 		}
@@ -2145,8 +2164,27 @@ func (ln *lane) foldCaptureAdopts(adopt func(i int, outNest NestID)) {
 	for i := range nest {
 		if cb := int(capturedBy[i]); cb >= 0 && cb != i {
 			if outNest := actNest[cb]; outNest != nest[i] {
-				adopt(i, outNest)
+				ln.adoptCapture(i, outNest, mode)
 			}
+		}
+	}
+}
+
+// adoptCapture moves ant i to its capturer's advertised nest, maintaining the
+// incremental commitment census, and applies the mode's register updates.
+//
+//hh:hotpath
+func (ln *lane) adoptCapture(i int, outNest NestID, mode uint8) {
+	ln.commit[ln.nest[i]]--
+	ln.commit[outNest]++
+	ln.nest[i] = outNest
+	switch mode {
+	case adoptQualOne:
+		ln.quality[i] = 1
+	case adoptQualZero:
+		ln.quality[i] = 0
+		if ln.qidx != nil {
+			ln.qidx[i] = 0
 		}
 	}
 }

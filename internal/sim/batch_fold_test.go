@@ -1,0 +1,109 @@
+package sim
+
+import "testing"
+
+// newFoldLane builds the minimal lane slice-set the capture-adoption fold
+// reads: three ants committed to nests 1, 2, 2 with a 3-nest commitment
+// census (index 0 is home).
+func newFoldLane() *lane {
+	return &lane{
+		nest:    []NestID{1, 2, 2},
+		quality: []float64{0.25, 0.5, 0.75},
+		qidx:    []uint8{3, 4, 5},
+		commit:  []int{0, 1, 2},
+		actNest: []NestID{2, 1, 2},
+	}
+}
+
+// TestAdoptCaptureModes pins the mode-dispatched adoption fold that replaced
+// the per-call-site closures: every mode moves the ant and maintains the
+// incremental census identically, and only the quality family touches the
+// quality and provenance registers.
+func TestAdoptCaptureModes(t *testing.T) {
+	t.Parallel()
+
+	t.Run("plain", func(t *testing.T) {
+		ln := newFoldLane()
+		ln.adoptCapture(0, 2, adoptPlain)
+		if ln.nest[0] != 2 {
+			t.Fatalf("nest[0] = %d, want 2", ln.nest[0])
+		}
+		if ln.commit[1] != 0 || ln.commit[2] != 3 {
+			t.Fatalf("census = %v, want [0 0 3]", ln.commit)
+		}
+		if ln.quality[0] != 0.25 || ln.qidx[0] != 3 {
+			t.Fatalf("plain adoption touched quality registers: q=%v qidx=%v", ln.quality[0], ln.qidx[0])
+		}
+	})
+
+	t.Run("qualOne", func(t *testing.T) {
+		ln := newFoldLane()
+		ln.adoptCapture(1, 1, adoptQualOne)
+		if ln.nest[1] != 1 {
+			t.Fatalf("nest[1] = %d, want 1", ln.nest[1])
+		}
+		if ln.commit[1] != 2 || ln.commit[2] != 1 {
+			t.Fatalf("census = %v, want [0 2 1]", ln.commit)
+		}
+		if ln.quality[1] != 1 {
+			t.Fatalf("quality[1] = %v, want 1 (a captured ant trusts its recruiter)", ln.quality[1])
+		}
+		if ln.qidx[1] != 4 {
+			t.Fatalf("qualOne adoption touched provenance: qidx[1] = %d", ln.qidx[1])
+		}
+	})
+
+	t.Run("qualZero", func(t *testing.T) {
+		ln := newFoldLane()
+		ln.adoptCapture(2, 1, adoptQualZero)
+		if ln.nest[2] != 1 {
+			t.Fatalf("nest[2] = %d, want 1", ln.nest[2])
+		}
+		if ln.quality[2] != 0 || ln.qidx[2] != 0 {
+			t.Fatalf("qualZero must zero quality and provenance: q=%v qidx=%d", ln.quality[2], ln.qidx[2])
+		}
+	})
+
+	t.Run("qualZeroNilQidx", func(t *testing.T) {
+		ln := newFoldLane()
+		ln.qidx = nil
+		ln.adoptCapture(2, 1, adoptQualZero)
+		if ln.quality[2] != 0 {
+			t.Fatalf("quality[2] = %v, want 0", ln.quality[2])
+		}
+	})
+}
+
+// TestFoldCaptureAdoptsScan pins the lockstep capture scan: only ants whose
+// capturer is a different ant advertising a different nest fold, so self-pairs,
+// uncaptured ants and same-nest captures are all no-ops.
+func TestFoldCaptureAdoptsScan(t *testing.T) {
+	t.Parallel()
+	ln := newFoldLane()
+	// Ant 0: captured by ant 2, which advertises nest 2 != nest[0]=1 → folds.
+	// Ant 1: self-pair (capturedBy[1] = 1) → no fold.
+	// Ant 2: uncaptured → no fold.
+	ln.capturedBy = []int32{2, 1, -1}
+	ln.foldCaptureAdopts(adoptQualOne)
+	if ln.nest[0] != 2 || ln.quality[0] != 1 {
+		t.Fatalf("ant 0 should adopt nest 2 with quality 1; got nest=%d q=%v", ln.nest[0], ln.quality[0])
+	}
+	if ln.nest[1] != 2 || ln.quality[1] != 0.5 {
+		t.Fatalf("self-pair must not fold: nest=%d q=%v", ln.nest[1], ln.quality[1])
+	}
+	if ln.nest[2] != 2 || ln.quality[2] != 0.75 {
+		t.Fatalf("uncaptured ant must not fold: nest=%d q=%v", ln.nest[2], ln.quality[2])
+	}
+	if ln.commit[1] != 0 || ln.commit[2] != 3 {
+		t.Fatalf("census = %v, want [0 0 3]", ln.commit)
+	}
+
+	// A capturer advertising the ant's own nest is a no-op adoption.
+	ln2 := newFoldLane()
+	ln2.actNest = []NestID{2, 2, 2}
+	ln2.capturedBy = []int32{-1, 2, -1} // ant 1 captured by ant 2: actNest 2 == nest[1]
+	ln2.foldCaptureAdopts(adoptQualZero)
+	if ln2.nest[1] != 2 || ln2.quality[1] != 0.5 || ln2.qidx[1] != 4 {
+		t.Fatalf("same-nest capture must not fold: nest=%d q=%v qidx=%d", ln2.nest[1], ln2.quality[1], ln2.qidx[1])
+	}
+}

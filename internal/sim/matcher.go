@@ -98,9 +98,13 @@ var (
 )
 
 // Captures implements CaptureLister.
+//
+//hh:hotpath
 func (m *AlgorithmOneMatcher) Captures() []int32 { return m.captures }
 
 // Reserve pre-sizes the scratch for pools of up to n slots.
+//
+//hh:coldpath grows only to a new maximum pool size; steady-state calls are no-ops
 func (m *AlgorithmOneMatcher) Reserve(n int) {
 	if cap(m.perm) < n {
 		m.perm = make([]int32, n)
@@ -114,6 +118,9 @@ func (m *AlgorithmOneMatcher) Reserve(n int) {
 func (m *AlgorithmOneMatcher) Name() string { return "algorithm1" }
 
 // Match implements Matcher with the paper's sequential pairing process.
+//
+//hh:hotpath
+//hh:draws delegates to MatchCarry with nil carry: identical draw sequence
 func (m *AlgorithmOneMatcher) Match(n int, active []bool, src *rng.Source, capturedBy []int32, succeeded []bool) {
 	m.MatchCarry(n, active, nil, src, capturedBy, succeeded)
 }
@@ -122,6 +129,9 @@ func (m *AlgorithmOneMatcher) Match(n int, active []bool, src *rng.Source, captu
 // a draws up to carry[a] targets (each draw independent and lost if blocked,
 // exactly like the single draw of Algorithm 1). With carry nil or all-ones
 // the process — including its random draw sequence — is exactly Algorithm 1.
+//
+//hh:hotpath
+//hh:draws PermInto32(n) then one Uint64n(n) per unblocked candidate draw; all-passive rounds PermAdvance(n) only
 func (m *AlgorithmOneMatcher) MatchCarry(n int, active []bool, carry []int, src *rng.Source, capturedBy []int32, succeeded []bool) {
 	m.captures = m.captures[:0]
 	if n == 0 {
@@ -196,7 +206,7 @@ func (m *AlgorithmOneMatcher) MatchCarry(n int, active []bool, carry []int, src 
 			}
 			status[target] |= slotCaptured
 			capturedBy[target] = int32(a)
-			m.captures = append(m.captures, int32(target))
+			m.captures = append(m.captures, int32(target)) //hh:allocok within Reserve(n) capacity; at most n captures
 			status[a] |= slotSucceeded
 			succeeded[a] = true
 		}
@@ -218,7 +228,7 @@ func (m *AlgorithmOneMatcher) MatchCarry(n int, active []bool, carry []int, src 
 			}
 			status[target] |= slotCaptured
 			capturedBy[target] = int32(a)
-			m.captures = append(m.captures, int32(target))
+			m.captures = append(m.captures, int32(target)) //hh:allocok within Reserve(n) capacity; at most n captures
 			status[a] |= slotSucceeded
 			succeeded[a] = true
 			if target == a {
@@ -247,9 +257,13 @@ var (
 )
 
 // Captures implements CaptureLister.
+//
+//hh:hotpath
 func (m *SimultaneousMatcher) Captures() []int32 { return m.captures }
 
 // Reserve pre-sizes the scratch for pools of up to n slots.
+//
+//hh:coldpath grows only to a new maximum pool size; steady-state calls are no-ops
 func (m *SimultaneousMatcher) Reserve(n int) {
 	if cap(m.picks) < n {
 		m.picks = make([]int32, n)
@@ -262,6 +276,9 @@ func (m *SimultaneousMatcher) Reserve(n int) {
 func (m *SimultaneousMatcher) Name() string { return "simultaneous" }
 
 // Match implements Matcher.
+//
+//hh:hotpath
+//hh:draws one Uint64n(n) per active slot in slot order, then one reservoir word per extra contender in scan order
 func (m *SimultaneousMatcher) Match(n int, active []bool, src *rng.Source, capturedBy []int32, succeeded []bool) {
 	m.captures = m.captures[:0]
 	if n == 0 {
@@ -304,8 +321,9 @@ func (m *SimultaneousMatcher) Match(n int, active []bool, src *rng.Source, captu
 			continue
 		}
 		seen[target]++
+		//hh:draws reservoir tie-break: one word per contender beyond the first; both engines share this exact code
 		if seen[target] == 1 {
-			m.captures = append(m.captures, target)
+			m.captures = append(m.captures, target) //hh:allocok within Reserve(n) capacity; at most n captures
 			capturedBy[target] = int32(s)
 		} else if src.Uint64n(uint64(seen[target])) == 0 {
 			capturedBy[target] = int32(s)
@@ -336,9 +354,13 @@ var (
 )
 
 // Captures implements CaptureLister.
+//
+//hh:hotpath
 func (m *RendezvousMatcher) Captures() []int32 { return m.captures }
 
 // Reserve pre-sizes the scratch for pools of up to n slots.
+//
+//hh:coldpath grows only to a new maximum pool size; steady-state calls are no-ops
 func (m *RendezvousMatcher) Reserve(n int) {
 	if cap(m.perm) < n {
 		m.perm = make([]int32, n)
@@ -351,6 +373,9 @@ func (m *RendezvousMatcher) Reserve(n int) {
 func (m *RendezvousMatcher) Name() string { return "rendezvous" }
 
 // Match implements Matcher.
+//
+//hh:hotpath
+//hh:draws PermInto32(n) only; the rendezvous scan is draw-free
 func (m *RendezvousMatcher) Match(n int, active []bool, src *rng.Source, capturedBy []int32, succeeded []bool) {
 	m.captures = m.captures[:0]
 	if n == 0 {
@@ -394,7 +419,7 @@ func (m *RendezvousMatcher) Match(n int, active []bool, src *rng.Source, capture
 				continue
 			}
 			capturedBy[b] = int32(a)
-			m.captures = append(m.captures, int32(b))
+			m.captures = append(m.captures, int32(b)) //hh:allocok within Reserve(n) capacity; at most n captures
 			blocked[b] = true
 			succeeded[a] = true
 			blocked[a] = true

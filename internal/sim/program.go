@@ -157,8 +157,10 @@ type EmitOp uint8
 
 const (
 	// EmitSearch performs search().
+	//hh:draws none from the ant stream; the environment draws one destination word per searching ant, in ant order scalar=SimpleAnt.Act
 	EmitSearch EmitOp = iota
 	// EmitGotoNest performs go(nest) on the committed nest register.
+	//hh:draws none scalar=SimpleAnt.Act
 	EmitGotoNest
 	// EmitRecruitPop performs recruit(b, nest) with b drawn as
 	// Bernoulli(count/n) when the quality register is positive and b = 0
@@ -166,13 +168,16 @@ const (
 	// Bernoulli draw consumes ant randomness exactly as the scalar
 	// SimpleAnt/SimplePFSM do (no draw when quality <= 0), which is what
 	// keeps batch and scalar executions bit-identical.
+	//hh:draws one Bernoulli(count/n) word when quality > 0 and the rate is inside (0, 1), none otherwise scalar=SimpleAnt.Act
 	EmitRecruitPop
 	// EmitRecruitBit performs recruit(Arg, nest): the active bit is fixed by
 	// the state rather than drawn — Algorithm 2's recruits are all of this
 	// form (lines 14, 21, 23, 29, 35 of the pseudocode).
+	//hh:draws none: the active bit is compiled into the state, not drawn scalar=OptimalAnt.Act
 	EmitRecruitBit
 	// EmitGotoScratch performs go(nestT) on the scratch nest register —
 	// Algorithm 2's R2 visit to the nest learned while recruiting (line 24).
+	//hh:draws none scalar=OptimalAnt.Act
 	EmitGotoScratch
 	// EmitRecruitQual performs recruit(b, nest) with b drawn as
 	// Bernoulli(quality·count/n) — the §6 non-binary-quality extension's
@@ -181,6 +186,7 @@ const (
 	// how the scalar QualityAnt's active gate behaves (a passive ant always
 	// holds quality 0, so skipping the call and making it at p = 0 are
 	// bit-identical).
+	//hh:draws one Bernoulli(quality*count/n) word when the rate is inside (0, 1), none otherwise scalar=QualityAnt.Act
 	EmitRecruitQual
 	// EmitRecruitAdaptive performs recruit(b, nest) with b drawn as
 	// Bernoulli(AdaptiveRecruitProbability(n, count, phases, Tau, FloorDiv))
@@ -188,12 +194,14 @@ const (
 	// boosted-rate extension. phases is the ant's entry in the lane's integer
 	// parameter column, incremented on every emit (drawn or not), mirroring
 	// the scalar AdaptiveAnt's phase clock.
+	//hh:draws one Bernoulli(b(r)) word when quality > 0 and the boosted rate is inside (0, 1), none otherwise scalar=AdaptiveAnt.Act
 	EmitRecruitAdaptive
 	// EmitRecruitApproxN performs recruit(b, nest) with b drawn as
 	// Bernoulli(min(1, count/ñ)) when the quality register is positive and
 	// b = 0 otherwise — the §6 approximate-n extension. ñ is the ant's entry
 	// in the lane's float parameter column, initialized from Params.NEstDelta
 	// at replicate start.
+	//hh:draws one Bernoulli word when quality > 0 and the clamped rate min(1, count/nEst) is inside (0, 1), none otherwise scalar=ApproxNAnt.Act
 	EmitRecruitApproxN
 	// EmitRecruitTransport performs recruit(1, nest) with carry capacity
 	// Params.QuorumCarry — the §6 transport extension's direct carrying, as
@@ -201,6 +209,7 @@ const (
 	// transporter always recruits), so no randomness is drawn; the lane routes
 	// the round's pairing through the matcher's carry-aware form
 	// (CarryMatcher.MatchCarry) exactly as the scalar engine does.
+	//hh:draws none: a transporter always recruits actively scalar=QuorumAnt.Act
 	EmitRecruitTransport
 )
 
@@ -212,6 +221,9 @@ const (
 //
 // The scalar AdaptiveAnt delegates here too, so batch and scalar executions
 // share one float-for-float identical formula by construction.
+//
+//hh:hotpath
+//hh:floatok the shared scalar/batch rate definition: float by contract, consumed only through Bernoulli/NewThreshold
 func AdaptiveRecruitProbability(n, count, phases, tau int, floorDiv float64) float64 {
 	c := float64(count)
 	decay := adaptiveDecay(n, phases, tau, floorDiv)
@@ -221,6 +233,9 @@ func AdaptiveRecruitProbability(n, count, phases, tau int, floorDiv float64) flo
 // adaptiveDecay computes the schedule's virtual-rival term A(r). It is split
 // out so the lockstep batch path, where the phase clock is colony-uniform,
 // can hoist it out of the per-ant loop.
+//
+//hh:hotpath
+//hh:floatok the shared scalar/batch rate definition: float by contract, consumed only through Bernoulli/NewThreshold
 func adaptiveDecay(n, phases, tau int, floorDiv float64) float64 {
 	decay := float64(n)
 	for i := 0; i < phases/tau; i++ {
@@ -243,62 +258,76 @@ type ObserveOp uint8
 const (
 	// ObserveDiscovery loads nest, count and quality from the outcome — the
 	// pattern after search(). Static.
+	//hh:draws none scalar=SimpleAnt.Observe
 	ObserveDiscovery ObserveOp = iota
 	// ObserveAdopt adopts the recruiter's nest when the outcome's nest
 	// differs from the committed one, setting quality to 1 (a captured ant
 	// trusts its recruiter) — the pattern after recruit(). Static.
+	//hh:draws none scalar=SimpleAnt.Observe
 	ObserveAdopt
 	// ObserveCount loads only the count register — the pattern after go().
 	// Static.
+	//hh:draws none scalar=SimpleAnt.Observe
 	ObserveCount
 	// ObserveNone folds nothing — the padding calls of Algorithm 2 whose
 	// return values are discarded. Static.
+	//hh:draws none scalar=OptimalAnt.Observe
 	ObserveNone
 	// ObserveDiscoverBranch loads nest, count and quality like
 	// ObserveDiscovery, then branches on the discovered quality: Next when
 	// quality > 0 (Algorithm 2's active), NextB when quality = 0 (passive) —
 	// lines 8-11.
+	//hh:draws none scalar=OptimalAnt.Observe
 	ObserveDiscoverBranch
 	// ObserveRecruitNest stores the outcome nest in the scratch nest register
 	// nestT (the recruit of line 23, whose result is the capturer's nest when
 	// captured and the ant's own nest otherwise), then enters Next.
+	//hh:draws none scalar=OptimalAnt.Observe
 	ObserveRecruitNest
 	// ObserveCompareR2 stores the outcome count in countT and performs
 	// Algorithm 2's three-way R2 compare (lines 25-38): Case 1 (nestT = nest
 	// and countT >= count) re-baselines count := countT and enters Next;
 	// Case 2 (nestT = nest, population dropped) enters NextB; Case 3
 	// (recruited elsewhere) commits nest := nestT and enters NextC.
+	//hh:draws none scalar=OptimalAnt.Observe
 	ObserveCompareR2
 	// ObserveRecountRebase is Case 3's R3 population check (lines 39-41) in
 	// the analysis-consistent reading: count_n := outcome count; if
 	// count_n < countT enter NextB (the to-passive chain), else re-baseline
 	// count := count_n and enter Next.
+	//hh:draws none scalar=OptimalAnt.Observe
 	ObserveRecountRebase
 	// ObserveRecountLiteral is the pseudocode-literal Case 3 check: same
 	// branching as ObserveRecountRebase but count keeps the old nest's value
 	// on the Next branch (the stale baseline the E17 ablation quantifies).
+	//hh:draws none scalar=OptimalAnt.Observe
 	ObserveRecountLiteral
 	// ObserveFinalEq is branch 1's R4 check (lines 29-31): if the outcome
 	// count equals the count register enter NextB (the final state), else
 	// Next. The outcome of a recruit call carries the home-nest population.
+	//hh:draws none scalar=OptimalAnt.Observe
 	ObserveFinalEq
 	// ObserveAdoptPend is the passive R2 fold (lines 14-17): when the outcome
 	// nest differs the ant adopts it and enters NextB (the pending chain that
 	// latches final at the phase boundary); otherwise it enters Next.
+	//hh:draws none scalar=OptimalAnt.Observe
 	ObserveAdoptPend
 	// ObserveNestLatch re-loads the nest register from the outcome — the
 	// final-state recruit loop's ⟨nest, ·⟩ := recruit(1, nest) of line 21 —
 	// then enters Next.
+	//hh:draws none scalar=OptimalAnt.Observe
 	ObserveNestLatch
 	// ObserveAdoptZero adopts the recruiter's nest when the outcome's nest
 	// differs from the committed one, resetting quality to 0 — the §6
 	// quality-aware recruit fold: a captured ant prices the unknown nest
 	// conservatively until its next visit re-assesses it. Static.
+	//hh:draws none scalar=QualityAnt.Observe
 	ObserveAdoptZero
 	// ObserveCountQual loads the count register and re-assesses quality from
 	// the outcome — the quality-aware assess visit (the engine reports the
 	// nest's true quality on go outcomes; recruit outcomes carry quality 0).
 	// Static.
+	//hh:draws none scalar=QualityAnt.Observe
 	ObserveCountQual
 	// ObserveDiscoverNoisy is the noisy-perception discovery fold: the count
 	// register loads Params.Count(outcome count) and the quality register
@@ -307,9 +336,11 @@ const (
 	// (quality > 0 gates the recruit draw). Both hooks draw from the observing
 	// ant's own stream, count first, then quality, matching NoisyAnt's observe
 	// order. Static.
+	//hh:draws whatever Params.Count then Params.Assess draw from the observing ant stream, in that order scalar=NoisyAnt.Observe
 	ObserveDiscoverNoisy
 	// ObserveCountNoisy loads the count register through Params.Count — the
 	// noisy assess visit. Static.
+	//hh:draws whatever Params.Count draws from the observing ant stream scalar=NoisyAnt.Observe
 	ObserveCountNoisy
 	// ObserveDiscoverQuorum is the quorum-transport discovery fold: adopt the
 	// outcome nest, load the exact count, classify activity by
@@ -317,6 +348,7 @@ const (
 	// canvasser, 0 passive), and self-calibrate the quorum threshold
 	// T = max(⌊QuorumMult·count⌋, count+2) into the countT scratch register —
 	// exactly QuorumAnt's search observe. Static.
+	//hh:draws whatever Params.Assess draws from the observing ant stream scalar=QuorumAnt.Observe
 	ObserveDiscoverQuorum
 	// ObserveQuorumAdopt is the canvasser/passive recruit fold: when the ant
 	// was CAPTURED this round (capture is what QuorumAnt keys on, not a nest
@@ -324,12 +356,14 @@ const (
 	// advertises its own nest) it adopts the capturer's nest and becomes an
 	// active canvasser (quality := 1). A self-pair does not count as capture.
 	// Static.
+	//hh:draws none: capture state folds without randomness scalar=QuorumAnt.Observe
 	ObserveQuorumAdopt
 	// ObserveQuorumCheck is the canvasser assess fold: load the exact count,
 	// then promote to transport — NextB — when the ant canvasses actively
 	// (quality > 0) and the count has reached the countT threshold; otherwise
 	// enter Next (keep canvassing). The transport states are Final, making the
 	// compiled program deciding exactly as QuorumAnt.Decided reports transport.
+	//hh:draws none scalar=QuorumAnt.Observe
 	ObserveQuorumCheck
 	// ObserveQuorumTransport is the transporter recruit fold: a captured
 	// transporter submits with probability Params.QuorumDocility (drawn from
@@ -337,6 +371,7 @@ const (
 	// DIFFERENT nest demotes to a canvasser of that nest — NextB — while one
 	// carried for its own nest, a resisting one, or an uncaptured one stays in
 	// transport — Next.
+	//hh:draws one docility Bernoulli word from the captured transporter stream when QuorumDocility is inside (0, 1), none otherwise scalar=QuorumAnt.Observe
 	ObserveQuorumTransport
 	// ObserveInform is the rumor-spreading fold of the §3 lower-bound process:
 	// when the outcome nest is good the ant learns the rumor — it commits to
@@ -346,6 +381,7 @@ const (
 	// the same two information channels as the scalar SpreaderAnt's. The
 	// Spreader compiler requires exactly one good nest, making "good outcome
 	// nest" and "outcome nest = target" the same predicate.
+	//hh:draws none scalar=SpreaderAnt.Observe
 	ObserveInform
 )
 
