@@ -161,12 +161,16 @@ type batchBenchConfig struct {
 	out                         string  // also write the JSON records to this file
 	baseline                    string  // compare against this BENCH records file
 	tolerance                   float64 // accepted relative ms/sweep regression
+	obsTolerance                float64 // accepted relative overhead of the observed batch cell
 }
 
 // defaultBatchBench is the published benchmark point: n=1024, k=4, R=32
-// replicate colonies, at least a second of measurement per engine.
+// replicate colonies, at least a second of measurement per engine. The
+// streaming-telemetry cell must stay within 10% of the unobserved batch
+// engine — the observer is on the hot path, so its cost is gated, not
+// merely reported.
 func defaultBatchBench(jsonOut bool) batchBenchConfig {
-	return batchBenchConfig{n: 1024, k: 4, good: 2, reps: 32, maxRounds: 4000, minTime: time.Second, json: jsonOut}
+	return batchBenchConfig{n: 1024, k: 4, good: 2, reps: 32, maxRounds: 4000, minTime: time.Second, json: jsonOut, obsTolerance: 0.10}
 }
 
 // benchRecord is the machine-readable BENCH line -batchbench -json emits, one
@@ -233,22 +237,40 @@ func runBatchBench(out io.Writer, bb batchBenchConfig) error {
 	enc := json.NewEncoder(out)
 	var records []benchRecord
 
+	// Ant-steps executed: every solved replicate ran its recorded rounds,
+	// every unsolved one the full budget.
+	stepsOf := func(pt experiment.ConvergencePoint) int {
+		solvedRounds := int(pt.Rounds.Mean*float64(pt.Solved) + 0.5)
+		return solvedRounds + (bb.reps-pt.Solved)*bb.maxRounds
+	}
 	sweep := func(c batchBenchCell) (totalRounds int, err error) {
 		cfg := core.RunConfig{N: bb.n, Env: env, MaxRounds: bb.maxRounds, Wrap: c.wrap}
 		pt, err := experiment.MeasureConvergence(c.algo, cfg, bb.reps, "batchbench")
 		if err != nil {
 			return 0, err
 		}
-		// Ant-steps executed: every solved replicate ran its recorded rounds,
-		// every unsolved one the full budget.
-		solvedRounds := int(pt.Rounds.Mean*float64(pt.Solved) + 0.5)
-		return solvedRounds + (bb.reps-pt.Solved)*bb.maxRounds, nil
+		return stepsOf(pt), nil
+	}
+	// sweepObserved is sweep with streaming telemetry attached: per-round
+	// census records flow through the lane rings into the collector while
+	// the sweep runs, so its cost difference against sweep IS the telemetry
+	// overhead.
+	sweepObserved := func(c batchBenchCell) (totalRounds int, err error) {
+		cfg := core.RunConfig{N: bb.n, Env: env, MaxRounds: bb.maxRounds, Wrap: c.wrap}
+		pt, dist, err := experiment.MeasureConvergenceStreamed(c.algo, cfg, bb.reps, "batchbench")
+		if err != nil {
+			return 0, err
+		}
+		if !dist.Streamed {
+			return 0, fmt.Errorf("observed cell %s fell back to the scalar path", c.name())
+		}
+		return stepsOf(pt), nil
 	}
 
-	measure := func(c batchBenchCell, engine string, batch bool, speedupOver float64) (float64, error) {
+	measure := func(c batchBenchCell, engine string, batch bool, speedupOver float64, sweep func(batchBenchCell) (int, error)) (benchRecord, error) {
 		experiment.SetBatchEngine(batch)
 		if _, err := sweep(c); err != nil { // warm-up
-			return 0, err
+			return benchRecord{}, err
 		}
 		var (
 			elapsed time.Duration
@@ -259,7 +281,7 @@ func runBatchBench(out io.Writer, bb batchBenchConfig) error {
 			start := time.Now()
 			r, err := sweep(c)
 			if err != nil {
-				return 0, err
+				return benchRecord{}, err
 			}
 			elapsed += time.Since(start)
 			rounds += r
@@ -278,13 +300,13 @@ func runBatchBench(out io.Writer, bb batchBenchConfig) error {
 		records = append(records, rec)
 		if bb.json {
 			if err := enc.Encode(rec); err != nil {
-				return 0, err
+				return benchRecord{}, err
 			}
 		} else {
-			fmt.Fprintf(out, "%-16s %-7s %3d sweep(s) of %d x n=%d k=%d: %8.1f ms/sweep, %11.0f ant-steps/s\n",
+			fmt.Fprintf(out, "%-16s %-9s %3d sweep(s) of %d x n=%d k=%d: %8.1f ms/sweep, %11.0f ant-steps/s\n",
 				c.name(), engine, iters, bb.reps, bb.n, bb.k, perSweepMs, steps)
 		}
-		return steps, nil
+		return rec, nil
 	}
 
 	if !bb.json {
@@ -292,16 +314,34 @@ func runBatchBench(out io.Writer, bb batchBenchConfig) error {
 	}
 	defer experiment.SetBatchEngine(true)
 	for _, c := range batchBenchCells() {
-		scalar, err := measure(c, "scalar", false, 0)
+		scalar, err := measure(c, "scalar", false, 0, sweep)
 		if err != nil {
 			return err
 		}
-		batch, err := measure(c, "batch", true, scalar)
+		batch, err := measure(c, "batch", true, scalar.AntStepsPerSec, sweep)
 		if err != nil {
 			return err
 		}
 		if !bb.json {
-			fmt.Fprintf(out, "\n%s speedup: %.2fx\n\n", c.name(), batch/scalar)
+			fmt.Fprintf(out, "\n%s speedup: %.2fx\n\n", c.name(), batch.AntStepsPerSec/scalar.AntStepsPerSec)
+		}
+		// One cell times the streaming-telemetry observer against the bare
+		// batch engine and gates its overhead; the lockstep path (simple) has
+		// the cheapest rounds, so it is the worst case for relative overhead.
+		if c.name() != "simple" {
+			continue
+		}
+		obs, err := measure(c, "batch+obs", true, scalar.AntStepsPerSec, sweepObserved)
+		if err != nil {
+			return err
+		}
+		overhead := obs.MsPerSweep/batch.MsPerSweep - 1
+		if !bb.json {
+			fmt.Fprintf(out, "\n%s telemetry overhead: %+.1f%%\n\n", c.name(), overhead*100)
+		}
+		if bb.obsTolerance > 0 && overhead > bb.obsTolerance {
+			return fmt.Errorf("streaming telemetry overhead %.1f%% exceeds the %.0f%% gate (batch %.1f ms/sweep, observed %.1f ms/sweep)",
+				overhead*100, bb.obsTolerance*100, batch.MsPerSweep, obs.MsPerSweep)
 		}
 	}
 	if bb.out != "" {

@@ -81,11 +81,11 @@ func TestBatchBenchJSONRecords(t *testing.T) {
 		}
 		recs = append(recs, rec)
 	}
-	if len(recs) != 16 {
-		t.Fatalf("got %d BENCH records, want 16:\n%+v", len(recs), recs)
+	if len(recs) != 17 {
+		t.Fatalf("got %d BENCH records, want 17:\n%+v", len(recs), recs)
 	}
 	wantCells := []struct{ algorithm, engine string }{
-		{"simple", "scalar"}, {"simple", "batch"},
+		{"simple", "scalar"}, {"simple", "batch"}, {"simple", "batch+obs"},
 		{"optimal", "scalar"}, {"optimal", "batch"},
 		{"adaptive", "scalar"}, {"adaptive", "batch"},
 		{"quality", "scalar"}, {"quality", "batch"},
@@ -108,7 +108,7 @@ func TestBatchBenchJSONRecords(t *testing.T) {
 		if rec.AntStepsPerSec <= 0 || rec.MsPerSweep <= 0 {
 			t.Errorf("record %d: non-positive throughput: %+v", i, rec)
 		}
-		isBatch := rec.Engine == "batch"
+		isBatch := rec.Engine == "batch" || rec.Engine == "batch+obs"
 		if isBatch && rec.Speedup <= 0 {
 			t.Errorf("record %d: batch cell missing speedup: %+v", i, rec)
 		}

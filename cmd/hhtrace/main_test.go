@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"sort"
 	"strings"
 	"testing"
 )
@@ -39,5 +40,64 @@ func TestRunRejectsBadInput(t *testing.T) {
 	}
 	if err := run([]string{"-algo", "bogus"}, &out); err == nil {
 		t.Fatal("unknown algorithm accepted")
+	}
+}
+
+func TestRunLiveStreamsSweep(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-live", "-reps", "4", "-n", "48", "-k", "2", "-good", "1", "-seed", "5"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(out.String(), "\n"), "\n")
+	if lines[0] != "rep,round,pop0,pop1,pop2,committed0,committed1,committed2" {
+		t.Fatalf("live header = %q", lines[0])
+	}
+	if len(lines) < 5 {
+		t.Fatalf("live sweep emitted %d rows, want at least one per replicate", len(lines)-1)
+	}
+	// Every replicate must appear, and every row must have the header's arity.
+	seen := map[string]bool{}
+	for _, line := range lines[1:] {
+		fields := strings.Split(line, ",")
+		if len(fields) != 8 {
+			t.Fatalf("row %q has %d fields, want 8", line, len(fields))
+		}
+		seen[fields[0]] = true
+	}
+	for _, rep := range []string{"0", "1", "2", "3"} {
+		if !seen[rep] {
+			t.Errorf("no streamed rows for replicate %s", rep)
+		}
+	}
+}
+
+func TestRunLiveIsDeterministic(t *testing.T) {
+	runOnce := func() string {
+		var out bytes.Buffer
+		if err := run([]string{"-live", "-reps", "3", "-n", "32", "-k", "2", "-good", "2", "-algo", "optimal", "-seed", "9"}, &out); err != nil {
+			t.Fatal(err)
+		}
+		// Lane scheduling interleaves replicates nondeterministically, so
+		// compare the sorted row multiset, not the arrival order.
+		lines := strings.Split(strings.TrimRight(out.String(), "\n"), "\n")
+		sort.Strings(lines)
+		return strings.Join(lines, "\n")
+	}
+	if a, b := runOnce(), runOnce(); a != b {
+		t.Fatal("same seed produced different streamed records")
+	}
+}
+
+func TestRunLiveRejectsBadInput(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-live", "-format", "json"}, &out); err == nil {
+		t.Fatal("live json accepted")
+	}
+	if err := run([]string{"-live", "-reps", "0"}, &out); err == nil {
+		t.Fatal("zero reps accepted")
+	}
+	if err := run([]string{"-live", "-algo", "bogus"}, &out); err == nil {
+		t.Fatal("unknown live algorithm accepted")
 	}
 }

@@ -168,6 +168,15 @@ func compileForBatch(algo Algorithm, cfg RunConfig) (prog sim.Program, matcher f
 // reports eligibility: when false, the caller must run the scalar path
 // (cfg cannot run batched); no work has been done in that case.
 func RunBatch(algo Algorithm, cfg RunConfig, seeds []uint64) ([]Result, bool, error) {
+	return RunBatchObserved(algo, cfg, seeds, nil)
+}
+
+// RunBatchObserved is RunBatch with a streaming telemetry observer attached
+// to the batch engine. Observation is draw-free, so the results are
+// bit-identical to RunBatch's; cfg.Trace/cfg.Metrics still decline
+// compilation (they are scalar-engine instrumentation — the observer IS the
+// batch engine's telemetry path). A nil observer is exactly RunBatch.
+func RunBatchObserved(algo Algorithm, cfg RunConfig, seeds []uint64, obs sim.BatchObserver) ([]Result, bool, error) {
 	prog, factory, ok, _ := compileForBatch(algo, cfg)
 	if !ok {
 		return nil, false, nil
@@ -178,6 +187,9 @@ func RunBatch(algo Algorithm, cfg RunConfig, seeds []uint64) ([]Result, bool, er
 	var opts []sim.BatchOption
 	if factory != nil {
 		opts = append(opts, sim.WithBatchMatcher(factory))
+	}
+	if obs != nil {
+		opts = append(opts, sim.WithBatchObserver(obs))
 	}
 	batch, err := sim.NewBatch(cfg.Env, prog, cfg.N, opts...)
 	if err != nil {

@@ -56,16 +56,10 @@ type ConvergencePoint struct {
 // protocol/configuration error aborts the whole measurement: those are bugs,
 // not outcomes.
 func MeasureConvergence(algo core.Algorithm, cfg core.RunConfig, reps int, tag string) (ConvergencePoint, error) {
-	if algo == nil {
-		return ConvergencePoint{}, fmt.Errorf("experiment: nil algorithm")
+	if err := validateMeasurement(algo, reps); err != nil {
+		return ConvergencePoint{}, err
 	}
-	if reps <= 0 {
-		return ConvergencePoint{}, fmt.Errorf("experiment: reps must be positive, got %d", reps)
-	}
-	seeds := make([]uint64, reps)
-	for rep := range seeds {
-		seeds[rep] = workload.SeedFor(tag, cfg.N, cfg.Env.K(), rep+1)
-	}
+	seeds := convergenceSeeds(cfg, reps, tag)
 
 	var runs []core.Result
 	if BatchEngineEnabled() {
@@ -80,38 +74,73 @@ func MeasureConvergence(algo core.Algorithm, cfg core.RunConfig, reps int, tag s
 		}
 	}
 	if runs == nil {
-		type repResult struct {
-			res core.Result
-			err error
-		}
-		results := make([]repResult, reps)
-		var wg sync.WaitGroup
-		sem := make(chan struct{}, maxParallelism())
-		for rep := 0; rep < reps; rep++ {
-			wg.Add(1)
-			go func(rep int) {
-				defer wg.Done()
-				sem <- struct{}{}
-				defer func() { <-sem }()
-				repCfg := cfg
-				repCfg.Seed = seeds[rep]
-				res, err := core.Run(algo, repCfg)
-				results[rep] = repResult{res: res, err: err}
-			}(rep)
-		}
-		wg.Wait()
-		runs = make([]core.Result, reps)
-		for rep, r := range results {
-			if r.err != nil {
-				return ConvergencePoint{}, fmt.Errorf("experiment: rep %d: %w", rep, r.err)
-			}
-			runs[rep] = r.res
+		var err error
+		runs, err = runScalarReps(algo, cfg, seeds)
+		if err != nil {
+			return ConvergencePoint{}, err
 		}
 	}
+	return aggregatePoint(algo, cfg, runs), nil
+}
 
-	point := ConvergencePoint{Algorithm: algo.Name(), N: cfg.N, K: cfg.Env.K(), Reps: reps}
-	rounds := make([]float64, 0, reps)
-	quality := make([]float64, 0, reps)
+// validateMeasurement rejects the argument shapes every measurement shares.
+func validateMeasurement(algo core.Algorithm, reps int) error {
+	if algo == nil {
+		return fmt.Errorf("experiment: nil algorithm")
+	}
+	if reps <= 0 {
+		return fmt.Errorf("experiment: reps must be positive, got %d", reps)
+	}
+	return nil
+}
+
+// convergenceSeeds derives the per-rep seeds; cfg.Seed is ignored by design
+// (each rep's seed is a pure function of tag, cell, and rep index).
+func convergenceSeeds(cfg core.RunConfig, reps int, tag string) []uint64 {
+	seeds := make([]uint64, reps)
+	for rep := range seeds {
+		seeds[rep] = workload.SeedFor(tag, cfg.N, cfg.Env.K(), rep+1)
+	}
+	return seeds
+}
+
+// runScalarReps executes one scalar replicate per seed, parallel across CPUs.
+func runScalarReps(algo core.Algorithm, cfg core.RunConfig, seeds []uint64) ([]core.Result, error) {
+	type repResult struct {
+		res core.Result
+		err error
+	}
+	results := make([]repResult, len(seeds))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, maxParallelism())
+	for rep := range seeds {
+		wg.Add(1)
+		go func(rep int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			repCfg := cfg
+			repCfg.Seed = seeds[rep]
+			res, err := core.Run(algo, repCfg)
+			results[rep] = repResult{res: res, err: err}
+		}(rep)
+	}
+	wg.Wait()
+	runs := make([]core.Result, len(seeds))
+	for rep, r := range results {
+		if r.err != nil {
+			return nil, fmt.Errorf("experiment: rep %d: %w", rep, r.err)
+		}
+		runs[rep] = r.res
+	}
+	return runs, nil
+}
+
+// aggregatePoint reduces per-rep results to a ConvergencePoint.
+func aggregatePoint(algo core.Algorithm, cfg core.RunConfig, runs []core.Result) ConvergencePoint {
+	point := ConvergencePoint{Algorithm: algo.Name(), N: cfg.N, K: cfg.Env.K(), Reps: len(runs)}
+	rounds := make([]float64, 0, len(runs))
+	quality := make([]float64, 0, len(runs))
 	for _, res := range runs {
 		if res.Solved {
 			point.Solved++
@@ -119,10 +148,10 @@ func MeasureConvergence(algo core.Algorithm, cfg core.RunConfig, reps int, tag s
 			quality = append(quality, res.WinnerQuality)
 		}
 	}
-	point.SuccessRate = float64(point.Solved) / float64(reps)
+	point.SuccessRate = float64(point.Solved) / float64(len(runs))
 	point.Rounds = stats.Summarize(rounds, false)
 	point.WinnerQuality = stats.Summarize(quality, false)
-	return point, nil
+	return point
 }
 
 // maxParallelism bounds the worker pool: one worker per CPU, at least one.

@@ -2,51 +2,64 @@
 // the simulation engine: recruitment attempts/successes, protocol violations,
 // rounds executed, and similar engine-health signals.
 //
-// A Registry is plain single-goroutine state by default; the engine resolves
-// rounds on one goroutine even in concurrent mode, so no locking is needed on
-// the hot path. A locked view is available via Snapshot for observers on
-// other goroutines.
+// Counter and Gauge values are atomic, so engine goroutines may mutate them
+// while an observer on another goroutine calls Snapshot: the registry mutex
+// guards only the name→metric maps, and the values themselves are read and
+// written with atomic operations. A single uncontended atomic add is cheap
+// enough that the engine hot path pays no meaningful premium for this.
 package metrics
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 )
 
-// Counter is a monotonically increasing count.
+// Counter is a monotonically increasing count, safe for concurrent use.
 type Counter struct {
-	value uint64
+	value atomic.Uint64
 }
 
 // Inc adds 1 to the counter.
-func (c *Counter) Inc() { c.value++ }
+func (c *Counter) Inc() { c.value.Add(1) }
 
 // Add adds delta to the counter; negative deltas are ignored because counters
 // are monotone by contract.
 func (c *Counter) Add(delta int) {
 	if delta > 0 {
-		c.value += uint64(delta)
+		c.value.Add(uint64(delta))
 	}
 }
 
 // Value returns the current count.
-func (c *Counter) Value() uint64 { return c.value }
+func (c *Counter) Value() uint64 { return c.value.Load() }
 
-// Gauge is an instantaneous value that can move in both directions.
+// Gauge is an instantaneous value that can move in both directions, safe for
+// concurrent use. The float64 is stored as its IEEE-754 bit pattern in an
+// atomic word; Add is a CAS loop so concurrent shifts never lose updates.
 type Gauge struct {
-	value float64
+	bits atomic.Uint64
 }
 
 // Set replaces the gauge value.
-func (g *Gauge) Set(v float64) { g.value = v }
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
 
 // Add shifts the gauge by delta.
-func (g *Gauge) Add(delta float64) { g.value += delta }
+func (g *Gauge) Add(delta float64) {
+	for {
+		old := g.bits.Load()
+		updated := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, updated) {
+			return
+		}
+	}
+}
 
 // Value returns the current value.
-func (g *Gauge) Value() float64 { return g.value }
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
 
 // Registry is a named collection of counters and gauges. The zero value is
 // unusable; construct with NewRegistry.

@@ -76,6 +76,79 @@ func TestRegistryString(t *testing.T) {
 	}
 }
 
+// TestConcurrentMutateAndSnapshot races incrementers and gauge writers
+// against a snapshotter. Under -race this pins that Inc/Add/Set are properly
+// synchronized with Snapshot (the bug fixed in the streaming-telemetry PR:
+// values used to be plain fields read under the registry mutex but mutated
+// without it); without -race it still checks no update is lost.
+func TestConcurrentMutateAndSnapshot(t *testing.T) {
+	t.Parallel()
+	r := NewRegistry()
+	const (
+		writers = 4
+		perG    = 10000
+	)
+	var writerWG, snapWG sync.WaitGroup
+	stop := make(chan struct{})
+	snapWG.Add(1)
+	go func() { // snapshotter
+		defer snapWG.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				for _, s := range r.Snapshot() {
+					if s.Value < 0 {
+						t.Error("negative sample observed")
+						return
+					}
+				}
+			}
+		}
+	}()
+	for i := 0; i < writers; i++ {
+		writerWG.Add(1)
+		go func() {
+			defer writerWG.Done()
+			c := r.Counter("events")
+			g := r.Gauge("level")
+			for j := 0; j < perG; j++ {
+				c.Inc()
+				c.Add(2)
+				g.Add(1)
+				g.Set(g.Value()) // racy read-modify-write by design; Set itself must be atomic
+			}
+		}()
+	}
+	writerWG.Wait()
+	close(stop)
+	snapWG.Wait()
+	if got := r.Counter("events").Value(); got != writers*perG*3 {
+		t.Fatalf("counter = %d, want %d (lost updates)", got, writers*perG*3)
+	}
+}
+
+// TestGaugeConcurrentAdd pins that Gauge.Add is a lossless read-modify-write.
+func TestGaugeConcurrentAdd(t *testing.T) {
+	t.Parallel()
+	var g Gauge
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 5000; j++ {
+				g.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if g.Value() != 8*5000 {
+		t.Fatalf("gauge = %g, want %d (lost adds)", g.Value(), 8*5000)
+	}
+}
+
 func TestConcurrentCreation(t *testing.T) {
 	t.Parallel()
 	r := NewRegistry()

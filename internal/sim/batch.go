@@ -65,6 +65,7 @@ type Batch struct {
 	n          int
 	workers    int
 	probe      func(rep, round int, counts, committed []int)
+	obs        BatchObserver
 	newMatcher func() Matcher
 
 	// Program traits, computed once at construction.
@@ -277,22 +278,26 @@ func (b *Batch) Run(seeds []uint64, maxRounds, window int) ([]BatchResult, error
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			ln := newLane(b)
+			var obs LaneObserver
+			if b.obs != nil {
+				obs = b.obs.LaneObserver(w)
+			}
 			for {
 				rep := int(next.Add(1)) - 1
 				if rep >= len(seeds) || firstErr.Load() != nil {
 					return
 				}
-				res, err := ln.runReplicate(rep, seeds[rep], maxRounds, window, b.probe)
+				res, err := ln.runReplicate(rep, seeds[rep], maxRounds, window, b.probe, obs)
 				if err != nil {
 					firstErr.CompareAndSwap(nil, fmt.Errorf("sim: batch replicate %d (seed %d): %w", rep, seeds[rep], err))
 					return
 				}
 				results[rep] = res
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 	if err := firstErr.Load(); err != nil {
@@ -645,8 +650,11 @@ func (ln *lane) reset(seed uint64) {
 	}
 }
 
-// runReplicate executes one colony to convergence or the round budget.
-func (ln *lane) runReplicate(rep int, seed uint64, maxRounds, window int, probe func(rep, round int, counts, committed []int)) (BatchResult, error) {
+// runReplicate executes one colony to convergence or the round budget. probe
+// and obs are both draw-free observation taps on the resolved round; neither
+// touches an RNG stream, so their presence cannot perturb the replicate (the
+// differential tests pin this).
+func (ln *lane) runReplicate(rep int, seed uint64, maxRounds, window int, probe func(rep, round int, counts, committed []int), obs LaneObserver) (BatchResult, error) {
 	ln.reset(seed)
 	res := BatchResult{Seed: seed, Decided: -1}
 	streak := 0
@@ -673,6 +681,9 @@ func (ln *lane) runReplicate(rep int, seed uint64, maxRounds, window int, probe 
 		w, ok := ln.census()
 		if probe != nil {
 			probe(rep, round, ln.counts, ln.commit)
+		}
+		if obs != nil {
+			obs.ObserveRound(rep, round, ln.counts, ln.commit)
 		}
 		// Streak bookkeeping mirrors core.Run's until predicate exactly.
 		switch {
@@ -701,6 +712,9 @@ func (ln *lane) runReplicate(rep int, seed uint64, maxRounds, window int, probe 
 		res.Solved = true
 		res.Winner = winner
 		res.WinnerQuality = ln.qual[winner]
+	}
+	if obs != nil {
+		obs.ReplicateDone(rep, &res)
 	}
 	return res, nil
 }

@@ -145,7 +145,7 @@ func TestBatchStepAllocationFree(t *testing.T) {
 					t.Fatal(err)
 				}
 				ln := newLane(b)
-				if _, err := ln.runReplicate(0, 7, 300, 1, nil); err != nil {
+				if _, err := ln.runReplicate(0, 7, 300, 1, nil, nil); err != nil {
 					t.Fatalf("warm-up replicate: %v", err)
 				}
 				ln.reset(11)
@@ -196,7 +196,7 @@ func TestBatchStepAllocationFreeStockMatchers(t *testing.T) {
 					t.Fatal(err)
 				}
 				ln := newLane(b)
-				if _, err := ln.runReplicate(0, 7, 300, 1, nil); err != nil {
+				if _, err := ln.runReplicate(0, 7, 300, 1, nil, nil); err != nil {
 					t.Fatalf("warm-up replicate: %v", err)
 				}
 				ln.reset(11)

@@ -1,0 +1,196 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"github.com/gmrl/househunt/internal/rng"
+)
+
+func sketchEqual(t *testing.T, a, b *QuantileSketch) {
+	t.Helper()
+	if a.N() != b.N() {
+		t.Fatalf("N mismatch: %d vs %d", a.N(), b.N())
+	}
+	if a.Min() != b.Min() || a.Max() != b.Max() {
+		t.Fatalf("min/max mismatch: [%g,%g] vs [%g,%g]", a.Min(), a.Max(), b.Min(), b.Max())
+	}
+	if a.N() == 0 {
+		return
+	}
+	for q := 0.0; q <= 1.0; q += 0.01 {
+		if av, bv := a.Quantile(q), b.Quantile(q); av != bv {
+			t.Fatalf("Quantile(%g) mismatch: %g vs %g", q, av, bv)
+		}
+	}
+}
+
+// TestSketchAccuracy checks every quantile against the sorted-slice oracle
+// within the sketch's relative-error guarantee, allowing a ±1 rank slack for
+// ties at bucket boundaries.
+func TestSketchAccuracy(t *testing.T) {
+	const alpha = 0.01
+	src := rng.New(0xA11CE)
+	samples := make([]float64, 5000)
+	for i := range samples {
+		// Convergence-time-shaped data: positive, right-skewed.
+		samples[i] = math.Floor(1 + 400*math.Exp(2*float64(src.Intn(1000))/1000.0-1))
+	}
+	s := MustQuantileSketch(alpha)
+	for _, x := range samples {
+		s.Add(x)
+	}
+	sorted := make([]float64, len(samples))
+	copy(sorted, samples)
+	sort.Float64s(sorted)
+
+	for q := 0.0; q <= 1.0; q += 0.005 {
+		got := s.Quantile(q)
+		// Accept a match against any sample within ±1 rank of the target:
+		// the sketch uses closest-rank semantics while Quantile interpolates.
+		pos := q * float64(len(sorted)-1)
+		lo := int(math.Floor(pos)) - 1
+		hi := int(math.Ceil(pos)) + 1
+		if lo < 0 {
+			lo = 0
+		}
+		if hi >= len(sorted) {
+			hi = len(sorted) - 1
+		}
+		ok := false
+		for r := lo; r <= hi; r++ {
+			want := sorted[r]
+			if math.Abs(got-want) <= alpha*want+1e-12 {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Errorf("Quantile(%g) = %g not within %g%% of any sample in rank window [%g, %g]",
+				q, got, alpha*100, sorted[lo], sorted[hi])
+		}
+	}
+	if s.N() != uint64(len(samples)) {
+		t.Errorf("N = %d, want %d", s.N(), len(samples))
+	}
+	if s.Min() != sorted[0] || s.Max() != sorted[len(sorted)-1] {
+		t.Errorf("min/max = %g/%g, want %g/%g", s.Min(), s.Max(), sorted[0], sorted[len(sorted)-1])
+	}
+}
+
+// TestSketchMergeAssociative pins that merging shards in any order and any
+// grouping yields exactly the same sketch as adding every observation to one
+// sketch — the property the per-lane collector reduction relies on.
+func TestSketchMergeAssociative(t *testing.T) {
+	const alpha = 0.02
+	src := rng.New(0xBEEF)
+	shards := make([][]float64, 7)
+	var all []float64
+	for i := range shards {
+		n := 50 + src.Intn(200)
+		shard := make([]float64, n)
+		for j := range shard {
+			shard[j] = float64(1 + src.Intn(100000))
+		}
+		shards[i] = shard
+		all = append(all, shard...)
+	}
+
+	build := func(xs []float64) *QuantileSketch {
+		s := MustQuantileSketch(alpha)
+		for _, x := range xs {
+			s.Add(x)
+		}
+		return s
+	}
+	reference := build(all)
+
+	// Left fold in shard order.
+	left := MustQuantileSketch(alpha)
+	for _, sh := range shards {
+		if err := left.Merge(build(sh)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sketchEqual(t, reference, left)
+
+	// Right fold (reverse order).
+	right := MustQuantileSketch(alpha)
+	for i := len(shards) - 1; i >= 0; i-- {
+		if err := right.Merge(build(shards[i])); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sketchEqual(t, reference, right)
+
+	// Balanced tree grouping.
+	var tree func(lo, hi int) *QuantileSketch
+	tree = func(lo, hi int) *QuantileSketch {
+		if hi-lo == 1 {
+			return build(shards[lo])
+		}
+		mid := (lo + hi) / 2
+		l, r := tree(lo, mid), tree(mid, hi)
+		if err := l.Merge(r); err != nil {
+			t.Fatal(err)
+		}
+		return l
+	}
+	sketchEqual(t, reference, tree(0, len(shards)))
+
+	// Merging empties is the identity.
+	withEmpty := build(all)
+	if err := withEmpty.Merge(MustQuantileSketch(alpha)); err != nil {
+		t.Fatal(err)
+	}
+	if err := withEmpty.Merge(nil); err != nil {
+		t.Fatal(err)
+	}
+	sketchEqual(t, reference, withEmpty)
+}
+
+func TestSketchMergeRejectsMixedAccuracy(t *testing.T) {
+	a := MustQuantileSketch(0.01)
+	b := MustQuantileSketch(0.02)
+	b.Add(3)
+	if err := a.Merge(b); err == nil {
+		t.Fatal("expected accuracy-mismatch error, got nil")
+	}
+}
+
+func TestSketchZeroAndNegative(t *testing.T) {
+	s := MustQuantileSketch(0.01)
+	s.Add(0)
+	s.Add(-5)
+	s.Add(10)
+	if s.N() != 3 {
+		t.Fatalf("N = %d, want 3", s.N())
+	}
+	if s.Min() != -5 || s.Max() != 10 {
+		t.Fatalf("min/max = %g/%g, want -5/10", s.Min(), s.Max())
+	}
+	if got := s.Quantile(0); got != -5 {
+		t.Errorf("Quantile(0) = %g, want -5", got)
+	}
+	if got := s.Quantile(1); got != 10 {
+		t.Errorf("Quantile(1) = %g, want 10", got)
+	}
+}
+
+func TestSketchEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on empty sketch Quantile")
+		}
+	}()
+	MustQuantileSketch(0.01).Quantile(0.5)
+}
+
+func TestNewQuantileSketchRejectsBadAlpha(t *testing.T) {
+	for _, alpha := range []float64{0, 1, -0.5, 1.5, math.NaN()} {
+		if _, err := NewQuantileSketch(alpha); err == nil {
+			t.Errorf("NewQuantileSketch(%g): expected error", alpha)
+		}
+	}
+}

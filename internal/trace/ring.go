@@ -1,0 +1,216 @@
+package trace
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Ring is a single-producer single-consumer ring of fixed-width int32
+// records, the transport that carries per-round telemetry out of a batch
+// engine lane without allocating. Each slot holds a (rep, round) header plus
+// a payload of Width int32s; the producer's Push and the consumer's pop
+// synchronize only through the atomic head/tail counters, so neither side
+// takes a lock and the race detector sees a clean happens-before edge on
+// every record.
+//
+// A Ring is built by Collector.Lane; the producing lane calls Push, the
+// collector goroutine drains. Push blocks (spinning with runtime.Gosched)
+// when the consumer falls a full ring behind — backpressure instead of
+// records dropped or buffers grown.
+type Ring struct {
+	buf    []int32
+	mask   uint64 // slots-1; slots is a power of two
+	stride int    // int32s per slot: 2 headers + Width payload
+	width  int
+	notify chan<- struct{}
+
+	head atomic.Uint64 // next slot the consumer will read
+	tail atomic.Uint64 // next slot the producer will write
+}
+
+// Width returns the payload width in int32s each record carries.
+func (r *Ring) Width() int { return r.width }
+
+// Push publishes one record, blocking while the ring is full. row must have
+// length Width (extra elements are ignored, missing ones leave zeroes).
+// Safe for exactly one producer goroutine.
+//
+//hh:hotpath
+func (r *Ring) Push(rep, round int32, row []int32) {
+	tail := r.tail.Load()
+	for tail-r.head.Load() > r.mask {
+		// Consumer is a full ring behind: yield rather than drop or grow.
+		runtime.Gosched()
+	}
+	base := int(tail&r.mask) * r.stride
+	r.buf[base] = rep
+	r.buf[base+1] = round
+	copy(r.buf[base+2:base+r.stride], row)
+	r.tail.Store(tail + 1)
+	select {
+	case r.notify <- struct{}{}:
+	default: // a wakeup is already pending; the collector will re-scan
+	}
+}
+
+// pop moves the next record into row (length ≥ Width) and returns its
+// headers. Safe for exactly one consumer goroutine; allocation-free.
+func (r *Ring) pop(row []int32) (rep, round int32, ok bool) {
+	head := r.head.Load()
+	if head == r.tail.Load() {
+		return 0, 0, false
+	}
+	base := int(head&r.mask) * r.stride
+	rep = r.buf[base]
+	round = r.buf[base+1]
+	copy(row[:r.width], r.buf[base+2:base+r.stride])
+	r.head.Store(head + 1)
+	return rep, round, true
+}
+
+// Sink consumes records drained from the lane rings. Record is called from
+// the single collector goroutine, in push order per lane (lanes interleave
+// arbitrarily). row is scratch reused across calls — copy it to retain it.
+// A Sink that must stay allocation-free (for the AllocsPerRun telemetry
+// pins) simply folds row into preallocated state.
+type Sink interface {
+	Record(lane int, rep, round int32, row []int32)
+}
+
+// SinkFunc adapts a function to the Sink interface.
+type SinkFunc func(lane int, rep, round int32, row []int32)
+
+// Record implements Sink.
+func (f SinkFunc) Record(lane int, rep, round int32, row []int32) { f(lane, rep, round, row) }
+
+// Collector owns one Ring per producer lane and a single goroutine that
+// drains them all into a Sink. Construct with NewCollector, hand each
+// producer its Ring via Lane, and Close once every producer has finished
+// pushing; Close drains whatever remains before returning, so no record is
+// lost.
+type Collector struct {
+	width  int
+	slots  int
+	sink   Sink
+	notify chan struct{}
+	stop   chan struct{}
+	done   chan struct{}
+	row    []int32 // drain scratch, reused across every Record call
+
+	mu     sync.Mutex
+	rings  []*Ring
+	closed bool
+}
+
+// NewCollector starts a collector whose rings carry width-int32 payloads in
+// slotsPerLane slots (rounded up to a power of two, minimum 2). The drain
+// goroutine starts immediately and runs until Close.
+func NewCollector(width, slotsPerLane int, sink Sink) (*Collector, error) {
+	if width <= 0 {
+		return nil, fmt.Errorf("trace: collector payload width must be positive, got %d", width)
+	}
+	if slotsPerLane <= 0 {
+		return nil, fmt.Errorf("trace: collector slots per lane must be positive, got %d", slotsPerLane)
+	}
+	if sink == nil {
+		return nil, fmt.Errorf("trace: collector sink must not be nil")
+	}
+	slots := 2
+	for slots < slotsPerLane {
+		slots *= 2
+	}
+	c := &Collector{
+		width:  width,
+		slots:  slots,
+		sink:   sink,
+		notify: make(chan struct{}, 1),
+		stop:   make(chan struct{}),
+		done:   make(chan struct{}),
+		row:    make([]int32, width),
+	}
+	go c.drain()
+	return c, nil
+}
+
+// Width returns the payload width (in int32s) of the collector's rings.
+func (c *Collector) Width() int { return c.width }
+
+// Lane returns the ring for the given lane index, creating it on first use.
+// Each ring must have exactly one producer; lanes are typically registered
+// once at worker startup.
+func (c *Collector) Lane(lane int) *Ring {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		panic("trace: Lane called on closed Collector")
+	}
+	for lane >= len(c.rings) {
+		c.rings = append(c.rings, nil)
+	}
+	if c.rings[lane] == nil {
+		c.rings[lane] = &Ring{
+			buf:    make([]int32, c.slots*(c.width+2)),
+			mask:   uint64(c.slots - 1),
+			stride: c.width + 2,
+			width:  c.width,
+			notify: c.notify,
+		}
+	}
+	return c.rings[lane]
+}
+
+// drain is the collector goroutine: wake on notify, sweep every ring dry,
+// repeat. The cap-1 notify channel cannot lose a wakeup — a producer's send
+// only falls to the default branch when a wakeup is already pending, and the
+// record was published (tail stored) before the send, so the pending wakeup's
+// sweep observes it.
+func (c *Collector) drain() {
+	defer close(c.done)
+	for {
+		select {
+		case <-c.notify:
+			c.sweep()
+		case <-c.stop:
+			c.sweep()
+			return
+		}
+	}
+}
+
+// sweep pops every available record from every ring into the sink. It holds
+// the registration mutex, which only contends with Lane at worker startup.
+func (c *Collector) sweep() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for lane, r := range c.rings {
+		if r == nil {
+			continue
+		}
+		for {
+			rep, round, ok := r.pop(c.row)
+			if !ok {
+				break
+			}
+			c.sink.Record(lane, rep, round, c.row)
+		}
+	}
+}
+
+// Close stops the collector after a final sweep and waits for the drain
+// goroutine to exit. All producers must have finished pushing before Close
+// is called; records pushed before Close are guaranteed delivered. Close is
+// idempotent.
+func (c *Collector) Close() {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		<-c.done
+		return
+	}
+	c.closed = true
+	c.mu.Unlock()
+	close(c.stop)
+	<-c.done
+}

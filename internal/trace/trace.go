@@ -13,7 +13,6 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
-	"strings"
 )
 
 // EventKind labels a discrete event. Starting at 1 keeps the zero value
@@ -206,13 +205,10 @@ func (t *Trace) CommitmentSeries(nest int) ([]float64, error) {
 }
 
 // WriteCSV writes the per-round populations (and commitments when present)
-// as CSV: round,pop0..popK[,com0..comK].
+// as CSV: round,pop0..popK[,com0..comK]. Rows stream through a CSVWriter —
+// each row is flushed as it is produced with errors reported against the
+// failing round, and nothing beyond one row is buffered.
 func (t *Trace) WriteCSV(w io.Writer) error {
-	var b strings.Builder
-	b.WriteString("round")
-	for i := 0; i <= t.numNests; i++ {
-		fmt.Fprintf(&b, ",pop%d", i)
-	}
 	hasCommit := false
 	for _, r := range t.rounds {
 		if r.Commitments != nil {
@@ -220,36 +216,13 @@ func (t *Trace) WriteCSV(w io.Writer) error {
 			break
 		}
 	}
-	if hasCommit {
-		for i := 0; i <= t.numNests; i++ {
-			fmt.Fprintf(&b, ",committed%d", i)
-		}
-	}
-	b.WriteByte('\n')
-	if _, err := io.WriteString(w, b.String()); err != nil {
-		return fmt.Errorf("trace: writing CSV header: %w", err)
-	}
+	cw := NewCSVWriter(w, t.numNests, hasCommit)
 	for _, r := range t.rounds {
-		b.Reset()
-		fmt.Fprintf(&b, "%d", r.Round)
-		for _, p := range r.Populations {
-			fmt.Fprintf(&b, ",%d", p)
-		}
-		if hasCommit {
-			for i := 0; i <= t.numNests; i++ {
-				v := 0
-				if r.Commitments != nil {
-					v = r.Commitments[i]
-				}
-				fmt.Fprintf(&b, ",%d", v)
-			}
-		}
-		b.WriteByte('\n')
-		if _, err := io.WriteString(w, b.String()); err != nil {
-			return fmt.Errorf("trace: writing CSV row %d: %w", r.Round, err)
+		if err := cw.WriteRound(r); err != nil {
+			return err
 		}
 	}
-	return nil
+	return cw.Close()
 }
 
 // jsonDoc is the on-wire JSON layout of a trace.
@@ -259,22 +232,49 @@ type jsonDoc struct {
 	Events   []Event `json:"events,omitempty"`
 }
 
-// WriteJSON writes the full trace as a single JSON document.
+// WriteJSON writes the full trace as a single JSON document, streaming each
+// round through a JSONWriter rather than encoding the whole trace at once.
+// The output is byte-identical to the historical one-shot encoding of
+// jsonDoc.
 func (t *Trace) WriteJSON(w io.Writer) error {
-	enc := json.NewEncoder(w)
-	if err := enc.Encode(jsonDoc{NumNests: t.numNests, Rounds: t.rounds, Events: t.events}); err != nil {
-		return fmt.Errorf("trace: encoding JSON: %w", err)
+	jw := NewJSONWriter(w, t.numNests)
+	for _, r := range t.rounds {
+		if err := jw.WriteRound(r); err != nil {
+			return err
+		}
 	}
-	return nil
+	return jw.Close(t.events)
 }
 
-// ReadJSON parses a trace previously written by WriteJSON.
+// ReadJSON parses a trace previously written by WriteJSON. Round shapes are
+// validated against num_nests on decode, so a truncated or hand-edited
+// document fails here instead of panicking later in PopulationSeries. Event
+// recording is enabled on the result only when the document carries events:
+// the wire format cannot distinguish "events on but none occurred" from
+// "events off", so an eventless document reads back with events off (making
+// write→read→write a fixed point).
 func ReadJSON(r io.Reader) (*Trace, error) {
 	var doc jsonDoc
 	if err := json.NewDecoder(r).Decode(&doc); err != nil {
 		return nil, fmt.Errorf("trace: decoding JSON: %w", err)
 	}
-	t := New(doc.NumNests, WithEvents(0))
+	if doc.NumNests < 0 {
+		return nil, fmt.Errorf("trace: decoding JSON: num_nests %d is negative", doc.NumNests)
+	}
+	want := doc.NumNests + 1
+	for _, rd := range doc.Rounds {
+		if len(rd.Populations) != want {
+			return nil, fmt.Errorf("trace: decoding JSON: round %d populations length %d, want %d", rd.Round, len(rd.Populations), want)
+		}
+		if rd.Commitments != nil && len(rd.Commitments) != want {
+			return nil, fmt.Errorf("trace: decoding JSON: round %d commitments length %d, want %d", rd.Round, len(rd.Commitments), want)
+		}
+	}
+	var opts []Option
+	if len(doc.Events) > 0 {
+		opts = append(opts, WithEvents(0))
+	}
+	t := New(doc.NumNests, opts...)
 	t.rounds = doc.Rounds
 	t.events = doc.Events
 	return t, nil
