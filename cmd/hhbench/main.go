@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"reflect"
 	"runtime"
 	"runtime/pprof"
 	"strings"
@@ -162,15 +163,32 @@ type batchBenchConfig struct {
 	baseline                    string  // compare against this BENCH records file
 	tolerance                   float64 // accepted relative ms/sweep regression
 	obsTolerance                float64 // accepted relative overhead of the observed batch cell
+	// bigN > 0 adds the large-colony cell: one batch-only sweep of bigReps
+	// colonies of bigN ants over bigK nests (no scalar baseline — the scalar
+	// oracle at 10^6 ants would dominate the whole run), plus one
+	// single-replicate worker-scaling row per scaleWorkers entry, each
+	// checked bit-identical to the 1-worker reference.
+	bigN, bigK, bigGood, bigReps int
+	scaleWorkers                 []int
 }
 
 // defaultBatchBench is the published benchmark point: n=1024, k=4, R=32
-// replicate colonies, at least a second of measurement per engine. The
-// streaming-telemetry cell must stay within 10% of the unobserved batch
-// engine — the observer is on the hot path, so its cost is gated, not
-// merely reported.
+// replicate colonies, at least a second of measurement per engine, plus the
+// million-ant cell (n=10^6, k=16, R=4) that pins the post-ceiling fixed-point
+// path and the worker-scaling rows (1, 2 and GOMAXPROCS workers on one
+// replicate). The streaming-telemetry cell must stay within 10% of the
+// unobserved batch engine — the observer is on the hot path, so its cost is
+// gated, not merely reported.
 func defaultBatchBench(jsonOut bool) batchBenchConfig {
-	return batchBenchConfig{n: 1024, k: 4, good: 2, reps: 32, maxRounds: 4000, minTime: time.Second, json: jsonOut, obsTolerance: 0.10}
+	workers := []int{1, 2}
+	if p := runtime.GOMAXPROCS(0); p > 2 {
+		workers = append(workers, p)
+	}
+	return batchBenchConfig{
+		n: 1024, k: 4, good: 2, reps: 32, maxRounds: 4000, minTime: time.Second,
+		json: jsonOut, obsTolerance: 0.10,
+		bigN: 1_000_000, bigK: 16, bigGood: 2, bigReps: 4, scaleWorkers: workers,
+	}
 }
 
 // benchRecord is the machine-readable BENCH line -batchbench -json emits, one
@@ -186,6 +204,9 @@ type benchRecord struct {
 	MsPerSweep     float64 `json:"ms_per_sweep"`
 	AntStepsPerSec float64 `json:"ant_steps_per_sec"`
 	Speedup        float64 `json:"speedup,omitempty"`
+	// Workers is the batch worker budget of a scaling row; 0 (omitted) means
+	// the engine default and keeps pre-PR-9 records' keys unchanged.
+	Workers int `json:"workers,omitempty"`
 }
 
 // batchBenchCell is one benchmarked (algorithm, adversary) configuration; the
@@ -344,6 +365,20 @@ func runBatchBench(out io.Writer, bb batchBenchConfig) error {
 				overhead*100, bb.obsTolerance*100, batch.MsPerSweep, obs.MsPerSweep)
 		}
 	}
+	if bb.bigN > 0 {
+		big, err := runBigCell(out, bb)
+		if err != nil {
+			return err
+		}
+		records = append(records, big...)
+		if bb.json {
+			for _, rec := range big {
+				if err := enc.Encode(rec); err != nil {
+					return err
+				}
+			}
+		}
+	}
 	if bb.out != "" {
 		if err := writeBenchRecords(bb.out, records); err != nil {
 			return err
@@ -353,6 +388,95 @@ func runBatchBench(out io.Writer, bb batchBenchConfig) error {
 		return compareBenchBaseline(out, bb, records)
 	}
 	return nil
+}
+
+// runBigCell times the large-colony configuration on the batch engine alone:
+// one R=bigReps sweep of bigN-ant colonies (the cell ROADMAP item 1 asks
+// for), then one single-replicate run per worker budget in bb.scaleWorkers.
+// The scaling rows must all return bit-identical Results — lanes and shards
+// partition work without reordering draws — so the row is a correctness check
+// as much as a timing; elapsed times are reported as measured, which on a
+// single-core host means a flat profile (the fan-out costs what it costs,
+// honest numbers over flattering ones).
+func runBigCell(out io.Writer, bb batchBenchConfig) ([]benchRecord, error) {
+	env, err := workload.Binary(bb.bigK, bb.bigGood)
+	if err != nil {
+		return nil, err
+	}
+	a := algo.Simple{}
+	cfg := core.RunConfig{N: bb.bigN, Env: env, MaxRounds: bb.maxRounds}
+	sweep := func(cfg core.RunConfig, seeds []uint64) ([]core.Result, float64, int, error) {
+		start := time.Now()
+		res, ok, err := core.RunBatch(a, cfg, seeds)
+		if err != nil {
+			return nil, 0, 0, fmt.Errorf("big cell: %w", err)
+		}
+		if !ok {
+			return nil, 0, 0, fmt.Errorf("big cell: n=%d fell off the batch path", cfg.N)
+		}
+		rounds := 0
+		for _, r := range res {
+			rounds += r.Rounds
+		}
+		return res, time.Since(start).Seconds() * 1e3, rounds, nil
+	}
+
+	var records []benchRecord
+	seeds := make([]uint64, bb.bigReps)
+	for i := range seeds {
+		seeds[i] = uint64(9000 + i)
+	}
+	_, ms, rounds, err := sweep(cfg, seeds)
+	if err != nil {
+		return nil, err
+	}
+	rec := benchRecord{
+		Type: "BENCH", Engine: "batch", Algorithm: a.Name(),
+		N: bb.bigN, K: bb.bigK, Reps: bb.bigReps,
+		MsPerSweep: ms, AntStepsPerSec: float64(rounds) * float64(bb.bigN) / (ms / 1e3),
+	}
+	records = append(records, rec)
+	if !bb.json {
+		fmt.Fprintf(out, "%-16s %-9s   1 sweep(s) of %d x n=%d k=%d: %8.1f ms/sweep, %11.0f ant-steps/s\n",
+			a.Name(), "batch", bb.bigReps, bb.bigN, bb.bigK, rec.MsPerSweep, rec.AntStepsPerSec)
+	}
+
+	// One untimed single-replicate warm-up: the first run after the sweep
+	// pays heap growth and GC assists for its fresh lane columns, which
+	// otherwise lands entirely on the first scaling row and skews the
+	// comparison by ~3x.
+	if len(bb.scaleWorkers) > 0 {
+		wcfg := cfg
+		wcfg.BatchWorkers = bb.scaleWorkers[0]
+		if _, _, _, err := sweep(wcfg, seeds[:1]); err != nil {
+			return nil, err
+		}
+	}
+	var ref []core.Result
+	for _, w := range bb.scaleWorkers {
+		wcfg := cfg
+		wcfg.BatchWorkers = w
+		res, ms, rounds, err := sweep(wcfg, seeds[:1])
+		if err != nil {
+			return nil, err
+		}
+		if ref == nil {
+			ref = res
+		} else if !reflect.DeepEqual(res, ref) {
+			return nil, fmt.Errorf("big cell: %d-worker run diverged from the 1-worker reference", w)
+		}
+		rec := benchRecord{
+			Type: "BENCH", Engine: "batch", Algorithm: a.Name() + "+scale",
+			N: bb.bigN, K: bb.bigK, Reps: 1, Workers: w,
+			MsPerSweep: ms, AntStepsPerSec: float64(rounds) * float64(bb.bigN) / (ms / 1e3),
+		}
+		records = append(records, rec)
+		if !bb.json {
+			fmt.Fprintf(out, "%-16s %-9s workers=%d, 1 replicate of n=%d k=%d: %8.1f ms, %11.0f ant-steps/s\n",
+				a.Name()+"+scale", "batch", w, bb.bigN, bb.bigK, rec.MsPerSweep, rec.AntStepsPerSec)
+		}
+	}
+	return records, nil
 }
 
 // writeBenchRecords writes the BENCH records as JSON lines to path.
@@ -402,7 +526,7 @@ func compareBenchBaseline(out io.Writer, bb batchBenchConfig, fresh []benchRecor
 		return err
 	}
 	key := func(r benchRecord) string {
-		return fmt.Sprintf("%s|%s|%d|%d|%d", r.Engine, r.Algorithm, r.N, r.K, r.Reps)
+		return fmt.Sprintf("%s|%s|%d|%d|%d|%d", r.Engine, r.Algorithm, r.N, r.K, r.Reps, r.Workers)
 	}
 	current := make(map[string]benchRecord, len(fresh))
 	for _, r := range fresh {

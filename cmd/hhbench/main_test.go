@@ -118,6 +118,41 @@ func TestBatchBenchJSONRecords(t *testing.T) {
 	}
 }
 
+// TestBatchBenchBigCellRecords runs a shrunken large-colony cell and pins its
+// record schema: one batch-only sweep record plus one "+scale" row per worker
+// budget, all carrying positive throughput, the scale rows carrying their
+// worker count. The bit-identity of the scaling rows is asserted inside
+// runBigCell itself — a divergent multi-worker run fails the bench.
+func TestBatchBenchBigCellRecords(t *testing.T) {
+	var out bytes.Buffer
+	bb := batchBenchConfig{
+		json: true,
+		bigN: 4096, bigK: 4, bigGood: 2, bigReps: 2, maxRounds: 2000,
+		scaleWorkers: []int{1, 2, 7},
+	}
+	recs, err := runBigCell(&out, bb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1+len(bb.scaleWorkers) {
+		t.Fatalf("got %d records, want %d: %+v", len(recs), 1+len(bb.scaleWorkers), recs)
+	}
+	if recs[0].Algorithm != "simple" || recs[0].Engine != "batch" || recs[0].Reps != bb.bigReps || recs[0].Workers != 0 {
+		t.Errorf("sweep record %+v has the wrong shape", recs[0])
+	}
+	for i, w := range bb.scaleWorkers {
+		rec := recs[1+i]
+		if rec.Algorithm != "simple+scale" || rec.Reps != 1 || rec.Workers != w {
+			t.Errorf("scale record %d: %+v, want workers=%d over 1 replicate", i, rec, w)
+		}
+	}
+	for i, rec := range recs {
+		if rec.N != bb.bigN || rec.K != bb.bigK || rec.MsPerSweep <= 0 || rec.AntStepsPerSec <= 0 {
+			t.Errorf("record %d: bad sizing or timing: %+v", i, rec)
+		}
+	}
+}
+
 // TestRunEngineScalar forces the scalar replicate loop; the experiment must
 // still regenerate and pass (the batch path is bit-identical, so either
 // engine yields the same table).

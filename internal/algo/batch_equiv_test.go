@@ -51,6 +51,12 @@ type diffCase struct {
 	// the compiled matcher ablations against the scalar engine running the
 	// same model.
 	matcher string
+	// shards, when positive, forces the batch lane to split its colony
+	// across that many shard goroutines (sim.WithBatchShards). Sharding is
+	// contractually invisible — every shard count must reproduce the scalar
+	// trace bit for bit — so sharded cases assert the same equivalence as
+	// unsharded ones, just through the parallel phase kernels.
+	shards int
 	// faults, when enabled, injects the same declarative adversary into both
 	// engines: the scalar trace wraps the built agents via Spec.WrapAgents
 	// and the batch trace attaches the lowered spec to the program's
@@ -183,6 +189,9 @@ func batchTrace(t *testing.T, c diffCase, prog sim.Program) [][]roundRec {
 		name := c.matcher
 		opts = append(opts, sim.WithBatchMatcher(func() sim.Matcher { return stockMatcher(name) }))
 	}
+	if c.shards > 0 {
+		opts = append(opts, sim.WithBatchShards(c.shards))
+	}
 	b, err := sim.NewBatch(c.env, prog, c.n, opts...)
 	if err != nil {
 		t.Fatalf("%s: batch: %v", c.name, err)
@@ -224,7 +233,7 @@ func assertTraceEquivalence(t *testing.T, c diffCase) {
 // winners, round counts, censuses and decided counts.
 func assertRunnerEquivalence(t *testing.T, c diffCase) {
 	t.Helper()
-	cfg := core.RunConfig{N: c.n, Env: c.env, MaxRounds: 8 * c.maxRounds, StabilityWindow: 2}
+	cfg := core.RunConfig{N: c.n, Env: c.env, MaxRounds: 8 * c.maxRounds, StabilityWindow: 2, BatchShards: c.shards}
 	if c.matcher != "" {
 		name := c.matcher
 		cfg.NewMatcher = func() sim.Matcher { return stockMatcher(name) }
@@ -562,6 +571,34 @@ func pinnedDiffCases() []diffCase {
 		seeds: seeds, maxRounds: 200, matcher: "simultaneous",
 		faults: crash,
 	})
+	// Sharded cells: the same equivalence contract through the parallel phase
+	// kernels. One cell per phase family the shard pool fans out — the
+	// lockstep emit/fold (simple), the drawn-recruit extensions (adaptive,
+	// quality on graded qualities), the general path's
+	// histogram/scatter/emit/assemble/observe pipeline (optimal), transport
+	// plus docility capture (quorum), the fault lanes' scatter reordering
+	// (mixed adversary), and the split-init spreader. Shard counts that do
+	// not divide n pin the boundary arithmetic.
+	addSh := func(a core.Algorithm, sh, n int, env sim.Environment, maxRounds int, spec faults.Spec) {
+		cases = append(cases, diffCase{
+			name:      fmt.Sprintf("%s+shards%d/n%d/k%d", a.Name(), sh, n, env.K()),
+			algo:      a,
+			n:         n,
+			env:       env,
+			seeds:     seeds,
+			maxRounds: maxRounds,
+			shards:    sh,
+			faults:    spec,
+		})
+	}
+	addSh(Simple{}, 4, 128, envBinary, 300, faults.Spec{})
+	addSh(Adaptive{}, 3, 97, envBinary, 200, faults.Spec{})
+	addSh(QualityAware{}, 5, 96, envGraded, 200, faults.Spec{})
+	addSh(Optimal{}, 4, 96, envBinary, 160, faults.Spec{})
+	addSh(Quorum{Multiplier: 1.1, Carry: 2, Docility: 0.6}, 3, 64, envBinary, 240, faults.Spec{})
+	addSh(Simple{}, 4, 96, envSparse, 240, mixed)
+	addSh(Optimal{}, 3, 64, envBinary, 200, byz)
+	addSh(Spreader{Seeds: 8}, 4, 96, envLone, 200, faults.Spec{})
 	return cases
 }
 
@@ -853,5 +890,133 @@ func (scalarOnlyMatcher) Match(n int, active []bool, src *rng.Source, capturedBy
 	for t := 0; t < n; t++ {
 		capturedBy[t] = -1
 		succeeded[t] = false
+	}
+}
+
+// TestBatchCeilingBoundaryEquivalence pins the first colony size past the old
+// n ≤ 2^16 fixed-point fast-path ceiling: before PR 9 the batch engine sized
+// its per-count threshold tables at 65536 entries and silently depended on
+// every count fitting that range, so n = 2^16 + 1 is exactly the cell where
+// the reciprocal kernels (rng.Recip) take over from the tables. One seed and
+// a short budget keep the scalar oracle affordable; the three algorithms
+// cover the population draw (simple), the adaptive ladder rebuild at full-n
+// counts (adaptive) and the quality-scaled product kernel (quality). One
+// sharded variant runs the same colony through the parallel phase kernels.
+func TestBatchCeilingBoundaryEquivalence(t *testing.T) {
+	t.Parallel()
+	if testing.Short() {
+		t.Skip("65537-ant scalar oracle is slow under -short")
+	}
+	env := sim.MustEnvironment([]float64{1, 0, 0.6})
+	const n = 1<<16 + 1
+	seeds := []uint64{2015}
+	cases := []diffCase{
+		{name: "ceiling/simple", algo: Simple{}, n: n, env: env, seeds: seeds, maxRounds: 12},
+		{name: "ceiling/adaptive", algo: Adaptive{}, n: n, env: env, seeds: seeds, maxRounds: 12},
+		{name: "ceiling/quality", algo: QualityAware{}, n: n, env: env, seeds: seeds, maxRounds: 12},
+		{name: "ceiling/simple+shards", algo: Simple{}, n: n, env: env, seeds: seeds, maxRounds: 12, shards: 4},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			t.Parallel()
+			prog := compileCase(t, c)
+			compareTraces(t, c, scalarTrace(t, c), batchTrace(t, c, prog))
+		})
+	}
+}
+
+// TestBatchShardInvariance pins the sharding contract directly: the same
+// compiled program over the same seeds must produce bit-identical round
+// traces at every shard count, including counts that do not divide n and a
+// count exceeding the colony (which clamps). The scalar engine never runs
+// here — shard-count invariance is a property of the batch engine alone, and
+// scalar equivalence of the shards=1 base is pinned by the differential grid.
+func TestBatchShardInvariance(t *testing.T) {
+	t.Parallel()
+	envBinary := sim.MustEnvironment([]float64{1, 0, 1, 0})
+	envGraded := sim.MustEnvironment([]float64{0.3, 0.9, 0.2})
+	mixed := faults.Spec{
+		CrashFraction: 0.1, CrashWindow: 20,
+		ByzantineFraction: 0.05,
+		SleepFraction:     0.1, SleepWindow: 30,
+		Salt: 14,
+	}
+	cases := []diffCase{
+		{name: "simple", algo: Simple{}, n: 96, env: envBinary, seeds: []uint64{1, 7}, maxRounds: 200},
+		{name: "quality", algo: QualityAware{}, n: 97, env: envGraded, seeds: []uint64{1, 7}, maxRounds: 200},
+		{name: "optimal", algo: Optimal{}, n: 96, env: envBinary, seeds: []uint64{1, 7}, maxRounds: 160},
+		{name: "quorum", algo: Quorum{}, n: 96, env: envBinary, seeds: []uint64{1, 7}, maxRounds: 200},
+		{name: "simple+faults", algo: Simple{}, n: 96, env: envBinary, seeds: []uint64{1, 7}, maxRounds: 200, faults: mixed},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			t.Parallel()
+			prog := compileCase(t, c)
+			base := c
+			base.shards = 1
+			want := batchTrace(t, base, prog)
+			for _, sh := range []int{2, 3, 7, 1024} {
+				v := c
+				v.shards = sh
+				v.name = fmt.Sprintf("%s/shards%d", c.name, sh)
+				compareTraces(t, v, want, batchTrace(t, v, prog))
+			}
+		})
+	}
+}
+
+// TestBatchWorkerInvariance pins the worker-budget contract at the runner
+// layer: core.RunBatch must return identical Results for any cfg.BatchWorkers
+// and cfg.BatchShards combination — lanes and shards partition work, they
+// never reorder draws. This is the end-to-end form of the satellite fix that
+// lets a single-replicate run use more than one core.
+func TestBatchWorkerInvariance(t *testing.T) {
+	t.Parallel()
+	env := sim.MustEnvironment([]float64{1, 0, 1, 0})
+	seeds := []uint64{1, 7, 42}
+	run := func(workers, shards int) []core.Result {
+		t.Helper()
+		cfg := core.RunConfig{N: 96, Env: env, MaxRounds: 400, StabilityWindow: 2,
+			BatchWorkers: workers, BatchShards: shards}
+		res, ok, err := core.RunBatch(Simple{}, cfg, seeds)
+		if err != nil || !ok {
+			t.Fatalf("RunBatch(workers=%d, shards=%d): ok=%v err=%v", workers, shards, ok, err)
+		}
+		return res
+	}
+	want := run(1, 1)
+	for _, wc := range []struct{ workers, shards int }{
+		{1, 4}, {2, 0}, {4, 0}, {8, 3}, {16, 16},
+	} {
+		if got := run(wc.workers, wc.shards); !reflect.DeepEqual(got, want) {
+			t.Errorf("workers=%d shards=%d diverged:\ngot  %+v\nwant %+v", wc.workers, wc.shards, got, want)
+		}
+	}
+}
+
+// TestQuorumThresholdOverflowDecline is the regression guard for the one
+// intentional large-n compile gate left after the ceiling removal: a quorum
+// threshold M·n that cannot live in the engine's 32-bit threshold register
+// must keep declining to compile, and the runner must keep surfacing the
+// named fallback reason rather than silently truncating the threshold.
+func TestQuorumThresholdOverflowDecline(t *testing.T) {
+	t.Parallel()
+	env := sim.MustEnvironment([]float64{1, 0})
+	// 1.5 · 1.5e9 > MaxInt32: over the register; one ant fewer at multiplier
+	// 1.1 stays comfortably under and must still compile.
+	over := (1 << 31) // mult 1.5 → threshold 3.2e9
+	if _, ok := (Quorum{}).CompileBatch(over, env); ok {
+		t.Fatalf("Quorum{}.CompileBatch(n=%d) compiled; threshold overflows int32", over)
+	}
+	if _, ok := (Quorum{Multiplier: 1.5}).CompileBatch(1<<20, env); !ok {
+		t.Fatalf("Quorum{}.CompileBatch(n=2^20) declined; threshold fits int32")
+	}
+	cfg := core.RunConfig{N: over, Env: env}
+	if _, ok, reason := core.CompileForBatch(Quorum{}, cfg); ok {
+		t.Errorf("CompileForBatch(quorum, n=%d) eligible; want the named decline", over)
+	} else if !strings.Contains(reason, "declined to compile") {
+		t.Errorf("decline reason %q does not name the compile refusal", reason)
 	}
 }

@@ -20,6 +20,15 @@ import (
 // keeps the target mutation-friendly.
 func fuzzDiffCase(seed uint64, algoPick, nRaw, kRaw, qualBits, param uint16) diffCase {
 	n := 4 + int(nRaw%60)
+	maxRounds := 48
+	if nRaw&0x8000 != 0 {
+		// Big-colony probe: the high bit retargets n to straddle the removed
+		// 2^16 fast-path ceiling (65532..65541), so the fuzzer exercises the
+		// table/reciprocal crossover on both sides and exactly at the
+		// boundary. A short budget keeps the 65k-ant scalar oracle fast.
+		n = batchCeiling - 4 + int(nRaw%10)
+		maxRounds = 10
+	}
 	k := 1 + int(kRaw%5)
 	quals := make([]float64, k)
 	anyGood := false
@@ -124,10 +133,14 @@ func fuzzDiffCase(seed uint64, algoPick, nRaw, kRaw, qualBits, param uint16) dif
 		n:         n,
 		env:       sim.MustEnvironment(quals),
 		seeds:     []uint64{seed},
-		maxRounds: 48,
+		maxRounds: maxRounds,
 		matcher:   matcher,
 	}
 }
+
+// batchCeiling mirrors sim's batchTableMaxN — the old fast-path ceiling, now
+// only the crossover from tabled to reciprocal thresholds.
+const batchCeiling = 1 << 16
 
 // FuzzBatchEquivalence fuzzes compiled-program execution against the scalar
 // oracle: any input on which the batch engine's per-round populations or
@@ -153,6 +166,12 @@ func FuzzBatchEquivalence(f *testing.F) {
 	f.Add(uint64(47), uint16(25), uint16(28), uint16(2), uint16(5), uint16(9))  // quality-aware + rendezvous, graded
 	f.Add(uint64(53), uint16(9), uint16(40), uint16(2), uint16(0), uint16(3))   // spreader, 4 seed searchers
 	f.Add(uint64(59), uint16(9), uint16(28), uint16(1), uint16(1), uint16(9))   // spreader, everyone searches
+	// Big-colony seeds (high nRaw bit): one cell below, at, and above the
+	// removed 2^16 ceiling, covering the population, quality-scaled and
+	// adaptive recruit kernels across the table/reciprocal crossover.
+	f.Add(uint64(61), uint16(0), uint16(0x8004), uint16(1), uint16(1), uint16(0))  // simple, n=65534
+	f.Add(uint64(67), uint16(5), uint16(0x8006), uint16(2), uint16(3), uint16(13)) // quality-aware, n=65536, graded
+	f.Add(uint64(71), uint16(4), uint16(0x8000), uint16(1), uint16(1), uint16(2))  // adaptive, n=65540
 	f.Fuzz(func(t *testing.T, seed uint64, algoPick, nRaw, kRaw, qualBits, param uint16) {
 		assertTraceEquivalence(t, fuzzDiffCase(seed, algoPick, nRaw, kRaw, qualBits, param))
 	})
@@ -186,14 +205,15 @@ func fuzzFaultSpec(faultRaw uint16) faults.Spec {
 // cover each fault class alone and mixed plans over representative
 // algorithms, the spreader and an ablation matcher.
 func FuzzBatchFaultEquivalence(f *testing.F) {
-	f.Add(uint64(3), uint16(0), uint16(40), uint16(1), uint16(1), uint16(0), uint16(2))    // simple + 16% crash
-	f.Add(uint64(5), uint16(2), uint16(48), uint16(3), uint16(5), uint16(0), uint16(8))    // optimal + 10% byzantine
-	f.Add(uint64(7), uint16(4), uint16(36), uint16(2), uint16(3), uint16(13), uint16(32))  // adaptive + 16% sleep, graded
-	f.Add(uint64(11), uint16(7), uint16(40), uint16(1), uint16(3), uint16(4), uint16(149)) // quorum + mixed crash/byzantine
-	f.Add(uint64(13), uint16(8), uint16(44), uint16(2), uint16(5), uint16(13), uint16(54)) // noisy + mixed byzantine/sleep
-	f.Add(uint64(17), uint16(9), uint16(40), uint16(2), uint16(0), uint16(3), uint16(18))  // spreader + sleep
-	f.Add(uint64(19), uint16(10), uint16(36), uint16(2), uint16(3), uint16(0), uint16(1))  // simple + simultaneous + crash
-	f.Add(uint64(23), uint16(5), uint16(50), uint16(3), uint16(9), uint16(7), uint16(214)) // quality-aware + all three classes
+	f.Add(uint64(3), uint16(0), uint16(40), uint16(1), uint16(1), uint16(0), uint16(2))      // simple + 16% crash
+	f.Add(uint64(5), uint16(2), uint16(48), uint16(3), uint16(5), uint16(0), uint16(8))      // optimal + 10% byzantine
+	f.Add(uint64(7), uint16(4), uint16(36), uint16(2), uint16(3), uint16(13), uint16(32))    // adaptive + 16% sleep, graded
+	f.Add(uint64(11), uint16(7), uint16(40), uint16(1), uint16(3), uint16(4), uint16(149))   // quorum + mixed crash/byzantine
+	f.Add(uint64(13), uint16(8), uint16(44), uint16(2), uint16(5), uint16(13), uint16(54))   // noisy + mixed byzantine/sleep
+	f.Add(uint64(17), uint16(9), uint16(40), uint16(2), uint16(0), uint16(3), uint16(18))    // spreader + sleep
+	f.Add(uint64(19), uint16(10), uint16(36), uint16(2), uint16(3), uint16(0), uint16(1))    // simple + simultaneous + crash
+	f.Add(uint64(23), uint16(5), uint16(50), uint16(3), uint16(9), uint16(7), uint16(214))   // quality-aware + all three classes
+	f.Add(uint64(29), uint16(0), uint16(0x8006), uint16(1), uint16(1), uint16(0), uint16(2)) // simple + crash at n=65536, the ceiling cell
 	f.Fuzz(func(t *testing.T, seed uint64, algoPick, nRaw, kRaw, qualBits, param, faultRaw uint16) {
 		c := fuzzDiffCase(seed, algoPick, nRaw, kRaw, qualBits, param)
 		c.faults = fuzzFaultSpec(faultRaw)

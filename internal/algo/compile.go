@@ -72,6 +72,21 @@ import (
 // agents — for every stock matcher, with and without a fault spec — by the
 // randomized cross-engine differential harness in batch_equiv_test.go and the
 // FuzzBatchEquivalence / FuzzBatchFaultEquivalence fuzz targets.
+//
+// Scaling contract (n × workers → engine). Compilation is colony-size
+// independent up to the engine's int32 ant-index limit: the recruit draws
+// resolve fixed-point thresholds from a reciprocal (rng.Recip) above the
+// 2^16 table crossover, so no compiled form falls back to float kernels or
+// allocates per-count tables at large n. The one large-n gate left is
+// Quorum's: a threshold M·n that cannot live in the engine's 32-bit
+// count register declines to compile (named fallback reason, scalar path).
+// Inside the engine a replicate's phase loops shard across workers
+// (sim.WithBatchWorkers / sim.WithBatchShards, cfg.BatchWorkers /
+// cfg.BatchShards at the runner layer); only per-ant-stream loops
+// parallelize — environment and matcher draws stay in a sequential
+// ant-order pass — so every worker/shard count reproduces the scalar trace
+// bit for bit (pinned at n = 2^16 ± ε and beyond by the ceiling-boundary
+// and shard-invariance cells in batch_equiv_test.go).
 
 // simpleBatchProgram is Algorithm 3's three-state table: search, then the
 // recruit/assess loop. It is the opcode form of newSimpleSpec — the states

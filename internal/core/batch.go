@@ -191,6 +191,12 @@ func RunBatchObserved(algo Algorithm, cfg RunConfig, seeds []uint64, obs sim.Bat
 	if obs != nil {
 		opts = append(opts, sim.WithBatchObserver(obs))
 	}
+	if cfg.BatchWorkers > 0 {
+		opts = append(opts, sim.WithBatchWorkers(cfg.BatchWorkers))
+	}
+	if cfg.BatchShards > 0 {
+		opts = append(opts, sim.WithBatchShards(cfg.BatchShards))
+	}
 	batch, err := sim.NewBatch(cfg.Env, prog, cfg.N, opts...)
 	if err != nil {
 		return nil, true, fmt.Errorf("core: constructing batch engine: %w", err)

@@ -47,6 +47,16 @@ type RunConfig struct {
 	// BatchFaultWrapper (faults.Spec), which compile to the batch engine's
 	// fault lanes. Plain functions adapt via WrapFunc.
 	Wrap AgentWrapper
+	// BatchWorkers, when positive, caps the batch engine's worker-goroutine
+	// budget (sim.WithBatchWorkers); 0 keeps the engine default of
+	// GOMAXPROCS. Scalar runs ignore it. Workers are first spread across
+	// replicate lanes, and any surplus shards each lane's colony.
+	BatchWorkers int
+	// BatchShards, when positive, forces the per-lane shard count
+	// (sim.WithBatchShards); 0 lets the engine derive it from the worker
+	// budget. Results are bit-identical for every shard count — the knob
+	// trades fan-out overhead against per-round parallelism only.
+	BatchShards int
 }
 
 // AgentWrapper post-processes a built colony — fault injection, asynchrony —

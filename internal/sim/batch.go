@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	"math"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -28,14 +29,25 @@ import (
 // ants are assembled into a slot table in ant order so the matcher sees
 // exactly the scalar engine's slot space (see stepGeneral).
 //
-// The recruit draws run on fixed-point kernels where possible: every
-// Bernoulli probability whose numerator is a population count is materialized
-// once into a table of rng.Thresholds (count/n, quality·count/n, the adaptive
-// schedule, the quorum docility), so the per-ant inner loops compare raw
-// integers with zero floating-point operations. The threshold transform is
-// bit-identical to rng.Source.Bernoulli by construction (see rng.Threshold);
-// colonies too large to table fall back to the float draws, which are
-// bit-identical too.
+// The recruit draws run on fixed-point kernels at every colony size: each
+// Bernoulli probability whose numerator is a population count resolves to an
+// rng.Threshold — from a small per-count table below batchTableMaxN, and from
+// the precomputed reciprocal kernels (rng.Recip.Threshold for count/n,
+// rng.Recip.ThresholdMul for quality·count/n) above it — so the per-ant inner
+// loops compare raw integers with zero floating-point operations and no O(n)
+// table memory. The threshold transform is bit-identical to
+// rng.Source.Bernoulli by construction (see rng.Threshold and rng.Recip).
+//
+// Within one replicate the O(n) phases — regrouping, per-ant draws, emit and
+// observe folds, register init — can additionally be sharded across worker
+// goroutines (see Run's worker budget and WithBatchShards). Sharding never
+// moves a draw between streams or reorders draws within a stream: the shared
+// envSrc and matchSrc streams are consumed only in sequential ant-order
+// passes, parallel loops draw exclusively from per-ant streams (which are
+// stream-disjoint, so shard order is immaterial), and cross-ant reductions
+// (population tallies, commitment deltas, the recruiting-slot prefix) are
+// deterministic sums — so results are bit-identical for every shard count, a
+// property the differential harness pins.
 //
 // The recruitment pairing defaults to the paper's Algorithm 1 and can be
 // swapped for any Matcher via WithBatchMatcher: the engine hands the matcher
@@ -64,6 +76,7 @@ type Batch struct {
 	prog       Program
 	n          int
 	workers    int
+	shards     int
 	probe      func(rep, round int, counts, committed []int)
 	obs        BatchObserver
 	newMatcher func() Matcher
@@ -77,19 +90,29 @@ type Batch struct {
 	usesCarry bool
 	faulted   bool
 
-	// Shared read-only fixed-point draw tables (see newLane for the
-	// per-lane mutable ones). Nil when the program does not use the opcode
-	// or the colony is too large to table.
-	popT  []rng.Threshold // Bernoulli(count/n) by count, EmitRecruitPop
-	qualT []rng.Threshold // Bernoulli(q_j·count/n), row-major (k+1)×(n+1), EmitRecruitQual
-	docT  rng.Threshold   // Bernoulli(QuorumDocility), ObserveQuorumTransport
-	ada   bool            // lanes maintain the EmitRecruitAdaptive decay table
+	// Shared read-only fixed-point draw kernels (see newLane for the
+	// per-lane mutable ones). popT is nil when the program does not use the
+	// opcode or the colony is above the table/reciprocal crossover; rcp is
+	// the table-free kernel backing every count-ratio draw beyond the table
+	// (and all quality-weighted draws at any size).
+	popT []rng.Threshold // Bernoulli(count/n) by count, EmitRecruitPop
+	rcp  rng.Recip       // reciprocal kernels for count/n and q·count/n
+	docT rng.Threshold   // Bernoulli(QuorumDocility), ObserveQuorumTransport
+	ada  bool            // lanes maintain the EmitRecruitAdaptive decay table
 }
 
-// batchTableMaxN caps the colony size for which the per-count threshold
-// tables are materialized: above it the tables would dominate lane memory, so
-// the draws fall back to the (equally bit-exact) float kernels.
+// batchTableMaxN is the table/reciprocal crossover for the count-ratio draw:
+// at or below it the per-count threshold table is materialized (one load per
+// draw); above it the draws derive each threshold on the fly from rng.Recip
+// (a handful of integer multiplies per draw, no O(n) memory). Both kernels
+// produce bit-identical thresholds, so the crossover is purely a
+// memory/latency trade — it is no longer a fixed-point ceiling.
 const batchTableMaxN = 1 << 16
+
+// batchShardGrain is the smallest per-shard colony slice worth a worker: Run
+// stops splitting a replicate once shards would drop below this many ants
+// each (explicit WithBatchShards values bypass the grain).
+const batchShardGrain = 1 << 10
 
 // BatchResult reports one replicate of a Batch run, mirroring the fields the
 // scalar runner derives for core.Result.
@@ -120,9 +143,23 @@ type BatchResult struct {
 // BatchOption configures a Batch.
 type BatchOption func(*Batch)
 
-// WithBatchWorkers caps the worker pool; values < 1 select GOMAXPROCS.
+// WithBatchWorkers sets Run's total worker budget — the number of concurrent
+// replicate lanes times the shards each lane splits its colony across; values
+// < 1 select GOMAXPROCS. The budget is spent on replicate-level parallelism
+// first (up to one lane per seed) and any surplus on intra-replicate shards,
+// so a single-seed run of a large colony still uses the whole budget (see
+// WithBatchShards to pin the split explicitly).
 func WithBatchWorkers(w int) BatchOption {
 	return func(b *Batch) { b.workers = w }
+}
+
+// WithBatchShards pins the number of intra-replicate shards per lane,
+// bypassing the worker-budget and grain derivation in Run; values < 1 keep
+// the automatic choice. Results are bit-identical for every shard count (a
+// pinned property); the option exists for tests and benchmarks that fix a
+// topology.
+func WithBatchShards(s int) BatchOption {
+	return func(b *Batch) { b.shards = s }
 }
 
 // WithBatchProbe installs a per-round observer, called after each replicate
@@ -151,6 +188,11 @@ func NewBatch(env Environment, prog Program, n int, opts ...BatchOption) (*Batch
 	}
 	if n <= 0 {
 		return nil, fmt.Errorf("sim: batch needs a positive colony, got %d", n)
+	}
+	if n > math.MaxInt32 {
+		// Ant indices, counts and slot ids are int32 columns throughout the
+		// lanes; reject oversized colonies by name instead of wrapping.
+		return nil, fmt.Errorf("sim: batch colony %d exceeds the int32 ant-index limit %d", n, math.MaxInt32)
 	}
 	if err := prog.Validate(); err != nil {
 		return nil, err
@@ -185,13 +227,19 @@ func NewBatch(env Environment, prog Program, n int, opts ...BatchOption) (*Batch
 	return b, nil
 }
 
-// buildTables materializes the shared fixed-point draw tables for the opcodes
-// the program actually uses. Each table entry is the exact threshold of the
-// exact float probability the scalar agents feed to Bernoulli, so table draws
-// and float draws are interchangeable bit for bit.
+// buildTables materializes the shared fixed-point draw kernels for the
+// opcodes the program actually uses. Every kernel resolves the exact
+// threshold of the exact float probability the scalar agents feed to
+// Bernoulli, so kernel draws and float draws are interchangeable bit for bit
+// at any colony size: the count-ratio draw uses a per-count table up to the
+// batchTableMaxN crossover and the rng.Recip reciprocal above it, the
+// quality-weighted draw uses rng.Recip.ThresholdMul everywhere (its former
+// (k+1)×(n+1) table cost O(k·n) threshold entries — ~134 MB at the old
+// ceiling with 255 nests — for no exactness gain), and the adaptive decay
+// ladder is a per-lane table at every size because its divisor varies with
+// the colony's phase clock, not just the count.
 func (b *Batch) buildTables() {
-	var hasPop, hasQual, hasDoc, qualSafe bool
-	qualSafe = true
+	var hasPop, hasQual, hasDoc bool
 	for _, st := range b.prog.States {
 		switch st.Emit {
 		case EmitRecruitPop:
@@ -201,44 +249,22 @@ func (b *Batch) buildTables() {
 		case EmitRecruitAdaptive:
 			b.ada = true
 		}
-		switch st.Observe {
-		case ObserveQuorumTransport:
+		if st.Observe == ObserveQuorumTransport {
 			hasDoc = true
-		case ObserveAdopt, ObserveDiscoverNoisy:
-			// These write quality values that are not environment qualities
-			// (1, or a thresholded classification), so the quality-register
-			// provenance column cannot index the quality table.
-			qualSafe = false
 		}
 	}
 	if hasDoc {
 		b.docT = rng.NewThreshold(b.prog.Params.QuorumDocility)
 	}
 	n := b.n
-	if n > batchTableMaxN {
-		b.ada = false
-		return
+	if hasPop || hasQual {
+		b.rcp = rng.NewRecip(n)
 	}
-	nF := float64(n)
-	if hasPop {
+	if hasPop && n <= batchTableMaxN {
+		nF := float64(n)
 		b.popT = make([]rng.Threshold, n+1)
 		for c := 0; c <= n; c++ {
 			b.popT[c] = rng.NewThreshold(float64(c) / nF)
-		}
-	}
-	// The quality table is keyed by the provenance column qidx, which only
-	// the lockstep path maintains (the general path keeps the float draw,
-	// which is bit-identical anyway); it additionally needs every quality
-	// write to be an environment quality or zero, and a nest id that fits
-	// the uint8 column.
-	if hasQual && qualSafe && b.lockstep && b.env.K() <= 255 {
-		qs := b.env.Qualities()
-		b.qualT = make([]rng.Threshold, len(qs)*(n+1))
-		for j, q := range qs {
-			row := j * (n + 1)
-			for c := 0; c <= n; c++ {
-				b.qualT[row+c] = rng.NewThreshold(q * float64(c) / nF)
-			}
 		}
 	}
 }
@@ -264,23 +290,40 @@ func (b *Batch) Run(seeds []uint64, maxRounds, window int) ([]BatchResult, error
 	if window < 1 {
 		window = 1
 	}
+	// Split the worker budget: replicate-level lanes first (they parallelize
+	// with zero coordination), then any surplus as intra-replicate shards —
+	// so an R=1 run of a large colony still uses the whole budget instead of
+	// clamping to one core. The grain stops sharding colonies too small to
+	// amortize the fan-out; an explicit WithBatchShards bypasses both.
 	workers := b.workers
 	if workers < 1 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > len(seeds) {
-		workers = len(seeds)
+	lanes := workers
+	if lanes > len(seeds) {
+		lanes = len(seeds)
+	}
+	shards := b.shards
+	if shards < 1 {
+		shards = workers / lanes
+		if maxShards := b.n / batchShardGrain; shards > maxShards {
+			shards = maxShards
+		}
+		if shards < 1 {
+			shards = 1
+		}
 	}
 
 	results := make([]BatchResult, len(seeds))
 	var next atomic.Int64
 	var firstErr atomic.Value
 	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
+	for w := 0; w < lanes; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			ln := newLane(b)
+			ln := newLane(b, shards)
+			defer ln.close()
 			var obs LaneObserver
 			if b.obs != nil {
 				obs = b.obs.LaneObserver(w)
@@ -335,9 +378,7 @@ type lane struct {
 	// and countT are Algorithm 2's cross-round scratch registers. paramI and
 	// paramF are the §6 extension parameter columns — AdaptiveAnt's phase
 	// clock and ApproxNAnt's private ñ estimate — materialized only when the
-	// program's opcodes read them. qidx tracks which nest's quality the
-	// quality register holds (the provenance index into the qualT table);
-	// it exists only for lockstep quality-weighted programs.
+	// program's opcodes read them.
 	state   []uint8
 	nest    []NestID
 	count   []int32
@@ -346,7 +387,6 @@ type lane struct {
 	countT  []int32
 	paramI  []int32
 	paramF  []float64
-	qidx    []uint8
 
 	// Per-round scratch.
 	actNest    []NestID // the nest advertised by this round's search/go/recruit
@@ -365,19 +405,86 @@ type lane struct {
 	// observe opcodes dispatch once per occupied state instead of once per
 	// ant — the per-ant jump tables were the dominant stall of heterogeneous
 	// colonies. bktAnts holds the ant indices grouped by state (ascending
-	// within a group, because the scatter pass scans ants in order); isRecr
-	// and actBit carry each recruiter's classification from the emit phase
-	// to the ant-order slot-assembly pass.
-	bktCount []int32 // 4 interleaved banks, summed into bktOff (see stepGeneral)
-	bktOff   []int32
-	bktCur   []int32
+	// within a group, because the scatter writes each shard's contiguous ant
+	// range into its own precomputed segment); isRecr and actBit carry each
+	// recruiter's classification from the emit phase to the ant-order
+	// slot-assembly pass.
+	//
+	// The bucket of state s is the concatenation of its per-shard segments:
+	// segment (s, sh) spans bkt[segOff[s*shards+sh]:segOff[s*shards+sh+1]]
+	// (the trailing segOff entry is n), so segments of one state are
+	// adjacent and the emit/observe shard loops walk exactly the sequential
+	// bucket split at shard boundaries.
 	bktAnts  []int32
+	segOff   []int32 // numExec*shards+1 segment bounds, state-major
 	iota32   []int32 // the identity permutation 0..n-1, immutable after construction
 	isRecr   []uint8 // 0 = not recruiting, 1 = recruit, 2 = transport
 	actBit   []uint8
 	preState []uint8  // per recruited ant: the state it emitted from, for the capture pass
 	capScrat []int32  // capture-list scratch for matchers without CaptureLister
 	slotNest []NestID // per-slot resolved outcome nest (capturer's advertised nest)
+
+	// Sharding scaffolding (see Batch's doc comment for the draw-placement
+	// rules). shards is at least 1; pool is nil when the lane runs
+	// single-sharded, and par dispatches a phase either inline or across the
+	// pool. shardLo holds the shards+1 ant-range bounds. The sh* slabs are
+	// per-shard reduction scratch, one (k+1)- or numExec-sized block per
+	// shard: population tallies and commitment deltas (summed sequentially
+	// after the parallel phase — integer sums, so the reduction order never
+	// shows), recruiter counts (prefix-summed into per-shard slot bases),
+	// histogram banks and scatter cursors, transport flags, and the
+	// first-error record each shard may park (reduced by (state, ant) order
+	// so the reported error is exactly the sequential scan's first).
+	//
+	// The ph* fields carry one phase's parameters from the sequential
+	// dispatch point into the shard function — the functions themselves
+	// (fnDraw, fnLockFold, …) are bound once at construction so dispatching
+	// a phase allocates nothing.
+	shards     int
+	pool       *shardPool
+	shardLo    []int32
+	shCnt      []int32 // histogram: 4 interleaved banks per shard
+	shCur      []int32 // scatter cursors, shard-major
+	shCounts   []int   // emit population tallies per shard
+	shCommit   []int   // observe commitment deltas per shard
+	shNRecr    []int32
+	shSlotBase []int32
+	shFinals   []int32
+	shTrans    []uint8
+	shErrKind  []uint8
+	shErrState []int32
+	shErrAnt   []int32
+	shErrNest  []NestID
+
+	phOp        EmitOp
+	phPhase     uint8
+	phRecruited bool
+	phCountSkip bool
+	phAct       []NestID
+	phBkt       []int32
+	phMode      uint8
+	phCountHome int32
+	phNRecr     int
+	phDecay     float64
+	phAgents    rng.Source
+
+	fnDraw     func(int)
+	fnLockFold func(int)
+	fnHist     func(int)
+	fnScatter  func(int)
+	fnEmit     func(int)
+	fnAssemble func(int)
+	fnObserve  func(int)
+	fnReset    func(int)
+
+	// Converged-tail O(k) bookkeeping: countAllN records that the lockstep
+	// count column is uniformly n (so a unanimous goto round's refill can be
+	// skipped), countUni the uniform value of the general-path count column
+	// written by a sole-state recruited ObserveCount fold (-1 when the
+	// column is not known uniform). Both make the absorbing-state tail cost
+	// O(k) bookkeeping instead of O(n) rewrites.
+	countAllN bool
+	countUni  int32
 
 	// Fault lanes (nil/zero unless prog.Params.Faults is enabled). The four
 	// synthetic states live after the program's own in the padded tables:
@@ -411,11 +518,13 @@ type lane struct {
 	carryM    CarryMatcher  // matcher's carry form; nil when unimplemented
 	capLister CaptureLister // matcher's capture list; nil when unimplemented
 
-	// Fixed-point draw tables. popT/qualT/docT are shared from the Batch;
+	// Fixed-point draw kernels. popT/rcp/docT are shared from the Batch;
 	// adaT is per-lane because the adaptive decay steps down over a
-	// replicate and the table is rebuilt for each new decay value.
+	// replicate and the table is rebuilt for each new decay value (its
+	// divisor count+decay varies with the phase clock, so no reciprocal
+	// applies — the ladder stays a table at every colony size).
 	popT     []rng.Threshold
-	qualT    []rng.Threshold
+	rcp      rng.Recip
 	docT     rng.Threshold
 	ada      bool
 	adaT     []rng.Threshold
@@ -430,8 +539,14 @@ type lane struct {
 	searches [256]uint8
 }
 
-func newLane(b *Batch) *lane {
+func newLane(b *Batch, shards int) *lane {
 	n, k := b.n, b.env.K()
+	if shards < 1 {
+		shards = 1
+	}
+	if shards > n {
+		shards = n
+	}
 	qs := b.env.Qualities()
 	ln := &lane{
 		prog:       b.prog,
@@ -456,8 +571,9 @@ func newLane(b *Batch) *lane {
 		active:     make([]bool, n),
 		capturedBy: make([]int32, n),
 		succeeded:  make([]bool, n),
+		shards:     shards,
 		popT:       b.popT,
-		qualT:      b.qualT,
+		rcp:        b.rcp,
 		docT:       b.docT,
 		ada:        b.ada,
 	}
@@ -509,10 +625,10 @@ func newLane(b *Batch) *lane {
 	}
 	if !b.lockstep {
 		numExec := ln.numExec
-		ln.bktCount = make([]int32, 4*numExec)
-		ln.bktOff = make([]int32, numExec+1)
-		ln.bktCur = make([]int32, numExec)
 		ln.bktAnts = make([]int32, n)
+		ln.segOff = make([]int32, numExec*shards+1)
+		ln.shCnt = make([]int32, shards*4*numExec)
+		ln.shCur = make([]int32, shards*numExec)
 		ln.iota32 = make([]int32, n)
 		for i := range ln.iota32 {
 			ln.iota32[i] = int32(i)
@@ -522,7 +638,34 @@ func newLane(b *Batch) *lane {
 		ln.preState = make([]uint8, n)
 		ln.capScrat = make([]int32, 0, n)
 		ln.slotNest = make([]NestID, n)
+		ln.shCounts = make([]int, shards*(k+1))
+		ln.shNRecr = make([]int32, shards)
+		ln.shSlotBase = make([]int32, shards)
+		ln.shFinals = make([]int32, shards)
+		ln.shTrans = make([]uint8, shards)
+		ln.shErrKind = make([]uint8, shards)
+		ln.shErrState = make([]int32, shards)
+		ln.shErrAnt = make([]int32, shards)
+		ln.shErrNest = make([]NestID, shards)
 	}
+	// Shard scaffolding shared by both paths: even ant-range bounds, the
+	// commitment-delta slabs, the phase functions (bound once, so per-round
+	// dispatch allocates nothing) and — only when the lane actually splits —
+	// the helper pool.
+	ln.shardLo = make([]int32, shards+1)
+	for s := 0; s <= shards; s++ {
+		ln.shardLo[s] = int32(int64(s) * int64(n) / int64(shards))
+	}
+	ln.shCommit = make([]int, shards*(k+1))
+	ln.fnDraw = ln.drawActiveShard
+	ln.fnLockFold = ln.lockFoldShard
+	ln.fnHist = ln.histShard
+	ln.fnScatter = ln.scatterShard
+	ln.fnEmit = ln.emitShard
+	ln.fnAssemble = ln.assembleShard
+	ln.fnObserve = ln.observeShard
+	ln.fnReset = ln.resetShard
+	ln.pool = newShardPool(shards)
 	ln.matcher = b.newMatcher()
 	ln.carryM, _ = ln.matcher.(CarryMatcher)
 	ln.capLister, _ = ln.matcher.(CaptureLister)
@@ -541,14 +684,31 @@ func newLane(b *Batch) *lane {
 	if b.usesCarry {
 		ln.carries = make([]int, n)
 	}
-	if ln.qualT != nil {
-		ln.qidx = make([]uint8, n)
-	}
 	if ln.ada {
 		ln.adaT = make([]rng.Threshold, n+1)
 		ln.adaDecay = -1 // no decay value tabled yet
 	}
 	return ln
+}
+
+// close releases the lane's shard pool (a no-op for single-sharded lanes).
+func (ln *lane) close() {
+	if ln.pool != nil {
+		ln.pool.close()
+	}
+}
+
+// par runs one phase function across the lane's shards: inline for a
+// single-sharded lane, through the pool otherwise. fn must be one of the
+// lane's prebound fn* fields so the dispatch performs no allocation.
+//
+//hh:hotpath
+func (ln *lane) par(fn func(int)) {
+	if ln.pool == nil {
+		fn(0)
+		return
+	}
+	ln.pool.run(fn)
 }
 
 // reset re-seeds the lane for a fresh replicate, deriving the same streams
@@ -565,41 +725,15 @@ func (ln *lane) reset(seed uint64) {
 	root.SplitInto(0, &ln.envSrc)
 	root.SplitInto(1, &ln.matchSrc)
 	if ln.antRNG {
-		var agents rng.Source
-		root.SplitInto(2, &agents)
-		for i := range ln.antSrc {
-			agents.SplitInto(uint64(i), &ln.antSrc[i])
-		}
+		root.SplitInto(2, &ln.phAgents)
 	}
-	for i := range ln.paramI {
-		ln.paramI[i] = 0
-	}
-	if ln.paramF != nil {
-		delta := ln.prog.Params.NEstDelta
-		nF := float64(ln.n)
-		for i := range ln.paramF {
-			ln.paramF[i] = nF
-			if delta > 0 {
-				ln.paramF[i] = nF * (1 + (2*ln.antSrc[i].Float64()-1)*delta)
-			}
-		}
-	}
-	for i := range ln.qidx {
-		ln.qidx[i] = 0
-	}
+	// Per-ant seeding and register init shard cleanly: SplitInto never
+	// advances the parent stream, the ñ draws come from each ant's own
+	// already-seeded stream, and every other write is a per-ant constant.
+	ln.par(ln.fnReset)
+	ln.countAllN = false
+	ln.countUni = -1
 	split := ln.prog.InitSplit
-	for i := 0; i < ln.n; i++ {
-		st := ln.prog.Init
-		if split > 0 && i >= split {
-			st = ln.prog.InitRest
-		}
-		ln.state[i] = st
-		ln.nest[i] = Home
-		ln.count[i] = 0
-		ln.quality[i] = 0
-		ln.nestT[i] = Home
-		ln.countT[i] = 0
-	}
 	ln.alive = ln.n
 	if ln.faulted {
 		// The victim assignment draws from root.Split(Salt) — the same stream,
@@ -647,6 +781,47 @@ func (ln *lane) reset(seed uint64) {
 				ln.finals += int(ln.final[ln.state[i]])
 			}
 		}
+	}
+}
+
+// resetShard performs reset's per-ant work for one ant range: stream
+// seeding, parameter-column init (including ApproxN's ñ draw from the ant's
+// own stream, matching the scalar builder's order), and the register file.
+func (ln *lane) resetShard(sh int) {
+	lo, hi := int(ln.shardLo[sh]), int(ln.shardLo[sh+1])
+	if ln.antRNG {
+		agents := &ln.phAgents
+		for i := lo; i < hi; i++ {
+			agents.SplitInto(uint64(i), &ln.antSrc[i])
+		}
+	}
+	if ln.paramI != nil {
+		for i := lo; i < hi; i++ {
+			ln.paramI[i] = 0
+		}
+	}
+	if ln.paramF != nil {
+		delta := ln.prog.Params.NEstDelta
+		nF := float64(ln.n)
+		for i := lo; i < hi; i++ {
+			ln.paramF[i] = nF
+			if delta > 0 {
+				ln.paramF[i] = nF * (1 + (2*ln.antSrc[i].Float64()-1)*delta)
+			}
+		}
+	}
+	split := ln.prog.InitSplit
+	for i := lo; i < hi; i++ {
+		st := ln.prog.Init
+		if split > 0 && i >= split {
+			st = ln.prog.InitRest
+		}
+		ln.state[i] = st
+		ln.nest[i] = Home
+		ln.count[i] = 0
+		ln.quality[i] = 0
+		ln.nestT[i] = Home
+		ln.countT[i] = 0
 	}
 }
 
@@ -726,7 +901,7 @@ func (ln *lane) runReplicate(rep int, seed uint64, maxRounds, window int, probe 
 // shared PFSM state; the returned value is next round's phase.
 //
 //hh:hotpath
-//hh:draws per opcode contract on EmitOp/ObserveOp consts: envSrc search draws in ant order, drawActiveBits per-ant draws, matchSrc via Match, perception hooks from the observing ant's stream
+//hh:draws per opcode contract on EmitOp/ObserveOp consts: envSrc search draws in ant order, drawActiveRange per-ant draws (one shard per ant), matchSrc via Match, perception hooks from the observing ant's stream
 func (ln *lane) stepLockstep(phase uint8) (uint8, error) {
 	n, k := ln.n, ln.k
 	st := ln.states[phase]
@@ -774,7 +949,12 @@ func (ln *lane) stepLockstep(phase uint8) (uint8, error) {
 		act = nest
 	case EmitRecruitPop, EmitRecruitQual, EmitRecruitAdaptive, EmitRecruitApproxN:
 		recruited = true
-		ln.drawActiveBits(st.Emit)
+		// The active bits draw only from per-ant streams (stream-disjoint),
+		// so the draw loop shards; the adaptive ladder's decay hoist and
+		// table rebuild run once, sequentially, first.
+		ln.drawActivePrep(st.Emit)
+		ln.phOp = st.Emit
+		ln.par(ln.fnDraw)
 		// actNest snapshots the advertised nests (each recruiter advertises
 		// its commitment). The observe folds below resolve a captured ant's
 		// outcome nest from this snapshot on the fly — there is no rewrite
@@ -795,36 +975,97 @@ func (ln *lane) stepLockstep(phase uint8) (uint8, error) {
 		ln.matcher.Match(n, ln.active, &ln.matchSrc, ln.capturedBy, ln.succeeded)
 	}
 
-	// Observe: fold outcomes into the registers. Recruit outcomes carry no
-	// quality and report the home population (= n, everyone recruited); the
-	// commitment census updates incrementally on the rare nest-register
-	// writes instead of a full per-round recount.
-	//
-	// On recruit rounds a captured ant's outcome nest is its capturer's
-	// advertised nest, resolved on the fly from the actNest snapshot (see
-	// the emit phase) instead of via a rewrite pass over the capture table:
-	// capturedBy streams through each fold exactly once.
-	commit := ln.commit
+	// Observe: fold outcomes into the registers. The adoption-family capture
+	// folds are sparse and run sequentially first (they write the commitment
+	// census directly); the bulk per-ant folds then shard across the lane's
+	// ant ranges, accumulating commitment changes into per-shard delta slabs
+	// folded back in one O(k·shards) pass (see lockFoldShard). Recruit
+	// outcomes carry no quality and report the home population (= n,
+	// everyone recruited).
+	if recruited {
+		switch st.Observe {
+		case ObserveDiscovery:
+			ln.foldCaptureAdopts(adoptPlain)
+		case ObserveAdopt:
+			ln.foldCaptureAdopts(adoptQualOne)
+		case ObserveAdoptZero:
+			ln.foldCaptureAdopts(adoptQualZero)
+		}
+	}
+	// Converged-tail bookkeeping: once the count column is known to hold n
+	// everywhere, a fold that would rewrite it with n — every recruit round,
+	// and any go/search round with the whole colony in one nest — is skipped
+	// outright, making the unanimous tail's count rounds O(k) instead of
+	// O(n). Only ObserveCount can skip (its fold writes nothing else);
+	// the other count-writing observes just maintain the flag.
+	skip := false
+	switch st.Observe {
+	case ObserveCount:
+		uniformN := recruited
+		if !recruited {
+			for j := range counts {
+				if counts[j] == n {
+					uniformN = true
+					break
+				}
+			}
+		}
+		skip = uniformN && ln.countAllN
+		ln.countAllN = uniformN
+	case ObserveDiscovery, ObserveCountQual:
+		ln.countAllN = recruited // the recruited arms fill the column with n
+	case ObserveDiscoverNoisy, ObserveCountNoisy:
+		ln.countAllN = false
+	}
+	if !skip {
+		ln.phPhase = phase
+		ln.phRecruited = recruited
+		ln.phAct = act
+		ln.par(ln.fnLockFold)
+		ln.foldCommitDeltas()
+	}
+	return st.Next, nil
+}
+
+// lockFoldShard applies one lockstep round's bulk observe fold to one ant
+// range. On recruit rounds a captured ant's outcome nest is its capturer's
+// advertised nest, resolved on the fly from the actNest snapshot (see the
+// emit phase) instead of via a rewrite pass over the capture table:
+// capturedBy streams through each fold exactly once. Commitment changes go
+// to the shard's delta slab; every other write targets the folding ant's own
+// registers, and the only draws are the noisy perception hooks on the ant's
+// own stream — which is what makes the fold safe to shard.
+//
+//hh:hotpath
+//hh:draws noisy perception hooks only, from the observing ant's own stream; every other fold is draw-free
+func (ln *lane) lockFoldShard(sh int) {
+	lo, hi := int(ln.shardLo[sh]), int(ln.shardLo[sh+1])
+	commit := ln.shCommit[sh*(ln.k+1) : (sh+1)*(ln.k+1)]
+	for j := range commit {
+		commit[j] = 0
+	}
+	st := ln.states[ln.phPhase]
+	recruited := ln.phRecruited
+	act := ln.phAct
+	n := ln.n
+	nest := ln.nest
+	actNest := ln.actNest
+	counts := ln.counts
 	capturedBy := ln.capturedBy
 	switch st.Observe {
 	case ObserveDiscovery:
 		count := ln.count
 		quality := ln.quality
-		qidx := ln.qidx
 		if recruited {
-			ln.foldCaptureAdopts(adoptPlain)
-			for i := range count {
+			// Capture adoptions already folded sequentially; the uniform
+			// recruit outcome (home population, no quality) folds here.
+			for i := lo; i < hi; i++ {
 				count[i] = int32(n)
 				quality[i] = 0
 			}
-			if qidx != nil {
-				for i := range qidx {
-					qidx[i] = 0
-				}
-			}
 		} else {
 			qual := ln.qual
-			for i := range nest {
+			for i := lo; i < hi; i++ {
 				outNest := act[i]
 				if outNest != nest[i] {
 					commit[nest[i]]--
@@ -833,17 +1074,12 @@ func (ln *lane) stepLockstep(phase uint8) (uint8, error) {
 				}
 				count[i] = int32(counts[outNest])
 				quality[i] = qual[outNest]
-				if qidx != nil {
-					qidx[i] = uint8(outNest)
-				}
 			}
 		}
 	case ObserveAdopt:
-		quality := ln.quality
-		if recruited {
-			ln.foldCaptureAdopts(adoptQualOne)
-		} else {
-			for i := range nest {
+		if !recruited {
+			quality := ln.quality
+			for i := lo; i < hi; i++ {
 				if outNest := act[i]; outNest != nest[i] {
 					commit[nest[i]]--
 					commit[outNest]++
@@ -857,55 +1093,40 @@ func (ln *lane) stepLockstep(phase uint8) (uint8, error) {
 		if recruited {
 			// Recruit outcomes carry the home population n and no nest
 			// change; the capture table is irrelevant to the fold.
-			for i := range count {
+			for i := lo; i < hi; i++ {
 				count[i] = int32(n)
 			}
 		} else {
-			for i := range count {
+			for i := lo; i < hi; i++ {
 				count[i] = int32(counts[act[i]])
 			}
 		}
 	case ObserveAdoptZero:
-		quality := ln.quality
-		qidx := ln.qidx
-		if recruited {
-			ln.foldCaptureAdopts(adoptQualZero)
-		} else {
-			for i := range nest {
+		if !recruited {
+			quality := ln.quality
+			for i := lo; i < hi; i++ {
 				if outNest := act[i]; outNest != nest[i] {
 					commit[nest[i]]--
 					commit[outNest]++
 					nest[i] = outNest
 					quality[i] = 0
-					if qidx != nil {
-						qidx[i] = 0
-					}
 				}
 			}
 		}
 	case ObserveCountQual:
 		count := ln.count
 		quality := ln.quality
-		qidx := ln.qidx
 		if recruited {
-			for i := range count {
+			for i := lo; i < hi; i++ {
 				count[i] = int32(n)
 				quality[i] = 0
 			}
-			if qidx != nil {
-				for i := range qidx {
-					qidx[i] = 0
-				}
-			}
 		} else {
 			qual := ln.qual
-			for i := range count {
+			for i := lo; i < hi; i++ {
 				outNest := act[i]
 				count[i] = int32(counts[outNest])
 				quality[i] = qual[outNest]
-				if qidx != nil {
-					qidx[i] = uint8(outNest)
-				}
 			}
 		}
 	case ObserveDiscoverNoisy:
@@ -913,7 +1134,7 @@ func (ln *lane) stepLockstep(phase uint8) (uint8, error) {
 		quality := ln.quality
 		countHook, assessHook := ln.prog.Params.Count, ln.prog.Params.Assess
 		threshold := ln.prog.Params.Threshold
-		for i := range nest {
+		for i := lo; i < hi; i++ {
 			var c int
 			var q float64
 			if recruited {
@@ -953,7 +1174,7 @@ func (ln *lane) stepLockstep(phase uint8) (uint8, error) {
 	case ObserveCountNoisy:
 		count := ln.count
 		countHook := ln.prog.Params.Count
-		for i := range count {
+		for i := lo; i < hi; i++ {
 			c := counts[act[i]]
 			if recruited {
 				c = n
@@ -964,10 +1185,64 @@ func (ln *lane) stepLockstep(phase uint8) (uint8, error) {
 			count[i] = int32(c)
 		}
 	}
-	return st.Next, nil
 }
 
-// drawActiveBits fills the active column for a colony-wide drawn-recruit
+// foldCommitDeltas folds the per-shard commitment delta slabs into the
+// lane's census — O(k·shards), order-free integer sums.
+//
+//hh:hotpath
+func (ln *lane) foldCommitDeltas() {
+	k1 := ln.k + 1
+	commit := ln.commit
+	for sh := 0; sh < ln.shards; sh++ {
+		d := ln.shCommit[sh*k1 : (sh+1)*k1]
+		for j, v := range d {
+			commit[j] += v
+		}
+	}
+}
+
+// drawActivePrep hoists the colony-uniform work of a drawn-recruit round
+// ahead of the sharded draw loops. Only the adaptive schedule has any: its
+// decay term depends on the colony-uniform phase clock, so it is derived once
+// here (and the per-lane threshold ladder rebuilt on the rare decay steps)
+// instead of per shard — the rebuild writes lane-shared state and must not
+// race.
+//
+//hh:hotpath
+func (ln *lane) drawActivePrep(op EmitOp) {
+	if op != EmitRecruitAdaptive {
+		return
+	}
+	// The phase clock is colony-uniform here — lockstep programs march every
+	// ant through the same emits — so the schedule's decay term is hoisted out
+	// of the draw loops; only count varies per ant, and c/(c+decay) is
+	// float-identical to AdaptiveRecruitProbability. The decay steps down a
+	// handful of times per replicate, so the threshold ladder is rebuilt only
+	// on those steps.
+	tau, floorDiv := ln.prog.Params.Tau, ln.prog.Params.FloorDiv
+	decay := adaptiveDecay(ln.n, int(ln.paramI[0]), tau, floorDiv)
+	if decay != ln.adaDecay {
+		//hh:floatok ladder rebuild on decay steps: the float→fixed compile happens a handful of times per replicate
+		for c := 0; c <= ln.n; c++ {
+			cF := float64(c)
+			ln.adaT[c] = rng.NewThreshold(cF / (cF + decay))
+		}
+		ln.adaDecay = decay
+	}
+	ln.phDecay = decay
+}
+
+// drawActiveShard is the fnDraw phase body: the drawn-recruit loop over one
+// shard's ant range. Safe to shard because every iteration draws from its own
+// ant's stream only (see drawActiveRange).
+//
+//hh:hotpath
+func (ln *lane) drawActiveShard(sh int) {
+	ln.drawActiveRange(ln.phOp, int(ln.shardLo[sh]), int(ln.shardLo[sh+1]))
+}
+
+// drawActiveRange fills the active column for ants [lo, hi) of a drawn-recruit
 // round, one specialized loop per opcode. Each loop consumes the per-ant
 // streams exactly as the corresponding scalar ant does: Simple/Adaptive/
 // ApproxN gate the draw on a positive quality register (their active flag),
@@ -975,17 +1250,19 @@ func (ln *lane) stepLockstep(phase uint8) (uint8, error) {
 // scalar ant would be passive, and rng.Source's Bernoulli consumes nothing at
 // p <= 0 or p >= 1, so both formulations touch the streams identically.
 //
-// Where a threshold table exists the draw is the fixed-point kernel — one
-// integer compare against the tabled bound, zero float operations — guarded
-// by a count-range check because the noisy estimators can report counts
-// outside [0, n]; out-of-range counts resolve draw-free exactly like
-// Bernoulli at p outside (0, 1).
+// Every draw is the fixed-point kernel — one integer compare against a bound
+// that is either tabled (count-ratio below the crossover, the adaptive
+// ladder) or derived on the fly from the lane's reciprocal (count-ratio above
+// the crossover, quality-weighted at every size) — at any colony size. The
+// tabled paths guard on a count-range check because the noisy estimators can
+// report counts outside [0, n]; out-of-range counts resolve draw-free exactly
+// like Bernoulli at p outside (0, 1), and the reciprocal kernels fold the
+// same resolution in via their sentinel thresholds.
 //
 //hh:hotpath
-//hh:draws at most one word per ant from its own stream, in ant order; draw-free for sentinel thresholds and out-of-range counts
-func (ln *lane) drawActiveBits(op EmitOp) {
+//hh:draws at most one word per ant from its own stream, each ant touched by exactly one shard; draw-free for sentinel thresholds and out-of-range counts
+func (ln *lane) drawActiveRange(op EmitOp, lo, hi int) {
 	n := ln.n
-	nF := float64(n) //hh:floatok loop-invariant divisor for the float fallback branches
 	quality := ln.quality
 	count := ln.count
 	active := ln.active
@@ -993,7 +1270,7 @@ func (ln *lane) drawActiveBits(op EmitOp) {
 	switch op {
 	case EmitRecruitPop:
 		if popT := ln.popT; popT != nil {
-			for i := 0; i < n; i++ {
+			for i := lo; i < hi; i++ {
 				b := false
 				if quality[i] > 0 {
 					//hh:draws out-of-range counts resolve draw-free, exactly like Bernoulli at p outside (0, 1)
@@ -1015,94 +1292,71 @@ func (ln *lane) drawActiveBits(op EmitOp) {
 				active[i] = b
 			}
 		} else {
-			for i := 0; i < n; i++ {
+			rcp := ln.rcp
+			for i := lo; i < hi; i++ {
 				b := false
 				if quality[i] > 0 {
-					b = antSrc[i].Bernoulli(float64(count[i]) / nF) //hh:floatok fallback above batchTableMaxN; bit-identical to the tabled kernel
+					// Above the table crossover the threshold is derived per
+					// draw; rcp.Threshold's sentinels already resolve counts
+					// outside (0, n) draw-free, so no range guard is needed.
+					if t := rcp.Threshold(int(count[i])); t-1 < rng.ThresholdAlways-1 {
+						b = antSrc[i].Uint64()>>11 < uint64(t)
+					} else {
+						b = t.Draw(&antSrc[i])
+					}
 				}
 				active[i] = b
 			}
 		}
 	case EmitRecruitQual:
-		if qualT := ln.qualT; qualT != nil {
-			qidx := ln.qidx
-			stride := n + 1
-			for i := 0; i < n; i++ {
-				b := false
+		rcp := ln.rcp
+		for i := lo; i < hi; i++ {
+			// The quality-weighted draw derives its threshold on the fly at
+			// every colony size (the former per-(quality, count) table cost
+			// O(k·n) entries); ThresholdMul emulates the scalar expression
+			// q·c/n including its out-of-range and q=0 cases, so the loop has
+			// no guards at all.
+			t := rcp.ThresholdMul(quality[i], int(count[i]))
+			if t-1 < rng.ThresholdAlways-1 {
+				active[i] = antSrc[i].Uint64()>>11 < uint64(t)
+			} else {
+				active[i] = t.Draw(&antSrc[i])
+			}
+		}
+	case EmitRecruitAdaptive:
+		// Decay and ladder were hoisted by drawActivePrep (colony-uniform
+		// phase clock); the ladder exists at every colony size because its
+		// divisor count+decay varies with the phase, defeating a reciprocal.
+		decay := ln.phDecay
+		adaT := ln.adaT
+		paramI := ln.paramI
+		for i := lo; i < hi; i++ {
+			b := false
+			if quality[i] > 0 {
 				//hh:draws out-of-range counts resolve draw-free, exactly like Bernoulli at p outside (0, 1)
 				if c := int(count[i]); uint(c) <= uint(n) {
-					if t := qualT[int(qidx[i])*stride+c]; t-1 < rng.ThresholdAlways-1 {
+					if t := adaT[c]; t-1 < rng.ThresholdAlways-1 {
 						b = antSrc[i].Uint64()>>11 < uint64(t)
 					} else {
 						b = t.Draw(&antSrc[i])
 					}
 				} else {
-					b = antSrc[i].Bernoulli(quality[i] * float64(c) / nF) //hh:floatok out-of-range noisy count: scalar QualityAnt computes the same float probability
+					cF := float64(c)                           //hh:floatok out-of-range noisy count falls back to the float formula
+					b = antSrc[i].Bernoulli(cF / (cF + decay)) //hh:floatok same float expression as AdaptiveRecruitProbability
 				}
-				active[i] = b
 			}
-		} else {
-			for i := 0; i < n; i++ {
-				active[i] = antSrc[i].Bernoulli(quality[i] * float64(count[i]) / nF) //hh:floatok fallback above batchTableMaxN; bit-identical to the tabled kernel
-			}
-		}
-	case EmitRecruitAdaptive:
-		// The phase clock is colony-uniform here — lockstep programs march
-		// every ant through the same emits — so the schedule's decay term is
-		// hoisted out of the loop; only count varies per ant, and
-		// c/(c+decay) is float-identical to AdaptiveRecruitProbability. The
-		// decay steps down a handful of times per replicate, so the
-		// threshold table is rebuilt only on those steps.
-		tau, floorDiv := ln.prog.Params.Tau, ln.prog.Params.FloorDiv
-		paramI := ln.paramI
-		decay := adaptiveDecay(n, int(paramI[0]), tau, floorDiv)
-		if ln.adaT != nil {
-			if decay != ln.adaDecay {
-				//hh:floatok table rebuild on decay steps: the float→fixed compile happens a handful of times per replicate
-				for c := 0; c <= n; c++ {
-					cF := float64(c)
-					ln.adaT[c] = rng.NewThreshold(cF / (cF + decay))
-				}
-				ln.adaDecay = decay
-			}
-			adaT := ln.adaT
-			for i := 0; i < n; i++ {
-				b := false
-				if quality[i] > 0 {
-					//hh:draws out-of-range counts resolve draw-free, exactly like Bernoulli at p outside (0, 1)
-					if c := int(count[i]); uint(c) <= uint(n) {
-						if t := adaT[c]; t-1 < rng.ThresholdAlways-1 {
-							b = antSrc[i].Uint64()>>11 < uint64(t)
-						} else {
-							b = t.Draw(&antSrc[i])
-						}
-					} else {
-						cF := float64(c)                           //hh:floatok out-of-range noisy count falls back to the float formula
-						b = antSrc[i].Bernoulli(cF / (cF + decay)) //hh:floatok same float expression as AdaptiveRecruitProbability
-					}
-				}
-				paramI[i]++
-				active[i] = b
-			}
-		} else {
-			for i := 0; i < n; i++ {
-				b := false
-				if quality[i] > 0 {
-					c := float64(count[i])                   //hh:floatok fallback above batchTableMaxN
-					b = antSrc[i].Bernoulli(c / (c + decay)) //hh:floatok same float expression as AdaptiveRecruitProbability
-				}
-				paramI[i]++
-				active[i] = b
-			}
+			paramI[i]++
+			active[i] = b
 		}
 	case EmitRecruitApproxN:
-		// Per-ant ñ estimates defeat tabling (the table would be per ant);
-		// the float draw is bit-identical regardless.
+		// Per-ant ñ estimates defeat tabling and reciprocals alike (the
+		// kernel would be per ant); the float draw is bit-identical
+		// regardless.
 		paramF := ln.paramF
-		for i := 0; i < n; i++ {
+		for i := lo; i < hi; i++ {
 			b := false
 			if quality[i] > 0 {
-				p := float64(count[i]) / paramF[i] //hh:floatok per-ant ñ defeats tabling; float draw is bit-identical to ApproxNAnt
+				p := float64(count[i]) / paramF[i] //hh:floatok per-ant ñ defeats fixed-point kernels; float draw is bit-identical to ApproxNAnt
 				if p > 1 {
 					p = 1
 				}
@@ -1114,24 +1368,36 @@ func (ln *lane) drawActiveBits(op EmitOp) {
 }
 
 // stepGeneral resolves one synchronous round for a colony with a per-ant
-// state column. The round runs state-major: a count/scatter pass regroups the
-// colony into per-state buckets, the emit and observe opcodes then dispatch
-// once per occupied state (the per-ant jump tables they replace were the
-// dominant pipeline stall of heterogeneous colonies), and a branch-free
-// ant-order pass assembles the recruiting slot table between the two.
+// state column. The round runs state-major: a histogram/scatter pass regroups
+// the colony into per-state buckets, the emit and observe opcodes then
+// dispatch once per occupied state (the per-ant jump tables they replace were
+// the dominant pipeline stall of heterogeneous colonies), and an ant-order
+// pass assembles the recruiting slot table between the two.
+//
+// Every O(n) pass — histogram, scatter, emit, slot assembly, observe — fans
+// out across the lane's shards (contiguous ant ranges, lane.shardLo); the
+// sequential spine between the parallel phases is the O(k·shards) reductions,
+// the environment draws, the matcher, and the sparse capture and fault
+// passes. Sharding is bit-identical to the sequential scan by construction:
+// the bucket of state s is the concatenation of its per-shard segments in
+// shard order (the same ants in the same ascending order), the per-shard
+// population/commitment/finals tallies are order-free integer sums, recruiter
+// slots are assigned from prefix-summed per-shard bases, and the first-error
+// reduce picks by (state, ant) — exactly the sequential scan's first error.
 //
 // Randomness is consumed exactly as Engine.Step/resolve consumes it:
-// environment draws are folded into the scatter pass, which scans ants in
-// ascending order, so searching ants draw from envSrc in ant order no matter
-// how states interleave; per-ant stream draws are stream-disjoint across ants,
-// so bucket-order draws are identical to ant-order draws; recruiting ants
-// enter the slot table in ant order via the assembly pass; and the matcher
-// runs only when the recruiting set is non-empty. Observe folds touch only
-// the observing ant's registers, its own stream, and the order-free
-// commitment tallies, so bucket-order folding is bit-identical too.
+// environment draws run in a dedicated sequential pass that scans ants in
+// ascending order (envSrc has no jump-ahead and rejection sampling makes its
+// consumption data-dependent, so those draws can never shard); per-ant stream
+// draws are stream-disjoint across ants and each ant is visited by exactly
+// one shard; recruiting ants enter the slot table in ant order via the
+// assembly pass; and the matcher runs sequentially on matchSrc, only when the
+// recruiting set is non-empty. Observe folds touch only the observing ant's
+// registers, its own stream, and the order-free commitment deltas, so
+// bucket-order sharded folding is bit-identical too.
 //
 //hh:hotpath
-//hh:draws per opcode contract on EmitOp/ObserveOp consts: envSrc in ant order via the scatter pass, per-ant streams in bucket order (stream-disjoint), matchSrc only when recruiters exist
+//hh:draws per opcode contract on EmitOp/ObserveOp consts: envSrc in ant order via the sequential environment pass, per-ant streams in bucket order (stream-disjoint, one shard per ant), matchSrc only when recruiters exist
 func (ln *lane) stepGeneral() error {
 	n, k := ln.n, ln.k
 	states := &ln.states
@@ -1140,6 +1406,7 @@ func (ln *lane) stepGeneral() error {
 	actNest := ln.actNest
 	counts := ln.counts
 	numStates := ln.numExec
+	shards := ln.shards
 
 	// Pre-round fault pass: wake the sleepers and fire the crashes scheduled
 	// for this round, before the colony is regrouped — the transitions must be
@@ -1172,49 +1439,46 @@ func (ln *lane) stepGeneral() error {
 		}
 	}
 
-	// Regroup the colony by state: count, prefix, scatter (+ ant-order
-	// environment draws for searching ants). The count histogram runs over
-	// four interleaved banks because consecutive ants usually share a state,
-	// and a single-bank cnt[s]++ then serializes on store-to-load forwarding.
-	cnt := ln.bktCount[:4*numStates]
-	for s := range cnt {
-		cnt[s] = 0
-	}
-	{
-		i := 0
-		for ; i+4 <= n; i += 4 {
-			cnt[int(state[i])]++
-			cnt[numStates+int(state[i+1])]++
-			cnt[2*numStates+int(state[i+2])]++
-			cnt[3*numStates+int(state[i+3])]++
-		}
-		for ; i < n; i++ {
-			cnt[int(state[i])]++
-		}
-	}
-	off := ln.bktOff[:numStates+1]
-	cur := ln.bktCur[:numStates]
+	// Regroup the colony by state: per-shard histogram, sequential prefix,
+	// per-shard scatter into the precomputed segments. The prefix fills
+	// segment bounds and scatter cursors so that state s's bucket is the
+	// concatenation of its per-shard segments (each a subset of that shard's
+	// own ant range, ascending), then detects a sole occupied state and
+	// whether any occupied state searches.
+	ln.par(ln.fnHist)
+	segOff := ln.segOff
+	searches := &ln.searches
 	running := int32(0)
 	sole := -1
+	anySearch := false
 	for s := 0; s < numStates; s++ {
-		off[s] = running
-		cur[s] = running
-		c := cnt[s] + cnt[numStates+s] + cnt[2*numStates+s] + cnt[3*numStates+s]
-		if int(c) == n {
+		total := int32(0)
+		for sh := 0; sh < shards; sh++ {
+			segOff[s*shards+sh] = running
+			ln.shCur[sh*numStates+s] = running
+			bank := ln.shCnt[sh*4*numStates:]
+			c := bank[s] + bank[numStates+s] + bank[2*numStates+s] + bank[3*numStates+s]
+			running += c
+			total += c
+		}
+		if int(total) == n {
 			sole = s
 		}
-		running += c
+		if total > 0 && searches[s] != 0 {
+			anySearch = true
+		}
 	}
-	off[numStates] = running
+	segOff[numStates*shards] = running
 	bkt := ln.bktAnts[:n]
-	searches := &ln.searches
 	envSrc := &ln.envSrc
 	//hh:draws shape dispatch only: both arms draw one envSrc destination per searching ant, in ant order, exactly like the scalar per-ant emit
 	if sole >= 0 {
 		// The whole colony occupies one state (common in the converged tail,
 		// where every ant sits in an absorbing recruit state): the bucket IS
-		// the identity permutation, so the scatter — and, below, most of the
-		// slot-assembly work — collapses to reusing precomputed identities.
+		// the identity permutation — every segment (sole, sh) is exactly the
+		// shard's own ant range — so the scatter collapses to reusing the
+		// precomputed identity and, below, most of the slot-assembly work
+		// degenerates too.
 		bkt = ln.iota32
 		//hh:draws a state's search bit decides whether its ants draw a destination; the scalar emit gates on the same compiled bit
 		if searches[sole] != 0 {
@@ -1223,35 +1487,405 @@ func (ln *lane) stepGeneral() error {
 			}
 		}
 	} else {
-		for i := 0; i < n; i++ {
-			s := state[i]
-			bkt[cur[s]] = int32(i)
-			cur[s]++
-			//hh:draws a state's search bit decides whether its ants draw a destination; the scalar emit gates on the same compiled bit
-			if searches[s] != 0 {
-				actNest[i] = NestID(envSrc.Intn(k) + 1)
+		ln.par(ln.fnScatter)
+		// Environment draws stay sequential and in ant order — the scalar
+		// engine's order; envSrc cannot shard (see the function comment). The
+		// pass is skipped entirely when no occupied state searches.
+		//hh:draws anySearch only skips the scan when no occupied state has the search bit — no ant would reach the gated draw anyway
+		if anySearch {
+			for i := 0; i < n; i++ {
+				//hh:draws a state's search bit decides whether its ants draw a destination; the scalar emit gates on the same compiled bit
+				if searches[state[i]] != 0 {
+					actNest[i] = NestID(envSrc.Intn(k) + 1)
+				}
 			}
 		}
 	}
 
-	for i := range counts {
-		counts[i] = 0
+	// Emit per occupied segment, sharded (see emitShard). actNest receives
+	// each ant's advertised nest; recruiters are classified into isRecr/actBit
+	// and assembled into the ant-order slot table afterwards. Every ant
+	// belongs to exactly one segment, so every isRecr entry is rewritten each
+	// round.
+	ln.phBkt = bkt
+	ln.par(ln.fnEmit)
+
+	// Reduce the emit phase: population tallies and recruiter counts are
+	// order-free sums, the recruiter counts prefix-sum into the slot bases the
+	// assembly pass writes from, and a parked invalid emit materializes here —
+	// (state, ant)-minimal across shards, which is exactly the sequential
+	// scan's first error — keeping fmt.Errorf off the parallel loops.
+	for j := range counts {
+		counts[j] = 0
+	}
+	nRecr := 0
+	sawTransport := false
+	errSh := -1
+	for sh := 0; sh < shards; sh++ {
+		slab := ln.shCounts[sh*(k+1) : (sh+1)*(k+1)]
+		for j, v := range slab {
+			counts[j] += v
+		}
+		ln.shSlotBase[sh] = int32(nRecr)
+		nRecr += int(ln.shNRecr[sh])
+		if ln.shTrans[sh] != 0 {
+			sawTransport = true
+		}
+		if ln.shErrKind[sh] != errNone && (errSh < 0 ||
+			ln.shErrState[sh] < ln.shErrState[errSh] ||
+			(ln.shErrState[sh] == ln.shErrState[errSh] && ln.shErrAnt[sh] < ln.shErrAnt[errSh])) {
+			errSh = sh
+		}
+	}
+	if errSh >= 0 {
+		i := int(ln.shErrAnt[errSh])
+		nst := ln.shErrNest[errSh]
+		st := &states[ln.shErrState[errSh]]
+		switch ln.shErrKind[errSh] {
+		case errGotoNest:
+			return fmt.Errorf("ant %d: go(%d): nest out of range 1..%d", i, nst, k)
+		case errGotoScratch:
+			return fmt.Errorf("ant %d: go(%d): scratch nest out of range 1..%d", i, nst, k)
+		case errRecruitHome:
+			return fmt.Errorf("ant %d: recruit(1,0): cannot actively recruit for the home nest", i)
+		case errRecruitRange:
+			return fmt.Errorf("ant %d: recruit(%d,%d): nest out of range 0..%d", i, st.Arg, nst, k)
+		default: // errTransport
+			return fmt.Errorf("ant %d: transport(%d): nest out of range 1..%d", i, nst, k)
+		}
 	}
 
-	// Emit per occupied state. actNest receives each ant's advertised nest;
-	// recruiters are classified into isRecr/actBit and assembled into the
-	// ant-order slot table afterwards. Every ant belongs to exactly one
-	// bucket, so every isRecr entry is rewritten each round.
-	isRecr := ln.isRecr
-	actBit := ln.actBit
+	// Assemble the recruiting slot table in ant order — the matcher's slot
+	// space must list recruiters exactly as the scalar engine's action loop
+	// encounters them; each shard writes its own slot range starting at its
+	// prefix-summed base, so the concatenation is the sequential table (see
+	// assembleShard). A sole-state round degenerates to identities: slot t is
+	// ant t (or there are no recruiters at all), so the table is the
+	// precomputed identity permutation and two column copies.
+	rec := ln.recruiters[:n]
+	carries := ln.carries
+	switch {
+	case carries == nil && nRecr == n:
+		rec = ln.iota32
+		ln.phMode = asmIdentity
+	case nRecr == 0:
+		ln.phMode = asmNone
+	case carries == nil:
+		ln.phMode = asmScan
+	default:
+		ln.phMode = asmCarry
+	}
+	ln.par(ln.fnAssemble)
+	nR := nRecr
+	counts[Home] = nR
+
+	// Recruitment matching over the recruiting set, in slot space. The
+	// scalar engine skips the matcher entirely for an empty set and selects
+	// the carry-aware form only when some slot carries more than one ant;
+	// mirroring both keeps matchSrc in sync on all-goto rounds and keeps
+	// arbitrary matchers on exactly the scalar call sequence. (For the
+	// default Algorithm 1 pairing the dispatch is immaterial: MatchCarry
+	// with all-ones carries draws exactly like Match, a pinned property.)
+	active := ln.active
+	if nR > 0 {
+		//hh:draws matcher dispatch mirrors the scalar call sequence; MatchCarry with all-ones carries draws exactly like Match (a pinned property)
+		if anyCarry := sawTransport && ln.prog.Params.QuorumCarry > 1; anyCarry {
+			if ln.carryM == nil {
+				return fmt.Errorf("transport (carry > 1) unsupported by matcher %q", ln.matcher.Name())
+			}
+			ln.carryM.MatchCarry(nR, active, carries, &ln.matchSrc, ln.capturedBy, ln.succeeded)
+		} else {
+			ln.matcher.Match(nR, active, &ln.matchSrc, ln.capturedBy, ln.succeeded)
+		}
+	}
+
+	// Resolve each slot's outcome nest: the assembly pass preloaded every
+	// slot with its own advertised nest, so only captured slots need a
+	// rewrite — their capturer's advertised entry, always read from the
+	// pristine actNest column (a simultaneous-model capturer can itself be
+	// captured, so chaining through slotNest could read a rewritten value).
+	// Captures are sparse, so a capture-listing matcher turns this into a
+	// handful of writes; other matchers pay one branch-free pass over the
+	// slots. The observe folds then reach a recruiter's outcome through
+	// slotOf → slotNest, two loads instead of a four-deep capture walk.
+	slotNest := ln.slotNest
+	if nR > 0 {
+		capt := ln.capturedBy
+		if ln.capLister != nil {
+			for _, t32 := range ln.capLister.Captures() {
+				t := int(t32)
+				if cb := int(capt[t]); cb != t {
+					slotNest[t] = actNest[rec[cb]]
+				}
+			}
+		} else {
+			for t := 0; t < nR; t++ {
+				cb := int(capt[t])
+				if cb < 0 {
+					cb = t
+				}
+				slotNest[t] = actNest[rec[cb]]
+			}
+		}
+	}
+
+	// Observe per occupied segment, sharded (see observeShard): fold outcomes
+	// into the registers and select successors. Commitment changes accumulate
+	// in per-shard delta slabs and the Final-state tallies in per-shard
+	// counters, both reduced here. The converged-tail skip: when the whole
+	// colony sits in one recruited count state and the count column is
+	// already uniformly the home population from last round's identical fold,
+	// the O(n) refill is skipped outright (phCountSkip), making the absorbing
+	// tail's count rounds O(k) bookkeeping.
+	countHome := int32(nR)
+	ln.phCountHome = countHome
+	ln.phCountSkip = sole >= 0 && ln.countUni == countHome
+	ln.par(ln.fnObserve)
+	finals := 0
+	for sh := 0; sh < shards; sh++ {
+		finals += int(ln.shFinals[sh])
+	}
+	ln.foldCommitDeltas()
+	// The count column is known uniform only after a sole-state recruited
+	// count fold (every ant just read the home population); anything else
+	// invalidates the skip.
+	if sole >= 0 && recruitEmit(states[sole].Emit) && states[sole].Observe == ObserveCount {
+		ln.countUni = countHome
+	} else {
+		ln.countUni = -1
+	}
+
+	// Capture pass: the adoption-family folds (adopt, latch, pend, the
+	// recruit-nest learn, the quorum wake and the transport submit) act only
+	// on captured ants, whose buckets above therefore folded nothing but
+	// successors. Captures are sparse, so dispatching per captured slot on
+	// the state the ant emitted from (recorded in preState — the state
+	// column already holds next round's values) touches a fraction of the
+	// colony. Fold order across captured ants is immaterial: each fold
+	// writes only its own ant's registers (commit tallies are order-free)
+	// and the docility draws come from the captured ant's own stream.
+	commit := ln.commit
+	quality := ln.quality
+	antSrc := ln.antSrc
+	nestT := ln.nestT
+	isFinal := &ln.final
 	preState := ln.preState
+	if nR > 0 {
+		caps := ln.capScrat[:0]
+		if ln.capLister != nil {
+			caps = ln.capLister.Captures()
+		} else {
+			capt := ln.capturedBy
+			for t := 0; t < nR; t++ {
+				if capt[t] >= 0 {
+					caps = append(caps, int32(t)) //hh:allocok grows only to a new maximum capture count; steady-state rounds reuse capScrat's capacity
+				}
+			}
+			ln.capScrat = caps[:0]
+		}
+		capt := ln.capturedBy
+		for _, t32 := range caps {
+			t := int(t32)
+			cb := int(capt[t])
+			if cb == t {
+				continue // self-pairs adopt nothing
+			}
+			i := int(rec[t])
+			outNest := actNest[rec[cb]]
+			st := &states[preState[i]]
+			switch st.Observe {
+			case ObserveDiscovery, ObserveNestLatch:
+				if outNest != nest[i] {
+					commit[nest[i]]--
+					commit[outNest]++
+					nest[i] = outNest
+				}
+			case ObserveAdopt:
+				if outNest != nest[i] {
+					commit[nest[i]]--
+					commit[outNest]++
+					nest[i] = outNest
+					quality[i] = 1
+				}
+			case ObserveAdoptZero:
+				if outNest != nest[i] {
+					commit[nest[i]]--
+					commit[outNest]++
+					nest[i] = outNest
+					quality[i] = 0
+				}
+			case ObserveAdoptPend:
+				if outNest != nest[i] {
+					commit[nest[i]]--
+					commit[outNest]++
+					nest[i] = outNest
+					state[i] = st.NextB // enter the pending chain
+					finals += int(isFinal[st.NextB]) - int(isFinal[st.Next])
+				}
+			case ObserveRecruitNest:
+				nestT[i] = outNest
+			case ObserveQuorumAdopt:
+				if outNest != nest[i] {
+					commit[nest[i]]--
+					commit[outNest]++
+					nest[i] = outNest
+				}
+				quality[i] = 1
+			case ObserveQuorumTransport:
+				// The docility draw consumes the CAPTURED ant's stream,
+				// exactly like QuorumAnt's submit check, on the precompiled
+				// fixed-point threshold.
+				if ln.docT.Draw(&antSrc[i]) {
+					if outNest != nest[i] {
+						commit[nest[i]]--
+						commit[outNest]++
+						nest[i] = outNest
+						state[i] = st.NextB // demote to canvasser of the new nest
+						finals += int(isFinal[st.NextB]) - int(isFinal[st.Next])
+					}
+					quality[i] = 1
+				}
+			}
+		}
+	}
+
+	// Track every crash-fated ant's last known candidate nest from this
+	// round's outcome — before AND after the crash fires, mirroring the
+	// scalar CrashAnt.Observe: a live wrapper records where its inner agent
+	// went, and a dead one records where recruiters dragged the corpse. The
+	// pass is O(crash victims) and reads only resolved columns (actNest for
+	// searchers/goers, the slot table for recruiters).
+	if ln.faulted {
+		lastNest := ln.lastNest
+		isRecr := ln.isRecr
+		slotOf := ln.slotOf
+		for _, i32 := range ln.crashAnts {
+			i := int(i32)
+			outNest := actNest[i]
+			if isRecr[i] != 0 {
+				outNest = slotNest[slotOf[i]]
+			}
+			if outNest != Home {
+				lastNest[i] = outNest
+			}
+		}
+	}
+	ln.finals = finals
+	return nil
+}
+
+// Slot-assembly modes (lane.phMode), selected by stepGeneral's emit reduce.
+const (
+	asmIdentity uint8 = iota // every ant recruits, no transports: slot t = ant t
+	asmNone                  // no recruiters: clear slotOf
+	asmScan                  // compacting scan, no carry column
+	asmCarry                 // compacting scan, carry column filled
+)
+
+// Emit-phase error kinds parked in lane.shErrKind by parkErr.
+const (
+	errNone uint8 = iota
+	errGotoNest
+	errGotoScratch
+	errRecruitHome
+	errRecruitRange
+	errTransport
+)
+
+// parkErr records the first invalid emit a shard's scan encounters as a
+// compact (kind, state, ant, nest) record; stepGeneral's reduce min-picks
+// across shards by (state, ant) — within one state, lower shards hold lower
+// ant indices — and materializes the fmt.Errorf there, so the parallel scan
+// stays allocation-free and reports exactly the sequential scan's first
+// error.
+//
+//hh:coldpath
+func (ln *lane) parkErr(sh int, kind uint8, s, i int, nst NestID) {
+	if ln.shErrKind[sh] != errNone {
+		return
+	}
+	ln.shErrKind[sh] = kind
+	ln.shErrState[sh] = int32(s)
+	ln.shErrAnt[sh] = int32(i)
+	ln.shErrNest[sh] = nst
+}
+
+// histShard is the fnHist phase body: count one shard's ant range into the
+// shard's own four interleaved histogram banks (consecutive ants usually
+// share a state, and a single-bank cnt[s]++ serializes on store-to-load
+// forwarding).
+//
+//hh:hotpath
+func (ln *lane) histShard(sh int) {
+	numStates := ln.numExec
+	cnt := ln.shCnt[sh*4*numStates : (sh+1)*4*numStates]
+	for j := range cnt {
+		cnt[j] = 0
+	}
+	state := ln.state
+	i, hi := int(ln.shardLo[sh]), int(ln.shardLo[sh+1])
+	for ; i+4 <= hi; i += 4 {
+		cnt[int(state[i])]++
+		cnt[numStates+int(state[i+1])]++
+		cnt[2*numStates+int(state[i+2])]++
+		cnt[3*numStates+int(state[i+3])]++
+	}
+	for ; i < hi; i++ {
+		cnt[int(state[i])]++
+	}
+}
+
+// scatterShard is the fnScatter phase body: write one shard's ants into their
+// states' segments, cursors preset by the sequential prefix. Shards write
+// disjoint bkt ranges by construction (each segment is sized by the shard's
+// own histogram bank).
+//
+//hh:hotpath
+func (ln *lane) scatterShard(sh int) {
+	numStates := ln.numExec
+	cur := ln.shCur[sh*numStates : (sh+1)*numStates]
+	state := ln.state
+	bkt := ln.bktAnts[:ln.n]
+	lo, hi := int(ln.shardLo[sh]), int(ln.shardLo[sh+1])
+	for i := lo; i < hi; i++ {
+		s := state[i]
+		bkt[cur[s]] = int32(i)
+		cur[s]++
+	}
+}
+
+// emitShard is the fnEmit phase body: run the emit dispatch over one shard's
+// segments. For every state the members slice is the shard's own contiguous
+// segment of that state's bucket, so the shard touches exactly its own ants;
+// population tallies, the recruiter count, the transport flag and at most one
+// parked error go to the shard's slabs, reduced sequentially afterwards.
+//
+//hh:hotpath
+//hh:draws drawn-recruit opcodes consume at most one word from the emitting ant's own stream; every ant is scanned by exactly one shard
+func (ln *lane) emitShard(sh int) {
+	n, k := ln.n, ln.k
+	numStates := ln.numExec
+	shards := ln.shards
+	states := &ln.states
+	segOff := ln.segOff
+	bkt := ln.phBkt
+	nest := ln.nest
+	actNest := ln.actNest
 	quality := ln.quality
 	count := ln.count
 	antSrc := ln.antSrc
-	sawTransport := false
+	isRecr := ln.isRecr
+	actBit := ln.actBit
+	preState := ln.preState
+	counts := ln.shCounts[sh*(k+1) : (sh+1)*(k+1)]
+	for j := range counts {
+		counts[j] = 0
+	}
+	ln.shErrKind[sh] = errNone
+	ln.shTrans[sh] = 0
 	nRecr := 0
 	for s := 0; s < numStates; s++ {
-		members := bkt[off[s]:off[s+1]]
+		members := bkt[segOff[s*shards+sh]:segOff[s*shards+sh+1]]
 		if len(members) == 0 {
 			continue
 		}
@@ -1284,8 +1918,8 @@ func (ln *lane) stepGeneral() error {
 		}
 		switch st.Emit {
 		case EmitSearch:
-			// Destinations were already drawn, in ant order, by the scatter
-			// pass.
+			// Destinations were already drawn, in ant order, by the
+			// sequential environment pass.
 			for _, i32 := range members {
 				i := int(i32)
 				counts[actNest[i]]++
@@ -1296,7 +1930,8 @@ func (ln *lane) stepGeneral() error {
 				i := int(i32)
 				dest := nest[i]
 				if uint(dest)-1 >= uint(k) { // dest < 1 || dest > k, one compare
-					return fmt.Errorf("ant %d: go(%d): nest out of range 1..%d", i, dest, k)
+					ln.parkErr(sh, errGotoNest, s, i, dest)
+					continue
 				}
 				actNest[i] = dest
 				counts[dest]++
@@ -1308,7 +1943,8 @@ func (ln *lane) stepGeneral() error {
 				i := int(i32)
 				dest := nestT[i]
 				if uint(dest)-1 >= uint(k) {
-					return fmt.Errorf("ant %d: go(%d): scratch nest out of range 1..%d", i, dest, k)
+					ln.parkErr(sh, errGotoScratch, s, i, dest)
+					continue
 				}
 				actNest[i] = dest
 				counts[dest]++
@@ -1323,9 +1959,11 @@ func (ln *lane) stepGeneral() error {
 					adv := nest[i]
 					if uint(adv)-1 >= uint(k) { // adv < 1 || adv > k
 						if adv == Home {
-							return fmt.Errorf("ant %d: recruit(1,0): cannot actively recruit for the home nest", i)
+							ln.parkErr(sh, errRecruitHome, s, i, adv)
+						} else {
+							ln.parkErr(sh, errRecruitRange, s, i, adv)
 						}
-						return fmt.Errorf("ant %d: recruit(%d,%d): nest out of range 0..%d", i, st.Arg, adv, k)
+						continue
 					}
 					actNest[i] = adv
 					isRecr[i] = 1
@@ -1337,7 +1975,8 @@ func (ln *lane) stepGeneral() error {
 					i := int(i32)
 					adv := nest[i]
 					if uint(adv) > uint(k) { // Home is allowed for passive recruits
-						return fmt.Errorf("ant %d: recruit(%d,%d): nest out of range 0..%d", i, st.Arg, adv, k)
+						ln.parkErr(sh, errRecruitRange, s, i, adv)
+						continue
 					}
 					actNest[i] = adv
 					isRecr[i] = 1
@@ -1346,12 +1985,13 @@ func (ln *lane) stepGeneral() error {
 				}
 			}
 		case EmitRecruitTransport:
-			sawTransport = true
+			ln.shTrans[sh] = 1
 			for _, i32 := range members {
 				i := int(i32)
 				adv := nest[i]
 				if uint(adv)-1 >= uint(k) {
-					return fmt.Errorf("ant %d: transport(%d): nest out of range 1..%d", i, adv, k)
+					ln.parkErr(sh, errTransport, s, i, adv)
+					continue
 				}
 				actNest[i] = adv
 				isRecr[i] = 2
@@ -1360,23 +2000,33 @@ func (ln *lane) stepGeneral() error {
 			}
 		case EmitRecruitPop:
 			popT := ln.popT
+			rcp := ln.rcp
 			for _, i32 := range members {
 				i := int(i32)
 				b := false
 				if quality[i] > 0 {
-					if c := int(count[i]); popT != nil && uint(c) <= uint(n) {
-						if t := popT[c]; t-1 < rng.ThresholdAlways-1 {
-							b = antSrc[i].Uint64()>>11 < uint64(t)
-						} else {
-							b = t.Draw(&antSrc[i])
-						}
+					c := int(count[i])
+					var t rng.Threshold
+					//hh:draws out-of-range counts resolve draw-free via the sentinel thresholds, exactly like Bernoulli at p outside (0, 1)
+					if popT != nil && uint(c) <= uint(n) {
+						t = popT[c]
 					} else {
-						b = antSrc[i].Bernoulli(float64(c) / float64(n)) //hh:floatok fallback above batchTableMaxN; bit-identical to the tabled kernel
+						// Above the table crossover (or out of range) the
+						// threshold derives on the fly; the reciprocal
+						// kernel's sentinels resolve c outside (0, n)
+						// draw-free.
+						t = rcp.Threshold(c)
+					}
+					if t-1 < rng.ThresholdAlways-1 {
+						b = antSrc[i].Uint64()>>11 < uint64(t)
+					} else {
+						b = t.Draw(&antSrc[i])
 					}
 				}
 				adv := nest[i]
 				if b && adv == Home {
-					return fmt.Errorf("ant %d: recruit(1,0): cannot actively recruit for the home nest", i)
+					ln.parkErr(sh, errRecruitHome, s, i, adv)
+					continue
 				}
 				actNest[i] = adv
 				isRecr[i] = 1
@@ -1388,13 +2038,24 @@ func (ln *lane) stepGeneral() error {
 				preState[i] = uint8(s)
 			}
 		case EmitRecruitQual:
-			nF := float64(n) //hh:floatok the general engine reuses the scalar float formula verbatim; bit-identical by construction
+			rcp := ln.rcp
 			for _, i32 := range members {
 				i := int(i32)
-				b := antSrc[i].Bernoulli(quality[i] * float64(count[i]) / nF) //hh:floatok the general engine reuses the scalar float formula verbatim; bit-identical by construction
+				// The fixed-point kernel derives the exact threshold of the
+				// scalar expression q·c/n per draw — q = 0 and out-of-range
+				// counts included — so the loop needs no guards and no
+				// floats at any colony size.
+				t := rcp.ThresholdMul(quality[i], int(count[i]))
+				var b bool
+				if t-1 < rng.ThresholdAlways-1 {
+					b = antSrc[i].Uint64()>>11 < uint64(t)
+				} else {
+					b = t.Draw(&antSrc[i])
+				}
 				adv := nest[i]
 				if b && adv == Home {
-					return fmt.Errorf("ant %d: recruit(1,0): cannot actively recruit for the home nest", i)
+					ln.parkErr(sh, errRecruitHome, s, i, adv)
+					continue
 				}
 				actNest[i] = adv
 				isRecr[i] = 1
@@ -1406,6 +2067,9 @@ func (ln *lane) stepGeneral() error {
 				preState[i] = uint8(s)
 			}
 		case EmitRecruitAdaptive:
+			// Per-ant phase clocks defeat both the ladder and a reciprocal
+			// (each ant may sit at a different decay); the float formula is
+			// bit-identical to the scalar AdaptiveAnt by construction.
 			tau, floorDiv := ln.prog.Params.Tau, ln.prog.Params.FloorDiv
 			paramI := ln.paramI
 			for _, i32 := range members {
@@ -1418,7 +2082,8 @@ func (ln *lane) stepGeneral() error {
 				paramI[i]++
 				adv := nest[i]
 				if b && adv == Home {
-					return fmt.Errorf("ant %d: recruit(1,0): cannot actively recruit for the home nest", i)
+					ln.parkErr(sh, errRecruitHome, s, i, adv)
+					continue
 				}
 				actNest[i] = adv
 				isRecr[i] = 1
@@ -1435,7 +2100,7 @@ func (ln *lane) stepGeneral() error {
 				i := int(i32)
 				b := false
 				if quality[i] > 0 {
-					p := float64(count[i]) / paramF[i] //hh:floatok the general engine reuses the scalar float formula verbatim; bit-identical by construction
+					p := float64(count[i]) / paramF[i] //hh:floatok per-ant ñ defeats fixed-point kernels; float draw is bit-identical to ApproxNAnt
 					if p > 1 {
 						p = 1
 					}
@@ -1443,7 +2108,8 @@ func (ln *lane) stepGeneral() error {
 				}
 				adv := nest[i]
 				if b && adv == Home {
-					return fmt.Errorf("ant %d: recruit(1,0): cannot actively recruit for the home nest", i)
+					ln.parkErr(sh, errRecruitHome, s, i, adv)
+					continue
 				}
 				actNest[i] = adv
 				isRecr[i] = 1
@@ -1456,141 +2122,126 @@ func (ln *lane) stepGeneral() error {
 			}
 		}
 	}
+	ln.shNRecr[sh] = int32(nRecr)
+}
 
-	// Assemble the recruiting slot table in ant order — the matcher's slot
-	// space must list recruiters exactly as the scalar engine's action loop
-	// encounters them. The pass is branch-free: the write cursor advances by
-	// the recruiter flag, and the slot id selection compiles to a
-	// conditional move. A sole-state round degenerates to identities: slot t
-	// is ant t (or there are no recruiters at all), so the table is the
-	// precomputed identity permutation and two column copies.
-	rec := ln.recruiters[:n]
+// assembleShard is the fnAssemble phase body: build one shard's stretch of
+// the recruiting slot table. The compacting modes use guarded writes (the
+// sequential pass's branch-free cursor trick writes one slot past each
+// non-recruiter — harmless when overwritten later in the same scan, but a
+// cross-shard data race at shard boundaries), starting at the shard's
+// prefix-summed slot base so the concatenation across shards is exactly the
+// sequential ant-order table.
+//
+//hh:hotpath
+func (ln *lane) assembleShard(sh int) {
+	lo, hi := int(ln.shardLo[sh]), int(ln.shardLo[sh+1])
 	slotOf := ln.slotOf
-	active := ln.active
-	carries := ln.carries
-	slotNest := ln.slotNest
-	w := 0
-	if carries == nil && nRecr == n {
+	switch ln.phMode {
+	case asmIdentity:
 		// Every ant recruits (absorbing recruit states, canvass rounds):
 		// slot t is ant t, so the table is the identity permutation and two
 		// column copies.
-		rec = ln.iota32
-		copy(slotOf, ln.iota32)
-		for i := 0; i < n; i++ {
+		copy(slotOf[lo:hi], ln.iota32[lo:hi])
+		actBit := ln.actBit
+		active := ln.active
+		for i := lo; i < hi; i++ {
 			active[i] = actBit[i] != 0
 		}
-		copy(slotNest, actNest)
-		w = n
-	} else if nRecr == 0 {
-		for i := range slotOf {
+		copy(ln.slotNest[lo:hi], ln.actNest[lo:hi])
+	case asmNone:
+		for i := lo; i < hi; i++ {
 			slotOf[i] = -1
 		}
-	} else if carries == nil {
-		for i := 0; i < n; i++ {
-			r := isRecr[i]
-			rec[w] = int32(i)
-			active[w] = actBit[i] != 0
-			slotNest[w] = actNest[i]
-			sl := int32(w)
-			if r == 0 {
-				sl = -1
+	case asmScan:
+		rec := ln.recruiters[:ln.n]
+		active := ln.active
+		slotNest := ln.slotNest
+		actNest := ln.actNest
+		actBit := ln.actBit
+		isRecr := ln.isRecr
+		w := int(ln.shSlotBase[sh])
+		for i := lo; i < hi; i++ {
+			if isRecr[i] != 0 {
+				rec[w] = int32(i)
+				active[w] = actBit[i] != 0
+				slotNest[w] = actNest[i]
+				slotOf[i] = int32(w)
+				w++
+			} else {
+				slotOf[i] = -1
 			}
-			slotOf[i] = sl
-			w += int(r)
 		}
-	} else {
+	case asmCarry:
+		rec := ln.recruiters[:ln.n]
+		active := ln.active
+		slotNest := ln.slotNest
+		actNest := ln.actNest
+		actBit := ln.actBit
+		isRecr := ln.isRecr
+		carries := ln.carries
 		qc := ln.prog.Params.QuorumCarry
-		for i := 0; i < n; i++ {
-			r := isRecr[i]
-			rec[w] = int32(i)
-			active[w] = actBit[i] != 0
-			slotNest[w] = actNest[i]
-			c := 1
-			if r == 2 {
-				c = qc
-			}
-			carries[w] = c
-			sl := int32(w)
-			if r == 0 {
-				sl = -1
-			}
-			slotOf[i] = sl
-			w += int(r & 1)
-			w += int(r >> 1)
-		}
-	}
-	nR := w
-	counts[Home] = nR
-
-	// Recruitment matching over the recruiting set, in slot space. The
-	// scalar engine skips the matcher entirely for an empty set and selects
-	// the carry-aware form only when some slot carries more than one ant;
-	// mirroring both keeps matchSrc in sync on all-goto rounds and keeps
-	// arbitrary matchers on exactly the scalar call sequence. (For the
-	// default Algorithm 1 pairing the dispatch is immaterial: MatchCarry
-	// with all-ones carries draws exactly like Match, a pinned property.)
-	if nR > 0 {
-		//hh:draws matcher dispatch mirrors the scalar call sequence; MatchCarry with all-ones carries draws exactly like Match (a pinned property)
-		if anyCarry := sawTransport && ln.prog.Params.QuorumCarry > 1; anyCarry {
-			if ln.carryM == nil {
-				return fmt.Errorf("transport (carry > 1) unsupported by matcher %q", ln.matcher.Name())
-			}
-			ln.carryM.MatchCarry(nR, active, carries, &ln.matchSrc, ln.capturedBy, ln.succeeded)
-		} else {
-			ln.matcher.Match(nR, active, &ln.matchSrc, ln.capturedBy, ln.succeeded)
-		}
-	}
-
-	// Resolve each slot's outcome nest: the assembly pass preloaded every
-	// slot with its own advertised nest, so only captured slots need a
-	// rewrite — their capturer's advertised entry, always read from the
-	// pristine actNest column (a simultaneous-model capturer can itself be
-	// captured, so chaining through slotNest could read a rewritten value).
-	// Captures are sparse, so a capture-listing matcher turns this into a
-	// handful of writes; other matchers pay one branch-free pass over the
-	// slots. The observe folds then reach a recruiter's outcome through
-	// slotOf → slotNest, two loads instead of a four-deep capture walk.
-	if nR > 0 {
-		capt := ln.capturedBy
-		if ln.capLister != nil {
-			for _, t32 := range ln.capLister.Captures() {
-				t := int(t32)
-				if cb := int(capt[t]); cb != t {
-					slotNest[t] = actNest[rec[cb]]
+		w := int(ln.shSlotBase[sh])
+		for i := lo; i < hi; i++ {
+			if r := isRecr[i]; r != 0 {
+				rec[w] = int32(i)
+				active[w] = actBit[i] != 0
+				slotNest[w] = actNest[i]
+				c := 1
+				if r == 2 {
+					c = qc
 				}
-			}
-		} else {
-			for t := 0; t < nR; t++ {
-				cb := int(capt[t])
-				if cb < 0 {
-					cb = t
-				}
-				slotNest[t] = actNest[rec[cb]]
+				carries[w] = c
+				slotOf[i] = int32(w)
+				w++
+			} else {
+				slotOf[i] = -1
 			}
 		}
 	}
+}
 
-	// Observe per occupied state: fold outcomes into the registers and
-	// select successors, one opcode dispatch per bucket. The outcome count
-	// is the end-of-round population of the outcome nest for searchers and
-	// goers, and the home population for recruiters, exactly as
-	// Engine.resolve fills Outcome.Count; whether a bucket recruited is a
-	// property of its emit opcode, so the distinction is loop-invariant. A
-	// captured recruiter's outcome nest is its capturer's advertised nest,
-	// resolved from the actNest column (which observe folds never write, so
-	// it stays the pristine advertised set); the uncaptured and self-paired
-	// cases resolve to the ant's own slot through a conditional move — the
-	// capture pattern is noise a branch would mispredict on. The commitment
-	// census updates incrementally on the rare nest-register writes.
-	commit := ln.commit
+// observeShard is the fnObserve phase body: fold outcomes into the registers
+// and select successors over one shard's segments, one opcode dispatch per
+// occupied segment. The outcome count is the end-of-round population of the
+// outcome nest for searchers and goers, and the home population for
+// recruiters, exactly as Engine.resolve fills Outcome.Count; whether a
+// segment recruited is a property of its emit opcode, so the distinction is
+// loop-invariant. A captured recruiter's outcome nest is its capturer's
+// advertised nest, resolved from the slotNest column (which observe folds
+// never write, so it stays pristine). Commitment changes go to the shard's
+// delta slab and Final-state entries to its finals counter; every other
+// write targets the folding ant's own registers, and the only draws are the
+// noisy perception hooks on the ant's own stream.
+//
+//hh:hotpath
+//hh:draws noisy perception hooks only, from the observing ant's own stream; every ant is folded by exactly one shard
+func (ln *lane) observeShard(sh int) {
+	n, k := ln.n, ln.k
+	numStates := ln.numExec
+	shards := ln.shards
+	states := &ln.states
+	segOff := ln.segOff
+	bkt := ln.phBkt
+	state := ln.state
+	nest := ln.nest
+	actNest := ln.actNest
+	counts := ln.counts
+	count := ln.count
+	quality := ln.quality
+	antSrc := ln.antSrc
 	qual := ln.qual
 	nestT := ln.nestT
 	countT := ln.countT
 	isFinal := &ln.final
-	countHome := int32(nR)
+	countHome := ln.phCountHome
+	commit := ln.shCommit[sh*(k+1) : (sh+1)*(k+1)]
+	for j := range commit {
+		commit[j] = 0
+	}
 	finals := 0
 	for s := 0; s < numStates; s++ {
-		members := bkt[off[s]:off[s+1]]
+		members := bkt[segOff[s*shards+sh]:segOff[s*shards+sh+1]]
 		if len(members) == 0 {
 			continue
 		}
@@ -1616,14 +2267,18 @@ func (ln *lane) stepGeneral() error {
 		next0 := st.Next
 		switch st.Observe {
 		case ObserveNone:
-			// Padding call; outcome discarded. Successors are uniform.
-			for _, i32 := range members {
-				state[i32] = next0
+			// Padding call; outcome discarded. Successors are uniform, and a
+			// self-loop (the synthetic fault states, absorbing waits) writes
+			// nothing at all.
+			if next0 != uint8(s) {
+				for _, i32 := range members {
+					state[i32] = next0
+				}
 			}
 			finals += int(isFinal[next0]) * len(members)
 		case ObserveDiscovery:
 			if recruited {
-				// Capture adoptions land in the capture pass below; the
+				// Capture adoptions land in the capture pass afterwards; the
 				// uniform recruit outcome (home population, no quality)
 				// folds here.
 				for _, i32 := range members {
@@ -1670,9 +2325,14 @@ func (ln *lane) stepGeneral() error {
 			finals += int(isFinal[next0]) * len(members)
 		case ObserveCount:
 			if recruited {
-				for _, i32 := range members {
-					count[i32] = countHome
-					state[i32] = next0
+				// The converged-tail skip: a sole-state recruited count fold
+				// whose column already holds the home population (and whose
+				// state self-loops) rewrites nothing.
+				if !(ln.phCountSkip && next0 == uint8(s)) {
+					for _, i32 := range members {
+						count[i32] = countHome
+						state[i32] = next0
+					}
 				}
 			} else {
 				for _, i32 := range members {
@@ -1970,116 +2630,7 @@ func (ln *lane) stepGeneral() error {
 			}
 		}
 	}
-
-	// Capture pass: the adoption-family folds (adopt, latch, pend, the
-	// recruit-nest learn, the quorum wake and the transport submit) act only
-	// on captured ants, whose buckets above therefore folded nothing but
-	// successors. Captures are sparse, so dispatching per captured slot on
-	// the state the ant emitted from (recorded in preState — the state
-	// column already holds next round's values) touches a fraction of the
-	// colony. Fold order across captured ants is immaterial: each fold
-	// writes only its own ant's registers (commit tallies are order-free)
-	// and the docility draws come from the captured ant's own stream.
-	if nR > 0 {
-		caps := ln.capScrat[:0]
-		if ln.capLister != nil {
-			caps = ln.capLister.Captures()
-		} else {
-			capt := ln.capturedBy
-			for t := 0; t < nR; t++ {
-				if capt[t] >= 0 {
-					caps = append(caps, int32(t)) //hh:allocok grows only to a new maximum capture count; steady-state rounds reuse capScrat's capacity
-				}
-			}
-			ln.capScrat = caps[:0]
-		}
-		capt := ln.capturedBy
-		for _, t32 := range caps {
-			t := int(t32)
-			cb := int(capt[t])
-			if cb == t {
-				continue // self-pairs adopt nothing
-			}
-			i := int(rec[t])
-			outNest := actNest[rec[cb]]
-			st := &states[preState[i]]
-			switch st.Observe {
-			case ObserveDiscovery, ObserveNestLatch:
-				if outNest != nest[i] {
-					commit[nest[i]]--
-					commit[outNest]++
-					nest[i] = outNest
-				}
-			case ObserveAdopt:
-				if outNest != nest[i] {
-					commit[nest[i]]--
-					commit[outNest]++
-					nest[i] = outNest
-					quality[i] = 1
-				}
-			case ObserveAdoptZero:
-				if outNest != nest[i] {
-					commit[nest[i]]--
-					commit[outNest]++
-					nest[i] = outNest
-					quality[i] = 0
-				}
-			case ObserveAdoptPend:
-				if outNest != nest[i] {
-					commit[nest[i]]--
-					commit[outNest]++
-					nest[i] = outNest
-					state[i] = st.NextB // enter the pending chain
-					finals += int(isFinal[st.NextB]) - int(isFinal[st.Next])
-				}
-			case ObserveRecruitNest:
-				nestT[i] = outNest
-			case ObserveQuorumAdopt:
-				if outNest != nest[i] {
-					commit[nest[i]]--
-					commit[outNest]++
-					nest[i] = outNest
-				}
-				quality[i] = 1
-			case ObserveQuorumTransport:
-				// The docility draw consumes the CAPTURED ant's stream,
-				// exactly like QuorumAnt's submit check, on the precompiled
-				// fixed-point threshold.
-				if ln.docT.Draw(&antSrc[i]) {
-					if outNest != nest[i] {
-						commit[nest[i]]--
-						commit[outNest]++
-						nest[i] = outNest
-						state[i] = st.NextB // demote to canvasser of the new nest
-						finals += int(isFinal[st.NextB]) - int(isFinal[st.Next])
-					}
-					quality[i] = 1
-				}
-			}
-		}
-	}
-
-	// Track every crash-fated ant's last known candidate nest from this
-	// round's outcome — before AND after the crash fires, mirroring the
-	// scalar CrashAnt.Observe: a live wrapper records where its inner agent
-	// went, and a dead one records where recruiters dragged the corpse. The
-	// pass is O(crash victims) and reads only resolved columns (actNest for
-	// searchers/goers, the slot table for recruiters).
-	if ln.faulted {
-		lastNest := ln.lastNest
-		for _, i32 := range ln.crashAnts {
-			i := int(i32)
-			outNest := actNest[i]
-			if isRecr[i] != 0 {
-				outNest = slotNest[slotOf[i]]
-			}
-			if outNest != Home {
-				lastNest[i] = outNest
-			}
-		}
-	}
-	ln.finals = finals
-	return nil
+	ln.shFinals[sh] = int32(finals)
 }
 
 // outcome resolves ant i's outcome nest and count for the observe folds:
@@ -2148,7 +2699,7 @@ func (ln *lane) census() (NestID, bool) {
 const (
 	adoptPlain    uint8 = iota // nest move only (ObserveDiscovery)
 	adoptQualOne               // nest move, quality := 1 (ObserveAdopt)
-	adoptQualZero              // nest move, quality and qidx zeroed (ObserveAdoptZero)
+	adoptQualZero              // nest move, quality zeroed (ObserveAdoptZero)
 )
 
 // foldCaptureAdopts applies one adoption per lockstep-round ant whose
@@ -2197,8 +2748,5 @@ func (ln *lane) adoptCapture(i int, outNest NestID, mode uint8) {
 		ln.quality[i] = 1
 	case adoptQualZero:
 		ln.quality[i] = 0
-		if ln.qidx != nil {
-			ln.qidx[i] = 0
-		}
 	}
 }

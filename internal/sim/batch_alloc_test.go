@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"fmt"
 	"testing"
 
 	"github.com/gmrl/househunt/internal/rng"
@@ -135,40 +136,46 @@ func TestBatchStepAllocationFree(t *testing.T) {
 		// through the synthetic states — none of which may touch the heap.
 		{"+faults", FaultSpec{CrashFraction: 0.1, CrashWindow: 40, ByzantineFraction: 0.05, SleepFraction: 0.1, SleepWindow: 40, Salt: 9}},
 	}
-	for name, base := range allocTestPrograms() {
-		for _, fs := range specs {
-			name, prog, fs := name, base, fs
-			prog.Params.Faults = fs.spec
-			t.Run(name+fs.tag, func(t *testing.T) {
-				b, err := NewBatch(env, prog, n)
-				if err != nil {
-					t.Fatal(err)
-				}
-				ln := newLane(b)
-				if _, err := ln.runReplicate(0, 7, 300, 1, nil, nil); err != nil {
-					t.Fatalf("warm-up replicate: %v", err)
-				}
-				ln.reset(11)
-				phase := prog.Init
-				allocs := testing.AllocsPerRun(200, func() {
-					var err error
-					if ln.lockstep {
-						phase, err = ln.stepLockstep(phase)
-					} else {
-						err = ln.stepGeneral()
-					}
+	// Shard count 1 exercises the inline phase dispatch, 4 the pooled fan-out:
+	// the sharded path must be exactly as heap-silent as the sequential one
+	// (phase functions are prebound, reductions use preallocated slabs).
+	for _, shards := range []int{1, 4} {
+		for name, base := range allocTestPrograms() {
+			for _, fs := range specs {
+				name, prog, fs, shards := name, base, fs, shards
+				prog.Params.Faults = fs.spec
+				t.Run(fmt.Sprintf("%s%s/shards=%d", name, fs.tag, shards), func(t *testing.T) {
+					b, err := NewBatch(env, prog, n)
 					if err != nil {
 						t.Fatal(err)
 					}
+					ln := newLane(b, shards)
+					defer ln.close()
+					if _, err := ln.runReplicate(0, 7, 300, 1, nil, nil); err != nil {
+						t.Fatalf("warm-up replicate: %v", err)
+					}
+					ln.reset(11)
+					phase := prog.Init
+					allocs := testing.AllocsPerRun(200, func() {
+						var err error
+						if ln.lockstep {
+							phase, err = ln.stepLockstep(phase)
+						} else {
+							err = ln.stepGeneral()
+						}
+						if err != nil {
+							t.Fatal(err)
+						}
+					})
+					if allocs != 0 {
+						t.Errorf("%s: %v allocs per round on the %s path, want 0",
+							name, allocs, map[bool]string{true: "lockstep", false: "general"}[ln.lockstep])
+					}
+					if fs.spec.Enabled() && ln.lockstep {
+						t.Errorf("%s: fault lanes must force the general path", name)
+					}
 				})
-				if allocs != 0 {
-					t.Errorf("%s: %v allocs per round on the %s path, want 0",
-						name, allocs, map[bool]string{true: "lockstep", false: "general"}[ln.lockstep])
-				}
-				if fs.spec.Enabled() && ln.lockstep {
-					t.Errorf("%s: fault lanes must force the general path", name)
-				}
-			})
+			}
 		}
 	}
 }
@@ -195,7 +202,7 @@ func TestBatchStepAllocationFreeStockMatchers(t *testing.T) {
 				if err != nil {
 					t.Fatal(err)
 				}
-				ln := newLane(b)
+				ln := newLane(b, 1)
 				if _, err := ln.runReplicate(0, 7, 300, 1, nil, nil); err != nil {
 					t.Fatalf("warm-up replicate: %v", err)
 				}

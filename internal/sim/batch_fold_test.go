@@ -9,7 +9,6 @@ func newFoldLane() *lane {
 	return &lane{
 		nest:    []NestID{1, 2, 2},
 		quality: []float64{0.25, 0.5, 0.75},
-		qidx:    []uint8{3, 4, 5},
 		commit:  []int{0, 1, 2},
 		actNest: []NestID{2, 1, 2},
 	}
@@ -18,7 +17,7 @@ func newFoldLane() *lane {
 // TestAdoptCaptureModes pins the mode-dispatched adoption fold that replaced
 // the per-call-site closures: every mode moves the ant and maintains the
 // incremental census identically, and only the quality family touches the
-// quality and provenance registers.
+// quality register.
 func TestAdoptCaptureModes(t *testing.T) {
 	t.Parallel()
 
@@ -31,8 +30,8 @@ func TestAdoptCaptureModes(t *testing.T) {
 		if ln.commit[1] != 0 || ln.commit[2] != 3 {
 			t.Fatalf("census = %v, want [0 0 3]", ln.commit)
 		}
-		if ln.quality[0] != 0.25 || ln.qidx[0] != 3 {
-			t.Fatalf("plain adoption touched quality registers: q=%v qidx=%v", ln.quality[0], ln.qidx[0])
+		if ln.quality[0] != 0.25 {
+			t.Fatalf("plain adoption touched the quality register: q=%v", ln.quality[0])
 		}
 	})
 
@@ -48,9 +47,6 @@ func TestAdoptCaptureModes(t *testing.T) {
 		if ln.quality[1] != 1 {
 			t.Fatalf("quality[1] = %v, want 1 (a captured ant trusts its recruiter)", ln.quality[1])
 		}
-		if ln.qidx[1] != 4 {
-			t.Fatalf("qualOne adoption touched provenance: qidx[1] = %d", ln.qidx[1])
-		}
 	})
 
 	t.Run("qualZero", func(t *testing.T) {
@@ -59,17 +55,8 @@ func TestAdoptCaptureModes(t *testing.T) {
 		if ln.nest[2] != 1 {
 			t.Fatalf("nest[2] = %d, want 1", ln.nest[2])
 		}
-		if ln.quality[2] != 0 || ln.qidx[2] != 0 {
-			t.Fatalf("qualZero must zero quality and provenance: q=%v qidx=%d", ln.quality[2], ln.qidx[2])
-		}
-	})
-
-	t.Run("qualZeroNilQidx", func(t *testing.T) {
-		ln := newFoldLane()
-		ln.qidx = nil
-		ln.adoptCapture(2, 1, adoptQualZero)
 		if ln.quality[2] != 0 {
-			t.Fatalf("quality[2] = %v, want 0", ln.quality[2])
+			t.Fatalf("qualZero must zero quality: q=%v", ln.quality[2])
 		}
 	})
 }
@@ -103,7 +90,7 @@ func TestFoldCaptureAdoptsScan(t *testing.T) {
 	ln2.actNest = []NestID{2, 2, 2}
 	ln2.capturedBy = []int32{-1, 2, -1} // ant 1 captured by ant 2: actNest 2 == nest[1]
 	ln2.foldCaptureAdopts(adoptQualZero)
-	if ln2.nest[1] != 2 || ln2.quality[1] != 0.5 || ln2.qidx[1] != 4 {
-		t.Fatalf("same-nest capture must not fold: nest=%d q=%v qidx=%d", ln2.nest[1], ln2.quality[1], ln2.qidx[1])
+	if ln2.nest[1] != 2 || ln2.quality[1] != 0.5 {
+		t.Fatalf("same-nest capture must not fold: nest=%d q=%v", ln2.nest[1], ln2.quality[1])
 	}
 }

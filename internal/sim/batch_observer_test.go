@@ -208,7 +208,7 @@ func TestBatchObservedStepAllocationFree(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			ln := newLane(b)
+			ln := newLane(b, 1)
 			if _, err := ln.runReplicate(0, 7, 300, 1, nil, lobs); err != nil {
 				t.Fatalf("warm-up replicate: %v", err)
 			}

@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"math"
+	"strings"
 	"sync"
 	"testing"
 
@@ -259,6 +261,21 @@ func TestNewBatchRejectsBadInputs(t *testing.T) {
 	}
 	if _, err := b.Run([]uint64{1}, 0, 1); err == nil {
 		t.Error("non-positive round budget accepted")
+	}
+	// The ant-index columns are int32 (state buckets, capture indices), so a
+	// colony beyond MaxInt32 must be rejected up front with a reason naming
+	// the limit — not mis-indexed. The check must fire before any column
+	// allocation: at that size the slices themselves would be hundreds of
+	// gigabytes.
+	if _, err := NewBatch(env, simpleProgram(), math.MaxInt32+1); err == nil {
+		t.Error("colony beyond the int32 ant-index limit accepted")
+	} else if !strings.Contains(err.Error(), "int32 ant-index limit") {
+		t.Errorf("oversize-colony error %q does not name the int32 limit", err)
+	}
+	// The boundary itself is representable and must construct (lanes size
+	// their columns lazily, so constructing the Batch is cheap even here).
+	if _, err := NewBatch(env, simpleProgram(), math.MaxInt32); err != nil {
+		t.Errorf("NewBatch(n=MaxInt32): %v", err)
 	}
 }
 

@@ -1,0 +1,64 @@
+package sim
+
+import "sync"
+
+// shardPool fans one phase function out across the shards of a single lane.
+// A lane that shards its colony owns one pool for its whole lifetime: the
+// helper goroutines are spawned once (one per shard beyond the caller's own)
+// and parked on buffered wake channels between phases, so dispatching a phase
+// costs channel operations only — no goroutine creation, no closure
+// allocation, nothing on the per-round heap. The phase functions themselves
+// are bound once at lane construction (see newLane) and selected by
+// assignment, keeping run alloc-free.
+//
+// Memory ordering: the fn store happens before every wake send, each helper's
+// work happens before its wg.Done, and run returns only after wg.Wait — so
+// phases are totally ordered across all shards and the lane's columns need no
+// further synchronization (each shard touches disjoint ranges within a phase).
+type shardPool struct {
+	fn   func(shard int)
+	wake []chan struct{}
+	wg   sync.WaitGroup
+}
+
+// newShardPool spawns shards-1 helper goroutines (shard 0 runs on the
+// caller). Returns nil when shards < 2 — callers treat a nil pool as the
+// run-inline case.
+func newShardPool(shards int) *shardPool {
+	if shards < 2 {
+		return nil
+	}
+	p := &shardPool{wake: make([]chan struct{}, shards-1)}
+	for h := range p.wake {
+		c := make(chan struct{}, 1)
+		p.wake[h] = c
+		go func(shard int) {
+			for range c {
+				p.fn(shard)
+				p.wg.Done()
+			}
+		}(h + 1)
+	}
+	return p
+}
+
+// run executes fn(shard) for every shard, shard 0 on the calling goroutine,
+// and returns when all shards have finished.
+//
+//hh:hotpath
+func (p *shardPool) run(fn func(shard int)) {
+	p.fn = fn
+	p.wg.Add(len(p.wake))
+	for _, c := range p.wake {
+		c <- struct{}{}
+	}
+	fn(0)
+	p.wg.Wait()
+}
+
+// close parks the helpers permanently. The pool must be idle.
+func (p *shardPool) close() {
+	for _, c := range p.wake {
+		close(c)
+	}
+}
