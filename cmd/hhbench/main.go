@@ -1,5 +1,5 @@
 // Command hhbench regenerates the experiment tables of EXPERIMENTS.md: one
-// experiment per lemma/theorem/extension claim of the paper (E1-E24).
+// experiment per lemma/theorem/extension claim of the paper (E1-E27).
 //
 // Examples:
 //
@@ -45,7 +45,7 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("hhbench", flag.ContinueOnError)
 	var (
-		exp        = fs.String("exp", "all", "experiment id (E1..E24) or 'all'")
+		exp        = fs.String("exp", "all", "experiment id (E1..E27) or 'all'")
 		scale      = fs.String("scale", "small", "experiment sizing: small or full")
 		list       = fs.Bool("list", false, "list experiment ids and exit")
 		engine     = fs.String("engine", "auto", "replicate engine: auto (batch where eligible) or scalar")
@@ -228,7 +228,8 @@ func (c batchBenchCell) name() string { return c.algo.Name() + c.tag }
 // path with carry-aware matching) and the noisy-perception model (lockstep
 // with estimator hooks) — plus a faulted cell timing the crash lanes (the
 // scalar side runs the wrapped agents, the batch side the same spec compiled
-// into the program).
+// into the program) and an adaptive-adversary cell timing the per-round
+// schedule pass (census snapshot + mutation application every round).
 func batchBenchCells() []batchBenchCell {
 	return []batchBenchCell{
 		{algo: algo.Simple{}},
@@ -239,6 +240,9 @@ func batchBenchCells() []batchBenchCell {
 		{algo: algo.Quorum{}},
 		{algo: algo.Noisy{Counter: nest.RelativeNoiseCounter{Sigma: 0.1}}},
 		{algo: algo.Simple{}, tag: "+crash10", wrap: faults.Spec{CrashFraction: 0.1, CrashWindow: 64, Salt: 6001}},
+		{algo: algo.Simple{}, tag: "+targeted", wrap: faults.Spec{Salt: 6002, NewSchedule: func() faults.Schedule {
+			return &faults.TargetedCrash{PerRound: 1, Budget: 10}
+		}}},
 	}
 }
 

@@ -16,7 +16,7 @@ func TestRunList(t *testing.T) {
 		t.Fatal(err)
 	}
 	ids := strings.Fields(out.String())
-	if len(ids) != 24 || ids[0] != "E1" {
+	if len(ids) != 27 || ids[0] != "E1" {
 		t.Fatalf("listed ids = %v", ids)
 	}
 }
@@ -81,8 +81,8 @@ func TestBatchBenchJSONRecords(t *testing.T) {
 		}
 		recs = append(recs, rec)
 	}
-	if len(recs) != 17 {
-		t.Fatalf("got %d BENCH records, want 17:\n%+v", len(recs), recs)
+	if len(recs) != 19 {
+		t.Fatalf("got %d BENCH records, want 19:\n%+v", len(recs), recs)
 	}
 	wantCells := []struct{ algorithm, engine string }{
 		{"simple", "scalar"}, {"simple", "batch"}, {"simple", "batch+obs"},
@@ -93,6 +93,7 @@ func TestBatchBenchJSONRecords(t *testing.T) {
 		{"quorum(M=1.5)", "scalar"}, {"quorum(M=1.5)", "batch"},
 		{"noisy[relative(σ=0.1),exact]", "scalar"}, {"noisy[relative(σ=0.1),exact]", "batch"},
 		{"simple+crash10", "scalar"}, {"simple+crash10", "batch"},
+		{"simple+targeted", "scalar"}, {"simple+targeted", "batch"},
 	}
 	for i, rec := range recs {
 		if rec.Type != "BENCH" {

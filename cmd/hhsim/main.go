@@ -10,6 +10,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -18,7 +19,15 @@ import (
 	"strings"
 
 	"github.com/gmrl/househunt"
+	"github.com/gmrl/househunt/internal/faults"
 )
+
+// errInvalidFaultFlags names the flag-validation failure for fault plans: any
+// -crash/-byz/-sleep/-crash-window/-sleep-window combination the fault spec
+// itself would reject (negative fractions, fractions summing past 1, negative
+// windows) fails here, at flag-parse time, instead of surfacing later as an
+// engine construction error.
+var errInvalidFaultFlags = errors.New("invalid fault flags")
 
 func main() {
 	if err := run(os.Args[1:], os.Stdout); err != nil {
@@ -43,12 +52,25 @@ func run(args []string, out io.Writer) error {
 		countNoise = fs.Float64("count-noise", 0, "unbiased relative count noise sigma (forces simple)")
 		flipP      = fs.Float64("flip", 0, "assessment flip probability (forces simple)")
 		crash      = fs.Float64("crash", 0, "fraction of ants that crash")
+		crashWin   = fs.Int("crash-window", 64, "last round by which scheduled crashes fire")
 		byz        = fs.Float64("byz", 0, "fraction of Byzantine ants")
 		sleep      = fs.Float64("sleep", 0, "fraction of ants starting as an idle reserve")
+		sleepWin   = fs.Int("sleep-window", 64, "last round by which the idle reserve wakes")
 		jitter     = fs.Float64("jitter", 0, "per-round hold probability (asynchrony)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	// Validate the fault plan exactly as the engines will: the assembled spec
+	// must pass the same Validate both lowering paths run, so a bad flag
+	// combination dies here with the named error instead of deep in setup.
+	faultPlan := faults.Spec{
+		CrashFraction: *crash, CrashWindow: *crashWin,
+		ByzantineFraction: *byz,
+		SleepFraction:     *sleep, SleepWindow: *sleepWin,
+	}
+	if err := faultPlan.Validate(); err != nil {
+		return fmt.Errorf("%w: %v", errInvalidFaultFlags, err)
 	}
 
 	opts := []househunt.Option{
@@ -79,13 +101,13 @@ func run(args []string, out io.Writer) error {
 		opts = append(opts, househunt.WithAssessmentFlips(*flipP))
 	}
 	if *crash > 0 {
-		opts = append(opts, househunt.WithCrashFaults(*crash, 64))
+		opts = append(opts, househunt.WithCrashFaults(*crash, *crashWin))
 	}
 	if *byz > 0 {
 		opts = append(opts, househunt.WithByzantineAnts(*byz))
 	}
 	if *sleep > 0 {
-		opts = append(opts, househunt.WithIdleAnts(*sleep, 64))
+		opts = append(opts, househunt.WithIdleAnts(*sleep, *sleepWin))
 	}
 	if *jitter > 0 {
 		opts = append(opts, househunt.WithJitter(*jitter, 2))

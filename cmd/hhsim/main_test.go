@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"errors"
 	"strings"
 	"testing"
 )
@@ -52,6 +53,41 @@ func TestRunFaultFlags(t *testing.T) {
 	}, &out)
 	if err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestRunRejectsInvalidFaultFlags pins flag-parse-time fault validation: any
+// fraction/window combination the fault spec rejects must fail fast with the
+// named errInvalidFaultFlags, and boundary-legal combinations (fractions
+// summing to exactly 1, a window of exactly 1) must sail through.
+func TestRunRejectsInvalidFaultFlags(t *testing.T) {
+	invalid := [][]string{
+		{"-crash", "-0.1"},
+		{"-byz", "-1"},
+		{"-sleep", "-0.5"},
+		{"-crash", "0.6", "-byz", "0.6"},
+		{"-crash", "0.5", "-byz", "0.3", "-sleep", "0.3"},
+		{"-crash", "0.1", "-crash-window", "-1"},
+		{"-sleep", "0.1", "-sleep-window", "-64"},
+	}
+	for _, args := range invalid {
+		var out bytes.Buffer
+		err := run(append([]string{"-n", "32", "-k", "2", "-good", "1"}, args...), &out)
+		if !errors.Is(err, errInvalidFaultFlags) {
+			t.Errorf("%v: err = %v, want errInvalidFaultFlags", args, err)
+		}
+	}
+	valid := [][]string{
+		{"-crash", "0.5", "-byz", "0.25", "-sleep", "0.25", "-sleep-window", "8"}, // fractions sum to exactly 1
+		{"-crash", "0.1", "-crash-window", "1"},                                   // single-round window
+		{"-sleep", "0.1", "-sleep-window", "1"},
+	}
+	for _, args := range valid {
+		var out bytes.Buffer
+		err := run(append([]string{"-n", "32", "-k", "2", "-good", "1", "-rounds", "50"}, args...), &out)
+		if errors.Is(err, errInvalidFaultFlags) {
+			t.Errorf("%v: boundary-legal fault flags rejected: %v", args, err)
+		}
 	}
 }
 

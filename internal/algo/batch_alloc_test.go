@@ -25,6 +25,12 @@ func TestBatchRunAllocationsRoundIndependent(t *testing.T) {
 	}{
 		{"", sim.FaultSpec{}},
 		{"+faults", sim.FaultSpec{CrashFraction: 0.1, CrashWindow: 24, ByzantineFraction: 0.05, SleepFraction: 0.1, SleepWindow: 24, Salt: 9}},
+		// A live adaptive schedule on top of static lanes: the mutation pass
+		// (snapshot view, schedule step, crash/restart/relocate application)
+		// must stay allocation-free per round too — the ops buffer amortizes,
+		// the view is a pointer-shaped conversion, restarts re-seed in place.
+		{"+sched", sim.FaultSpec{CrashFraction: 0.1, CrashWindow: 24, ByzantineFraction: 0.05, Salt: 9,
+			NewSchedule: func() sim.FaultSchedule { return stressSchedule{} }}},
 	}
 	for _, a := range compiledInventory() {
 		for _, fs := range specs {

@@ -62,6 +62,27 @@ type diffCase struct {
 	// and the batch trace attaches the lowered spec to the program's
 	// parameters — the two lowerings the spec pins bit-identical.
 	faults faults.Spec
+	// sched, when non-nil, attaches an adaptive adversary on top of the
+	// static spec: the factory lands on Spec.NewSchedule for both engines,
+	// and a Rebuild closure over the case's builder is supplied so
+	// restart-emitting schedules work on the scalar side too (the batch lane
+	// revives ants from its own columns).
+	sched func() faults.Schedule
+}
+
+// spec materializes the case's effective fault spec: the static fractions
+// plus, when the case carries an adaptive schedule, the factory and the
+// scalar-side Rebuild closure.
+func (c diffCase) spec() faults.Spec {
+	s := c.faults
+	if c.sched != nil {
+		s.NewSchedule = c.sched
+		a, n, env := c.algo, c.n, c.env
+		s.Rebuild = func(seed uint64) ([]sim.Agent, error) {
+			return a.Build(n, env, rng.New(seed).Split(2))
+		}
+	}
+	return s
 }
 
 // stockMatcher builds a fresh stock matcher instance by name.
@@ -74,6 +95,43 @@ func stockMatcher(name string) sim.Matcher {
 	default:
 		return &sim.AlgorithmOneMatcher{}
 	}
+}
+
+// stressSchedule is the harness's kitchen-sink adversary: it exercises every
+// FaultOp kind and every ColonyView accessor in one schedule, drawing one
+// adversary-stream Bernoulli per eligible ant so the two engines' stream
+// consumption is stressed as hard as their snapshot semantics. Crashes gate
+// on the colony staying half alive (reads Alive), restarts are frequent
+// (recovery churn), and every seventh round the Byzantine ants re-aim at the
+// highest-numbered bad nest (reads Round/K/Quality).
+type stressSchedule struct{}
+
+func (stressSchedule) Name() string { return "stress" }
+
+func (stressSchedule) Step(v sim.ColonyView, adv *rng.Source, ops []sim.FaultOp) []sim.FaultOp {
+	n := v.N()
+	for i := 0; i < n; i++ {
+		switch v.Status(i) {
+		case sim.AntLive:
+			if v.Alive() > n/2 && v.Committed(i) != sim.Home && adv.Bernoulli(0.05) {
+				ops = append(ops, sim.FaultOp{Kind: sim.FaultCrash, Ant: int32(i)})
+			}
+		case sim.AntCrashed:
+			if adv.Bernoulli(0.25) {
+				ops = append(ops, sim.FaultOp{Kind: sim.FaultRestart, Ant: int32(i)})
+			}
+		case sim.AntByzantine:
+			if v.Round()%7 == 0 {
+				for nest := v.K(); nest >= 1; nest-- {
+					if v.Quality(sim.NestID(nest)) == 0 {
+						ops = append(ops, sim.FaultOp{Kind: sim.FaultRelocate, Ant: int32(i), Nest: sim.NestID(nest)})
+						break
+					}
+				}
+			}
+		}
+	}
+	return ops
 }
 
 // roundRec is one round's end-of-round populations (index 0 = home) and
@@ -140,8 +198,8 @@ func scalarTrace(t *testing.T, c diffCase) [][]roundRec {
 		if err != nil {
 			t.Fatalf("%s seed %d: build: %v", c.name, seed, err)
 		}
-		if c.faults.Enabled() {
-			if agents, err = c.faults.WrapAgents(seed, agents); err != nil {
+		if spec := c.spec(); spec.Enabled() {
+			if agents, err = spec.WrapAgents(seed, agents); err != nil {
 				t.Fatalf("%s seed %d: wrap: %v", c.name, seed, err)
 			}
 		}
@@ -171,7 +229,7 @@ func scalarTrace(t *testing.T, c diffCase) [][]roundRec {
 // maxRounds rounds so traces line up with scalarTrace.
 func batchTrace(t *testing.T, c diffCase, prog sim.Program) [][]roundRec {
 	t.Helper()
-	if fs, on := c.faults.BatchFaults(); on {
+	if fs, on := c.spec().BatchFaults(); on {
 		prog.Params.Faults = fs
 	}
 	var mu sync.Mutex
@@ -238,11 +296,11 @@ func assertRunnerEquivalence(t *testing.T, c diffCase) {
 		name := c.matcher
 		cfg.NewMatcher = func() sim.Matcher { return stockMatcher(name) }
 	}
-	if c.faults.Enabled() {
+	if spec := c.spec(); spec.Enabled() {
 		// The spec rides on cfg.Wrap for BOTH runners: core.Run applies the
 		// scalar wrappers, core.RunBatch recognizes the BatchFaultWrapper and
 		// compiles the fault lanes — the end-to-end routing this layer pins.
-		cfg.Wrap = c.faults
+		cfg.Wrap = spec
 	}
 	batched, ok, err := core.RunBatch(c.algo, cfg, c.seeds)
 	if err != nil {
@@ -408,6 +466,30 @@ func randomDiffCases(metaSeed uint64, count int) []diffCase {
 				Salt:              src.Uint64(),
 			}
 		}
+		// A quarter of the cases additionally run an adaptive schedule drawn
+		// from the stock set plus the stress adversary, with randomized
+		// parameters and (half the time) a non-default adversary-stream salt.
+		var sched func() faults.Schedule
+		if src.Bernoulli(0.25) {
+			switch src.Intn(4) {
+			case 0:
+				per, budget := 1+src.Intn(3), 4+src.Intn(24)
+				sched = func() faults.Schedule { return &faults.TargetedCrash{PerRound: per, Budget: budget} }
+			case 1:
+				sched = func() faults.Schedule { return &faults.AdaptiveLurer{} }
+				if spec.ByzantineFraction == 0 {
+					spec.ByzantineFraction = 0.05 + 0.1*src.Float64()
+				}
+			case 2:
+				p, mean := 0.01+0.05*src.Float64(), 1+11*src.Float64()
+				sched = func() faults.Schedule { return faults.Churn{CrashProb: p, MeanDowntime: mean} }
+			case 3:
+				sched = func() faults.Schedule { return stressSchedule{} }
+			}
+			if src.Bernoulli(0.5) {
+				spec.ScheduleSalt = 1 + src.Uint64()%1000
+			}
+		}
 		cases = append(cases, diffCase{
 			name:      fmt.Sprintf("case%02d/%s%s/n%d/k%d", i, a.Name(), matcher, n, k),
 			algo:      a,
@@ -417,6 +499,7 @@ func randomDiffCases(metaSeed uint64, count int) []diffCase {
 			maxRounds: 40 + src.Intn(120),
 			matcher:   matcher,
 			faults:    spec,
+			sched:     sched,
 		})
 	}
 	return cases
@@ -599,6 +682,63 @@ func pinnedDiffCases() []diffCase {
 	addSh(Simple{}, 4, 96, envSparse, 240, mixed)
 	addSh(Optimal{}, 3, 64, envBinary, 200, byz)
 	addSh(Spreader{Seeds: 8}, 4, 96, envLone, 200, faults.Spec{})
+	// Adaptive adversary cells: the scalar schedule controller (engine round
+	// hook) against the batch lane's mutation pass, over every stock schedule
+	// and the kitchen-sink stress schedule, composed with static fault lanes,
+	// graded qualities, a matcher ablation, sharding, and a non-default
+	// ScheduleSalt. Churn and stress cells exercise crash-recovery (restarts
+	// re-enter the algorithm at logical round 1 on both engines); lurer cells
+	// need a Byzantine population to relocate.
+	addA := func(a core.Algorithm, tag string, spec faults.Spec, sched func() faults.Schedule, sh, n int, env sim.Environment, maxRounds int) {
+		cases = append(cases, diffCase{
+			name:      fmt.Sprintf("%s+sched-%s/n%d/k%d", a.Name(), tag, n, env.K()),
+			algo:      a,
+			n:         n,
+			env:       env,
+			seeds:     seeds,
+			maxRounds: maxRounds,
+			shards:    sh,
+			faults:    spec,
+			sched:     sched,
+		})
+	}
+	targeted := func() faults.Schedule { return &faults.TargetedCrash{PerRound: 1, Budget: 10} }
+	lurer := func() faults.Schedule { return &faults.AdaptiveLurer{} }
+	churn := func() faults.Schedule { return faults.Churn{CrashProb: 0.02, MeanDowntime: 6} }
+	stress := func() faults.Schedule { return stressSchedule{} }
+	byzOnly := faults.Spec{ByzantineFraction: 0.1, Salt: 15}
+	for _, a := range []core.Algorithm{Simple{}, SimplePFSM{}, Optimal{}, Adaptive{},
+		QualityAware{}, ApproxN{Delta: 0.3}, Quorum{}, Noisy{Counter: nest.RelativeNoiseCounter{Sigma: 0.2}}} {
+		addA(a, "targeted", faults.Spec{Salt: 15}, targeted, 0, 64, envBinary, 200)
+		addA(a, "churn", faults.Spec{Salt: 15}, churn, 0, 64, envBinary, 200)
+		addA(a, "lurer", byzOnly, lurer, 0, 64, envBinary, 200)
+		addA(a, "stress", mixed, stress, 0, 96, envSparse, 240)
+	}
+	// Graded qualities, the spreading process, a salted adversary stream, a
+	// matcher-ablation composition, and sharded adaptive lanes.
+	addA(QualityAware{}, "stress", mixed, stress, 0, 64, envGraded, 240)
+	addA(Spreader{}, "churn", faults.Spec{Salt: 15}, churn, 0, 64, envSingle, 200)
+	addA(Spreader{Seeds: 8}, "lurer", byzOnly, lurer, 0, 96, envLone, 200)
+	addA(Simple{}, "salted", faults.Spec{Salt: 15, ScheduleSalt: 99}, stress, 0, 64, envBinary, 200)
+	addA(Simple{}, "sharded-stress", mixed, stress, 4, 96, envBinary, 240)
+	addA(Optimal{}, "sharded-churn", faults.Spec{Salt: 15}, churn, 3, 64, envBinary, 200)
+	cases = append(cases, diffCase{
+		name: "simple+simultaneous+sched-targeted/n64", algo: Simple{}, n: 64, env: envBinary,
+		seeds: seeds, maxRounds: 200, matcher: "simultaneous",
+		faults: faults.Spec{Salt: 15}, sched: targeted,
+	})
+	// The satellite edge cells: a window of exactly 1 (every static event
+	// lands on its lane's single eligible round) and fractions summing to
+	// exactly 1 (no non-faulty ant in the colony), with and without a
+	// schedule on top.
+	edgeWindow := faults.Spec{CrashFraction: 0.2, CrashWindow: 1, SleepFraction: 0.2, SleepWindow: 1, Salt: 16}
+	edgeSum := faults.Spec{CrashFraction: 0.5, CrashWindow: 12, ByzantineFraction: 0.25, SleepFraction: 0.25, SleepWindow: 12, Salt: 17}
+	addF(Simple{}, "window1", edgeWindow, 64, envBinary, 200)
+	addF(Optimal{}, "window1", edgeWindow, 64, envBinary, 160)
+	addF(Simple{}, "sum1", edgeSum, 64, envBinary, 200)
+	addF(Quorum{}, "sum1", edgeSum, 64, envBinary, 240)
+	addA(Simple{}, "window1-churn", edgeWindow, churn, 0, 64, envBinary, 200)
+	addA(Simple{}, "sum1-stress", edgeSum, stress, 0, 64, envBinary, 200)
 	return cases
 }
 
@@ -948,6 +1088,10 @@ func TestBatchShardInvariance(t *testing.T) {
 		{name: "optimal", algo: Optimal{}, n: 96, env: envBinary, seeds: []uint64{1, 7}, maxRounds: 160},
 		{name: "quorum", algo: Quorum{}, n: 96, env: envBinary, seeds: []uint64{1, 7}, maxRounds: 200},
 		{name: "simple+faults", algo: Simple{}, n: 96, env: envBinary, seeds: []uint64{1, 7}, maxRounds: 200, faults: mixed},
+		{name: "simple+sched", algo: Simple{}, n: 96, env: envBinary, seeds: []uint64{1, 7}, maxRounds: 200, faults: mixed,
+			sched: func() faults.Schedule { return stressSchedule{} }},
+		{name: "optimal+sched", algo: Optimal{}, n: 97, env: envBinary, seeds: []uint64{1, 7}, maxRounds: 160,
+			sched: func() faults.Schedule { return faults.Churn{CrashProb: 0.02, MeanDowntime: 6} }},
 	}
 	for _, c := range cases {
 		c := c
@@ -992,6 +1136,29 @@ func TestBatchWorkerInvariance(t *testing.T) {
 	} {
 		if got := run(wc.workers, wc.shards); !reflect.DeepEqual(got, want) {
 			t.Errorf("workers=%d shards=%d diverged:\ngot  %+v\nwant %+v", wc.workers, wc.shards, got, want)
+		}
+	}
+	// Adaptive-fault lanes under the same sweep: each lane steps its own
+	// schedule instance on its own adversary stream sequentially, so worker
+	// and shard fan-out must not perturb the mutations either.
+	runSched := func(workers, shards int) []core.Result {
+		t.Helper()
+		cfg := core.RunConfig{N: 96, Env: env, MaxRounds: 400, StabilityWindow: 2,
+			BatchWorkers: workers, BatchShards: shards}
+		cfg.Wrap = faults.Spec{ByzantineFraction: 0.1, Salt: 15,
+			NewSchedule: func() faults.Schedule { return stressSchedule{} }}
+		res, ok, err := core.RunBatch(Simple{}, cfg, seeds)
+		if err != nil || !ok {
+			t.Fatalf("RunBatch+sched(workers=%d, shards=%d): ok=%v err=%v", workers, shards, ok, err)
+		}
+		return res
+	}
+	wantSched := runSched(1, 1)
+	for _, wc := range []struct{ workers, shards int }{
+		{1, 4}, {4, 0}, {8, 3},
+	} {
+		if got := runSched(wc.workers, wc.shards); !reflect.DeepEqual(got, wantSched) {
+			t.Errorf("sched workers=%d shards=%d diverged:\ngot  %+v\nwant %+v", wc.workers, wc.shards, got, wantSched)
 		}
 	}
 }

@@ -221,3 +221,60 @@ func FuzzBatchFaultEquivalence(f *testing.F) {
 		assertTraceEquivalence(t, c)
 	})
 }
+
+// fuzzSchedule decodes an adaptive adversary from a raw fuzz word: the stock
+// schedules with fuzzed parameters plus the kitchen-sink stress adversary
+// (every op kind, per-ant adversary-stream draws). Total, like the other
+// decoders.
+func fuzzSchedule(schedRaw uint16) (func() faults.Schedule, string) {
+	switch schedRaw % 4 {
+	case 0:
+		per, budget := 1+int((schedRaw/4)%3), 2+int((schedRaw/16)%30)
+		return func() faults.Schedule { return &faults.TargetedCrash{PerRound: per, Budget: budget} }, "targeted"
+	case 1:
+		return func() faults.Schedule { return &faults.AdaptiveLurer{} }, "lurer"
+	case 2:
+		p := 0.01 + float64((schedRaw/4)%50)/500
+		mean := 1 + float64((schedRaw/256)%12)
+		return func() faults.Schedule { return faults.Churn{CrashProb: p, MeanDowntime: mean} }, "churn"
+	default:
+		return func() faults.Schedule { return stressSchedule{} }, "stress"
+	}
+}
+
+// FuzzBatchAdaptiveFaultEquivalence fuzzes the adaptive fault-scheduling
+// subsystem end to end: the decoded case runs with a static fault plan AND an
+// adaptive schedule on both engines (the scalar schedule controller driven
+// from the engine's round hook against the batch lane's mutation pass), and
+// any divergence in per-round populations or commitments is a bug — in the
+// snapshot semantics, the adversary-stream consumption, or the
+// crash-recovery re-entry. The corpus covers each stock schedule, the stress
+// adversary (every op kind), a recovery-heavy churn cell (one-round mean
+// downtime), a non-default adversary salt, and the 2^16 ceiling-boundary
+// colony.
+func FuzzBatchAdaptiveFaultEquivalence(f *testing.F) {
+	f.Add(uint64(3), uint16(0), uint16(40), uint16(1), uint16(1), uint16(0), uint16(2), uint16(16))       // simple + crash + targeted decapitation
+	f.Add(uint64(5), uint16(2), uint16(48), uint16(3), uint16(5), uint16(0), uint16(8), uint16(5))        // optimal + byzantine + adaptive lurer
+	f.Add(uint64(7), uint16(7), uint16(40), uint16(1), uint16(3), uint16(4), uint16(149), uint16(36))     // quorum + mixed faults + targeted
+	f.Add(uint64(11), uint16(4), uint16(36), uint16(2), uint16(3), uint16(13), uint16(32), uint16(102))   // adaptive + sleep + recovery-heavy churn (mean downtime 1)
+	f.Add(uint64(13), uint16(8), uint16(44), uint16(2), uint16(5), uint16(13), uint16(54), uint16(3))     // noisy + mixed + stress (all op kinds)
+	f.Add(uint64(17), uint16(5), uint16(50), uint16(3), uint16(9), uint16(7), uint16(214), uint16(1))     // quality-aware, graded + lurer
+	f.Add(uint64(19), uint16(10), uint16(36), uint16(2), uint16(3), uint16(0), uint16(1), uint16(0x8003)) // simple + simultaneous + stress, salted adversary stream
+	f.Add(uint64(23), uint16(9), uint16(40), uint16(2), uint16(0), uint16(3), uint16(18), uint16(406))    // spreader + sleep + churn
+	f.Add(uint64(29), uint16(0), uint16(0x8006), uint16(1), uint16(1), uint16(0), uint16(2), uint16(102)) // simple + crash + churn at n=65536, the ceiling cell
+	f.Fuzz(func(t *testing.T, seed uint64, algoPick, nRaw, kRaw, qualBits, param, faultRaw, schedRaw uint16) {
+		c := fuzzDiffCase(seed, algoPick, nRaw, kRaw, qualBits, param)
+		c.faults = fuzzFaultSpec(faultRaw)
+		sched, tag := fuzzSchedule(schedRaw)
+		if tag == "lurer" && c.faults.ByzantineFraction == 0 {
+			// A lurer schedule is a no-op without Byzantine ants to re-aim.
+			c.faults.ByzantineFraction = 0.1
+		}
+		if schedRaw&0x8000 != 0 {
+			c.faults.ScheduleSalt = uint64(schedRaw)
+		}
+		c.sched = sched
+		c.name += "+sched-" + tag
+		assertTraceEquivalence(t, c)
+	})
+}

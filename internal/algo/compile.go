@@ -52,6 +52,12 @@ import (
 //	(nil)                    batch      no adversary
 //	faults.Spec              batch      crash/Byzantine/sleep lanes; forces the
 //	                                    general path; program capped at 252 states
+//	faults.Spec+NewSchedule  batch      adaptive schedules: per-round census
+//	                                    snapshot → crash/restart/relocate ops,
+//	                                    dedicated adversary stream
+//	                                    (EffectiveScheduleSalt); restarted ants
+//	                                    re-enter at round 1 on pristine per-ant
+//	                                    streams
 //	core.WrapFunc / custom   scalar     reason: core.ReasonWrapperScalarOnly
 //
 // Matcher coverage (cfg.NewMatcher × algorithm → engine). The batch engine
@@ -69,9 +75,10 @@ import (
 //	custom implementations  scalar     reason names the type and the stock models
 //
 // Every compiled row is pinned round-for-round bit-identical to its scalar
-// agents — for every stock matcher, with and without a fault spec — by the
-// randomized cross-engine differential harness in batch_equiv_test.go and the
-// FuzzBatchEquivalence / FuzzBatchFaultEquivalence fuzz targets.
+// agents — for every stock matcher, with and without a fault spec, static or
+// adaptive — by the randomized cross-engine differential harness in
+// batch_equiv_test.go and the FuzzBatchEquivalence / FuzzBatchFaultEquivalence
+// / FuzzBatchAdaptiveFaultEquivalence fuzz targets.
 //
 // Scaling contract (n × workers → engine). Compilation is colony-size
 // independent up to the engine's int32 ant-index limit: the recruit draws

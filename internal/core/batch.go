@@ -21,7 +21,11 @@ type BatchCompilable interface {
 // compiles such configs instead of declining cfg.Wrap; any other wrapper is
 // an arbitrary per-agent transformation and stays scalar. The boolean mirrors
 // Enabled(): a disabled spec wraps as the identity and batches as a plain
-// (fault-free) program.
+// (fault-free) program. Adaptive schedules ride through the same lowering —
+// the lowered sim.FaultSpec carries NewSchedule/ScheduleSalt, and the batch
+// engine runs the schedule against its own per-round census snapshot with a
+// dedicated adversary stream, so scheduled runs stay batch-eligible and
+// bit-identical to the scalar path.
 type BatchFaultWrapper interface {
 	AgentWrapper
 	BatchFaults() (sim.FaultSpec, bool)

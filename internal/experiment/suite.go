@@ -73,6 +73,7 @@ var suite = []struct {
 	{"E13", runE13}, {"E14", runE14}, {"E15", runE15}, {"E16", runE16},
 	{"E17", runE17}, {"E18", runE18}, {"E19", runE19}, {"E20", runE20},
 	{"E21", runE21}, {"E22", runE22}, {"E23", runE23}, {"E24", runE24},
+	{"E25", runE25}, {"E26", runE26}, {"E27", runE27},
 }
 
 // IDs returns the experiment identifiers in canonical order.
@@ -1162,5 +1163,171 @@ func runE24(scale Scale) (Report, error) {
 	rep.Tables = append(rep.Tables, tb.String())
 	rep.Findings = append(rep.Findings,
 		fmt.Sprintf("wake window %d rounds: solved faulted runs never finish before ~%d rounds, the reserve's last wake", window, window))
+	return rep, nil
+}
+
+// --- E25: adaptive adversary — targeted decapitation vs crash budget ---------------
+
+func runE25(scale Scale) (Report, error) {
+	n := pick(scale, 256, 1024)
+	reps := pick(scale, 8, 24)
+	rep := Report{
+		ID:    "E25",
+		Title: "Targeted decapitation vs crash budget (adaptive adversary)",
+		Claim: "an adaptive adversary that watches the commitment census and crashes ants committed to the leading nest each round is strictly harder than the same crash budget spent obliviously — yet a bounded budget still only delays convergence, it cannot prevent it",
+		Pass:  true,
+	}
+	env, err := workload.Binary(4, 2)
+	if err != nil {
+		return Report{}, err
+	}
+	tb := stats.NewTable("", "budget/n", "adversary", "successRate", "meanRounds", "p95Rounds")
+	for _, frac := range []float64{0, 0.05, 0.1, 0.2} {
+		budget := int(frac * float64(n))
+		for _, adaptive := range []bool{false, true} {
+			if frac == 0 && adaptive {
+				continue // a zero budget has no adaptive variant
+			}
+			cfg := core.RunConfig{N: n, Env: env, MaxRounds: 4000}
+			label := "none"
+			if budget > 0 {
+				if adaptive {
+					// The schedule observes every end-of-round census and
+					// decapitates the front-runner, one ant per round.
+					b := budget
+					cfg.Wrap = faults.Spec{Salt: 5004, NewSchedule: func() faults.Schedule {
+						return &faults.TargetedCrash{PerRound: 1, Budget: b}
+					}}
+					label = "targeted"
+				} else {
+					// The oblivious control: the same expected number of ants
+					// crash at stream-drawn rounds, blind to the census.
+					cfg.Wrap = faults.Spec{CrashFraction: frac, CrashWindow: 50, Salt: 5004}
+					label = "oblivious"
+				}
+			}
+			pt, err := MeasureConvergence(algo.Simple{}, cfg, reps, fmt.Sprintf("E25-%.2f-%s", frac, label))
+			if err != nil {
+				return Report{}, err
+			}
+			// A bounded budget must not break convergence: once the budget is
+			// spent the adversary is inert and the survivors finish the hunt.
+			if frac <= 0.2 && pt.SuccessRate < 0.75 {
+				rep.Pass = false
+			}
+			tb.AddRow(fmt.Sprintf("%.2f", frac), label, fmt.Sprintf("%.3f", pt.SuccessRate),
+				fmt.Sprintf("%.1f", pt.Rounds.Mean), fmt.Sprintf("%.1f", pt.Rounds.P95))
+		}
+	}
+	rep.Tables = append(rep.Tables, tb.String())
+	rep.Findings = append(rep.Findings,
+		"the targeted schedule repeatedly beheads the emerging consensus, so equal budgets cost more rounds than oblivious crashes — but exhaustion of the budget always lets the colony re-converge",
+		"every adaptive cell runs on the batch engine's mutation pass (the schedule compiles with the program)")
+	return rep, nil
+}
+
+// --- E26: adaptive adversary — census-chasing lurers vs static lurers --------------
+
+func runE26(scale Scale) (Report, error) {
+	n := pick(scale, 256, 1024)
+	reps := pick(scale, 8, 24)
+	rep := Report{
+		ID:    "E26",
+		Title: "Census-chasing lurers vs static lurers (adaptive relocation)",
+		Claim: "lurers that re-aim at whichever bad nest currently holds the most committed ants concentrate the colony's confusion on one site; a small honest majority still selects the best nest, as in the static §6 case",
+		Pass:  true,
+	}
+	// Graded qualities with TWO zero-quality nests: static lurers scatter
+	// across whichever bad nest each found first, adaptive lurers coordinate.
+	env := sim.MustEnvironment([]float64{0.2, 0.9, 0, 0})
+	best := 0.9
+	tb := stats.NewTable("", "byzFrac", "adversary", "successRate", "meanWinnerQ", "minWinnerQ")
+	for _, byz := range []float64{0, 0.01, 0.02, 0.05} {
+		for _, adaptive := range []bool{false, true} {
+			if byz == 0 && adaptive {
+				continue
+			}
+			cfg := core.RunConfig{N: n, Env: env, MaxRounds: 4000}
+			label := "none"
+			if byz > 0 {
+				spec := faults.Spec{ByzantineFraction: byz, Salt: 5005}
+				label = "static"
+				if adaptive {
+					spec.NewSchedule = func() faults.Schedule { return &faults.AdaptiveLurer{} }
+					label = "adaptive"
+				}
+				cfg.Wrap = spec
+			}
+			pt, err := MeasureConvergence(algo.QualityAware{}, cfg, reps, fmt.Sprintf("E26-%.2f-%s", byz, label))
+			if err != nil {
+				return Report{}, err
+			}
+			// As in E23: accuracy must survive a small minority. Past ~2% the
+			// standing lure population defeats unanimity — measured, not gated.
+			if byz <= 0.02 && (pt.SuccessRate < 0.75 || pt.WinnerQuality.Mean < 0.9*best) {
+				rep.Pass = false
+			}
+			tb.AddRow(fmt.Sprintf("%.2f", byz), label, fmt.Sprintf("%.3f", pt.SuccessRate),
+				fmt.Sprintf("%.3f", pt.WinnerQuality.Mean), fmt.Sprintf("%.3f", pt.WinnerQuality.Min))
+		}
+	}
+	rep.Tables = append(rep.Tables, tb.String())
+	rep.Findings = append(rep.Findings,
+		"adaptive relocation pools every lurer onto the census front-runner among the bad nests, where static lurers split across their individually-latched targets",
+		"relocated lurers advertise nests they never visited; the scalar oracle licenses the recruit via the engine's visited-teach, the batch lane by construction")
+	return rep, nil
+}
+
+// --- E27: adaptive adversary — churn with exponential restart ----------------------
+
+func runE27(scale Scale) (Report, error) {
+	n := pick(scale, 256, 1024)
+	reps := pick(scale, 8, 24)
+	rep := Report{
+		ID:    "E27",
+		Title: "Crash-recovery churn (geometric downtime)",
+		Claim: "under continuous churn — every ant crashing at a constant per-round hazard and restarting after a geometric downtime — the colony keeps converging: restarted ants re-enter the algorithm from its first round and are re-recruited by the committed majority",
+		Pass:  true,
+	}
+	env, err := workload.Binary(4, 1)
+	if err != nil {
+		return Report{}, err
+	}
+	const meanDowntime = 8.0
+	tb := stats.NewTable("", "crashProb", "successRate", "meanRounds", "p95Rounds")
+	for _, p := range []float64{0, 0.001, 0.005, 0.02} {
+		cfg := core.RunConfig{N: n, Env: env, MaxRounds: 4000}
+		if p > 0 {
+			hazard := p
+			cfg.Wrap = faults.Spec{
+				Salt: 5006,
+				NewSchedule: func() faults.Schedule {
+					return faults.Churn{CrashProb: hazard, MeanDowntime: meanDowntime}
+				},
+				// The scalar fallback path revives ants from a pristine rebuild;
+				// the batch engine (which these cells actually run on) re-seeds
+				// from its own columns.
+				Rebuild: func(seed uint64) ([]sim.Agent, error) {
+					return algo.Simple{}.Build(n, env, rng.New(seed).Split(2))
+				},
+			}
+		}
+		pt, err := MeasureConvergence(algo.Simple{}, cfg, reps, fmt.Sprintf("E27-%.3f", p))
+		if err != nil {
+			return Report{}, err
+		}
+		// Unanimity needs every censused ant: a standing crashed population
+		// subtracts from the census, so convergence requires the lulls between
+		// crashes to cover the whole colony — moderate hazards must still pass.
+		if p <= 0.005 && pt.SuccessRate < 0.75 {
+			rep.Pass = false
+		}
+		tb.AddRow(fmt.Sprintf("%.3f", p), fmt.Sprintf("%.3f", pt.SuccessRate),
+			fmt.Sprintf("%.1f", pt.Rounds.Mean), fmt.Sprintf("%.1f", pt.Rounds.P95))
+	}
+	rep.Tables = append(rep.Tables, tb.String())
+	rep.Findings = append(rep.Findings,
+		fmt.Sprintf("mean downtime %.0f rounds: at hazard p the steady-state crashed fraction is ~p·%.0f/(1+p·%.0f), the census shortfall the colony must outwait", meanDowntime, meanDowntime, meanDowntime),
+		"restarted ants are bit-identically re-seeded on both engines (pristine per-ant streams are split, never consumed)")
 	return rep, nil
 }

@@ -8,10 +8,10 @@ import (
 func TestIDsComplete(t *testing.T) {
 	t.Parallel()
 	ids := IDs()
-	if len(ids) != 24 {
-		t.Fatalf("suite has %d experiments, want 24", len(ids))
+	if len(ids) != 27 {
+		t.Fatalf("suite has %d experiments, want 27", len(ids))
 	}
-	if ids[0] != "E1" || ids[23] != "E24" {
+	if ids[0] != "E1" || ids[26] != "E27" {
 		t.Fatalf("ids = %v", ids)
 	}
 }

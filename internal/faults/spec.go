@@ -119,9 +119,32 @@ type Spec struct {
 	// Salt is the Split index of the fault stream: victims are drawn from
 	// rng.New(seed).Split(Salt) under the run's root seed.
 	Salt uint64
+	// NewSchedule, when non-nil, attaches an adaptive adversary: a fresh
+	// Schedule per replicate, stepped at the end of every round on the
+	// colony snapshot with the dedicated adversary stream
+	// rng.New(seed).Split(EffectiveScheduleSalt). Both engines build the
+	// schedule from this factory and feed it the same snapshot and stream,
+	// which is what keeps adaptive-fault replicates bit-identical. The
+	// factory must be deterministic: two calls must yield schedules that
+	// draw and mutate identically.
+	NewSchedule func() Schedule
+	// ScheduleSalt is the Split index of the adversary stream; 0 selects
+	// Salt+1 (see sim.FaultSpec.EffectiveScheduleSalt).
+	ScheduleSalt uint64
+	// Rebuild rebuilds the pristine colony for the replicate seed, for
+	// schedules that restart crashed ants: a restarted ant adopts
+	// Rebuild(seed)[i] as its fresh inner agent, whose per-ant stream is
+	// bit-identical to the one ant i was born with (builder streams are
+	// split, never consumed, off the builder root). Scalar-only — the batch
+	// lane re-seeds restarted ants from its own columns — and required only
+	// when the schedule emits FaultRestart ops; leaving it nil makes a
+	// restart a run error. Typically cfg's algorithm builder closed over the
+	// run's n and environment.
+	Rebuild func(seed uint64) ([]sim.Agent, error)
 }
 
-// lower converts the spec to its sim-level form.
+// lower converts the spec to its sim-level form. Rebuild stays behind:
+// it is scalar-machinery only.
 func (s Spec) lower() sim.FaultSpec {
 	return sim.FaultSpec{
 		CrashFraction:     s.CrashFraction,
@@ -130,6 +153,8 @@ func (s Spec) lower() sim.FaultSpec {
 		SleepFraction:     s.SleepFraction,
 		SleepWindow:       s.SleepWindow,
 		Salt:              s.Salt,
+		NewSchedule:       s.NewSchedule,
+		ScheduleSalt:      s.ScheduleSalt,
 	}
 }
 
@@ -149,6 +174,12 @@ func (s Spec) BatchFaults() (sim.FaultSpec, bool) { return s.lower(), s.Enabled(
 // consumes the identical stream — and wraps the victims in the scalar
 // CrashAnt/ByzantineAnt/SleepAnt wrappers, preserving each inner agent's
 // decider contract.
+//
+// With a NewSchedule attached, EVERY ant is wrapped instead (schedAnt
+// subsumes the static wrappers), sharing one controller that steps the
+// schedule from the engine's round hook: any ant can crash or restart
+// under an adaptive adversary, so every ant needs the status machinery.
+// The victim assignment is drawn identically either way.
 func (s Spec) WrapAgents(seed uint64, agents []sim.Agent) ([]sim.Agent, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
@@ -164,6 +195,9 @@ func (s Spec) WrapAgents(seed uint64, agents []sim.Agent) ([]sim.Agent, error) {
 	perm := make([]int32, n)
 	src := rng.New(seed).Split(s.Salt)
 	fs.Assign(n, src, crashRound, wakeRound, byz, perm)
+	if s.NewSchedule != nil {
+		return s.wrapScheduled(seed, fs, agents, crashRound, wakeRound, byz)
+	}
 	for i := range agents {
 		var err error
 		switch {
@@ -180,6 +214,59 @@ func (s Spec) WrapAgents(seed uint64, agents []sim.Agent) ([]sim.Agent, error) {
 		if err != nil {
 			return nil, err
 		}
+	}
+	return agents, nil
+}
+
+// wrapScheduled is WrapAgents' adaptive path: one schedCtrl per replicate,
+// every ant wrapped in a schedAnt carrying its static fault plan (which
+// sub-sumes CrashAnt/ByzantineAnt/SleepAnt behavior), the schedule built
+// fresh and its adversary stream split at the canonical index. The
+// per-victim Byzantine stream split of the static path is skipped: Split
+// never advances the parent and ByzantineAnt never draws, so the streams
+// stay bit-identical.
+func (s Spec) wrapScheduled(seed uint64, fs sim.FaultSpec, agents []sim.Agent, crashRound, wakeRound []int32, byz []uint8) ([]sim.Agent, error) {
+	n := len(agents)
+	ctrl := &schedCtrl{
+		sched:   s.NewSchedule(),
+		adv:     rng.New(seed).Split(fs.EffectiveScheduleSalt()),
+		rebuild: s.Rebuild,
+		seed:    seed,
+		ants:    make([]*schedAnt, n),
+		ops:     make([]sim.FaultOp, 0, 64),
+	}
+	if ctrl.sched == nil {
+		return nil, fmt.Errorf("faults: NewSchedule returned nil")
+	}
+	for _, inner := range agents {
+		// The algorithm's decider contract is a colony property (mirrors
+		// Program.Decides), read off the pre-replacement agents so a
+		// Byzantine victim's lost inner still counts.
+		if _, ok := inner.(decider); ok {
+			ctrl.decides = true
+			break
+		}
+	}
+	for i, inner := range agents {
+		a := &schedAnt{ctrl: ctrl, idx: i, inner: inner, lastNest: sim.Home}
+		switch {
+		case crashRound[i] > 0:
+			a.crashAt = int(crashRound[i])
+		case byz[i] != 0:
+			a.inner = nil
+			a.status = sim.AntByzantine
+		case wakeRound[i] > 0:
+			a.wakeAt = int(wakeRound[i])
+			a.status = sim.AntSleeping
+		}
+		ctrl.ants[i] = a
+		if a.inner != nil {
+			if _, ok := a.inner.(decider); ok {
+				agents[i] = schedDecider{a}
+				continue
+			}
+		}
+		agents[i] = a
 	}
 	return agents, nil
 }

@@ -514,6 +514,17 @@ type lane struct {
 	byz        []uint8
 	permScrat  []int32
 
+	// Adaptive adversary (nil unless the spec carries a NewSchedule). sched
+	// is rebuilt per replicate, schedSrc is the dedicated adversary stream
+	// (root.Split(EffectiveScheduleSalt), touched by nothing else), schedOps
+	// is the reused mutation buffer applySchedule hands to the schedule, and
+	// nCrashed tallies currently-crashed ants for the view (alive excludes
+	// Byzantine ants too, so it cannot serve as the restart-candidate count).
+	sched    FaultSchedule
+	schedSrc rng.Source
+	schedOps []FaultOp
+	nCrashed int
+
 	matcher   Matcher
 	carryM    CarryMatcher  // matcher's carry form; nil when unimplemented
 	capLister CaptureLister // matcher's capture list; nil when unimplemented
@@ -622,6 +633,12 @@ func newLane(b *Batch, shards int) *lane {
 		ln.wakeRound = make([]int32, n)
 		ln.byz = make([]uint8, n)
 		ln.permScrat = make([]int32, n)
+		if b.prog.Params.Faults.NewSchedule != nil {
+			// The mutation buffer starts at a modest capacity and grows
+			// amortized in applySchedule if a schedule ever asks for more;
+			// steady-state rounds then allocate nothing.
+			ln.schedOps = make([]FaultOp, 0, 64)
+		}
 	}
 	if !b.lockstep {
 		numExec := ln.numExec
@@ -746,6 +763,14 @@ func (ln *lane) reset(seed uint64) {
 		root.SplitInto(ln.prog.Params.Faults.Salt, &faultSrc)
 		ln.prog.Params.Faults.Assign(ln.n, &faultSrc, ln.crashRound, ln.wakeRound, ln.byz, ln.permScrat)
 		ln.round = 0
+		ln.nCrashed = 0
+		if ns := ln.prog.Params.Faults.NewSchedule; ns != nil {
+			// A fresh schedule per replicate (stateful schedules restart) and
+			// the dedicated adversary stream: the scalar controller builds
+			// both identically, so adaptive draws can never desync.
+			ln.sched = ns()
+			root.SplitInto(ln.prog.Params.Faults.EffectiveScheduleSalt(), &ln.schedSrc)
+		}
 		ln.crashAnts = ln.crashAnts[:0]
 		ln.crashAt = ln.crashAt[:0]
 		ln.sleepAnts = ln.sleepAnts[:0]
@@ -1422,6 +1447,13 @@ func (ln *lane) stepGeneral() error {
 		for idx, i32 := range ln.sleepAnts {
 			if ln.wakeAt[idx] == r {
 				i := int(i32)
+				// Guard: only an ant still sleeping wakes. A schedule may have
+				// crashed the sleeper (or crashed and restarted it — already
+				// awake); the scalar wrapper's wake branch requires the
+				// sleeping status identically.
+				if state[i] != ln.sleepSt {
+					continue
+				}
 				st := ln.prog.Init
 				if split := ln.prog.InitSplit; split > 0 && i >= split {
 					st = ln.prog.InitRest
@@ -1432,8 +1464,17 @@ func (ln *lane) stepGeneral() error {
 		for idx, i32 := range ln.crashAnts {
 			if ln.crashAt[idx] == r {
 				i := int(i32)
+				// Guard: an ant a schedule already crashed must not leave the
+				// census twice. The match is exact (== r, not >=): a schedule
+				// restarting the ant AFTER its static crash round must not
+				// re-fire the static crash — the scalar wrapper checks
+				// round == crashAt under the same status guard.
+				if state[i] == ln.crashSt {
+					continue
+				}
 				ln.commit[nest[i]]--
 				ln.alive--
+				ln.nCrashed++
 				state[i] = ln.crashSt
 			}
 		}
@@ -1759,18 +1800,44 @@ func (ln *lane) stepGeneral() error {
 		lastNest := ln.lastNest
 		isRecr := ln.isRecr
 		slotOf := ln.slotOf
-		for _, i32 := range ln.crashAnts {
-			i := int(i32)
-			outNest := actNest[i]
-			if isRecr[i] != 0 {
-				outNest = slotNest[slotOf[i]]
+		if ln.sched != nil {
+			// With an adaptive schedule ANY ant can crash, so every ant's last
+			// known nest must be current when the mutation pass below runs —
+			// the sparse static-victim walk becomes a full-colony pass. The
+			// formula is identical; slotOf/slotNest are valid for every
+			// recruiter in every assembly mode.
+			for i := 0; i < n; i++ {
+				outNest := actNest[i]
+				if isRecr[i] != 0 {
+					outNest = slotNest[slotOf[i]]
+				}
+				if outNest != Home {
+					lastNest[i] = outNest
+				}
 			}
-			if outNest != Home {
-				lastNest[i] = outNest
+		} else {
+			for _, i32 := range ln.crashAnts {
+				i := int(i32)
+				outNest := actNest[i]
+				if isRecr[i] != 0 {
+					outNest = slotNest[slotOf[i]]
+				}
+				if outNest != Home {
+					lastNest[i] = outNest
+				}
 			}
 		}
 	}
 	ln.finals = finals
+	// Adaptive mutation pass: the schedule observes the fully resolved round
+	// (census tallies, decided count) and its ops apply before runReplicate
+	// takes the round's convergence census — the scalar engine's RoundHook
+	// position. Sequential by construction: no shard or worker fans this out.
+	if ln.sched != nil {
+		if err := ln.applySchedule(); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 

@@ -77,6 +77,15 @@ func (e *Engine) RunConcurrent(maxRounds int, until func(*Engine) bool) (rounds 
 			return e.round, err
 		}
 		broadcast(cmdObserve)
+		// End-of-round hook, after every observe goroutine has rejoined the
+		// barrier — the same position Step calls it, so the adaptive fault
+		// controller mutates identically under either execution mode.
+		if e.hook != nil {
+			if err := e.hook(e, e.round); err != nil {
+				e.err = err
+				return e.round, err
+			}
+		}
 		if until != nil && until(e) {
 			return e.round, nil
 		}

@@ -45,6 +45,7 @@ type Engine struct {
 
 	strict bool
 	err    error
+	hook   RoundHook // end-of-round callback (adaptive fault controller); nil otherwise
 
 	tracer *trace.Trace
 	reg    *metrics.Registry
@@ -151,6 +152,16 @@ func New(env Environment, agents []Agent, opts ...Option) (*Engine, error) {
 	if sized, ok := e.matcher.(sizedMatcher); ok {
 		sized.Reserve(n) // recruiting sets reach colony size; never grow mid-run
 	}
+	// Install the first round hook the colony carries (the adaptive fault
+	// controller wraps every ant, all sharing one hook, so "first" is "the"
+	// hook). The scan is construction-time only; unhooked colonies pay one
+	// nil check per round.
+	for _, a := range agents {
+		if rh, ok := a.(RoundHooked); ok {
+			e.hook = rh.RoundHook()
+			break
+		}
+	}
 	e.cRounds = e.reg.Counter("engine.rounds")
 	e.cSearch = e.reg.Counter("engine.actions.search")
 	e.cGo = e.reg.Counter("engine.actions.go")
@@ -237,6 +248,15 @@ func (e *Engine) Step() error {
 	}
 	for i, a := range e.agents {
 		a.Observe(r, e.outcomes[i])
+	}
+	// End-of-round hook: the adaptive fault controller observes and mutates
+	// here — after every observe folded, before the caller's convergence
+	// census — matching the batch lane's applySchedule position exactly.
+	if e.hook != nil {
+		if err := e.hook(e, r); err != nil {
+			e.err = err
+			return err
+		}
 	}
 	return nil
 }
@@ -412,6 +432,20 @@ func (e *Engine) resolve() error {
 		}
 	}
 	return nil
+}
+
+// Teach marks nest as visited by ant a, as if the ant had been recruited
+// there — the tandem run of the biology, performed out of band. It exists for
+// the fault layer: an adaptive adversary relocating a Byzantine lurer to the
+// colony's front-runner must license the lurer's subsequent recruit(1, nest)
+// calls under strict §2 validation (a real lurer would simply walk there).
+// Out-of-range arguments are ignored.
+func (e *Engine) Teach(a int, nest NestID) {
+	k := e.env.K()
+	if a < 0 || a >= len(e.agents) || nest < 1 || int(nest) > k {
+		return
+	}
+	e.visited[a*(k+1)+int(nest)] = true
 }
 
 // Run executes rounds until until returns true, maxRounds is reached, or an

@@ -49,6 +49,19 @@ type FaultSpec struct {
 	// wrapper builders. Choose a salt disjoint from the engine's stream
 	// indices (0, 1, 2) so fault draws decorrelate from the simulation.
 	Salt uint64
+	// NewSchedule, when non-nil, attaches an adaptive adversary: a fresh
+	// FaultSchedule is built per replicate and stepped at the end of every
+	// round with the lane's ColonyView and the dedicated adversary stream
+	// rng.New(seed).Split(EffectiveScheduleSalt()). The scalar wrapper layer
+	// (faults.Spec) builds the identical schedule and consumes the identical
+	// stream, which is what keeps adaptive-fault replicates bit-identical
+	// across engines. The factory must be deterministic: calling it twice
+	// must yield schedules that draw and mutate identically.
+	NewSchedule func() FaultSchedule
+	// ScheduleSalt is the Split index of the adversary stream; 0 selects
+	// Salt+1 so the schedule's draws never collide with the victim
+	// assignment's (see EffectiveScheduleSalt).
+	ScheduleSalt uint64
 }
 
 // DefaultFaultWindow is the crash/sleep scheduling window used when the spec
@@ -61,10 +74,12 @@ const DefaultFaultWindow = 64
 // 256 - batchSyntheticStates states.
 const batchSyntheticStates = 4
 
-// Enabled reports whether the spec injects any faults at all. A zero
-// FaultSpec is disabled and costs the engine nothing.
+// Enabled reports whether the spec injects any faults at all — static
+// fractions or an adaptive schedule. A zero FaultSpec is disabled and costs
+// the engine nothing.
 func (f FaultSpec) Enabled() bool {
-	return f.CrashFraction > 0 || f.ByzantineFraction > 0 || f.SleepFraction > 0
+	return f.CrashFraction > 0 || f.ByzantineFraction > 0 || f.SleepFraction > 0 ||
+		f.NewSchedule != nil
 }
 
 // Validate checks the spec's fractions and windows.
@@ -75,7 +90,22 @@ func (f FaultSpec) Validate() error {
 	if sum := f.CrashFraction + f.ByzantineFraction + f.SleepFraction; sum > 1 {
 		return fmt.Errorf("sim: fault fractions sum to %v > 1", sum)
 	}
+	if f.CrashWindow < 0 || f.SleepWindow < 0 {
+		return fmt.Errorf("sim: negative fault window (crash %d, sleep %d)", f.CrashWindow, f.SleepWindow)
+	}
 	return nil
+}
+
+// EffectiveScheduleSalt is the Split index the adversary stream is derived
+// with: ScheduleSalt when set, else Salt+1. The default keeps the schedule's
+// stream disjoint from the victim-assignment stream (Salt) without the
+// caller having to pick a second salt; both engines derive the stream from
+// this one value, so they can never disagree on the adversary's randomness.
+func (f FaultSpec) EffectiveScheduleSalt() uint64 {
+	if f.ScheduleSalt != 0 {
+		return f.ScheduleSalt
+	}
+	return f.Salt + 1
 }
 
 // crashWindow returns the effective crash scheduling window.

@@ -17,6 +17,7 @@ func TestFaultSpecEnabled(t *testing.T) {
 		{"crash", FaultSpec{CrashFraction: 0.1}, true},
 		{"byzantine", FaultSpec{ByzantineFraction: 0.1}, true},
 		{"sleep", FaultSpec{SleepFraction: 0.1}, true},
+		{"schedule-only", FaultSpec{NewSchedule: func() FaultSchedule { return nil }}, true},
 	}
 	for _, c := range cases {
 		if got := c.spec.Enabled(); got != c.want {
@@ -42,10 +43,101 @@ func TestFaultSpecValidate(t *testing.T) {
 		{SleepFraction: -0.5},
 		{CrashFraction: 0.6, ByzantineFraction: 0.6},
 		{CrashFraction: 0.5, ByzantineFraction: 0.3, SleepFraction: 0.3},
+		{CrashFraction: 0.1, CrashWindow: -1},
+		{SleepFraction: 0.1, SleepWindow: -20},
 	}
 	for _, s := range invalid {
 		if err := s.Validate(); err == nil {
 			t.Errorf("Validate(%+v) = nil, want error", s)
+		}
+	}
+}
+
+// TestFaultSpecEffectiveScheduleSalt pins the adversary-stream derivation: an
+// explicit ScheduleSalt wins, and the zero default lands next to the
+// victim-assignment salt without colliding with it.
+func TestFaultSpecEffectiveScheduleSalt(t *testing.T) {
+	cases := []struct {
+		spec FaultSpec
+		want uint64
+	}{
+		{FaultSpec{}, 1},
+		{FaultSpec{Salt: 7}, 8},
+		{FaultSpec{Salt: 7, ScheduleSalt: 99}, 99},
+		{FaultSpec{ScheduleSalt: 3}, 3},
+	}
+	for _, c := range cases {
+		if got := c.spec.EffectiveScheduleSalt(); got != c.want {
+			t.Errorf("EffectiveScheduleSalt(%+v) = %d, want %d", c.spec, got, c.want)
+		}
+		if c.spec.ScheduleSalt == 0 && c.spec.EffectiveScheduleSalt() == c.spec.Salt {
+			t.Errorf("default schedule salt collides with the fault salt %d", c.spec.Salt)
+		}
+	}
+}
+
+// TestFaultSpecAssignEdges property-checks the two boundary geometries of the
+// victim assignment across colony sizes and stream states.
+//
+// Window 1: every scheduled event lands on its lane's single eligible round —
+// all crashes at round 1, all wakes at round 2 — and Intn(1) still consumes
+// its draw, so the stream position stays the canonical one.
+//
+// Fractions summing to exactly 1: the floors can leave at most two ants
+// unassigned (one per fractional floor boundary); with fractions that divide
+// n exactly, NO ant stays non-faulty, and the three classes still partition
+// the colony.
+func TestFaultSpecAssignEdges(t *testing.T) {
+	for _, n := range []int{4, 37, 200, 1024} {
+		for _, seed := range []uint64{1, 42, 2015} {
+			crash := make([]int32, n)
+			wake := make([]int32, n)
+			byz := make([]uint8, n)
+			perm := make([]int32, n)
+
+			window1 := FaultSpec{CrashFraction: 0.5, CrashWindow: 1, SleepFraction: 0.5, SleepWindow: 1, Salt: 3}
+			window1.Assign(n, rng.New(seed).Split(window1.Salt), crash, wake, byz, perm)
+			for i := 0; i < n; i++ {
+				if crash[i] != 0 && crash[i] != 1 {
+					t.Fatalf("n=%d seed=%d ant %d: crash round %d, want 1 under window 1", n, seed, i, crash[i])
+				}
+				if wake[i] != 0 && wake[i] != 2 {
+					t.Fatalf("n=%d seed=%d ant %d: wake round %d, want 2 under window 1", n, seed, i, wake[i])
+				}
+			}
+
+			// 1/2 + 1/4 + 1/4 divides every n in the sweep's 4|n cases exactly;
+			// for the odd n the floors leave at most 2 ants unassigned.
+			sum1 := FaultSpec{CrashFraction: 0.5, CrashWindow: 8, ByzantineFraction: 0.25, SleepFraction: 0.25, SleepWindow: 8, Salt: 3}
+			if err := sum1.Validate(); err != nil {
+				t.Fatalf("fractions summing to exactly 1 must validate: %v", err)
+			}
+			sum1.Assign(n, rng.New(seed).Split(sum1.Salt), crash, wake, byz, perm)
+			unassigned := 0
+			for i := 0; i < n; i++ {
+				classes := 0
+				if crash[i] > 0 {
+					classes++
+				}
+				if byz[i] != 0 {
+					classes++
+				}
+				if wake[i] > 0 {
+					classes++
+				}
+				if classes > 1 {
+					t.Fatalf("n=%d seed=%d ant %d: %d fault classes, want at most 1", n, seed, i, classes)
+				}
+				if classes == 0 {
+					unassigned++
+				}
+			}
+			if n%4 == 0 && unassigned != 0 {
+				t.Errorf("n=%d seed=%d: %d ants unassigned under fractions summing to 1, want 0", n, seed, unassigned)
+			}
+			if unassigned > 2 {
+				t.Errorf("n=%d seed=%d: %d ants unassigned, floors can strand at most 2", n, seed, unassigned)
+			}
 		}
 	}
 }
